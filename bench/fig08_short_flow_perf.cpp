@@ -1,0 +1,70 @@
+// Figure 8: basic performance of SHORT flows under TLB vs baselines.
+//
+// Basic setup (Section 6.1). Time series over the run:
+//   (a) reordering (dup-ACK) ratio of short flows,
+//   (b) mean queueing delay of short-flow packets.
+//
+// Expected shape (paper): TLB has near-zero reordering (shorts and longs
+// never share queues) and the lowest queueing delay throughout.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tlbsim;
+
+int main(int argc, char** argv) {
+  (void)bench::fullScale(argc, argv);
+  std::printf("Figure 8: short-flow reordering and queueing delay\n");
+
+  const harness::Scheme schemes[] = {
+      harness::Scheme::kRps, harness::Scheme::kPresto,
+      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+
+  std::vector<harness::ExperimentResult> results;
+  for (const auto scheme : schemes) {
+    auto cfg = bench::basicSetup(scheme);
+    bench::addBasicMix(cfg);
+    cfg.sampleInterval = milliseconds(1);
+    results.push_back(harness::runExperiment(cfg));
+  }
+
+  stats::Table reorder({"time (ms)", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table delay({"time (ms)", "RPS (us)", "Presto (us)", "LetFlow (us)",
+                      "TLB (us)"});
+  // Print only the window in which short flows are active (the series is
+  // all-zero once they finish while the long flows drain).
+  const auto& base = results[0].shortDupAckRatio.points();
+  std::size_t lastActive = 0;
+  for (const auto& res : results) {
+    const auto& pts = res.shortQueueDelayUs.points();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].second > 0.0) lastActive = std::max(lastActive, i);
+    }
+  }
+  for (std::size_t i = 0; i <= lastActive && i < base.size(); i += 4) {
+    std::vector<double> r1, r2;
+    for (const auto& res : results) {
+      const auto& a = res.shortDupAckRatio.points();
+      const auto& b = res.shortQueueDelayUs.points();
+      r1.push_back(i < a.size() ? a[i].second : 0.0);
+      r2.push_back(i < b.size() ? b[i].second : 0.0);
+    }
+    const std::string t = stats::fmt(toMilliseconds(base[i].first), 1);
+    reorder.addRow(t, r1, 4);
+    delay.addRow(t, r2, 1);
+  }
+  reorder.print("Fig 8(a): short-flow dup-ACK ratio over time");
+  delay.print("Fig 8(b): short-flow mean queueing delay over time");
+
+  stats::Table summary({"scheme", "dup-ACK ratio", "mean qdelay (us)",
+                        "short AFCT (ms)"});
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    summary.addRow(harness::schemeName(schemes[s]),
+                   {results[s].shortDupAckRatioTotal(),
+                    results[s].shortDelayUsAll.mean(),
+                    results[s].shortAfctSec() * 1e3},
+                   4);
+  }
+  summary.print("Fig 8 summary (whole run)");
+  return 0;
+}

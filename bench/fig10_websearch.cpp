@@ -1,0 +1,68 @@
+// Figure 10: large-scale web-search workload, load sweep 0.1-0.8.
+//
+// Paper setup (Section 6.2): 8 ToR x 8 core leaf-spine, 256 hosts, 1 Gbps,
+// 100 us RTT, 256-packet buffers, Poisson arrivals between random host
+// pairs, deadlines uniform [5, 25] ms.
+//
+//   (a) AFCT of short flows        (b) 99th-percentile FCT of short flows
+//   (c) deadline miss ratio        (d) throughput of long flows
+// for ECMP / RPS / Presto / LetFlow / TLB.
+//
+// Default scale: 32 hosts, ~240 flows per point (finishes in minutes on a
+// laptop core); --full runs 256 hosts and 2000 flows per point.
+//
+// Expected shape (paper): TLB wins AFCT/p99/miss across loads, with the
+// largest margins at high load (~25% over LetFlow, ~45% over Presto,
+// ~55% over RPS, ~68% over ECMP at 0.8); long-flow throughput highest for
+// TLB, lowest for ECMP.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tlbsim;
+
+int main(int argc, char** argv) {
+  const bool full = bench::fullScale(argc, argv);
+  std::printf("Figure 10: web-search workload, load sweep\n");
+
+  const auto dist = workload::FlowSizeDistribution::webSearch(
+      full ? 0 : 30 * kMB);
+  const std::vector<double> loads =
+      full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+           : std::vector<double>{0.2, 0.4, 0.6, 0.8};
+  const int flowCount = full ? 2000 : 240;
+
+  const harness::Scheme schemes[] = {
+      harness::Scheme::kEcmp, harness::Scheme::kRps, harness::Scheme::kPresto,
+      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+
+  stats::Table afct({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table p99({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table miss({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table tput({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+
+  for (const double load : loads) {
+    std::vector<double> a, b, c, d;
+    for (const auto scheme : schemes) {
+      auto cfg = bench::largeScaleSetup(scheme, full);
+      bench::addPoissonWorkload(cfg, load, dist, flowCount);
+      const auto res = harness::runExperiment(cfg);
+      a.push_back(res.shortAfctSec() * 1e3);
+      b.push_back(res.shortP99Sec() * 1e3);
+      c.push_back(res.shortMissRatio() * 100.0);
+      d.push_back(res.longGoodputGbps());
+      std::fprintf(stderr, "  load %.1f %s done (%.0f ms simulated)\n", load,
+                   harness::schemeName(scheme), toMilliseconds(res.endTime));
+    }
+    afct.addRow(stats::fmt(load, 1), a, 2);
+    p99.addRow(stats::fmt(load, 1), b, 2);
+    miss.addRow(stats::fmt(load, 1), c, 2);
+    tput.addRow(stats::fmt(load, 1), d, 3);
+  }
+
+  afct.print("Fig 10(a): short-flow AFCT (ms), web search");
+  p99.print("Fig 10(b): short-flow 99th-percentile FCT (ms), web search");
+  miss.print("Fig 10(c): short-flow deadline miss ratio (%), web search");
+  tput.print("Fig 10(d): long-flow throughput (Gbps), web search");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11: large-scale data-mining workload, load sweep 0.1-0.8.
+//
+// Same fabric and sweep as Fig. 10, with the VL2 data-mining flow-size
+// distribution (huge tail: the default scale caps flows at 35 MB so a
+// single tail sample cannot dominate the run; --full raises the cap to
+// 100 MB and the flow count to 1000).
+//
+// Expected shape (paper): same ordering as web search; short-flow FCTs are
+// *smaller* than web search at equal load (cleaner short/long separation),
+// while LetFlow does relatively worse (fewer flowlet gaps).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tlbsim;
+
+int main(int argc, char** argv) {
+  const bool full = bench::fullScale(argc, argv);
+  std::printf("Figure 11: data-mining workload, load sweep\n");
+
+  const auto dist = workload::FlowSizeDistribution::dataMining(
+      full ? 100 * kMB : 35 * kMB);
+  const std::vector<double> loads =
+      full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+           : std::vector<double>{0.2, 0.4, 0.6, 0.8};
+  const int flowCount = full ? 1000 : 200;
+
+  const harness::Scheme schemes[] = {
+      harness::Scheme::kEcmp, harness::Scheme::kRps, harness::Scheme::kPresto,
+      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+
+  stats::Table afct({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table p99({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table miss({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+  stats::Table tput({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
+
+  for (const double load : loads) {
+    std::vector<double> a, b, c, d;
+    for (const auto scheme : schemes) {
+      auto cfg = bench::largeScaleSetup(scheme, full, /*seed=*/2);
+      bench::addPoissonWorkload(cfg, load, dist, flowCount);
+      const auto res = harness::runExperiment(cfg);
+      a.push_back(res.shortAfctSec() * 1e3);
+      b.push_back(res.shortP99Sec() * 1e3);
+      c.push_back(res.shortMissRatio() * 100.0);
+      d.push_back(res.longGoodputGbps());
+      std::fprintf(stderr, "  load %.1f %s done (%.0f ms simulated)\n", load,
+                   harness::schemeName(scheme), toMilliseconds(res.endTime));
+    }
+    afct.addRow(stats::fmt(load, 1), a, 2);
+    p99.addRow(stats::fmt(load, 1), b, 2);
+    miss.addRow(stats::fmt(load, 1), c, 2);
+    tput.addRow(stats::fmt(load, 1), d, 3);
+  }
+
+  afct.print("Fig 11(a): short-flow AFCT (ms), data mining");
+  p99.print("Fig 11(b): short-flow 99th-percentile FCT (ms), data mining");
+  miss.print("Fig 11(c): short-flow deadline miss ratio (%), data mining");
+  tput.print("Fig 11(d): long-flow throughput (Gbps), data mining");
+  return 0;
+}

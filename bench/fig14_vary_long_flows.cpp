@@ -1,0 +1,60 @@
+// Figure 14: testbed scenario, varying the number of long flows.
+// Same setup and normalization as Fig. 13, with 100 short flows fixed.
+//
+// Expected shape (paper): TLB's advantage grows with more long flows —
+// adaptive granularity matters most when long flows dominate the fabric.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tlbsim;
+
+int main(int argc, char** argv) {
+  const bool full = bench::fullScale(argc, argv);
+  std::printf("Figure 14: testbed scale, varying long-flow count\n");
+
+  const std::vector<int> longCounts = full ? std::vector<int>{2, 4, 6, 8, 10}
+                                           : std::vector<int>{2, 6, 10};
+
+  const harness::Scheme schemes[] = {
+      harness::Scheme::kEcmp, harness::Scheme::kRps, harness::Scheme::kPresto,
+      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+
+  stats::Table afct({"#long", "ECMP", "RPS", "Presto", "LetFlow", "TLB(ms)"});
+  stats::Table tput({"#long", "ECMP", "RPS", "Presto", "LetFlow",
+                     "TLB(Mbps)"});
+
+  // Averaged over seeds (see fig13): collision luck dominates single runs.
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  for (const int numLong : longCounts) {
+    std::vector<double> rawAfct, rawTput;
+    for (const auto scheme : schemes) {
+      double afctSum = 0.0, tputSum = 0.0;
+      for (const std::uint64_t seed : seeds) {
+        auto cfg = bench::testbedSetup(scheme, seed);
+        bench::addTestbedMix(cfg, /*numShort=*/100, numLong);
+        const auto res = harness::runExperiment(cfg);
+        afctSum += res.shortAfctSec() * 1e3;
+        tputSum += res.longGoodputGbps() * 1e3;
+      }
+      rawAfct.push_back(afctSum / static_cast<double>(seeds.size()));
+      rawTput.push_back(tputSum / static_cast<double>(seeds.size()));
+      std::fprintf(stderr, "  #long=%d %s done\n", numLong,
+                   harness::schemeName(scheme));
+    }
+    const double tlbAfct = rawAfct.back();
+    const double tlbTput = rawTput.back();
+    afct.addRow(std::to_string(numLong),
+                {rawAfct[0] / tlbAfct, rawAfct[1] / tlbAfct,
+                 rawAfct[2] / tlbAfct, rawAfct[3] / tlbAfct, tlbAfct},
+                2);
+    tput.addRow(std::to_string(numLong),
+                {rawTput[0] / tlbTput, rawTput[1] / tlbTput,
+                 rawTput[2] / tlbTput, rawTput[3] / tlbTput, tlbTput},
+                2);
+  }
+
+  afct.print("Fig 14(a): short-flow AFCT normalized to TLB (>1 is worse)");
+  tput.print("Fig 14(b): long-flow throughput normalized to TLB (<1 is worse)");
+  return 0;
+}

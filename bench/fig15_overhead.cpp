@@ -1,0 +1,136 @@
+// Figure 15: switch overhead of each scheme.
+//
+// The paper measures CPU and memory utilization of the BMv2 leaf switch.
+// Our substrate is a simulator, so the equivalent quantity is the cost a
+// scheme adds to the switch per packet and the per-switch state it keeps:
+//   (a) per-packet forwarding-decision latency (google-benchmark),
+//       plus TLB's periodic control-loop tick,
+//   (b) per-switch state footprint (tracked flow entries x entry size).
+//
+// Expected shape (paper): ECMP/RPS/Presto are cheapest; TLB's calculator
+// adds only a small constant cost per packet and a tiny periodic tick, and
+// memory stays negligible (one small entry per live flow).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/tlb.hpp"
+#include "harness/scheme.hpp"
+#include "lb/letflow.hpp"
+#include "lb/presto.hpp"
+
+using namespace tlbsim;
+
+namespace {
+
+net::UplinkView makeView(int n) {
+  net::UplinkView v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(net::PortView{i, i % 7, static_cast<Bytes>(i % 7) * 1500});
+  }
+  return v;
+}
+
+net::Packet dataPacket(FlowId flow) {
+  net::Packet p;
+  p.flow = flow;
+  p.type = net::PacketType::kData;
+  p.payload = 1460;
+  p.size = 1500;
+  return p;
+}
+
+void runSelector(benchmark::State& state, harness::Scheme scheme) {
+  harness::SchemeConfig cfg;
+  cfg.scheme = scheme;
+  cfg.numPaths = 15;
+  auto sel = harness::makeSelector(cfg, /*salt=*/7);
+  const auto view = makeView(15);
+  // A working set of 64 concurrent flows, round-robin.
+  FlowId flow = 0;
+  for (auto _ : state) {
+    flow = (flow + 1) % 64;
+    benchmark::DoNotOptimize(sel->selectUplink(dataPacket(flow), view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Ecmp(benchmark::State& s) { runSelector(s, harness::Scheme::kEcmp); }
+void BM_Wcmp(benchmark::State& s) { runSelector(s, harness::Scheme::kWcmp); }
+void BM_Rps(benchmark::State& s) { runSelector(s, harness::Scheme::kRps); }
+void BM_RoundRobin(benchmark::State& s) {
+  runSelector(s, harness::Scheme::kRoundRobin);
+}
+void BM_Drill(benchmark::State& s) { runSelector(s, harness::Scheme::kDrill); }
+void BM_Presto(benchmark::State& s) {
+  runSelector(s, harness::Scheme::kPresto);
+}
+void BM_LetFlow(benchmark::State& s) {
+  runSelector(s, harness::Scheme::kLetFlow);
+}
+void BM_Conga(benchmark::State& s) { runSelector(s, harness::Scheme::kConga); }
+void BM_Hermes(benchmark::State& s) {
+  runSelector(s, harness::Scheme::kHermes);
+}
+void BM_Tlb(benchmark::State& s) { runSelector(s, harness::Scheme::kTlb); }
+
+BENCHMARK(BM_Ecmp);
+BENCHMARK(BM_Wcmp);
+BENCHMARK(BM_Rps);
+BENCHMARK(BM_RoundRobin);
+BENCHMARK(BM_Drill);
+BENCHMARK(BM_Presto);
+BENCHMARK(BM_LetFlow);
+BENCHMARK(BM_Conga);
+BENCHMARK(BM_Hermes);
+BENCHMARK(BM_Tlb);
+
+/// TLB's 500 us control tick with a realistically sized flow table.
+void BM_TlbControlTick(benchmark::State& state) {
+  core::TlbConfig cfg;
+  core::Tlb tlb(cfg, 15, 7);
+  const auto view = makeView(15);
+  for (FlowId f = 0; f < 200; ++f) {
+    net::Packet syn = dataPacket(f);
+    syn.type = net::PacketType::kSyn;
+    syn.payload = 0;
+    tlb.selectUplink(syn, view);
+  }
+  for (auto _ : state) {
+    tlb.controlTick();
+  }
+}
+BENCHMARK(BM_TlbControlTick);
+
+/// The view materialization the switch performs per decision.
+void BM_UplinkViewBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(makeView(15));
+  }
+}
+BENCHMARK(BM_UplinkViewBuild);
+
+void printStateFootprint() {
+  std::printf("\n== Fig 15(b): per-switch state footprint ==\n");
+  std::printf("%-10s %-40s\n", "scheme", "state per switch");
+  std::printf("%-10s %-40s\n", "ECMP", "none (stateless hash)");
+  std::printf("%-10s %-40s\n", "RPS", "RNG state only (32 B)");
+  std::printf("%-10s %-40s\n", "DRILL", "RNG + 1 remembered port (~40 B)");
+  std::printf("%-10s bytes/flow=%zu (byte counter + cell index)\n", "Presto",
+              sizeof(Bytes) * 2 + sizeof(FlowId));
+  std::printf("%-10s bytes/flow=%zu (port + last-seen timestamp)\n",
+              "LetFlow", sizeof(int) + sizeof(SimTime) + sizeof(FlowId));
+  std::printf("%-10s bytes/flow=%zu (FlowEntry) + calculator constants\n",
+              "TLB", sizeof(core::FlowEntry) + sizeof(FlowId));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Figure 15: switch overhead (per-packet decision cost)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printStateFootprint();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 17: asymmetric topology — cutting the bandwidth of two
+// leaf-to-spine links (testbed scale, Section 7).
+//
+// Same presentation as Fig. 16 with a bandwidth divisor instead of a delay
+// multiplier.
+//
+// Expected shape (paper): congestion-oblivious schemes (ECMP, RPS, Presto)
+// degrade sharply as the slow links choke whatever lands on them; LetFlow
+// and especially TLB steer around the degraded links.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tlbsim;
+
+int main(int argc, char** argv) {
+  const bool full = bench::fullScale(argc, argv);
+  std::printf("Figure 17: bandwidth asymmetry on 2 leaf-spine links\n");
+
+  // Divisor applied to the degraded links' bandwidth.
+  const std::vector<double> divisors =
+      full ? std::vector<double>{1, 2, 4, 6, 10}
+           : std::vector<double>{1, 4, 10};
+
+  const harness::Scheme schemes[] = {
+      harness::Scheme::kEcmp, harness::Scheme::kRps, harness::Scheme::kPresto,
+      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+
+  stats::Table afct({"bw /", "ECMP", "RPS", "Presto", "LetFlow", "TLB(ms)"});
+  stats::Table tput({"bw /", "ECMP", "RPS", "Presto", "LetFlow",
+                     "TLB(Mbps)"});
+
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  for (const double div : divisors) {
+    std::vector<double> rawAfct, rawTput;
+    for (const auto scheme : schemes) {
+      double afctSum = 0.0, tputSum = 0.0;
+      for (const std::uint64_t seed : seeds) {
+        auto cfg = bench::testbedSetup(scheme, seed);
+        cfg.topo.overrides.push_back({0, 2, 1.0 / div, 1.0});
+        cfg.topo.overrides.push_back({0, 7, 1.0 / div, 1.0});
+        cfg.topo.overrides.push_back({1, 2, 1.0 / div, 1.0});
+        cfg.topo.overrides.push_back({1, 7, 1.0 / div, 1.0});
+        bench::addTestbedMix(cfg, /*numShort=*/100, /*numLong=*/4);
+        const auto res = harness::runExperiment(cfg);
+        afctSum += res.shortAfctSec() * 1e3;
+        tputSum += res.longGoodputGbps() * 1e3;
+      }
+      rawAfct.push_back(afctSum / static_cast<double>(seeds.size()));
+      rawTput.push_back(tputSum / static_cast<double>(seeds.size()));
+      std::fprintf(stderr, "  divisor %.0f %s done\n", div,
+                   harness::schemeName(scheme));
+    }
+    const double tlbAfct = rawAfct.back();
+    const double tlbTput = rawTput.back();
+    afct.addRow(stats::fmt(div, 0),
+                {rawAfct[0] / tlbAfct, rawAfct[1] / tlbAfct,
+                 rawAfct[2] / tlbAfct, rawAfct[3] / tlbAfct, tlbAfct},
+                2);
+    tput.addRow(stats::fmt(div, 0),
+                {rawTput[0] / tlbTput, rawTput[1] / tlbTput,
+                 rawTput[2] / tlbTput, rawTput[3] / tlbTput, tlbTput},
+                2);
+  }
+
+  afct.print("Fig 17(a): short-flow AFCT normalized to TLB (>1 is worse)");
+  tput.print("Fig 17(b): long-flow throughput normalized to TLB (<1 is worse)");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Domain example: explore the paper's queueing model (Section 4) without
+// running any packets.
+//
+// Prints, for the paper's operating point, how the optimal switching
+// threshold q_th and the predicted short-flow FCT react to each parameter —
+// the intuition behind TLB's control law.
+//
+//   $ ./model_explorer
+#include <cstdio>
+
+#include "model/queueing_model.hpp"
+#include "stats/report.hpp"
+#include "util/units.hpp"
+
+using namespace tlbsim;
+
+namespace {
+
+model::ModelParams basePoint() {
+  model::ModelParams p;  // defaults are the paper's Section 4.2 point
+  return p;
+}
+
+void sweepShortFlows() {
+  stats::Table t({"m_S", "n_S (paths for shorts)", "q_th (pkts)",
+                  "predicted FCT at q_th (ms)"});
+  for (int mS : {25, 50, 100, 150, 200, 300}) {
+    auto p = basePoint();
+    p.mS = mS;
+    const double qth = model::switchingThresholdBytes(p);
+    const double fct = model::meanShortFct(p, qth);
+    t.addRow(std::to_string(mS),
+             {model::shortFlowPaths(p), qth / 1500.0, fct * 1e3}, 2);
+  }
+  t.print("sensitivity to the number of short flows (D = 10 ms)");
+}
+
+void sweepThreshold() {
+  stats::Table t({"q_th (pkts)", "n_L (paths longs spread over)",
+                  "predicted short FCT (ms)"});
+  for (double qthPkts : {0.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const auto p = basePoint();
+    const double qth = qthPkts * 1500.0;
+    const double fct = model::meanShortFct(p, qth);
+    t.addRow(stats::fmt(qthPkts, 0),
+             {model::longFlowPaths(p, qth), fct * 1e3}, 2);
+  }
+  t.print("how raising q_th frees paths for short flows");
+}
+
+void sweepDeadline() {
+  stats::Table t({"deadline (ms)", "q_th (pkts)"});
+  for (double ms : {5.0, 7.5, 10.0, 15.0, 20.0, 25.0}) {
+    auto p = basePoint();
+    p.D = ms * 1e-3;
+    t.addRow(stats::fmt(ms, 1),
+             {model::switchingThresholdBytes(p) / 1500.0}, 1);
+  }
+  t.print("tighter deadlines demand coarser long-flow granularity");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TLB queueing model explorer (paper Eq. (1)-(9))\n");
+  const auto p = basePoint();
+  std::printf(
+      "\noperating point: n=%d paths, m_S=%d shorts (X=%.0f KB), m_L=%d longs"
+      " (W_L=64 KB),\nC=1 Gbps, RTT=100 us, t=500 us, D=%.0f ms\n",
+      p.n, p.mS, p.X / 1000.0, p.mL, p.D * 1e3);
+  std::printf("slow-start rounds for X: r = %d\n",
+              model::slowStartRounds(p.X, p.mss));
+
+  sweepShortFlows();
+  sweepThreshold();
+  sweepDeadline();
+
+  std::printf(
+      "\nReading: q_th is the smallest queue length at which a long flow\n"
+      "abandons its path. Larger q_th = coarser switching = more paths left\n"
+      "uncontested for short flows, at some cost in long-flow flexibility.\n");
+  return 0;
+}

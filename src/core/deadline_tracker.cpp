@@ -1,0 +1,17 @@
+#include "core/deadline_tracker.hpp"
+
+#include <algorithm>
+
+namespace tlbsim::core {
+
+SimTime DeadlineTracker::percentile(double p, SimTime fallback) const {
+  if (samples_.empty()) return fallback;
+  std::vector<SimTime> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto idx = static_cast<std::size_t>(
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace tlbsim::core

@@ -1,0 +1,61 @@
+#include "core/flow_table.hpp"
+
+namespace tlbsim::core {
+
+void FlowTable::onFlowStart(FlowId id, SimTime now) {
+  auto [it, inserted] = flows_.try_emplace(id);
+  it->second.lastSeen = now;
+  if (inserted) ++shortCount_;  // every flow starts short (paper §5)
+}
+
+void FlowTable::onFlowEnd(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  retire(it->second);
+  flows_.erase(it);
+}
+
+FlowEntry& FlowTable::touch(FlowId id, SimTime now) {
+  auto [it, inserted] = flows_.try_emplace(id);
+  if (inserted) ++shortCount_;  // SYN was lost or predates the table
+  it->second.lastSeen = now;
+  return it->second;
+}
+
+bool FlowTable::recordPayload(FlowEntry& entry, Bytes payload) {
+  entry.bytesSeen += payload;
+  if (!entry.isLong && entry.bytesSeen > cfg_.shortFlowThreshold) {
+    entry.isLong = true;
+    --shortCount_;
+    ++longCount_;
+    return true;
+  }
+  return false;
+}
+
+void FlowTable::purgeIdle(SimTime now) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.lastSeen > cfg_.idleTimeout) {
+      retire(it->second);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowTable::retire(FlowEntry& entry) {
+  if (entry.isLong) {
+    --longCount_;
+  } else {
+    --shortCount_;
+    // A retired short flow is a completed transfer: fold its size into the
+    // X estimate (zero-byte entries are pure-ACK reverse flows; skip them).
+    if (entry.bytesSeen > 0) {
+      meanShortSize_ = (1.0 - cfg_.shortSizeGain) * meanShortSize_ +
+                       cfg_.shortSizeGain * static_cast<double>(entry.bytesSeen);
+    }
+  }
+}
+
+}  // namespace tlbsim::core

@@ -1,0 +1,73 @@
+// Switch-resident flow table (paper §5).
+//
+// Counts live short and long flows from SYN/FIN snooping, classifies flows
+// by bytes sent (short until 100 KB), and purges idle entries on the
+// periodic sweep to cover lost FINs and idle connections. Also maintains
+// the running estimate of the mean short-flow size X used by the model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/tlb_config.hpp"
+#include "util/flow_key.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::core {
+
+struct FlowEntry {
+  Bytes bytesSeen = 0;   ///< payload bytes observed (data direction)
+  int port = -1;         ///< current uplink assignment
+  SimTime lastSeen = 0;  ///< last packet of any kind
+  bool isLong = false;
+  /// Payload since the flow last changed uplink. A long flow is only
+  /// eligible to switch again after sending q_th more bytes — that is the
+  /// "switching granularity" of the paper's Fig. 2(d): rerouting happens
+  /// per q_th of data, not per packet observing a full queue (which would
+  /// thrash and cut cwnd via spurious fast retransmits on every arrival).
+  Bytes bytesSinceSwitch = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(const TlbConfig& cfg)
+      : cfg_(cfg),
+        meanShortSize_(static_cast<double>(cfg.defaultShortFlowSize)) {}
+
+  /// SYN (or SYN-ACK on the reverse path): a new flow appears, short.
+  void onFlowStart(FlowId id, SimTime now);
+
+  /// FIN/FIN-ACK: the flow is retired and its class count decremented.
+  void onFlowEnd(FlowId id);
+
+  /// Look up (creating if the SYN was missed) and refresh an entry.
+  FlowEntry& touch(FlowId id, SimTime now);
+
+  /// Account payload bytes; reclassifies short -> long across the
+  /// threshold. Returns true if the flow just became long.
+  bool recordPayload(FlowEntry& entry, Bytes payload);
+
+  /// Drop entries idle longer than cfg.idleTimeout (paper's sampling sweep).
+  void purgeIdle(SimTime now);
+
+  int shortCount() const { return shortCount_; }
+  int longCount() const { return longCount_; }
+  std::size_t size() const { return flows_.size(); }
+  bool contains(FlowId id) const { return flows_.contains(id); }
+
+  /// Running EWMA of completed short-flow sizes (the model's X).
+  Bytes meanShortFlowSize() const {
+    return static_cast<Bytes>(meanShortSize_);
+  }
+
+ private:
+  void retire(FlowEntry& entry);
+
+  TlbConfig cfg_;
+  std::unordered_map<FlowId, FlowEntry> flows_;
+  int shortCount_ = 0;
+  int longCount_ = 0;
+  double meanShortSize_;
+};
+
+}  // namespace tlbsim::core

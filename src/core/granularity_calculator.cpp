@@ -1,0 +1,51 @@
+#include "core/granularity_calculator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlbsim::core {
+
+Bytes GranularityCalculator::update(int shortFlows, int longFlows,
+                                    Bytes meanShortSize) {
+  return update(shortFlows, longFlows, meanShortSize, cfg_.deadline);
+}
+
+Bytes GranularityCalculator::update(int shortFlows, int longFlows,
+                                    Bytes meanShortSize, SimTime deadline) {
+  if (cfg_.qthOverrideBytes >= 0) {
+    qthBytes_ = cfg_.qthOverrideBytes;
+    return qthBytes_;
+  }
+
+  model::ModelParams p;
+  p.n = numPaths_;
+  p.mS = shortFlows;
+  p.mL = longFlows;
+  p.X = static_cast<double>(std::max<Bytes>(meanShortSize, cfg_.mss));
+  p.WL = static_cast<double>(cfg_.longFlowWindow);
+  p.C = cfg_.linkCapacity.bytesPerSecond();
+  // Effective round-trip of a saturated W_L-window flow: a long flow
+  // cannot send faster than the line rate, so the model's per-interval
+  // demand term W_L * t / RTT is evaluated at max(RTT, W_L / C). With the
+  // raw propagation RTT the demand would be overstated several-fold and
+  // q_th would saturate at the clamp, freezing long flows permanently.
+  p.rtt = std::max(toSeconds(cfg_.rtt), p.WL / p.C);
+  p.t = toSeconds(cfg_.updateInterval);
+  p.D = toSeconds(deadline);
+  p.mss = static_cast<double>(cfg_.mss);
+
+  lastShortPaths_ = model::shortFlowPaths(p);
+  const double qth = model::switchingThresholdBytes(p);
+  double cap = static_cast<double>(cfg_.bufferBytes());
+  if (cfg_.qthCapPackets > 0) {
+    cap = std::min(cap, static_cast<double>(cfg_.qthCapPackets) *
+                            static_cast<double>(cfg_.packetWireSize));
+  }
+  // +inf (shorts need every path) clamps to the cap: long flows then
+  // switch as rarely as the queue dynamics allow, the most protective
+  // setting possible.
+  qthBytes_ = static_cast<Bytes>(std::clamp(qth, 0.0, cap));
+  return qthBytes_;
+}
+
+}  // namespace tlbsim::core

@@ -1,0 +1,41 @@
+// Periodic computation of the long-flow switching threshold q_th
+// (the second half of the paper's Granularity Calculator, Eq. (9)).
+#pragma once
+
+#include "core/tlb_config.hpp"
+#include "model/queueing_model.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::core {
+
+class GranularityCalculator {
+ public:
+  GranularityCalculator(const TlbConfig& cfg, int numPaths)
+      : cfg_(cfg), numPaths_(numPaths) {
+    // Until the first update, let long flows switch freely (no shorts yet).
+    qthBytes_ = cfg.qthOverrideBytes >= 0 ? cfg.qthOverrideBytes : 0;
+  }
+
+  /// Recompute q_th from the current flow counts and mean short size X,
+  /// using the configured deadline D.
+  /// Returns the new threshold in bytes (clamped to the buffer depth).
+  Bytes update(int shortFlows, int longFlows, Bytes meanShortSize);
+
+  /// Same, with an explicit deadline (deadline-agnostic mode, where D is
+  /// re-estimated from observed statistics each interval).
+  Bytes update(int shortFlows, int longFlows, Bytes meanShortSize,
+               SimTime deadline);
+
+  Bytes qthBytes() const { return qthBytes_; }
+
+  /// The model's path split at the last update (for diagnostics/tests).
+  double lastShortPaths() const { return lastShortPaths_; }
+
+ private:
+  TlbConfig cfg_;
+  int numPaths_;
+  Bytes qthBytes_;
+  double lastShortPaths_ = 0.0;
+};
+
+}  // namespace tlbsim::core

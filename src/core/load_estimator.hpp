@@ -1,0 +1,50 @@
+// Short-flow load-strength estimation (the first half of the paper's
+// Granularity Calculator, Fig. 6).
+//
+// Measures the arrival rate of short-flow payload bytes over each update
+// interval and exposes the resulting load strength rho = lambda / C.
+// The q_th formula itself consumes flow *counts*; the measured rate is the
+// observable the paper says the calculator "perceives", and it also powers
+// diagnostics and the deadline-agnostic heuristics.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace tlbsim::core {
+
+class ShortLoadEstimator {
+ public:
+  explicit ShortLoadEstimator(LinkRate capacity, double gain = 0.5)
+      : capacityBps_(capacity.bytesPerSecond()), gain_(gain) {}
+
+  /// Account payload bytes of a short-flow data packet.
+  void onShortPayload(Bytes payload) { intervalBytes_ += payload; }
+
+  /// Close the current interval of length `interval` and fold it into the
+  /// EWMA rate estimate.
+  void rollInterval(SimTime interval) {
+    if (interval <= 0) return;
+    const double rate =
+        static_cast<double>(intervalBytes_) / toSeconds(interval);
+    ewmaRate_ = (1.0 - gain_) * ewmaRate_ + gain_ * rate;
+    intervalBytes_ = 0;
+  }
+
+  /// Smoothed short-flow arrival rate lambda, bytes/sec.
+  double arrivalRateBps() const { return ewmaRate_; }
+
+  /// Load strength rho = lambda / C (against one path's capacity).
+  double loadStrength() const {
+    return capacityBps_ > 0.0 ? ewmaRate_ / capacityBps_ : 0.0;
+  }
+
+ private:
+  double capacityBps_;
+  double gain_;
+  Bytes intervalBytes_ = 0;
+  double ewmaRate_ = 0.0;
+};
+
+}  // namespace tlbsim::core

@@ -1,0 +1,175 @@
+#include "core/tlb.hpp"
+
+#include <algorithm>
+
+#include "lb/selector_util.hpp"
+#include "net/switch.hpp"
+
+namespace tlbsim::core {
+
+Tlb::Tlb(const TlbConfig& cfg, int numPaths, std::uint64_t seed)
+    : cfg_(cfg),
+      table_(cfg),
+      calc_(cfg, numPaths),
+      loadEst_(cfg.linkCapacity),
+      deadlines_(/*capacity=*/1024, splitmix64(seed ^ 0xdead11e5ULL)),
+      effectiveDeadline_(cfg.deadline),
+      rng_(seed) {}
+
+void Tlb::attach(net::Switch& sw, sim::Simulator& simr) {
+  switch_ = &sw;
+  sim_ = &simr;
+  simr.every(cfg_.updateInterval, [this] { controlTick(); },
+             /*start=*/cfg_.updateInterval);
+}
+
+void Tlb::controlTick() {
+  const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+  table_.purgeIdle(now);
+  loadEst_.rollInterval(cfg_.updateInterval);
+  if (cfg_.autoDeadline) {
+    effectiveDeadline_ =
+        deadlines_.percentile(cfg_.deadlinePercentile, cfg_.deadline);
+  }
+  calc_.update(table_.shortCount(), table_.longCount(),
+               table_.meanShortFlowSize(), effectiveDeadline_);
+  // Smooth the uplink waits (the long-flow escape signal) over a few
+  // control intervals so the DCTCP sawtooth phase averages out.
+  if (switch_ != nullptr) {
+    constexpr double kGain = 0.25;
+    for (const auto& view : switch_->uplinkView()) {
+      double& ewma =
+          portEwma_.try_emplace(view.port, instantWait(view)).first->second;
+      ewma = (1.0 - kGain) * ewma + kGain * instantWait(view);
+    }
+  }
+}
+
+double Tlb::instantWait(const net::PortView& u) const {
+  const double rate =
+      u.rateBps > 0.0 ? u.rateBps : cfg_.linkCapacity.bitsPerSecond;
+  // Include one packet's serialization and the cable's propagation delay
+  // so an empty degraded link (slow or long) is still recognized as a
+  // worse choice than an empty healthy one.
+  return static_cast<double>(u.queueBytes + cfg_.packetWireSize) * 8.0 /
+             rate +
+         u.linkDelaySec;
+}
+
+double Tlb::smoothedWait(int port, double fallback) const {
+  if (auto it = portEwma_.find(port); it != portEwma_.end()) {
+    return it->second;
+  }
+  return fallback;
+}
+
+int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
+  const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+
+  // Flow accounting from SYN/FIN snooping (paper §5). SYN-ACK/FIN-ACK make
+  // the reverse (ACK-only) direction of each flow visible at its own leaf.
+  switch (pkt.type) {
+    case net::PacketType::kSyn:
+      deadlines_.observe(pkt.deadline);  // deadline statistics (paper §5)
+      table_.onFlowStart(pkt.flow, now);
+      break;
+    case net::PacketType::kSynAck:
+      table_.onFlowStart(pkt.flow, now);
+      break;
+    case net::PacketType::kFin:
+    case net::PacketType::kFinAck: {
+      // Route the FIN like a last short packet, then retire the flow.
+      table_.onFlowEnd(pkt.flow);
+      return shortest(uplinks);
+    }
+    default:
+      break;
+  }
+
+  FlowEntry& entry = table_.touch(pkt.flow, now);
+  if (pkt.payload > 0) {
+    if (!entry.isLong) loadEst_.onShortPayload(pkt.payload);
+    table_.recordPayload(entry, pkt.payload);
+    entry.bytesSinceSwitch += pkt.payload;
+  }
+
+  if (!entry.isLong) {
+    // Short flows (and pure-ACK reverse flows): per-packet shortest queue,
+    // with one packet of stickiness — if the current port is within one
+    // wire packet of the minimum, moving cannot shorten the wait but WILL
+    // reorder the in-flight burst (dup-ACKs, spurious fast retransmits),
+    // so stay. This is the "similar queueing delay between the shortest
+    // queues" observation of Section 6.1 made explicit.
+    if (cfg_.sprayStickiness > 0) {
+      const Bytes cur = lb::queueBytesOfPort(uplinks, entry.port);
+      const int best = shortest(uplinks);
+      const Bytes bestBytes = lb::queueBytesOfPort(uplinks, best);
+      if (cur >= 0 && cur <= bestBytes + cfg_.sprayStickiness) {
+        return entry.port;  // ablation mode: sticky spraying
+      }
+      entry.port = best;
+      return entry.port;
+    }
+    entry.port = shortest(uplinks);
+    return entry.port;
+  }
+
+  // Long flow: stick to the current uplink until the wait behind it
+  // reaches the q_th-equivalent wait AND the flow has sent q_th of data
+  // since its last move (the switching granularity — prevents thrashing
+  // while a full queue drains). Waits, not bytes: on a degraded link the
+  // same queue length blocks for proportionally longer (Figs. 16/17).
+  const net::PortView* curView = nullptr;
+  for (const auto& u : uplinks) {
+    if (u.port == entry.port) curView = &u;
+  }
+  if (curView == nullptr) {
+    // First long packet (or the group changed): place on shortest queue.
+    entry.port = shortest(uplinks);
+    entry.bytesSinceSwitch = 0;
+    return entry.port;
+  }
+  const Bytes qth = calc_.qthBytes();
+  const double qthWait = static_cast<double>(qth) * 8.0 /
+                         cfg_.linkCapacity.bitsPerSecond;
+  const double curWait = instantWait(*curView);
+  // Granularity floor: a window-limited flow cannot benefit from moving
+  // more than once per window — anything finer only reorders the same
+  // in-flight data again before the previous move's effect is visible.
+  const Bytes granularity = std::max(qth, cfg_.longFlowWindow);
+  if (curWait >= qthWait && entry.bytesSinceSwitch >= granularity) {
+    // Moving reorders the in-flight window (one spurious fast retransmit,
+    // ~half the cwnd), so only pay that to escape a genuinely less loaded
+    // path. Two stabilizers:
+    //  * waits smoothed over several control intervals — when every path
+    //    hovers around the same ECN operating point, instantaneous
+    //    sawtooth lows would look like (worthless) escape targets on
+    //    every marking event;
+    //  * the target is drawn uniformly among ALL qualifying ports — if
+    //    every eligible flow jumped to the single least-loaded port they
+    //    would re-collide there and flap in lockstep forever.
+    const double curSmoothed = smoothedWait(entry.port, curWait);
+    const double wireTime = static_cast<double>(cfg_.packetWireSize) * 8.0 /
+                            cfg_.linkCapacity.bitsPerSecond;
+    int next = -1;
+    int qualifying = 0;
+    for (const auto& u : uplinks) {
+      if (u.port == entry.port) continue;
+      const double s = smoothedWait(u.port, instantWait(u));
+      if (s + wireTime <= curSmoothed / 2.0) {
+        ++qualifying;
+        if (rng_.uniformInt(static_cast<std::uint64_t>(qualifying)) == 0) {
+          next = u.port;
+        }
+      }
+    }
+    if (next >= 0) {
+      entry.port = next;
+      entry.bytesSinceSwitch = 0;
+      ++longSwitches_;
+    }
+  }
+  return entry.port;
+}
+
+}  // namespace tlbsim::core

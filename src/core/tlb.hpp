@@ -1,0 +1,83 @@
+// TLB: the paper's contribution, assembled as a switch-resident
+// UplinkSelector (Fig. 6 architecture).
+//
+//   Granularity Calculator = ShortLoadEstimator + GranularityCalculator,
+//     driven by a periodic timer every cfg.updateInterval (500 µs),
+//   Forwarding Manager     = selectUplink():
+//     * short flows  -> per-packet shortest queue,
+//     * long flows   -> stay on the current uplink until its queue length
+//                       reaches q_th, then move to the shortest queue.
+//
+// Deployed at leaf switches only; end hosts are unmodified (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/deadline_tracker.hpp"
+#include "core/flow_table.hpp"
+#include "core/granularity_calculator.hpp"
+#include "core/load_estimator.hpp"
+#include "core/tlb_config.hpp"
+#include "lb/selector_util.hpp"
+#include "net/uplink_selector.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::core {
+
+class Tlb final : public net::UplinkSelector {
+ public:
+  Tlb(const TlbConfig& cfg, int numPaths, std::uint64_t seed);
+
+  int selectUplink(const net::Packet& pkt,
+                   const net::UplinkView& uplinks) override;
+
+  /// Registers the periodic granularity update + idle sweep.
+  void attach(net::Switch& sw, sim::Simulator& simr) override;
+
+  const char* name() const override { return "TLB"; }
+
+  // --- introspection (tests, Fig. 7 harness, overhead bench) ------------
+  const FlowTable& flowTable() const { return table_; }
+  const GranularityCalculator& calculator() const { return calc_; }
+  const ShortLoadEstimator& loadEstimator() const { return loadEst_; }
+  const DeadlineTracker& deadlineTracker() const { return deadlines_; }
+  /// The D used by the last control tick (config or auto-estimated).
+  SimTime effectiveDeadline() const { return effectiveDeadline_; }
+  Bytes qthBytes() const { return calc_.qthBytes(); }
+  std::uint64_t longFlowSwitches() const { return longSwitches_; }
+
+  /// Run one control-loop tick explicitly (normally timer-driven).
+  void controlTick();
+
+ private:
+  int shortest(const net::UplinkView& uplinks) {
+    return uplinks[lb::shortestQueueIndex(uplinks, rng_)].port;
+  }
+
+  /// Expected wait (seconds) behind a port's queue right now. Uses the
+  /// port's own drain rate so asymmetric (slow) links are judged by time,
+  /// not bytes; unknown rates fall back to the nominal link capacity.
+  double instantWait(const net::PortView& u) const;
+
+  /// Smoothed expected wait of an uplink port (seconds), sampled by the
+  /// control tick so the long-flow escape decision sees sustained
+  /// congestion rather than the DCTCP sawtooth's instantaneous phase.
+  /// Falls back to `fallback` before the first tick has sampled the port.
+  double smoothedWait(int port, double fallback) const;
+
+  TlbConfig cfg_;
+  FlowTable table_;
+  GranularityCalculator calc_;
+  ShortLoadEstimator loadEst_;
+  DeadlineTracker deadlines_;
+  SimTime effectiveDeadline_;
+  Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  net::Switch* switch_ = nullptr;
+  std::unordered_map<int, double> portEwma_;
+  std::uint64_t longSwitches_ = 0;
+};
+
+}  // namespace tlbsim::core

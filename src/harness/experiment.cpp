@@ -1,0 +1,202 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/tlb.hpp"
+#include "sim/simulator.hpp"
+#include "stats/queue_monitor.hpp"
+#include "transport/tcp_receiver.hpp"
+#include "transport/tcp_sender.hpp"
+
+namespace tlbsim::harness {
+
+namespace {
+
+/// Aggregated sender/receiver counters used for interval deltas.
+struct Totals {
+  std::uint64_t shortDup = 0, shortAcks = 0;
+  std::uint64_t longOoo = 0, longData = 0;
+  Bytes longAcked = 0;
+  SimTime fabricBusy = 0;
+};
+
+}  // namespace
+
+ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
+  ExperimentConfig cfg = cfgIn;  // local copy: we fill derived fields
+  ExperimentResult res;
+
+  sim::Simulator simr;
+
+  // Derive TLB's physical model inputs from the topology.
+  cfg.scheme.numPaths = cfg.topo.numSpines;
+  if (cfg.autoFillTlbFromTopology) {
+    cfg.scheme.tlb.rtt = cfg.topo.baseRtt();
+    cfg.scheme.tlb.linkCapacity = cfg.topo.fabricLinkRate;
+    cfg.scheme.tlb.bufferPackets = cfg.topo.bufferPackets;
+    cfg.scheme.tlb.mss = cfg.tcp.mss;
+    cfg.scheme.tlb.packetWireSize = cfg.tcp.maxSegmentWireSize();
+    cfg.scheme.tlb.longFlowWindow = cfg.tcp.receiverWindow;
+    // DCTCP marking bounds the real queue length; a threshold above the
+    // marking point would never trigger.
+    cfg.scheme.tlb.qthCapPackets = cfg.topo.ecnThresholdPackets;
+  }
+
+  // Topology with one selector per leaf; remember TLB instances for the
+  // q_th trace.
+  std::vector<core::Tlb*> tlbs;
+  net::LeafSpineTopology topo(
+      simr, cfg.topo, [&](net::Switch& sw, int leafIdx) {
+        (void)sw;
+        auto sel = makeSelector(cfg.scheme,
+                                cfg.seed * 1315423911ULL +
+                                    static_cast<std::uint64_t>(leafIdx));
+        if (auto* tlb = dynamic_cast<core::Tlb*>(sel.get())) {
+          tlbs.push_back(tlb);
+        }
+        return sel;
+      });
+
+  // Flow classification for stats hooks.
+  std::unordered_set<FlowId> shortFlows;
+  for (const auto& f : cfg.flows) {
+    if (f.size < cfg.shortThreshold) shortFlows.insert(f.id);
+  }
+  stats::QueueDelayMonitor qmon(
+      [&shortFlows](FlowId id) { return shortFlows.contains(id); });
+  // Observe the sender-leaf fabric queues (where the LB decision applies).
+  for (int l = 0; l < topo.numLeaves(); ++l) {
+    for (int s = 0; s < topo.numSpines(); ++s) {
+      qmon.installOn(topo.leafUplink(l, s));
+    }
+  }
+
+  // Transport endpoints.
+  std::vector<std::unique_ptr<transport::TcpReceiver>> receivers;
+  std::vector<std::unique_ptr<transport::TcpSender>> senders;
+  receivers.reserve(cfg.flows.size());
+  senders.reserve(cfg.flows.size());
+  std::size_t completed = 0;
+  for (const auto& f : cfg.flows) {
+    receivers.push_back(std::make_unique<transport::TcpReceiver>(
+        simr, topo.host(f.dst), f, cfg.tcp));
+    senders.push_back(std::make_unique<transport::TcpSender>(
+        simr, topo.host(f.src), f, cfg.tcp,
+        [&completed](transport::TcpSender&) { ++completed; }));
+    senders.back()->start();
+  }
+
+  const std::size_t numLong = cfg.flows.size() - shortFlows.size();
+
+  // Periodic sampling for the time-series figures.
+  Totals prev;
+  if (cfg.sampleInterval > 0) {
+    simr.every(cfg.sampleInterval, [&] {
+      Totals now;
+      for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+        const bool isShort = shortFlows.contains(cfg.flows[i].id);
+        if (isShort) {
+          now.shortDup += senders[i]->dupAcksReceived();
+          now.shortAcks += senders[i]->acksReceived();
+        } else {
+          now.longOoo += receivers[i]->outOfOrderPackets();
+          now.longData += receivers[i]->dataPacketsReceived();
+          now.longAcked += senders[i]->bytesAcked();
+        }
+      }
+      const SimTime t = simr.now();
+      const double dt = toSeconds(cfg.sampleInterval);
+
+      const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+        return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                       : 0.0;
+      };
+      res.shortDupAckRatio.add(
+          t, ratio(now.shortDup - prev.shortDup,
+                   now.shortAcks - prev.shortAcks));
+      res.longOooRatio.add(t, ratio(now.longOoo - prev.longOoo,
+                                    now.longData - prev.longData));
+      if (numLong > 0) {
+        res.longThroughputGbps.add(
+            t, static_cast<double>(now.longAcked - prev.longAcked) * 8.0 /
+                   dt / 1e9 / static_cast<double>(numLong));
+      }
+      qmon.rollInterval(t);
+
+      // Fabric utilization: interval delta of the busiest leaf's uplink
+      // busy time, normalized by the group width (Fig. 4(a) proxy).
+      SimTime busyNow = 0;
+      for (int l = 0; l < topo.numLeaves(); ++l) {
+        SimTime busy = 0;
+        for (int s = 0; s < topo.numSpines(); ++s) {
+          busy += topo.leafUplink(l, s).busyTime();
+        }
+        busyNow = std::max(busyNow, busy);
+      }
+      res.fabricUtilization.add(
+          t, toSeconds(busyNow - prev.fabricBusy) / dt /
+                 static_cast<double>(topo.numSpines()));
+      now.fabricBusy = busyNow;
+
+      if (!tlbs.empty()) {
+        double qth = 0.0;
+        for (const auto* tlb : tlbs) {
+          qth += static_cast<double>(tlb->qthBytes());
+        }
+        res.tlbQthPackets.add(
+            t, qth / static_cast<double>(tlbs.size()) /
+                   static_cast<double>(cfg.tcp.maxSegmentWireSize()));
+      }
+      prev = now;
+    }, /*start=*/cfg.sampleInterval);
+  }
+
+  // Run until every flow completes or the hard stop.
+  auto& sched = simr.scheduler();
+  while (completed < cfg.flows.size() && !sched.empty()) {
+    if (!sched.step(cfg.maxDuration)) break;
+  }
+  res.endTime = simr.now();
+
+  // Harvest per-flow results.
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    stats::FlowResult r;
+    r.spec = senders[i]->flow();
+    r.completed = senders[i]->completed();
+    r.fct = r.completed ? senders[i]->fct() : 0;
+    r.dupAcks = senders[i]->dupAcksReceived();
+    r.acks = senders[i]->acksReceived();
+    r.fastRetransmits = senders[i]->fastRetransmits();
+    r.timeouts = senders[i]->timeouts();
+    r.outOfOrderPackets = receivers[i]->outOfOrderPackets();
+    r.dataPackets = receivers[i]->dataPacketsReceived();
+    res.ledger.add(std::move(r));
+  }
+
+  // Queue distributions + aggregate link counters.
+  res.shortQueueLenPkts = qmon.shortQueueLenPkts();
+  res.shortDelayUsAll = qmon.shortDelayUs();
+  res.longQueueLenPkts = qmon.longQueueLenPkts();
+  res.shortQueueDelayUs = qmon.shortDelaySeries();
+
+  for (const auto* tlb : tlbs) res.tlbLongSwitches += tlb->longFlowSwitches();
+
+  SimTime fabricBusy = 0;
+  int fabricLinks = 0;
+  topo.forEachFabricLink([&](net::Link& link) {
+    res.totalDrops += link.drops();
+    res.totalEcnMarks += link.queue().ecnMarks();
+    fabricBusy += link.busyTime();
+    ++fabricLinks;
+  });
+  if (res.endTime > 0 && fabricLinks > 0) {
+    res.meanFabricUtilization = toSeconds(fabricBusy) /
+                                toSeconds(res.endTime) /
+                                static_cast<double>(fabricLinks);
+  }
+  return res;
+}
+
+}  // namespace tlbsim::harness

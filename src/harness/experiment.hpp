@@ -1,0 +1,87 @@
+// One experiment = topology + scheme + flow list, run to completion, with
+// the measurements the paper's figures need collected along the way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/scheme.hpp"
+#include "net/leaf_spine.hpp"
+#include "stats/flow_ledger.hpp"
+#include "stats/time_series.hpp"
+#include "transport/tcp_params.hpp"
+#include "util/summary_stats.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::harness {
+
+struct ExperimentConfig {
+  net::LeafSpineConfig topo;
+  SchemeConfig scheme;
+  transport::TcpParams tcp;
+  std::vector<transport::FlowSpec> flows;
+
+  /// Hard stop (simulated time); flows unfinished by then count as
+  /// incomplete (and as deadline misses if they carry deadlines).
+  SimTime maxDuration = seconds(10);
+
+  /// Time-series sampling period; 0 disables sampling.
+  SimTime sampleInterval = 0;
+
+  /// Classification boundary for reporting (matches TLB's table).
+  Bytes shortThreshold = 100 * kKB;
+
+  std::uint64_t seed = 1;
+
+  /// When true (default), TLB's physical parameters (RTT, capacity,
+  /// buffer) are derived from the topology config before the run.
+  bool autoFillTlbFromTopology = true;
+};
+
+struct ExperimentResult {
+  stats::FlowLedger ledger;
+
+  // Time series (only populated when sampleInterval > 0).
+  stats::TimeSeries shortDupAckRatio;   ///< Fig. 8(a)
+  stats::TimeSeries shortQueueDelayUs;  ///< Fig. 8(b)
+  stats::TimeSeries longOooRatio;       ///< Fig. 9(a)
+  stats::TimeSeries longThroughputGbps; ///< Fig. 9(b), per-flow mean
+  stats::TimeSeries fabricUtilization;  ///< Fig. 4(a)
+  stats::TimeSeries tlbQthPackets;      ///< TLB threshold trace
+
+  // Queue-delay distributions at the sender-leaf fabric queues.
+  SampleSet shortQueueLenPkts;  ///< Fig. 3(a)
+  SampleSet shortDelayUsAll;
+  SampleSet longQueueLenPkts;
+
+  std::uint64_t totalDrops = 0;
+  std::uint64_t totalEcnMarks = 0;
+  std::uint64_t tlbLongSwitches = 0;  ///< sum over leaves (TLB runs only)
+  SimTime endTime = 0;
+  double meanFabricUtilization = 0.0;
+
+  // --- the aggregates the paper reports -------------------------------
+  double shortAfctSec() const {
+    return ledger.afct(stats::FlowLedger::isShort);
+  }
+  double shortP99Sec() const {
+    return ledger.fctPercentile(stats::FlowLedger::isShort, 99.0);
+  }
+  double shortMissRatio() const {
+    return ledger.deadlineMissRatio(stats::FlowLedger::isShort);
+  }
+  double longGoodputGbps() const {
+    return ledger.meanGoodputBps(stats::FlowLedger::isLong) / 1e9;
+  }
+  double shortDupAckRatioTotal() const {
+    return ledger.dupAckRatio(stats::FlowLedger::isShort);
+  }
+  double longOooRatioTotal() const {
+    return ledger.outOfOrderRatio(stats::FlowLedger::isLong);
+  }
+};
+
+/// Build the network, run the flow list, and collect results.
+ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+}  // namespace tlbsim::harness

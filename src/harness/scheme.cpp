@@ -1,0 +1,79 @@
+#include "harness/scheme.hpp"
+
+#include "core/tlb.hpp"
+#include "lb/conga.hpp"
+#include "lb/drill.hpp"
+#include "lb/ecmp.hpp"
+#include "lb/hermes_like.hpp"
+#include "lb/letflow.hpp"
+#include "lb/presto.hpp"
+#include "lb/round_robin.hpp"
+#include "lb/rps.hpp"
+#include "lb/wcmp.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::harness {
+
+const char* schemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kEcmp: return "ECMP";
+    case Scheme::kWcmp: return "WCMP";
+    case Scheme::kConga: return "CONGA";
+    case Scheme::kHermes: return "Hermes-like";
+    case Scheme::kRoundRobin: return "RoundRobin";
+    case Scheme::kRps: return "RPS";
+    case Scheme::kDrill: return "DRILL";
+    case Scheme::kPresto: return "Presto";
+    case Scheme::kLetFlow: return "LetFlow";
+    case Scheme::kFlowLevel: return "Flow-level";
+    case Scheme::kFlowletLevel: return "Flowlet-level";
+    case Scheme::kPacketLevel: return "Packet-level";
+    case Scheme::kShortestQueue: return "ShortestQueue";
+    case Scheme::kFixedGranularity: return "FixedGranularity";
+    case Scheme::kTlb: return "TLB";
+  }
+  return "?";
+}
+
+std::unique_ptr<net::UplinkSelector> makeSelector(const SchemeConfig& cfg,
+                                                  std::uint64_t salt) {
+  const std::uint64_t seed = splitmix64(salt ^ 0x7c0ffee5ULL);
+  switch (cfg.scheme) {
+    case Scheme::kEcmp:
+      return std::make_unique<lb::Ecmp>(salt);
+    case Scheme::kWcmp:
+      return std::make_unique<lb::Wcmp>(salt);
+    case Scheme::kConga: {
+      lb::Conga::Params params;
+      params.flowletTimeout = cfg.flowletTimeout;
+      return std::make_unique<lb::Conga>(seed, params);
+    }
+    case Scheme::kHermes:
+      return std::make_unique<lb::HermesLike>(seed);
+    case Scheme::kRoundRobin:
+      return std::make_unique<lb::RoundRobin>();
+    case Scheme::kRps:
+    case Scheme::kPacketLevel:
+      return std::make_unique<lb::Rps>(seed);
+    case Scheme::kDrill:
+      return std::make_unique<lb::Drill>(seed);
+    case Scheme::kPresto:
+      return std::make_unique<lb::Presto>(salt, cfg.prestoCellBytes);
+    case Scheme::kLetFlow:
+    case Scheme::kFlowletLevel:
+      return std::make_unique<lb::LetFlow>(seed, cfg.flowletTimeout);
+    case Scheme::kFlowLevel:
+      return std::make_unique<lb::FixedGranularity>(
+          seed, lb::FixedGranularity::kFlowLevel);
+    case Scheme::kShortestQueue:
+      return std::make_unique<lb::ShortestQueue>(seed);
+    case Scheme::kFixedGranularity:
+      return std::make_unique<lb::FixedGranularity>(seed, cfg.fixedK,
+                                                    cfg.fixedTarget);
+    case Scheme::kTlb:
+      return std::make_unique<core::Tlb>(cfg.tlb, cfg.numPaths, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace tlbsim::harness

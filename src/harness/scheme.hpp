@@ -1,0 +1,54 @@
+// Scheme registry: every load-balancing scheme the paper evaluates, plus
+// the fixed-granularity knob behind the §2.2 motivation study.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/tlb_config.hpp"
+#include "lb/fixed_granularity.hpp"
+#include "net/uplink_selector.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::harness {
+
+enum class Scheme {
+  kEcmp,           ///< flow hashing (baseline)
+  kWcmp,           ///< capacity-weighted flow hashing
+  kRps,            ///< per-packet random spraying
+  kDrill,          ///< per-packet power-of-two-choices
+  kPresto,         ///< 64 KB flowcells, round-robin
+  kLetFlow,        ///< flowlet switching, random path
+  kConga,          ///< flowlet switching, DRE congestion-aware (local)
+  kHermes,         ///< cautious condition-based rerouting (local approx.)
+  kRoundRobin,     ///< per-packet deterministic round robin
+  kFlowLevel,      ///< granularity study: never switch (random initial path)
+  kFlowletLevel,   ///< granularity study: alias of LetFlow
+  kPacketLevel,    ///< granularity study: alias of RPS
+  kShortestQueue,  ///< per-packet global shortest queue (ablation)
+  kFixedGranularity,  ///< switch every K packets (ablation)
+  kTlb,            ///< the paper's scheme
+};
+
+const char* schemeName(Scheme s);
+
+/// Knobs consumed by makeSelector (only the fields relevant to the chosen
+/// scheme are read).
+struct SchemeConfig {
+  Scheme scheme = Scheme::kTlb;
+  SimTime flowletTimeout = microseconds(150);  ///< LetFlow (paper: 150 µs)
+  Bytes prestoCellBytes = 64 * kKiB;           ///< Presto flowcell
+  std::uint64_t fixedK = 64;                   ///< FixedGranularity packets
+  lb::FixedGranularity::Target fixedTarget =
+      lb::FixedGranularity::Target::kRandom;
+  core::TlbConfig tlb;  ///< TLB parameters
+  int numPaths = 1;     ///< uplink-group width (TLB model input)
+};
+
+/// Instantiate the selector for one switch. `salt` decorrelates per-switch
+/// randomness/hashing.
+std::unique_ptr<net::UplinkSelector> makeSelector(const SchemeConfig& cfg,
+                                                  std::uint64_t salt);
+
+}  // namespace tlbsim::harness

@@ -1,0 +1,109 @@
+// CONGA (local mode): congestion-aware flowlet switching.
+//
+// The full CONGA (Alizadeh et al., SIGCOMM 2014) distributes per-path
+// congestion metrics between leaves via feedback piggybacked on data
+// packets. This is the switch-local variant the paper describes as
+// "CONGA-Local": each uplink's congestion is measured with a DRE
+// (Discounting Rate Estimator — bytes routed recently, exponentially
+// aged), and each *new flowlet* picks the uplink minimizing the maximum
+// of (normalized DRE, normalized queue wait). Within a flowlet the path
+// is pinned, so reordering stays rare.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/selector_util.hpp"
+#include "net/uplink_selector.hpp"
+#include "sim/simulator.hpp"
+#include "util/flow_key.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::lb {
+
+class Conga final : public net::UplinkSelector {
+ public:
+  struct Params {
+    SimTime flowletTimeout = microseconds(500);
+    /// DRE aging period T_dre; the estimator halves every ~T_dre/alpha.
+    SimTime dreInterval = microseconds(160);
+    double dreAlpha = 0.1;
+  };
+
+  explicit Conga(std::uint64_t seed) : Conga(seed, Params{}) {}
+  Conga(std::uint64_t seed, Params params) : rng_(seed), params_(params) {}
+
+  int selectUplink(const net::Packet& pkt,
+                   const net::UplinkView& uplinks) override {
+    const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+    State& st = flows_[pkt.flow];
+    const bool newFlowlet = st.port < 0 ||
+                            (now - st.lastSeen) > params_.flowletTimeout ||
+                            !containsPort(uplinks, st.port);
+    if (newFlowlet) {
+      st.port = leastCongested(uplinks);
+      ++flowlets_;
+    }
+    st.lastSeen = now;
+    dre_[st.port] += static_cast<double>(pkt.size);
+    return st.port;
+  }
+
+  void attach(net::Switch& sw, sim::Simulator& simr) override;
+
+  const char* name() const override { return "CONGA"; }
+
+  std::uint64_t flowletsStarted() const { return flowlets_; }
+  double dreOf(int port) const {
+    auto it = dre_.find(port);
+    return it != dre_.end() ? it->second : 0.0;
+  }
+
+ private:
+  int leastCongested(const net::UplinkView& uplinks) {
+    // Normalize DRE against the link rate over the aging window and take
+    // max(dre, queue) as the congestion metric, as CONGA does.
+    int best = -1;
+    double bestMetric = 0.0;
+    int ties = 0;
+    for (const auto& u : uplinks) {
+      const double window =
+          toSeconds(params_.dreInterval) / params_.dreAlpha;
+      const double cap = (u.rateBps > 0 ? u.rateBps / 8.0 : 1.0) * window;
+      const double dreNorm = dreOf(u.port) / cap;
+      const double queueNorm =
+          u.rateBps > 0
+              ? static_cast<double>(u.queueBytes) * 8.0 / u.rateBps /
+                    toSeconds(params_.flowletTimeout)
+              : 0.0;
+      const double metric = std::max(dreNorm, queueNorm) + u.linkDelaySec;
+      if (best < 0 || metric < bestMetric) {
+        best = u.port;
+        bestMetric = metric;
+        ties = 1;
+      } else if (metric == bestMetric) {
+        ++ties;
+        if (rng_.uniformInt(static_cast<std::uint64_t>(ties)) == 0) {
+          best = u.port;
+        }
+      }
+    }
+    return best;
+  }
+
+  struct State {
+    int port = -1;
+    SimTime lastSeen = 0;
+  };
+
+  Rng rng_;
+  Params params_;
+  sim::Simulator* sim_ = nullptr;
+  std::unordered_map<FlowId, State> flows_;
+  std::unordered_map<int, double> dre_;
+  std::uint64_t flowlets_ = 0;
+};
+
+}  // namespace tlbsim::lb

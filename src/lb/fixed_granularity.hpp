@@ -1,0 +1,65 @@
+// Fixed-granularity switching: reroute every flow after every `K` data
+// packets, regardless of flow type. This is the knob behind the paper's
+// motivation study (§2.2): K=1 is packet-level, K→∞ is flow-level, and
+// intermediate K emulates any fixed chunking. Destination queue is chosen
+// at random (congestion-oblivious) or shortest-queue, selectable.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+
+#include "lb/selector_util.hpp"
+#include "net/uplink_selector.hpp"
+#include "sim/simulator.hpp"
+#include "util/flow_key.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::lb {
+
+class FixedGranularity final : public net::UplinkSelector {
+ public:
+  enum class Target { kRandom, kShortestQueue };
+
+  /// `packetsPerSwitch` = K. Use kFlowLevel for never-switch behaviour.
+  static constexpr std::uint64_t kFlowLevel =
+      std::numeric_limits<std::uint64_t>::max();
+
+  FixedGranularity(std::uint64_t seed, std::uint64_t packetsPerSwitch,
+                   Target target = Target::kRandom)
+      : rng_(seed), k_(packetsPerSwitch), target_(target) {}
+
+  int selectUplink(const net::Packet& pkt,
+                   const net::UplinkView& uplinks) override {
+    State& st = flows_[pkt.flow];
+    const bool mustPick =
+        st.port < 0 || !containsPort(uplinks, st.port) ||
+        (pkt.payload > 0 && k_ != kFlowLevel && st.sinceSwitch >= k_);
+    if (mustPick) {
+      st.port = target_ == Target::kRandom
+                    ? uplinks[rng_.uniformInt(uplinks.size())].port
+                    : uplinks[shortestQueueIndex(uplinks, rng_)].port;
+      st.sinceSwitch = 0;
+    }
+    if (pkt.payload > 0) ++st.sinceSwitch;
+    return st.port;
+  }
+
+  void attach(net::Switch& sw, sim::Simulator& simr) override;
+
+  const char* name() const override { return "FixedGranularity"; }
+
+  std::uint64_t granularityPackets() const { return k_; }
+
+ private:
+  struct State {
+    int port = -1;
+    std::uint64_t sinceSwitch = 0;
+  };
+
+  Rng rng_;
+  std::uint64_t k_;
+  Target target_;
+  std::unordered_map<FlowId, State> flows_;
+};
+
+}  // namespace tlbsim::lb

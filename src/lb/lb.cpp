@@ -1,0 +1,75 @@
+// Out-of-line selector definitions (attach hooks and state upkeep).
+#include "lb/conga.hpp"
+#include "lb/fixed_granularity.hpp"
+#include "lb/hermes_like.hpp"
+#include "lb/letflow.hpp"
+#include "lb/presto.hpp"
+#include "net/switch.hpp"
+
+namespace tlbsim::lb {
+
+void HermesLike::attach(net::Switch& sw, sim::Simulator& simr) {
+  switch_ = &sw;
+  // Periodic condition sensing: EWMA-smooth every uplink's expected wait.
+  simr.every(params_.tick, [this] {
+    for (const auto& view : switch_->uplinkView()) {
+      double& c =
+          condition_.try_emplace(view.port, drainTime(view)).first->second;
+      c = (1.0 - params_.gain) * c + params_.gain * drainTime(view);
+    }
+  });
+}
+
+void Conga::attach(net::Switch& sw, sim::Simulator& simr) {
+  (void)sw;
+  sim_ = &simr;
+  // DRE aging: multiply every estimator by (1 - alpha) each interval.
+  simr.every(params_.dreInterval, [this] {
+    for (auto& [port, value] : dre_) {
+      value *= 1.0 - params_.dreAlpha;
+    }
+  });
+  // Flowlet-table upkeep, as in LetFlow.
+  simr.every(milliseconds(100), [this, &simr] {
+    const SimTime now = simr.now();
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (now - it->second.lastSeen > seconds(1)) {
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
+}
+
+void LetFlow::attach(net::Switch& sw, sim::Simulator& simr) {
+  (void)sw;
+  sim_ = &simr;
+  // Retire long-idle flowlet entries so the table tracks live flows only.
+  // The sweep period is coarse; correctness only needs entries to be
+  // *eventually* dropped (a reused FlowId would start a fresh flowlet
+  // anyway because the timeout expired).
+  simr.every(milliseconds(100), [this, &simr] {
+    const SimTime now = simr.now();
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (now - it->second.lastSeen > seconds(1)) {
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
+}
+
+void Presto::attach(net::Switch& sw, sim::Simulator& simr) {
+  (void)sw;
+  (void)simr;
+  // Presto keeps only a byte counter per flow; no timers needed.
+}
+
+void FixedGranularity::attach(net::Switch& sw, sim::Simulator& simr) {
+  (void)sw;
+  (void)simr;
+}
+
+}  // namespace tlbsim::lb

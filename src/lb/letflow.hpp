@@ -1,0 +1,65 @@
+// LetFlow: flowlet switching with random path choice. A flow keeps its
+// path while packets arrive within the flowlet timeout of each other; an
+// inactivity gap larger than the timeout starts a new flowlet on a random
+// uplink. Flowlet sizes then adapt to path congestion automatically.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/uplink_selector.hpp"
+#include "sim/simulator.hpp"
+#include "util/flow_key.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::lb {
+
+class LetFlow final : public net::UplinkSelector {
+ public:
+  LetFlow(std::uint64_t seed, SimTime flowletTimeout = microseconds(150))
+      : rng_(seed), timeout_(flowletTimeout) {}
+
+  int selectUplink(const net::Packet& pkt,
+                   const net::UplinkView& uplinks) override {
+    const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+    State& st = flows_[pkt.flow];
+    const bool newFlowlet =
+        st.port < 0 || (now - st.lastSeen) > timeout_ ||
+        !validPort(uplinks, st.port);
+    if (newFlowlet) {
+      st.port = uplinks[rng_.uniformInt(uplinks.size())].port;
+      ++flowlets_;
+    }
+    st.lastSeen = now;
+    return st.port;
+  }
+
+  void attach(net::Switch& sw, sim::Simulator& simr) override;
+
+  const char* name() const override { return "LetFlow"; }
+
+  SimTime flowletTimeout() const { return timeout_; }
+  std::uint64_t flowletsStarted() const { return flowlets_; }
+  std::size_t trackedFlows() const { return flows_.size(); }
+
+ private:
+  struct State {
+    int port = -1;
+    SimTime lastSeen = 0;
+  };
+
+  static bool validPort(const net::UplinkView& uplinks, int port) {
+    for (const auto& u : uplinks) {
+      if (u.port == port) return true;
+    }
+    return false;
+  }
+
+  Rng rng_;
+  SimTime timeout_;
+  sim::Simulator* sim_ = nullptr;
+  std::unordered_map<FlowId, State> flows_;
+  std::uint64_t flowlets_ = 0;
+};
+
+}  // namespace tlbsim::lb

@@ -1,0 +1,54 @@
+// Presto: congestion-oblivious load balancing of fixed-size flowcells
+// (64 KB by default). Each flow's payload is chopped into cells; successive
+// cells advance round-robin through the uplink group from a per-flow,
+// hash-derived starting offset.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/uplink_selector.hpp"
+#include "sim/simulator.hpp"
+#include "util/flow_key.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::lb {
+
+class Presto final : public net::UplinkSelector {
+ public:
+  explicit Presto(std::uint64_t salt, Bytes flowcellBytes = 64 * kKiB)
+      : salt_(salt), cellBytes_(flowcellBytes) {}
+
+  int selectUplink(const net::Packet& pkt,
+                   const net::UplinkView& uplinks) override {
+    State& st = flows_[pkt.flow];
+    // Cell index advances with payload bytes; control/ACK packets ride the
+    // flow's current cell.
+    if (pkt.payload > 0) {
+      st.bytes += pkt.payload;
+      st.cell = st.bytes / cellBytes_;
+    }
+    const std::uint64_t start = flowHash(pkt.flow, salt_);
+    return uplinks[(start + static_cast<std::uint64_t>(st.cell)) %
+                   uplinks.size()]
+        .port;
+  }
+
+  void attach(net::Switch& sw, sim::Simulator& simr) override;
+
+  const char* name() const override { return "Presto"; }
+
+  Bytes flowcellBytes() const { return cellBytes_; }
+  std::size_t trackedFlows() const { return flows_.size(); }
+
+ private:
+  struct State {
+    Bytes bytes = 0;
+    Bytes cell = 0;
+  };
+
+  std::uint64_t salt_;
+  Bytes cellBytes_;
+  std::unordered_map<FlowId, State> flows_;
+};
+
+}  // namespace tlbsim::lb

@@ -1,0 +1,110 @@
+#include "model/queueing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tlbsim::model {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// The paper's Eq. (6)-(8) are written with flow sizes and capacities in
+// *packets*; mixing bytes and packets there is unit-inconsistent. We follow
+// the packet-denominated form: Cp = packets/sec, Xp = packets per short
+// flow, which reduces to the paper's expressions exactly.
+struct PacketUnits {
+  double Cp;  ///< service rate, packets/sec
+  double Xp;  ///< mean short-flow size, packets
+  double tx;  ///< transmission delay of a short flow, sec
+  double r;   ///< slow-start rounds
+
+  explicit PacketUnits(const ModelParams& p)
+      : Cp(p.C / p.mss),
+        Xp(p.X / p.mss),
+        tx(Xp / Cp),
+        r(static_cast<double>(slowStartRounds(p.X, p.mss))) {}
+};
+
+}  // namespace
+
+int slowStartRounds(double X, double mss) {
+  if (X <= mss) return 1;
+  // Eq. (3): r = floor(log2(X / MSS)) + 1.
+  return static_cast<int>(std::floor(std::log2(X / mss))) + 1;
+}
+
+double expectedWait(double rho, double serviceTime) {
+  if (rho < 0.0) return 0.0;
+  if (rho >= 1.0) return kInfinity;
+  return rho / (2.0 * (1.0 - rho)) * serviceTime;
+}
+
+double fctFromWait(const ModelParams& p, double expectedWaitSec) {
+  const PacketUnits u(p);
+  return expectedWaitSec * u.r + u.tx;  // Eq. (4)
+}
+
+double shortFlowPaths(const ModelParams& p) {
+  const PacketUnits u(p);
+  const double slack = p.D - u.tx;
+  if (slack <= 0.0) return kInfinity;  // deadline unreachable even unloaded
+  // n_S from Eq. (9)'s denominator (derived from Eq. (8) with FCT_S = D).
+  return static_cast<double>(p.mS) *
+         (u.r * u.Xp / u.Cp + 2.0 * slack * u.Xp) /
+         (2.0 * slack * p.D * u.Cp);
+}
+
+double longFlowPaths(const ModelParams& p, double qthBytes) {
+  // Eq. (2): n_L = m_L * W_L * (t/RTT) / (q_th + t*C).
+  const double denom = qthBytes + p.t * p.C;
+  if (denom <= 0.0) return static_cast<double>(p.n);
+  return static_cast<double>(p.mL) * p.WL * (p.t / p.rtt) / denom;
+}
+
+double switchingThresholdBytes(const ModelParams& p) {
+  if (p.mL <= 0) return 0.0;  // no long flows: nothing to constrain
+  const double nS = shortFlowPaths(p);
+  const double nL = static_cast<double>(p.n) - nS;
+  if (!(nL > 0.0)) return kInfinity;  // shorts need every path
+  // Eq. (9), solved for the minimum q_th.
+  const double qth =
+      static_cast<double>(p.mL) * p.WL * (p.t / p.rtt) / nL - p.t * p.C;
+  return std::max(0.0, qth);
+}
+
+double meanShortFct(const ModelParams& p, double qthBytes) {
+  const PacketUnits u(p);
+  const double nL = std::min(longFlowPaths(p, qthBytes),
+                             static_cast<double>(p.n));
+  const double nS = static_cast<double>(p.n) - nL;
+  if (nS <= 0.0) return -1.0;  // long flows consume everything
+
+  // Eq. (8) rearranged into a quadratic in FCT:
+  //   2*B*FCT^2 - 2*(E + B*tx)*FCT + (2*E*tx - A) = 0
+  // with B = n_S*Cp (aggregate short capacity, packets/sec),
+  //      E = m_S*Xp (aggregate short data, packets),
+  //      A = m_S*Xp*r/Cp.
+  const double B = nS * u.Cp;
+  const double E = static_cast<double>(p.mS) * u.Xp;
+  const double A = E * u.r / u.Cp;
+
+  const double a = 2.0 * B;
+  const double b = -2.0 * (E + B * u.tx);
+  const double c = 2.0 * E * u.tx - A;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return -1.0;  // overloaded: no real fixed point
+
+  const double sq = std::sqrt(disc);
+  const double lo = (-b - sq) / (2.0 * a);
+  const double hi = (-b + sq) / (2.0 * a);
+  // Physical root: FCT above both the transmission delay and the aggregate
+  // drain time E/B (which keeps the queueing term positive).
+  const double floor = std::max(u.tx, E / B);
+  if (lo >= floor) return lo;
+  if (hi >= floor) return hi;
+  return -1.0;
+}
+
+}  // namespace tlbsim::model

@@ -1,0 +1,56 @@
+// The paper's analytical model (§4.1, Eq. (1)–(9)).
+//
+// An M/G/1-FCFS queueing model relates the number of live short/long flows
+// to (a) the number of paths that must be left to short flows so they meet
+// a deadline D, and (b) the queue-length threshold q_th at which long flows
+// should switch paths. All quantities are in SI base units at this layer:
+// bytes, seconds, bytes-per-second.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace tlbsim::model {
+
+/// Inputs of the q_th computation. Field names follow the paper.
+struct ModelParams {
+  int n = 15;             ///< total equal-cost paths
+  int mS = 100;           ///< live short flows
+  int mL = 3;             ///< live long flows
+  double X = 70e3;        ///< mean short-flow size (bytes)
+  double WL = 65536;      ///< long-flow max window W_L (bytes)
+  double C = 1e9 / 8;     ///< bottleneck capacity (bytes/sec)
+  double rtt = 100e-6;    ///< round-trip propagation delay (sec)
+  double t = 500e-6;      ///< granularity update interval (sec)
+  double D = 10e-3;       ///< short-flow deadline (sec)
+  double mss = 1460;      ///< TCP segment payload (bytes)
+};
+
+/// Eq. (3): slow-start rounds to transfer X bytes starting at 2 segments.
+int slowStartRounds(double X, double mss);
+
+/// Eq. (6): expected M/D/1 waiting time for load rho on a server with
+/// per-packet service time `serviceTime` (Pollaczek–Khintchine, Cv^2 = 0).
+double expectedWait(double rho, double serviceTime);
+
+/// Paths that must be reserved for short flows so that FCT_S <= D
+/// (the n_S term inside Eq. (9)). May exceed n under overload.
+double shortFlowPaths(const ModelParams& p);
+
+/// Eq. (2): paths available to long flows given a switching threshold.
+double longFlowPaths(const ModelParams& p, double qthBytes);
+
+/// Eq. (9): minimal switching threshold q_th (bytes) such that short flows
+/// meet D. Returns 0 when even q_th = 0 satisfies the deadline (long flows
+/// may switch per packet), and `infeasible` (negative capacity for shorts)
+/// maps to +infinity — callers clamp to the buffer size.
+double switchingThresholdBytes(const ModelParams& p);
+
+/// Eq. (8): mean short-flow FCT (seconds) for a given q_th. Solves the
+/// quadratic fixed point; returns a negative value when the system is
+/// overloaded (no stable FCT exists).
+double meanShortFct(const ModelParams& p, double qthBytes);
+
+/// Eq. (4)+(6) building block: FCT for given per-round wait E[W].
+double fctFromWait(const ModelParams& p, double expectedWaitSec);
+
+}  // namespace tlbsim::model

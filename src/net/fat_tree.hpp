@@ -1,0 +1,85 @@
+// k-ary fat-tree topology builder (Al-Fares et al., SIGCOMM 2008) — the
+// other multi-rooted tree the paper's introduction names. Load balancing
+// happens at TWO tiers here: each edge switch picks among its k/2
+// aggregation uplinks and each aggregation switch among its k/2 core
+// uplinks, so schemes are exercised with stacked decision points.
+//
+// Layout for parameter k (even):
+//   * k pods, each with k/2 edge and k/2 aggregation switches,
+//   * each edge switch hosts k/2 end hosts,
+//   * (k/2)^2 core switches in k/2 groups; aggregation switch j of every
+//     pod connects to all k/2 cores of group j,
+//   * k^3/4 hosts total; (k/2)^2 equal-cost paths between pods.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/leaf_spine.hpp"  // SelectorFactory
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::net {
+
+struct FatTreeConfig {
+  int k = 4;  ///< arity; must be even and >= 2
+  LinkRate linkRate = gbps(1);
+  SimTime linkDelay = microseconds(12.5);
+  int bufferPackets = 256;
+  int ecnThresholdPackets = 65;
+
+  int numPods() const { return k; }
+  int numHosts() const { return k * k * k / 4; }
+  int switchesPerTierPerPod() const { return k / 2; }
+  int numCores() const { return (k / 2) * (k / 2); }
+};
+
+class FatTreeTopology {
+ public:
+  /// `makeSelector` is invoked for every edge and aggregation switch with
+  /// a unique switch index (edges first, then aggs).
+  FatTreeTopology(sim::Simulator& simr, const FatTreeConfig& cfg,
+                  const SelectorFactory& makeSelector);
+
+  const FatTreeConfig& config() const { return cfg_; }
+
+  int numHosts() const { return cfg_.numHosts(); }
+  Host& host(int i) { return *hosts_[static_cast<std::size_t>(i)]; }
+  Switch& edge(int pod, int i);
+  Switch& agg(int pod, int i);
+  Switch& core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+
+  int podOf(HostId h) const {
+    const int hostsPerPod = cfg_.k * cfg_.k / 4;
+    return static_cast<int>(h) / hostsPerPod;
+  }
+  int edgeOf(HostId h) const {
+    const int perEdge = cfg_.k / 2;
+    const int hostsPerPod = cfg_.k * cfg_.k / 4;
+    return (static_cast<int>(h) % hostsPerPod) / perEdge;
+  }
+
+  /// Visit all switch-to-switch links (both directions).
+  void forEachFabricLink(const std::function<void(Link&)>& fn);
+
+ private:
+  int hostsPerEdge() const { return cfg_.k / 2; }
+
+  sim::Simulator& sim_;
+  FatTreeConfig cfg_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> edges_;  // [pod * k/2 + i]
+  std::vector<std::unique_ptr<Switch>> aggs_;   // [pod * k/2 + i]
+  std::vector<std::unique_ptr<Switch>> cores_;  // [group * k/2 + j]
+  // Port bookkeeping for forEachFabricLink.
+  struct FabricPort {
+    Switch* sw;
+    int port;
+  };
+  std::vector<FabricPort> fabricPorts_;
+};
+
+}  // namespace tlbsim::net

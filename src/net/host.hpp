@@ -1,0 +1,57 @@
+// End host: owns its access link and demultiplexes arriving packets to the
+// transport endpoints registered per flow.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "util/flow_key.hpp"
+
+namespace tlbsim::net {
+
+/// Implemented by transport endpoints (TCP sender / receiver).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void onPacket(const Packet& pkt) = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(HostId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  HostId id() const { return id_; }
+  std::string name() const override { return name_; }
+
+  /// Attach the (owned) uplink toward the access switch.
+  void attachUplink(std::unique_ptr<Link> link) { uplink_ = std::move(link); }
+  Link& uplink() { return *uplink_; }
+  const Link& uplink() const { return *uplink_; }
+
+  /// Transmit a packet into the network.
+  void send(const Packet& pkt) { uplink_->send(pkt); }
+
+  /// Register/unregister the local endpoint of a flow. One handler per
+  /// (host, flow): the sender registers at the source host, the receiver at
+  /// the destination host.
+  void bind(FlowId flow, PacketHandler* handler) { handlers_[flow] = handler; }
+  void unbind(FlowId flow) { handlers_.erase(flow); }
+
+  void receive(Packet pkt, int inPort) override {
+    (void)inPort;
+    if (auto it = handlers_.find(pkt.flow); it != handlers_.end()) {
+      it->second->onPacket(pkt);
+    }
+  }
+
+ private:
+  HostId id_;
+  std::string name_;
+  std::unique_ptr<Link> uplink_;
+  std::unordered_map<FlowId, PacketHandler*> handlers_;
+};
+
+}  // namespace tlbsim::net

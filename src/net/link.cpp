@@ -1,0 +1,37 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+namespace tlbsim::net {
+
+void Link::send(Packet pkt) {
+  if (!queue_.enqueue(pkt, sim_.now())) return;  // drop-tail
+  if (!transmitting_) startTransmission();
+}
+
+void Link::startTransmission() {
+  assert(!queue_.empty());
+  SimTime queueDelay = 0;
+  Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
+  for (const auto& hook : dequeueHooks_) hook(pkt, queueDelay);
+  transmitting_ = true;
+  const SimTime txTime = rate_.transmissionTime(pkt.size);
+  busyTime_ += txTime;
+  sim_.schedule(txTime, [this, pkt] { onTransmitComplete(pkt); });
+}
+
+void Link::onTransmitComplete(Packet pkt) {
+  ++txPackets_;
+  txBytes_ += pkt.size;
+  // Propagation is pipelined: delivery is scheduled independently while the
+  // transmitter immediately starts on the next queued packet.
+  if (peer_ != nullptr) {
+    Node* peer = peer_;
+    const int port = peerPort_;
+    sim_.schedule(delay_, [peer, port, pkt] { peer->receive(pkt, port); });
+  }
+  transmitting_ = false;
+  if (!queue_.empty()) startTransmission();
+}
+
+}  // namespace tlbsim::net

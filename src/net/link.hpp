@@ -1,0 +1,84 @@
+// Unidirectional link: an output queue + a serializing transmitter + a
+// propagation pipe. This is the standard ns-2 output-queued link model:
+// at most one packet is being serialized at a time; any number can be in
+// flight across the propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::net {
+
+class Link {
+ public:
+  /// Called with each packet as it leaves the queue, together with the time
+  /// it spent queued. Used by the stats layer; null by default.
+  using DequeueHook = std::function<void(const Packet&, SimTime queueDelay)>;
+
+  Link(sim::Simulator& simr, LinkRate rate, SimTime propagationDelay,
+       QueueConfig queueCfg)
+      : sim_(simr), rate_(rate), delay_(propagationDelay), queue_(queueCfg) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Attach the receiving end. `peerPort` is the port index the peer sees
+  /// the packet arrive on.
+  void connect(Node* peer, int peerPort) {
+    peer_ = peer;
+    peerPort_ = peerPort;
+  }
+
+  /// Enqueue a packet for transmission (drop-tail on overflow).
+  void send(Packet pkt);
+
+  // --- queue state (what a load balancer sees) -------------------------
+  int queuePackets() const { return queue_.packets(); }
+  Bytes queueBytes() const { return queue_.bytes(); }
+  const DropTailQueue& queue() const { return queue_; }
+
+  // --- configuration ----------------------------------------------------
+  LinkRate rate() const { return rate_; }
+  SimTime propagationDelay() const { return delay_; }
+  Node* peer() const { return peer_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // --- statistics ---------------------------------------------------------
+  std::uint64_t txPackets() const { return txPackets_; }
+  Bytes txBytes() const { return txBytes_; }
+  std::uint64_t drops() const { return queue_.drops(); }
+  /// Cumulative time the transmitter has been busy; utilization over a
+  /// window is the delta of this divided by the window.
+  SimTime busyTime() const { return busyTime_; }
+
+  /// Register an observer; multiple observers (stats + tracing) coexist.
+  void addDequeueHook(DequeueHook hook) {
+    dequeueHooks_.push_back(std::move(hook));
+  }
+
+ private:
+  void startTransmission();
+  void onTransmitComplete(Packet pkt);
+
+  sim::Simulator& sim_;
+  LinkRate rate_;
+  SimTime delay_;
+  DropTailQueue queue_;
+  Node* peer_ = nullptr;
+  int peerPort_ = -1;
+  bool transmitting_ = false;
+
+  std::uint64_t txPackets_ = 0;
+  Bytes txBytes_ = 0;
+  SimTime busyTime_ = 0;
+  std::vector<DequeueHook> dequeueHooks_;
+};
+
+}  // namespace tlbsim::net

@@ -1,0 +1,20 @@
+// Base class for anything a link can deliver packets to.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace tlbsim::net {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Deliver `pkt`, which arrived on the node's port `inPort`.
+  virtual void receive(Packet pkt, int inPort) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tlbsim::net

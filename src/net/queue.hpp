@@ -1,0 +1,116 @@
+// Drop-tail FIFO output queue with optional DCTCP-style ECN marking.
+//
+// Capacity and the marking threshold are in packets, matching how the paper
+// (and most DCN switch configs) specify buffers. Queue *length* is exposed
+// in both packets and bytes because load balancers compare queue lengths.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::net {
+
+struct QueueConfig {
+  int capacityPackets = 256;
+  /// Instantaneous-queue ECN mark threshold in packets; 0 disables marking.
+  int ecnThresholdPackets = 0;
+
+  /// Marking discipline. kInstantaneous is DCTCP's recommendation (mark
+  /// when the instantaneous queue is at/above K). kRed marks
+  /// probabilistically on the EWMA-averaged queue between minTh=K and
+  /// maxTh=3K (gentle RED, marking only — drops still happen at the
+  /// buffer limit).
+  enum class Marking { kInstantaneous, kRed };
+  Marking marking = Marking::kInstantaneous;
+  double redWeight = 0.002;   ///< EWMA gain for the averaged queue
+  double redMaxProb = 0.1;    ///< marking probability at maxTh
+  std::uint64_t redSeed = 0x5eed;
+};
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(QueueConfig cfg = {})
+      : cfg_(cfg), redRng_(cfg.redSeed) {}
+
+  /// Returns false (and counts a drop) when the queue is full.
+  /// On success the packet is stored with its enqueue timestamp.
+  bool enqueue(Packet pkt, SimTime now) {
+    if (static_cast<int>(items_.size()) >= cfg_.capacityPackets) {
+      ++drops_;
+      droppedBytes_ += pkt.size;
+      return false;
+    }
+    if (cfg_.marking == QueueConfig::Marking::kRed) {
+      // The averaged queue tracks every arrival, markable or not.
+      avgQueue_ = (1.0 - cfg_.redWeight) * avgQueue_ +
+                  cfg_.redWeight * static_cast<double>(items_.size());
+    }
+    if (shouldMark(pkt)) {
+      pkt.ce = true;
+      ++ecnMarks_;
+    }
+    bytes_ += pkt.size;
+    items_.push_back(Item{pkt, now});
+    return true;
+  }
+
+  /// Pops the head. Precondition: !empty().
+  /// `queueDelay` receives the time spent waiting in this queue.
+  Packet dequeue(SimTime now, SimTime* queueDelay = nullptr) {
+    Item item = items_.front();
+    items_.pop_front();
+    bytes_ -= item.pkt.size;
+    if (queueDelay != nullptr) *queueDelay = now - item.enqueuedAt;
+    return item.pkt;
+  }
+
+  bool empty() const { return items_.empty(); }
+  int packets() const { return static_cast<int>(items_.size()); }
+  Bytes bytes() const { return bytes_; }
+
+  std::uint64_t drops() const { return drops_; }
+  Bytes droppedBytes() const { return droppedBytes_; }
+  std::uint64_t ecnMarks() const { return ecnMarks_; }
+
+  const QueueConfig& config() const { return cfg_; }
+
+  /// RED's averaged queue length (packets); kInstantaneous mode keeps it
+  /// at 0.
+  double averagedQueuePackets() const { return avgQueue_; }
+
+ private:
+  struct Item {
+    Packet pkt;
+    SimTime enqueuedAt;
+  };
+
+  bool shouldMark(const Packet& pkt) {
+    if (cfg_.ecnThresholdPackets <= 0 || !pkt.ecnCapable) return false;
+    if (cfg_.marking == QueueConfig::Marking::kInstantaneous) {
+      return static_cast<int>(items_.size()) >= cfg_.ecnThresholdPackets;
+    }
+    // Gentle RED on the EWMA-averaged queue: minTh = K, maxTh = 3K.
+    const double minTh = cfg_.ecnThresholdPackets;
+    const double maxTh = 3.0 * minTh;
+    if (avgQueue_ < minTh) return false;
+    if (avgQueue_ >= maxTh) return true;
+    const double prob =
+        cfg_.redMaxProb * (avgQueue_ - minTh) / (maxTh - minTh);
+    return redRng_.uniform() < prob;
+  }
+
+  QueueConfig cfg_;
+  Rng redRng_;
+  std::deque<Item> items_;
+  Bytes bytes_ = 0;
+  double avgQueue_ = 0.0;
+  std::uint64_t drops_ = 0;
+  Bytes droppedBytes_ = 0;
+  std::uint64_t ecnMarks_ = 0;
+};
+
+}  // namespace tlbsim::net

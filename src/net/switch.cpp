@@ -1,0 +1,57 @@
+#include "net/switch.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace tlbsim::net {
+
+void Switch::setRoute(HostId dstHost, int port) {
+  assert(dstHost >= 0);
+  if (static_cast<std::size_t>(dstHost) >= routes_.size()) {
+    routes_.resize(static_cast<std::size_t>(dstHost) + 1, kNoRoute);
+  }
+  routes_[static_cast<std::size_t>(dstHost)] = port;
+}
+
+void Switch::routeViaUplinks(HostId dstHost) { setRoute(dstHost, kViaUplinks); }
+
+void Switch::setSelector(std::unique_ptr<UplinkSelector> selector) {
+  selector_ = std::move(selector);
+  if (selector_) selector_->attach(*this, sim_);
+}
+
+UplinkView Switch::uplinkView() const {
+  UplinkView view;
+  view.reserve(uplinks_.size());
+  for (int p : uplinks_) {
+    const Link& link = *ports_[static_cast<std::size_t>(p)];
+    view.push_back(PortView{p, link.queuePackets(), link.queueBytes(),
+                            link.rate().bitsPerSecond,
+                            toSeconds(link.propagationDelay())});
+  }
+  return view;
+}
+
+void Switch::receive(Packet pkt, int inPort) {
+  (void)inPort;
+  int out = routeFor(pkt.dst);
+  if (out == kViaUplinks) {
+    assert(!uplinks_.empty());
+    if (selector_ != nullptr && uplinks_.size() > 1) {
+      out = selector_->selectUplink(pkt, uplinkView());
+    } else {
+      out = uplinks_.front();
+    }
+  }
+  if (out < 0 || out >= numPorts()) {
+    ++unroutable_;
+    TLBSIM_LOG_WARN("%s: no route for host %d (flow %llu)", name_.c_str(),
+                    pkt.dst, static_cast<unsigned long long>(pkt.flow));
+    return;
+  }
+  ++forwarded_;
+  ports_[static_cast<std::size_t>(out)]->send(pkt);
+}
+
+}  // namespace tlbsim::net

@@ -1,0 +1,78 @@
+// Output-queued switch with destination-based routing and an equal-cost
+// uplink group handled by a pluggable UplinkSelector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/uplink_selector.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+
+class Switch : public Node {
+ public:
+  Switch(sim::Simulator& simr, std::string name)
+      : sim_(simr), name_(std::move(name)) {}
+
+  /// Take ownership of an outgoing link; returns its port index.
+  int addPort(std::unique_ptr<Link> link) {
+    ports_.push_back(std::move(link));
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  /// Route packets for `dstHost` out of a specific port.
+  void setRoute(HostId dstHost, int port);
+
+  /// Route packets for `dstHost` through the uplink group (selector picks).
+  void routeViaUplinks(HostId dstHost);
+
+  /// Declare which ports form the equal-cost uplink group.
+  void setUplinkGroup(std::vector<int> ports) { uplinks_ = std::move(ports); }
+  const std::vector<int>& uplinkGroup() const { return uplinks_; }
+
+  /// Install the load-balancing scheme (calls selector->attach()).
+  void setSelector(std::unique_ptr<UplinkSelector> selector);
+  UplinkSelector* selector() const { return selector_.get(); }
+
+  void receive(Packet pkt, int inPort) override;
+
+  std::string name() const override { return name_; }
+
+  int numPorts() const { return static_cast<int>(ports_.size()); }
+  Link& port(int i) { return *ports_[i]; }
+  const Link& port(int i) const { return *ports_[i]; }
+
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Materialize queue views for the current uplink group.
+  UplinkView uplinkView() const;
+
+  std::uint64_t forwardedPackets() const { return forwarded_; }
+  std::uint64_t unroutablePackets() const { return unroutable_; }
+
+ private:
+  static constexpr int kNoRoute = -1;
+  static constexpr int kViaUplinks = -2;
+
+  int routeFor(HostId dst) const {
+    if (dst < 0 || static_cast<std::size_t>(dst) >= routes_.size())
+      return kNoRoute;
+    return routes_[static_cast<std::size_t>(dst)];
+  }
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<Link>> ports_;
+  std::vector<int> routes_;  // dst host -> port | kViaUplinks | kNoRoute
+  std::vector<int> uplinks_;
+  std::unique_ptr<UplinkSelector> selector_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace tlbsim::net

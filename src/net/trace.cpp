@@ -1,0 +1,58 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+
+namespace tlbsim::net {
+
+void PacketTracer::attach(Link& link, std::string label) {
+  sim::Simulator* clock = &link.simulator();
+  link.addDequeueHook([this, label = std::move(label), clock](
+                          const Packet& pkt, SimTime queueDelay) {
+    record(label, pkt, clock->now(), queueDelay);
+  });
+}
+
+void PacketTracer::record(const std::string& label, const Packet& pkt,
+                          SimTime now, SimTime queueDelay) {
+  if (filter_ && !filter_(pkt)) return;
+  if (events_.size() >= maxEvents_) {
+    ++droppedEvents_;
+    return;
+  }
+  events_.push_back(Event{now, queueDelay, label, pkt});
+}
+
+std::vector<PacketTracer::Event> PacketTracer::eventsForFlow(
+    FlowId flow) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.pkt.flow == flow) out.push_back(e);
+  }
+  return out;
+}
+
+std::string PacketTracer::format(const Event& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-18s %-7s flow=%llu seq=%llu ack=%llu size=%lld qdelay=%.1fus%s%s",
+                e.link.c_str(), toString(e.pkt.type),
+                static_cast<unsigned long long>(e.pkt.flow),
+                static_cast<unsigned long long>(e.pkt.seq),
+                static_cast<unsigned long long>(e.pkt.ack),
+                static_cast<long long>(e.pkt.size),
+                toMicroseconds(e.queueDelay), e.pkt.ce ? " CE" : "",
+                e.pkt.retransmit ? " RTX" : "");
+  return buf;
+}
+
+void PacketTracer::dump(std::FILE* out) const {
+  for (const auto& e : events_) {
+    std::fprintf(out, "%s\n", format(e).c_str());
+  }
+  if (droppedEvents_ > 0) {
+    std::fprintf(out, "... %zu further events not stored (cap %zu)\n",
+                 droppedEvents_, maxEvents_);
+  }
+}
+
+}  // namespace tlbsim::net

@@ -1,0 +1,60 @@
+// The load-balancing extension point of a switch.
+//
+// A switch that reaches some destinations through a *group* of equal-cost
+// uplinks consults its UplinkSelector once per packet to pick the uplink.
+// Every scheme in the paper (ECMP, RPS, Presto, LetFlow, DRILL, TLB) is an
+// implementation of this interface; schemes keep whatever per-flow state
+// they need internally, exactly like switch-resident logic would.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim {
+namespace sim {
+class Simulator;
+}
+
+namespace net {
+
+class Switch;
+
+/// Snapshot of one uplink's queue, as visible to switch-local logic.
+/// Rate and propagation delay are static properties of the switch's own
+/// cables (known from configuration/LLDP in real gear); queue state is
+/// dynamic.
+struct PortView {
+  int port = -1;
+  int queuePackets = 0;
+  Bytes queueBytes = 0;
+  double rateBps = 0.0;      ///< link speed (weighting by capacity)
+  double linkDelaySec = 0.0; ///< one-way propagation of this cable
+};
+
+/// The candidate uplinks for a routing decision. Views are materialized
+/// fresh for every decision so schemes always see current queue state.
+using UplinkView = std::vector<PortView>;
+
+class UplinkSelector {
+ public:
+  virtual ~UplinkSelector() = default;
+
+  /// Pick an uplink (index *into uplinks*, not a port number is NOT used --
+  /// implementations must return one of `uplinks[i].port`).
+  virtual int selectUplink(const Packet& pkt, const UplinkView& uplinks) = 0;
+
+  /// Called once when installed into a switch. Schemes with control loops
+  /// (e.g. TLB's periodic granularity update) register timers here.
+  virtual void attach(Switch& sw, sim::Simulator& simr) {
+    (void)sw;
+    (void)simr;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace net
+}  // namespace tlbsim

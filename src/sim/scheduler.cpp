@@ -1,0 +1,46 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace tlbsim::sim {
+
+EventId Scheduler::scheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  const EventId id = nextId_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // The heap entry stays behind; pop() discards entries whose id is no
+  // longer live. This makes cancel O(1) at the cost of dead heap entries.
+  return live_.erase(id) > 0;
+}
+
+bool Scheduler::step(SimTime limit) {
+  while (!heap_.empty()) {
+    if (heap_.top().time > limit) {
+      // Do not advance past the limit; leave the event pending.
+      if (limit != kMaxTime && limit > now_) now_ = limit;
+      return false;
+    }
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled; skip
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  if (limit != kMaxTime && limit > now_) now_ = limit;
+  return false;
+}
+
+std::uint64_t Scheduler::run(SimTime limit) {
+  std::uint64_t n = 0;
+  while (step(limit)) ++n;
+  return n;
+}
+
+}  // namespace tlbsim::sim

@@ -1,0 +1,76 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// A binary min-heap of (time, sequence) ordered events. Events with equal
+// timestamps fire in scheduling order (the sequence number breaks ties),
+// which keeps runs deterministic. Cancellation is lazy: the live-id set
+// drops the id and pop() skips entries no longer in it, so cancel() is O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now. Returns a cancellable id.
+  EventId schedule(SimTime delay, Callback fn) {
+    return scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now if in the past).
+  EventId scheduleAt(SimTime when, Callback fn);
+
+  /// Cancel a pending event. Safe to call with an already-fired or invalid
+  /// id (no-op). Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// True if `id` is scheduled and not yet fired/cancelled.
+  bool pending(EventId id) const { return live_.contains(id); }
+
+  /// Run events until the queue is empty or `limit` is reached.
+  /// Returns the number of events executed.
+  std::uint64_t run(SimTime limit = kMaxTime);
+
+  /// Run a single event; returns false if none pending (or past `limit`).
+  bool step(SimTime limit = kMaxTime);
+
+  bool empty() const { return live_.empty(); }
+  std::size_t pendingEvents() const { return live_.size(); }
+  std::uint64_t executedEvents() const { return executed_; }
+
+  static constexpr SimTime kMaxTime = INT64_MAX;
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // ids are monotonically increasing -> FIFO ties
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tlbsim::sim

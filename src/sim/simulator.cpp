@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+namespace tlbsim::sim {
+
+void Simulator::every(SimTime period, Scheduler::Callback fn, SimTime start) {
+  auto timer =
+      std::make_unique<PeriodicTimer>(PeriodicTimer{period, std::move(fn)});
+  timer->nextDue = start;
+  timers_.push_back(std::move(timer));
+  arm(timers_.size() - 1);
+}
+
+void Simulator::arm(std::size_t idx) {
+  PeriodicTimer& t = *timers_[idx];
+  // Park ticks beyond the run limit so a bounded run() can drain the queue;
+  // run() re-arms parked timers when the limit rises.
+  if (t.nextDue > runLimit_) {
+    t.armed = false;
+    return;
+  }
+  t.armed = true;
+  scheduler_.scheduleAt(t.nextDue, [this, idx] { firePeriodic(idx); });
+}
+
+void Simulator::firePeriodic(std::size_t idx) {
+  PeriodicTimer& t = *timers_[idx];
+  t.fn();
+  t.nextDue = scheduler_.now() + t.period;
+  arm(idx);
+}
+
+std::uint64_t Simulator::run(SimTime limit) {
+  runLimit_ = limit;
+  for (std::size_t i = 0; i < timers_.size(); ++i) {
+    if (!timers_[i]->armed) arm(i);
+  }
+  return scheduler_.run(limit);
+}
+
+}  // namespace tlbsim::sim

@@ -1,0 +1,57 @@
+// Simulator facade: owns the scheduler and the run loop, and provides the
+// periodic-timer helper used by switch-resident control loops (e.g. TLB's
+// 500 µs granularity update).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::sim {
+
+class Simulator {
+ public:
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  SimTime now() const { return scheduler_.now(); }
+
+  EventId schedule(SimTime delay, Scheduler::Callback fn) {
+    return scheduler_.schedule(delay, std::move(fn));
+  }
+  EventId scheduleAt(SimTime when, Scheduler::Callback fn) {
+    return scheduler_.scheduleAt(when, std::move(fn));
+  }
+  bool cancel(EventId id) { return scheduler_.cancel(id); }
+
+  /// Register `fn` to fire every `period` starting at `start`. Ticks whose
+  /// time exceeds the current run limit are parked (so a bounded run()
+  /// terminates) and revived by a later run() with a higher limit. With an
+  /// unbounded run() the timer keeps the event queue alive forever — give
+  /// run() a limit when periodic timers exist.
+  void every(SimTime period, Scheduler::Callback fn, SimTime start = 0);
+
+  /// Run until `limit` (absolute time) or event exhaustion.
+  std::uint64_t run(SimTime limit = Scheduler::kMaxTime);
+
+ private:
+  struct PeriodicTimer {
+    SimTime period;
+    Scheduler::Callback fn;
+    SimTime nextDue = 0;
+    bool armed = false;
+  };
+
+  void arm(std::size_t idx);
+  void firePeriodic(std::size_t idx);
+
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<PeriodicTimer>> timers_;
+  SimTime runLimit_ = Scheduler::kMaxTime;
+};
+
+}  // namespace tlbsim::sim

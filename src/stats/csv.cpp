@@ -1,0 +1,52 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace tlbsim::stats {
+
+void writeFlowsCsv(const std::string& path, const FlowLedger& ledger) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TLBSIM_LOG_ERROR("csv: cannot open %s", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "flow,src,dst,size_bytes,start_ns,deadline_ns,completed,"
+               "fct_ns,dup_acks,acks,ooo_packets,data_packets,"
+               "fast_retransmits,timeouts\n");
+  for (const auto& r : ledger.flows()) {
+    std::fprintf(
+        f,
+        "%llu,%d,%d,%lld,%lld,%lld,%d,%lld,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        static_cast<unsigned long long>(r.spec.id), r.spec.src, r.spec.dst,
+        static_cast<long long>(r.spec.size),
+        static_cast<long long>(r.spec.start),
+        static_cast<long long>(r.spec.deadline), r.completed ? 1 : 0,
+        static_cast<long long>(r.fct),
+        static_cast<unsigned long long>(r.dupAcks),
+        static_cast<unsigned long long>(r.acks),
+        static_cast<unsigned long long>(r.outOfOrderPackets),
+        static_cast<unsigned long long>(r.dataPackets),
+        static_cast<unsigned long long>(r.fastRetransmits),
+        static_cast<unsigned long long>(r.timeouts));
+  }
+  std::fclose(f);
+}
+
+void writeSeriesCsv(const std::string& path, const std::string& name,
+                    const TimeSeries& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TLBSIM_LOG_ERROR("csv: cannot open %s", path.c_str());
+    return;
+  }
+  std::fprintf(f, "time_ns,%s\n", name.c_str());
+  for (const auto& [t, v] : series.points()) {
+    std::fprintf(f, "%lld,%.9g\n", static_cast<long long>(t), v);
+  }
+  std::fclose(f);
+}
+
+}  // namespace tlbsim::stats

@@ -1,0 +1,89 @@
+#include "stats/flow_ledger.hpp"
+
+namespace tlbsim::stats {
+
+std::size_t FlowLedger::count(const Predicate& pred) const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) {
+    if (pred(f)) ++n;
+  }
+  return n;
+}
+
+std::size_t FlowLedger::completedCount(const Predicate& pred) const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) {
+    if (f.completed && pred(f)) ++n;
+  }
+  return n;
+}
+
+double FlowLedger::afct(const Predicate& pred) const {
+  RunningStats s;
+  for (const auto& f : flows_) {
+    if (f.completed && pred(f)) s.add(toSeconds(f.fct));
+  }
+  return s.mean();
+}
+
+SampleSet FlowLedger::fctSamples(const Predicate& pred) const {
+  SampleSet s;
+  for (const auto& f : flows_) {
+    if (f.completed && pred(f)) s.add(toSeconds(f.fct));
+  }
+  return s;
+}
+
+double FlowLedger::fctPercentile(const Predicate& pred, double p) const {
+  return fctSamples(pred).percentile(p);
+}
+
+double FlowLedger::deadlineMissRatio(const Predicate& pred) const {
+  std::size_t withDeadline = 0;
+  std::size_t missed = 0;
+  for (const auto& f : flows_) {
+    if (f.spec.deadline > 0 && pred(f)) {
+      ++withDeadline;
+      if (f.missedDeadline()) ++missed;
+    }
+  }
+  return withDeadline > 0
+             ? static_cast<double>(missed) / static_cast<double>(withDeadline)
+             : 0.0;
+}
+
+double FlowLedger::meanGoodputBps(const Predicate& pred) const {
+  RunningStats s;
+  for (const auto& f : flows_) {
+    if (f.completed && pred(f)) s.add(f.goodputBps());
+  }
+  return s.mean();
+}
+
+double FlowLedger::dupAckRatio(const Predicate& pred) const {
+  std::uint64_t dup = 0;
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) {
+    if (pred(f)) {
+      dup += f.dupAcks;
+      total += f.acks;
+    }
+  }
+  return total > 0 ? static_cast<double>(dup) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double FlowLedger::outOfOrderRatio(const Predicate& pred) const {
+  std::uint64_t ooo = 0;
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) {
+    if (pred(f)) {
+      ooo += f.outOfOrderPackets;
+      total += f.dataPackets;
+    }
+  }
+  return total > 0 ? static_cast<double>(ooo) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace tlbsim::stats

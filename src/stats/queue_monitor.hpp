@@ -1,0 +1,82 @@
+// Queue-delay observation at the load-balanced fabric queues.
+//
+// Hooks into links' dequeue path and attributes each data packet's queueing
+// delay to its flow class (short/long). Feeds Fig. 3(a) (queue length
+// experienced by short-flow packets) and Fig. 8(b) (short-flow queueing
+// delay over time).
+#pragma once
+
+#include <functional>
+
+#include "net/link.hpp"
+#include "stats/time_series.hpp"
+#include "util/flow_key.hpp"
+#include "util/summary_stats.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::stats {
+
+class QueueDelayMonitor {
+ public:
+  /// `isShort` classifies flows by id (the harness knows the spec sizes).
+  using Classifier = std::function<bool(FlowId)>;
+
+  explicit QueueDelayMonitor(Classifier isShort)
+      : isShort_(std::move(isShort)) {}
+
+  /// Install the dequeue hook on `link`. The monitor must outlive the link's
+  /// use. Queue length experienced is reconstructed from the queueing delay
+  /// and the link's drain rate.
+  void installOn(net::Link& link) {
+    const double bytesPerSec = link.rate().bytesPerSecond();
+    link.addDequeueHook([this, bytesPerSec](const net::Packet& pkt,
+                                            SimTime delay) {
+      record(pkt, delay, bytesPerSec);
+    });
+  }
+
+  void record(const net::Packet& pkt, SimTime delay, double drainBps) {
+    if (!pkt.isData()) return;
+    const double delayUs = toMicroseconds(delay);
+    const double lenPkts = toSeconds(delay) * drainBps / 1500.0;
+    if (isShort_(pkt.flow)) {
+      shortDelayUs_.add(delayUs);
+      shortQueueLenPkts_.add(lenPkts);
+      intervalShortDelaySum_ += delayUs;
+      ++intervalShortCount_;
+    } else {
+      longDelayUs_.add(delayUs);
+      longQueueLenPkts_.add(lenPkts);
+    }
+  }
+
+  /// Close the current sampling interval; emits the interval's mean
+  /// short-flow queueing delay into the time series.
+  void rollInterval(SimTime now) {
+    const double mean =
+        intervalShortCount_ > 0
+            ? intervalShortDelaySum_ / static_cast<double>(intervalShortCount_)
+            : 0.0;
+    shortDelaySeries_.add(now, mean);
+    intervalShortDelaySum_ = 0.0;
+    intervalShortCount_ = 0;
+  }
+
+  const SampleSet& shortDelayUs() const { return shortDelayUs_; }
+  const SampleSet& longDelayUs() const { return longDelayUs_; }
+  const SampleSet& shortQueueLenPkts() const { return shortQueueLenPkts_; }
+  const SampleSet& longQueueLenPkts() const { return longQueueLenPkts_; }
+  const TimeSeries& shortDelaySeries() const { return shortDelaySeries_; }
+
+ private:
+  Classifier isShort_;
+  SampleSet shortDelayUs_;
+  SampleSet longDelayUs_;
+  SampleSet shortQueueLenPkts_;
+  SampleSet longQueueLenPkts_;
+  TimeSeries shortDelaySeries_;
+  double intervalShortDelaySum_ = 0.0;
+  std::uint64_t intervalShortCount_ = 0;
+};
+
+}  // namespace tlbsim::stats

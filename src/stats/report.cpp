@@ -1,0 +1,53 @@
+#include "stats/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tlbsim::stats {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::addRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title.c_str());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), header_[c].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const int w = c < widths.size() ? static_cast<int>(widths[c]) : 0;
+      std::printf("%-*s  ", w, row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace tlbsim::stats

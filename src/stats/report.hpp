@@ -1,0 +1,33 @@
+// Plain-text table printing for bench/example output. The bench binaries
+// print the same rows/series the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlbsim::stats {
+
+/// Fixed-width table: header row + string cells, auto-sized columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: first cell label, remaining cells formatted doubles.
+  void addRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Render to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace tlbsim::stats

@@ -1,0 +1,52 @@
+// Timestamped series for the paper's "instantaneous" plots (Figs. 4(a),
+// 8, 9(b)): reordering ratio, queueing delay and throughput over time.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::stats {
+
+class TimeSeries {
+ public:
+  void add(SimTime t, double v) { points_.emplace_back(t, v); }
+
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  double mean() const {
+    if (points_.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& [t, v] : points_) s += v;
+    return s / static_cast<double>(points_.size());
+  }
+
+  double max() const {
+    double m = 0.0;
+    for (const auto& [t, v] : points_) {
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  /// Downsample to ~`n` evenly spaced points (for compact table printing).
+  TimeSeries downsample(std::size_t n) const {
+    TimeSeries out;
+    if (points_.empty() || n == 0) return out;
+    const std::size_t stride = points_.size() > n ? points_.size() / n : 1;
+    for (std::size_t i = 0; i < points_.size(); i += stride) {
+      out.points_.push_back(points_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+}  // namespace tlbsim::stats

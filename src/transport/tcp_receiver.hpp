@@ -1,0 +1,72 @@
+// TCP receiver endpoint: cumulative ACKs, out-of-order buffering, ECN echo.
+//
+// ACKing is immediate (one ACK per data segment), which is both the DCTCP
+// recommendation for accurate per-packet CE echo and what makes the paper's
+// dup-ACK-ratio metric (Fig. 3(b)) well defined.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp_params.hpp"
+
+namespace tlbsim::transport {
+
+class TcpReceiver : public net::PacketHandler {
+ public:
+  TcpReceiver(sim::Simulator& simr, net::Host& localHost, const FlowSpec& flow,
+              const TcpParams& params);
+
+  void onPacket(const net::Packet& pkt) override;
+
+  // --- reordering / progress statistics --------------------------------
+  std::uint64_t dataPacketsReceived() const { return dataPackets_; }
+  /// Segments that arrived ahead of the next expected byte (reordered or
+  /// filling after loss) — the paper's "out-of-order packets".
+  std::uint64_t outOfOrderPackets() const { return outOfOrder_; }
+  std::uint64_t dupAcksSent() const { return dupAcks_; }
+  std::uint64_t acksSent() const { return acksSent_; }
+  std::uint64_t cumulativeAck() const { return cumAck_; }
+  bool finReceived() const { return finSeen_; }
+
+  const FlowSpec& flow() const { return flow_; }
+
+ private:
+  void acceptData(const net::Packet& pkt);
+  /// Decide whether to coalesce or emit an ACK for this data packet.
+  /// `inOrder` is false for out-of-order/duplicate arrivals, which always
+  /// flush immediately (RFC 5681) so senders see dup-ACKs promptly.
+  void ackPolicy(const net::Packet& pkt, bool inOrder);
+  void sendAck(SimTime echoTs, bool ece);
+  void flushPending();
+  net::Packet makeControl(net::PacketType type) const;
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  FlowSpec flow_;
+  TcpParams params_;
+
+  std::uint64_t cumAck_ = 0;  ///< next byte expected
+  /// Out-of-order segments beyond cumAck_: start -> end (exclusive).
+  std::map<std::uint64_t, std::uint64_t> segments_;
+
+  std::uint64_t dataPackets_ = 0;
+  std::uint64_t outOfOrder_ = 0;
+  std::uint64_t dupAcks_ = 0;
+  std::uint64_t acksSent_ = 0;
+  std::uint64_t lastAckNo_ = 0;
+  bool sentFirstAck_ = false;
+  bool finSeen_ = false;
+
+  // --- delayed-ACK state -------------------------------------------------
+  int pendingSegments_ = 0;      ///< in-order segments not yet acked
+  bool pendingCe_ = false;       ///< CE bit of the pending run
+  SimTime pendingEchoTs_ = 0;    ///< timestamp of the newest pending segment
+  sim::EventId ackTimer_ = sim::kInvalidEvent;
+};
+
+}  // namespace tlbsim::transport

@@ -1,0 +1,274 @@
+#include "transport/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace tlbsim::transport {
+
+namespace {
+constexpr int kMaxSynRetries = 8;
+}
+
+TcpSender::TcpSender(sim::Simulator& simr, net::Host& localHost,
+                     const FlowSpec& flow, const TcpParams& params,
+                     CompletionCallback onComplete)
+    : sim_(simr),
+      host_(localHost),
+      flow_(flow),
+      params_(params),
+      onComplete_(std::move(onComplete)) {
+  cwnd_ = static_cast<double>(params_.initialCwndSegments * params_.mss);
+  ssthresh_ = static_cast<double>(params_.receiverWindow);
+  host_.bind(flow_.id, this);
+}
+
+void TcpSender::start() {
+  const SimTime when = std::max(flow_.start, sim_.now());
+  flow_.start = when;
+  sim_.scheduleAt(when, [this] { sendSyn(); });
+}
+
+void TcpSender::sendSyn() {
+  if (established_ || completed_) return;
+  net::Packet syn;
+  syn.flow = flow_.id;
+  syn.type = net::PacketType::kSyn;
+  syn.src = flow_.src;
+  syn.dst = flow_.dst;
+  syn.size = params_.headerBytes;
+  syn.sentAt = sim_.now();
+  syn.deadline = flow_.deadline;  // deadline tag for switch statistics
+  host_.send(syn);
+  // SYN loss protection: retry with exponential backoff until established.
+  const SimTime synRto = params_.minRto * (1 << std::min(synRetries_, 6));
+  ++synRetries_;
+  if (synRetries_ <= kMaxSynRetries) {
+    rtoEvent_ = sim_.schedule(synRto, [this] { sendSyn(); });
+  }
+}
+
+void TcpSender::establish(const net::Packet& synAck) {
+  if (established_) return;
+  established_ = true;
+  sim_.cancel(rtoEvent_);
+  rtoEvent_ = sim::kInvalidEvent;
+  if (synAck.echoTs >= 0) updateRtt(sim_.now() - synAck.echoTs);
+  if (flow_.size == 0) {
+    complete();
+    return;
+  }
+  alphaWindowEnd_ = 0;
+  trySend();
+}
+
+void TcpSender::onPacket(const net::Packet& pkt) {
+  if (completed_) return;
+  switch (pkt.type) {
+    case net::PacketType::kSynAck:
+      establish(pkt);
+      break;
+    case net::PacketType::kAck:
+      handleAck(pkt);
+      break;
+    default:
+      break;  // FIN-ACK etc. need no sender action
+  }
+}
+
+double TcpSender::windowLimit() const {
+  return std::min(cwnd_, static_cast<double>(params_.receiverWindow));
+}
+
+void TcpSender::handleAck(const net::Packet& ack) {
+  ++acksReceived_;
+  const std::uint64_t ackNo = ack.ack;
+  if (ackNo > sndUna_) {
+    onNewAck(ackNo, ack);
+  } else if (ackNo == sndUna_ && inFlight() > 0) {
+    ++dupAcksReceived_;
+    // DCTCP still accounts marks carried on dup-ACKs.
+    updateDctcp(0, ack.ece);
+    onDupAck();
+  }
+  // ackNo < sndUna_: an old ACK that was reordered on the reverse path;
+  // it is not a duplicate of the current cumulative ACK — ignore it.
+  trySend();
+}
+
+void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
+  const std::uint64_t newlyAcked = ackNo - sndUna_;
+  sndUna_ = ackNo;
+  if (ack.echoTs >= 0 && !ack.ece) updateRtt(sim_.now() - ack.echoTs);
+  rtoBackoff_ = 1;
+  updateDctcp(newlyAcked, ack.ece);
+
+  const auto mss = static_cast<double>(params_.mss);
+  if (inRecovery_) {
+    if (ackNo >= recoverPoint_) {
+      // Full ack: leave recovery, deflate to ssthresh.
+      inRecovery_ = false;
+      dupAckCount_ = 0;
+      cwnd_ = ssthresh_;
+    } else {
+      // Partial ack (NewReno): the next hole is lost too — retransmit it
+      // and stay in recovery, deflating by the amount acked. At most one
+      // hole retransmission per SRTT (see lastHoleRetransmit_).
+      cwnd_ = std::max(mss, cwnd_ - static_cast<double>(newlyAcked) + mss);
+      if (!params_.holeRetransmitGuard || lastHoleRetransmit_ < 0 ||
+          sim_.now() - lastHoleRetransmit_ >= srtt_) {
+        retransmitHead();
+        lastHoleRetransmit_ = sim_.now();
+      }
+    }
+  } else {
+    dupAckCount_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newlyAcked);  // slow start
+    } else {
+      cwnd_ += mss * mss / cwnd_;  // congestion avoidance (per-ack AIMD)
+    }
+  }
+
+  if (sndUna_ >= static_cast<std::uint64_t>(flow_.size)) {
+    complete();
+    return;
+  }
+  armRto();
+}
+
+void TcpSender::onDupAck() {
+  if (inRecovery_) {
+    // Window inflation keeps the pipe full during recovery.
+    cwnd_ += static_cast<double>(params_.mss);
+    return;
+  }
+  ++dupAckCount_;
+  if (dupAckCount_ >= params_.dupAckThreshold) {
+    ++fastRetransmits_;
+    inRecovery_ = true;
+    recoverPoint_ = sndNxt_;
+    const auto mss = static_cast<double>(params_.mss);
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss);
+    cwnd_ = ssthresh_ + 3.0 * mss;
+    retransmitHead();
+    lastHoleRetransmit_ = sim_.now();
+    armRto();
+  }
+}
+
+void TcpSender::updateDctcp(std::uint64_t newlyAcked, bool ece) {
+  if (!params_.enableEcn) return;
+  windowAckedBytes_ += newlyAcked;
+  if (ece) windowMarkedBytes_ += newlyAcked;
+
+  if (sndUna_ >= alphaWindowEnd_) {
+    if (windowAckedBytes_ > 0) {
+      const double f = static_cast<double>(windowMarkedBytes_) /
+                       static_cast<double>(windowAckedBytes_);
+      alpha_ = (1.0 - params_.dctcpG) * alpha_ + params_.dctcpG * f;
+    }
+    windowAckedBytes_ = 0;
+    windowMarkedBytes_ = 0;
+    alphaWindowEnd_ = sndNxt_;
+  }
+
+  // Multiplicative decrease, at most once per window of data.
+  if (ece && sndUna_ > ecnCutPoint_ && !inRecovery_) {
+    cwnd_ = std::max(static_cast<double>(params_.mss),
+                     cwnd_ * (1.0 - alpha_ / 2.0));
+    ssthresh_ = cwnd_;
+    ecnCutPoint_ = sndNxt_;
+  }
+}
+
+void TcpSender::trySend() {
+  if (!established_ || completed_) return;
+  const auto size = static_cast<std::uint64_t>(flow_.size);
+  while (sndNxt_ < size &&
+         static_cast<double>(inFlight()) + static_cast<double>(params_.mss) <=
+             windowLimit() + 0.5) {
+    sendSegment(sndNxt_, /*isRetransmit=*/false);
+    sndNxt_ = std::min(size, sndNxt_ + static_cast<std::uint64_t>(params_.mss));
+  }
+  if (inFlight() > 0 && rtoEvent_ == sim::kInvalidEvent) armRto();
+}
+
+void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
+  const auto size = static_cast<std::uint64_t>(flow_.size);
+  const Bytes payload = static_cast<Bytes>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(params_.mss),
+                              size - seq));
+  net::Packet pkt;
+  pkt.flow = flow_.id;
+  pkt.type = net::PacketType::kData;
+  pkt.src = flow_.src;
+  pkt.dst = flow_.dst;
+  pkt.seq = seq;
+  pkt.payload = payload;
+  pkt.size = payload + params_.headerBytes;
+  pkt.ecnCapable = params_.enableEcn;
+  pkt.sentAt = sim_.now();
+  pkt.retransmit = isRetransmit;
+  ++dataPacketsSent_;
+  host_.send(pkt);
+}
+
+void TcpSender::retransmitHead() { sendSegment(sndUna_, /*isRetransmit=*/true); }
+
+void TcpSender::updateRtt(SimTime sample) {
+  if (sample <= 0) return;
+  if (!haveRttSample_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    haveRttSample_ = true;
+  } else {
+    const SimTime err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+}
+
+void TcpSender::armRto() {
+  sim_.cancel(rtoEvent_);
+  SimTime rto = haveRttSample_ ? srtt_ + 4 * rttvar_ : params_.minRto;
+  rto = std::clamp(rto, params_.minRto, params_.maxRto);
+  rto *= rtoBackoff_;
+  rtoEvent_ = sim_.schedule(rto, [this] { onRto(); });
+}
+
+void TcpSender::onRto() {
+  rtoEvent_ = sim::kInvalidEvent;
+  if (completed_ || inFlight() <= 0) return;
+  ++timeouts_;
+  // Go-back-N: rewind and re-enter slow start.
+  const auto mss = static_cast<double>(params_.mss);
+  ssthresh_ = std::max(static_cast<double>(inFlight()) / 2.0, 2.0 * mss);
+  cwnd_ = mss;
+  sndNxt_ = sndUna_;
+  inRecovery_ = false;
+  dupAckCount_ = 0;
+  rtoBackoff_ = std::min(rtoBackoff_ * 2, 64);
+  trySend();
+}
+
+void TcpSender::complete() {
+  completed_ = true;
+  completionTime_ = sim_.now();
+  sim_.cancel(rtoEvent_);
+  rtoEvent_ = sim::kInvalidEvent;
+  // FIN lets switches retire the flow from their tables (paper §5). It is
+  // fire-and-forget: a lost FIN is covered by the switches' idle purge.
+  net::Packet fin;
+  fin.flow = flow_.id;
+  fin.type = net::PacketType::kFin;
+  fin.src = flow_.src;
+  fin.dst = flow_.dst;
+  fin.size = params_.headerBytes;
+  fin.sentAt = sim_.now();
+  host_.send(fin);
+  if (onComplete_) onComplete_(*this);
+}
+
+}  // namespace tlbsim::transport

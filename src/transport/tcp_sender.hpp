@@ -1,0 +1,130 @@
+// TCP sender endpoint with Reno-style loss recovery and DCTCP ECN response.
+//
+// Feature set (chosen to match what the paper's NS2/DCTCP evaluation
+// exercises):
+//   * connection setup via SYN / SYN-ACK (the paper's switches count flows
+//     by snooping SYN/FIN),
+//   * slow start from an initial window of 2 segments (paper Eq. (3)),
+//   * congestion avoidance, NewReno-ish fast retransmit / fast recovery
+//     with window inflation,
+//   * go-back-N retransmission timeout with exponential backoff,
+//   * DCTCP: per-window alpha estimation from ECE-marked bytes and
+//     multiplicative cwnd reduction by alpha/2,
+//   * receiver-window clamp (the paper's W_L, 64 KB).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp_params.hpp"
+
+namespace tlbsim::transport {
+
+class TcpSender : public net::PacketHandler {
+ public:
+  /// Invoked exactly once, when the last payload byte is cumulatively acked.
+  using CompletionCallback = std::function<void(TcpSender&)>;
+
+  TcpSender(sim::Simulator& simr, net::Host& localHost, const FlowSpec& flow,
+            const TcpParams& params, CompletionCallback onComplete = {});
+
+  /// Arm the flow: the SYN goes out at flow.start (or now if in the past).
+  void start();
+
+  void onPacket(const net::Packet& pkt) override;
+
+  // --- progress / result accessors --------------------------------------
+  const FlowSpec& flow() const { return flow_; }
+  bool completed() const { return completed_; }
+  /// Flow completion time (valid once completed()).
+  SimTime fct() const { return completionTime_ - flow_.start; }
+  SimTime completionTime() const { return completionTime_; }
+  bool missedDeadline() const {
+    return flow_.deadline > 0 && (!completed_ || fct() > flow_.deadline);
+  }
+
+  Bytes bytesAcked() const { return static_cast<Bytes>(sndUna_); }
+  std::uint64_t dupAcksReceived() const { return dupAcksReceived_; }
+  std::uint64_t fastRetransmits() const { return fastRetransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t dataPacketsSent() const { return dataPacketsSent_; }
+  std::uint64_t acksReceived() const { return acksReceived_; }
+  double cwndBytes() const { return cwnd_; }
+  double dctcpAlpha() const { return alpha_; }
+  SimTime smoothedRtt() const { return srtt_; }
+
+ private:
+  void sendSyn();
+  void establish(const net::Packet& synAck);
+  void handleAck(const net::Packet& ack);
+  void onNewAck(std::uint64_t ackNo, const net::Packet& ack);
+  void onDupAck();
+  void updateDctcp(std::uint64_t newlyAcked, bool ece);
+  void trySend();
+  void sendSegment(std::uint64_t seq, bool isRetransmit);
+  void retransmitHead();
+  void armRto();
+  void onRto();
+  void updateRtt(SimTime sample);
+  void complete();
+
+  Bytes inFlight() const {
+    return static_cast<Bytes>(sndNxt_ - sndUna_);
+  }
+  double windowLimit() const;
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  FlowSpec flow_;
+  TcpParams params_;
+  CompletionCallback onComplete_;
+
+  // --- connection state --------------------------------------------------
+  bool established_ = false;
+  bool completed_ = false;
+  SimTime completionTime_ = 0;
+
+  std::uint64_t sndUna_ = 0;  ///< lowest unacked byte
+  std::uint64_t sndNxt_ = 0;  ///< next byte to send
+
+  double cwnd_ = 0.0;      ///< congestion window (bytes)
+  double ssthresh_ = 0.0;  ///< slow-start threshold (bytes)
+
+  // --- fast recovery ------------------------------------------------------
+  int dupAckCount_ = 0;
+  bool inRecovery_ = false;
+  std::uint64_t recoverPoint_ = 0;  ///< sndNxt at loss detection
+  /// Last time the recovery hole was retransmitted. Genuine NewReno
+  /// partial acks arrive one per round trip; rate-limiting hole
+  /// retransmissions to one per SRTT changes nothing for real loss but
+  /// breaks the self-sustaining storm a *spurious* fast retransmit would
+  /// otherwise ignite (every unneeded retransmit elicits another dup-ACK).
+  SimTime lastHoleRetransmit_ = -1;
+
+  // --- RTO ------------------------------------------------------------------
+  sim::EventId rtoEvent_ = sim::kInvalidEvent;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  bool haveRttSample_ = false;
+  int rtoBackoff_ = 1;
+  int synRetries_ = 0;
+
+  // --- DCTCP ------------------------------------------------------------
+  double alpha_ = 0.0;
+  std::uint64_t alphaWindowEnd_ = 0;
+  std::uint64_t windowAckedBytes_ = 0;
+  std::uint64_t windowMarkedBytes_ = 0;
+  std::uint64_t ecnCutPoint_ = 0;  ///< next cwnd cut allowed past this ack
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t dupAcksReceived_ = 0;
+  std::uint64_t fastRetransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t dataPacketsSent_ = 0;
+  std::uint64_t acksReceived_ = 0;
+};
+
+}  // namespace tlbsim::transport

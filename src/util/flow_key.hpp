@@ -1,0 +1,23 @@
+// Flow identity used throughout the stack.
+//
+// The simulator assigns each transport flow a dense 64-bit id; switches hash
+// it the way hardware hashes the 5-tuple (ECMP-style).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tlbsim {
+
+using FlowId = std::uint64_t;
+
+inline constexpr FlowId kInvalidFlow = ~FlowId{0};
+
+/// Stateless flow hash as a stand-in for the 5-tuple hash hardware computes.
+/// `salt` lets each switch hash independently (like per-switch hash seeds).
+constexpr std::uint64_t flowHash(FlowId flow, std::uint64_t salt = 0) {
+  return splitmix64(flow ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace tlbsim

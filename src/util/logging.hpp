@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default; enable per-run via Logger::setLevel.
+//
+// Hot paths guard with `if (Logger::enabled(...))` so disabled logging costs
+// one branch on a cached global.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tlbsim {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+class Logger {
+ public:
+  static void setLevel(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  __attribute__((format(printf, 2, 3)))
+  static void log(LogLevel level, const char* fmt, ...) {
+    if (!enabled(level)) return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+  }
+
+ private:
+  static inline LogLevel level_ = LogLevel::kNone;
+};
+
+#define TLBSIM_LOG_DEBUG(...) \
+  ::tlbsim::Logger::log(::tlbsim::LogLevel::kDebug, __VA_ARGS__)
+#define TLBSIM_LOG_INFO(...) \
+  ::tlbsim::Logger::log(::tlbsim::LogLevel::kInfo, __VA_ARGS__)
+#define TLBSIM_LOG_WARN(...) \
+  ::tlbsim::Logger::log(::tlbsim::LogLevel::kWarn, __VA_ARGS__)
+#define TLBSIM_LOG_ERROR(...) \
+  ::tlbsim::Logger::log(::tlbsim::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tlbsim

@@ -1,0 +1,69 @@
+// Core unit types and conversions used across tlbsim.
+//
+// Conventions:
+//   * time is integer nanoseconds (SimTime),
+//   * data sizes are integer bytes (Bytes),
+//   * link rates are double bytes-per-second (RateBps is *bits* per second
+//     at the API surface since network gear is specified in bits).
+#pragma once
+
+#include <cstdint>
+
+namespace tlbsim {
+
+/// Simulation timestamp / duration in integer nanoseconds.
+using SimTime = std::int64_t;
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr SimTime nanoseconds(double n) { return static_cast<SimTime>(n); }
+constexpr SimTime microseconds(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime milliseconds(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a SimTime to floating-point seconds (for reporting only).
+constexpr double toSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double toMilliseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double toMicroseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+inline constexpr Bytes kKB = 1'000;
+inline constexpr Bytes kMB = 1'000'000;
+inline constexpr Bytes kKiB = 1'024;
+inline constexpr Bytes kMiB = 1'024 * 1'024;
+
+/// Link rate in bits per second (how network links are specified).
+struct LinkRate {
+  double bitsPerSecond = 0.0;
+
+  constexpr double bytesPerSecond() const { return bitsPerSecond / 8.0; }
+
+  /// Serialization time of `size` bytes on this link.
+  constexpr SimTime transmissionTime(Bytes size) const {
+    return static_cast<SimTime>(static_cast<double>(size) * 8.0 /
+                                bitsPerSecond * static_cast<double>(kSecond));
+  }
+};
+
+constexpr LinkRate gbps(double g) { return LinkRate{g * 1e9}; }
+constexpr LinkRate mbps(double m) { return LinkRate{m * 1e6}; }
+constexpr LinkRate kbps(double k) { return LinkRate{k * 1e3}; }
+
+}  // namespace tlbsim

@@ -1,0 +1,128 @@
+#include "workload/flow_size_dist.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlbsim::workload {
+
+namespace {
+
+/// pFabric-style tables in units of 1460-byte packets.
+constexpr Bytes kPkt = 1460;
+
+FlowSizeDistribution::Table scaleToBytes(
+    std::vector<std::pair<double, double>> pkts) {
+  FlowSizeDistribution::Table out;
+  out.reserve(pkts.size());
+  for (const auto& [p, c] : pkts) {
+    out.emplace_back(static_cast<Bytes>(p * static_cast<double>(kPkt)), c);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowSizeDistribution::FlowSizeDistribution(Table table, Bytes capBytes)
+    : table_(std::move(table)) {
+  assert(!table_.empty());
+  if (capBytes > 0) {
+    // Truncate the tail at capBytes: renormalize by folding the residual
+    // probability onto the cap. Keeps small-flow shape identical while
+    // bounding the simulated per-flow cost.
+    Table capped;
+    for (const auto& [size, c] : table_) {
+      if (size >= capBytes) break;
+      capped.emplace_back(size, c);
+    }
+    capped.emplace_back(capBytes, 1.0);
+    table_ = std::move(capped);
+  }
+  assert(table_.back().second >= 1.0 - 1e-9);
+
+  // Piecewise-uniform mean.
+  double mean = static_cast<double>(table_.front().first) *
+                table_.front().second;
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    const double p = table_[i].second - table_[i - 1].second;
+    const double mid = 0.5 * (static_cast<double>(table_[i].first) +
+                              static_cast<double>(table_[i - 1].first));
+    mean += p * mid;
+  }
+  mean_ = mean;
+}
+
+FlowSizeDistribution FlowSizeDistribution::webSearch(Bytes capBytes) {
+  // DCTCP web-search CDF (sizes in packets): ~50 % of flows under 50 KB,
+  // ~30 % above 1 MB, mean ~1.6 MB.
+  return FlowSizeDistribution(scaleToBytes({{1, 0.0},
+                                            {6, 0.15},
+                                            {13, 0.2},
+                                            {19, 0.3},
+                                            {33, 0.4},
+                                            {53, 0.53},
+                                            {133, 0.6},
+                                            {667, 0.7},
+                                            {1333, 0.8},
+                                            {3333, 0.9},
+                                            {6667, 0.97},
+                                            {20000, 1.0}}),
+                              capBytes);
+}
+
+FlowSizeDistribution FlowSizeDistribution::dataMining(Bytes capBytes) {
+  // VL2 data-mining CDF (sizes in packets): 80 % of flows under 10 KB,
+  // under 5 % above 35 MB, a very long tail.
+  return FlowSizeDistribution(scaleToBytes({{1, 0.5},
+                                            {2, 0.6},
+                                            {3, 0.7},
+                                            {7, 0.8},
+                                            {267, 0.9},
+                                            {2107, 0.95},
+                                            {66667, 0.99},
+                                            {666667, 1.0}}),
+                              capBytes);
+}
+
+FlowSizeDistribution FlowSizeDistribution::uniform(Bytes lo, Bytes hi) {
+  assert(lo <= hi);
+  return FlowSizeDistribution(Table{{lo, 0.0}, {hi, 1.0}});
+}
+
+FlowSizeDistribution FlowSizeDistribution::fixed(Bytes size) {
+  return FlowSizeDistribution(Table{{size, 1.0}});
+}
+
+Bytes FlowSizeDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u <= table_.front().second) return table_.front().first;
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    if (u <= table_[i].second) {
+      const double c0 = table_[i - 1].second;
+      const double c1 = table_[i].second;
+      const double frac = c1 > c0 ? (u - c0) / (c1 - c0) : 1.0;
+      const double s0 = static_cast<double>(table_[i - 1].first);
+      const double s1 = static_cast<double>(table_[i].first);
+      return static_cast<Bytes>(s0 + frac * (s1 - s0));
+    }
+  }
+  return table_.back().first;
+}
+
+double FlowSizeDistribution::cdf(Bytes x) const {
+  if (x <= table_.front().first) {
+    return x < table_.front().first ? 0.0 : table_.front().second;
+  }
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    if (x <= table_[i].first) {
+      const double s0 = static_cast<double>(table_[i - 1].first);
+      const double s1 = static_cast<double>(table_[i].first);
+      const double frac = s1 > s0 ? (static_cast<double>(x) - s0) / (s1 - s0)
+                                  : 1.0;
+      return table_[i - 1].second +
+             frac * (table_[i].second - table_[i - 1].second);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace tlbsim::workload

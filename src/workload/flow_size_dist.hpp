@@ -1,0 +1,52 @@
+// Flow-size distributions for workload generation.
+//
+// The two datacenter workloads the paper evaluates (§6.2) are the standard
+// published heavy-tailed distributions: "web search" (DCTCP, Alizadeh et
+// al. 2010) and "data mining" (VL2, Greenberg et al. 2009), here encoded as
+// the piecewise-linear CDF tables popularized by the pFabric simulation
+// setup. Both have the property the paper relies on: ~90 % of bytes come
+// from ~10 % of flows.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::workload {
+
+class FlowSizeDistribution {
+ public:
+  /// (size in bytes, cumulative probability) knots; probabilities must be
+  /// non-decreasing and end at 1. Sampling interpolates linearly in size
+  /// within each segment.
+  using Table = std::vector<std::pair<Bytes, double>>;
+
+  explicit FlowSizeDistribution(Table table, Bytes capBytes = 0);
+
+  /// DCTCP web-search workload (~30 % of flows above 1 MB).
+  static FlowSizeDistribution webSearch(Bytes capBytes = 0);
+  /// VL2 data-mining workload (~95 % of flows tiny, tail to hundreds of MB).
+  static FlowSizeDistribution dataMining(Bytes capBytes = 0);
+  /// Uniform sizes in [lo, hi] (the paper's "<100 KB random" short flows).
+  static FlowSizeDistribution uniform(Bytes lo, Bytes hi);
+  /// Degenerate distribution (all flows the same size).
+  static FlowSizeDistribution fixed(Bytes size);
+
+  Bytes sample(Rng& rng) const;
+
+  /// Analytic mean of the piecewise-linear distribution (after capping).
+  double meanBytes() const { return mean_; }
+
+  /// P(size <= x).
+  double cdf(Bytes x) const;
+
+  const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+  double mean_ = 0.0;
+};
+
+}  // namespace tlbsim::workload

@@ -1,0 +1,120 @@
+#include "workload/traffic_gen.hpp"
+
+#include <cassert>
+
+namespace tlbsim::workload {
+
+namespace {
+
+int leafOf(int host, int hostsPerLeaf) { return host / hostsPerLeaf; }
+
+}  // namespace
+
+std::vector<transport::FlowSpec> poissonWorkload(
+    const PoissonConfig& cfg, const FlowSizeDistribution& dist, Rng& rng,
+    FlowId firstId) {
+  assert(cfg.numHosts >= 2);
+  // Aggregate flow arrival rate: load * reference capacity / mean size.
+  const double refCapacity =
+      cfg.offeredCapacityBps > 0.0
+          ? cfg.offeredCapacityBps
+          : static_cast<double>(cfg.numHosts) * cfg.hostRate.bytesPerSecond();
+  const double lambda = cfg.load * refCapacity / dist.meanBytes();
+  const double meanGapSec = 1.0 / lambda;
+
+  std::vector<transport::FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(cfg.flowCount));
+  SimTime t = cfg.startTime;
+  for (int i = 0; i < cfg.flowCount; ++i) {
+    t += seconds(rng.exponential(meanGapSec));
+    transport::FlowSpec f;
+    f.id = firstId + static_cast<FlowId>(i);
+    f.src = static_cast<net::HostId>(rng.uniformInt(
+        static_cast<std::uint64_t>(cfg.numHosts)));
+    do {
+      f.dst = static_cast<net::HostId>(rng.uniformInt(
+          static_cast<std::uint64_t>(cfg.numHosts)));
+    } while (f.dst == f.src ||
+             (cfg.crossLeafOnly &&
+              leafOf(f.dst, cfg.hostsPerLeaf) ==
+                  leafOf(f.src, cfg.hostsPerLeaf)));
+    f.size = dist.sample(rng);
+    f.start = t;
+    if (f.size < cfg.shortThreshold && cfg.deadlineMax > 0) {
+      f.deadline = rng.uniformInt(cfg.deadlineMin, cfg.deadlineMax);
+    }
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
+                                                  Rng& rng, FlowId firstId) {
+  // Long senders wrap around the leaf when numLong > hostsPerLeaf (several
+  // long flows then share an access link).
+  assert(cfg.numHosts == 2 * cfg.hostsPerLeaf);
+  std::vector<transport::FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(cfg.numShort + cfg.numLong));
+  FlowId id = firstId;
+
+  // Long flows: distinct sender/receiver pairs, all start at t=0.
+  for (int i = 0; i < cfg.numLong; ++i) {
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(i % cfg.hostsPerLeaf);
+    f.dst = static_cast<net::HostId>(cfg.hostsPerLeaf + i % cfg.hostsPerLeaf);
+    f.size = cfg.longSize;
+    f.start = 0;
+    flows.push_back(f);
+  }
+
+  // Short flows: Poisson arrivals from random leaf-0 senders to random
+  // leaf-1 receivers.
+  SimTime t = 0;
+  for (int i = 0; i < cfg.numShort; ++i) {
+    t += seconds(
+        rng.exponential(toSeconds(cfg.shortInterArrival)));
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(
+        rng.uniformInt(static_cast<std::uint64_t>(cfg.hostsPerLeaf)));
+    f.dst = static_cast<net::HostId>(
+        cfg.hostsPerLeaf +
+        static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(cfg.hostsPerLeaf))));
+    f.size = rng.uniformInt(cfg.shortMin, cfg.shortMax);
+    f.start = t;
+    f.deadline = rng.uniformInt(cfg.deadlineMin, cfg.deadlineMax);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<transport::FlowSpec> incastWorkload(const IncastConfig& cfg,
+                                                Rng& rng, FlowId firstId) {
+  assert(cfg.fanIn >= 1 && cfg.numHosts >= 2);
+  std::vector<transport::FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(cfg.fanIn));
+  FlowId id = firstId;
+  int sender = 0;
+  for (int i = 0; i < cfg.fanIn; ++i) {
+    // Round-robin senders over all hosts except the aggregator.
+    while (sender == cfg.aggregator) sender = (sender + 1) % cfg.numHosts;
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(sender);
+    f.dst = cfg.aggregator;
+    f.size = cfg.responseBytes;
+    f.start =
+        cfg.start + (cfg.jitter > 0
+                         ? rng.uniformInt(static_cast<std::int64_t>(0),
+                                          static_cast<std::int64_t>(cfg.jitter))
+                         : 0);
+    f.deadline = cfg.deadline;
+    flows.push_back(f);
+    sender = (sender + 1) % cfg.numHosts;
+  }
+  return flows;
+}
+
+}  // namespace tlbsim::workload

@@ -1,0 +1,79 @@
+// Workload generation: Poisson flow arrivals between random host pairs
+// (paper §6.2) and the fixed short/long mixes of the basic tests (§4.2,
+// §6.1, §7).
+#pragma once
+
+#include <vector>
+
+#include "transport/tcp_params.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace tlbsim::workload {
+
+/// Poisson-arrival workload at a target load (fraction of aggregate edge
+/// capacity). Generation stops after `flowCount` flows.
+struct PoissonConfig {
+  double load = 0.5;
+  int flowCount = 300;
+  int numHosts = 32;
+  int hostsPerLeaf = 8;
+  LinkRate hostRate = gbps(1);
+  /// Capacity the load is defined against, bytes/sec. 0 = aggregate edge
+  /// capacity (numHosts * hostRate). For oversubscribed fabrics set this
+  /// to the bisection capacity so "load 0.8" stresses the fabric, not the
+  /// (unreachable) edge sum.
+  double offeredCapacityBps = 0.0;
+  bool crossLeafOnly = true;  ///< only generate fabric-crossing flows
+  SimTime startTime = 0;
+  /// Deadlines assigned to flows below `shortThreshold`, uniform in
+  /// [deadlineMin, deadlineMax] (paper: [5 ms, 25 ms]); 0/0 disables.
+  Bytes shortThreshold = 100 * kKB;
+  SimTime deadlineMin = milliseconds(5);
+  SimTime deadlineMax = milliseconds(25);
+};
+
+std::vector<transport::FlowSpec> poissonWorkload(
+    const PoissonConfig& cfg, const FlowSizeDistribution& dist, Rng& rng,
+    FlowId firstId = 1);
+
+/// The paper's basic mix: `numLong` long flows (all starting at t=0 from
+/// distinct sender hosts) plus `numShort` short flows with Poisson
+/// arrivals, senders on leaf 0 and receivers on leaf 1 of a 2-leaf fabric.
+struct BasicMixConfig {
+  int numShort = 100;
+  int numLong = 5;
+  Bytes shortMin = 40 * kKB;   ///< uniform short sizes, mean 70 KB
+  Bytes shortMax = 100 * kKB;
+  Bytes longSize = 10 * kMB;
+  int numHosts = 32;           ///< split half senders / half receivers
+  int hostsPerLeaf = 16;
+  /// Mean inter-arrival gap of the short flows.
+  SimTime shortInterArrival = microseconds(200);
+  SimTime deadlineMin = milliseconds(5);
+  SimTime deadlineMax = milliseconds(25);
+};
+
+std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
+                                                  Rng& rng,
+                                                  FlowId firstId = 1);
+
+/// Incast: `fanIn` senders each transfer `responseBytes` to one aggregator
+/// host, (near-)synchronously — the classic partition/aggregate pattern
+/// that stresses the aggregator's downlink buffer. `jitter` spreads the
+/// starts uniformly in [0, jitter] (0 = perfectly synchronized).
+struct IncastConfig {
+  int fanIn = 16;
+  net::HostId aggregator = 0;
+  Bytes responseBytes = 64 * kKB;
+  SimTime start = 0;
+  SimTime jitter = 0;
+  int numHosts = 32;
+  SimTime deadline = 0;  ///< per-response deadline; 0 = none
+};
+
+std::vector<transport::FlowSpec> incastWorkload(const IncastConfig& cfg,
+                                                Rng& rng, FlowId firstId = 1);
+
+}  // namespace tlbsim::workload

@@ -1,0 +1,79 @@
+// Property test: under arbitrary interleavings of SYN / FIN / data /
+// purge, the flow table's class counters always equal the entries'
+// actual classes and never go negative.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::core {
+namespace {
+
+class FlowTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableFuzz, CountersAlwaysConsistent) {
+  TlbConfig cfg;
+  cfg.shortFlowThreshold = 10 * kKB;  // small so reclassification is common
+  cfg.idleTimeout = microseconds(300);
+  FlowTable table(cfg);
+
+  Rng rng(GetParam());
+  // Shadow model: what each live flow's class should be.
+  std::unordered_map<FlowId, bool> shadowLong;
+  std::unordered_map<FlowId, SimTime> shadowSeen;
+  SimTime now = 0;
+
+  for (int op = 0; op < 5000; ++op) {
+    now += rng.uniformInt(0, static_cast<std::int64_t>(microseconds(40)));
+    const FlowId id = rng.uniformInt(24);
+    const double action = rng.uniform();
+    if (action < 0.2) {
+      table.onFlowStart(id, now);
+      shadowLong.try_emplace(id, false);
+      shadowSeen[id] = now;
+    } else if (action < 0.3) {
+      table.onFlowEnd(id);
+      shadowLong.erase(id);
+      shadowSeen.erase(id);
+    } else if (action < 0.85) {
+      auto& e = table.touch(id, now);
+      shadowLong.try_emplace(id, false);
+      shadowSeen[id] = now;
+      const Bytes payload = rng.uniformInt(1, 4000);
+      table.recordPayload(e, payload);
+      if (e.bytesSeen > cfg.shortFlowThreshold) shadowLong[id] = true;
+    } else {
+      table.purgeIdle(now);
+      for (auto it = shadowLong.begin(); it != shadowLong.end();) {
+        if (now - shadowSeen[it->first] > cfg.idleTimeout) {
+          shadowSeen.erase(it->first);
+          it = shadowLong.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // Invariants after every operation.
+    ASSERT_GE(table.shortCount(), 0);
+    ASSERT_GE(table.longCount(), 0);
+    ASSERT_EQ(static_cast<std::size_t>(table.shortCount() +
+                                       table.longCount()),
+              table.size());
+    ASSERT_EQ(table.size(), shadowLong.size());
+    int longs = 0;
+    for (const auto& [flow, isLong] : shadowLong) {
+      ASSERT_TRUE(table.contains(flow));
+      if (isLong) ++longs;
+    }
+    ASSERT_EQ(table.longCount(), longs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace tlbsim::core

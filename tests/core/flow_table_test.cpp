@@ -1,0 +1,140 @@
+#include "core/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim::core {
+namespace {
+
+TlbConfig config() {
+  TlbConfig cfg;
+  cfg.shortFlowThreshold = 100 * kKB;
+  cfg.idleTimeout = microseconds(500);
+  cfg.defaultShortFlowSize = 70 * kKB;
+  return cfg;
+}
+
+TEST(FlowTable, SynFinCounting) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  t.onFlowStart(2, 0);
+  EXPECT_EQ(t.shortCount(), 2);
+  EXPECT_EQ(t.longCount(), 0);
+  t.onFlowEnd(1);
+  EXPECT_EQ(t.shortCount(), 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, DuplicateSynDoesNotDoubleCount) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  t.onFlowStart(1, 10);
+  EXPECT_EQ(t.shortCount(), 1);
+}
+
+TEST(FlowTable, FinForUnknownFlowIsNoop) {
+  FlowTable t(config());
+  t.onFlowEnd(99);
+  EXPECT_EQ(t.shortCount(), 0);
+  EXPECT_EQ(t.longCount(), 0);
+}
+
+TEST(FlowTable, TouchCreatesWhenSynMissed) {
+  FlowTable t(config());
+  auto& e = t.touch(5, 100);
+  EXPECT_EQ(t.shortCount(), 1);
+  EXPECT_EQ(e.lastSeen, 100);
+  EXPECT_FALSE(e.isLong);
+}
+
+TEST(FlowTable, ReclassifiesAtThreshold) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  auto& e = t.touch(1, 0);
+  EXPECT_FALSE(t.recordPayload(e, 100 * kKB));  // exactly at threshold: short
+  EXPECT_EQ(t.shortCount(), 1);
+  EXPECT_TRUE(t.recordPayload(e, 1));  // crosses
+  EXPECT_TRUE(e.isLong);
+  EXPECT_EQ(t.shortCount(), 0);
+  EXPECT_EQ(t.longCount(), 1);
+  // Further bytes don't re-trigger.
+  EXPECT_FALSE(t.recordPayload(e, 1 * kMB));
+  EXPECT_EQ(t.longCount(), 1);
+}
+
+TEST(FlowTable, LongFlowFinDecrementsLongCount) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  auto& e = t.touch(1, 0);
+  t.recordPayload(e, 200 * kKB);
+  EXPECT_EQ(t.longCount(), 1);
+  t.onFlowEnd(1);
+  EXPECT_EQ(t.longCount(), 0);
+  EXPECT_EQ(t.shortCount(), 0);
+}
+
+TEST(FlowTable, IdlePurgeRemovesStaleFlows) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  t.onFlowStart(2, microseconds(400));
+  t.purgeIdle(microseconds(600));  // flow 1 idle 600 us > 500 us
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_EQ(t.shortCount(), 1);
+}
+
+TEST(FlowTable, TouchRefreshesIdleClock) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  t.touch(1, microseconds(400));
+  t.purgeIdle(microseconds(700));  // idle only 300 us
+  EXPECT_TRUE(t.contains(1));
+}
+
+TEST(FlowTable, PurgeDecrementsCorrectClass) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);
+  auto& e = t.touch(1, 0);
+  t.recordPayload(e, 200 * kKB);  // now long
+  t.onFlowStart(2, 0);
+  t.purgeIdle(microseconds(1000));
+  EXPECT_EQ(t.shortCount(), 0);
+  EXPECT_EQ(t.longCount(), 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, MeanShortSizeStartsAtPrior) {
+  FlowTable t(config());
+  EXPECT_EQ(t.meanShortFlowSize(), 70 * kKB);
+}
+
+TEST(FlowTable, MeanShortSizeTracksCompletedShortFlows) {
+  auto cfg = config();
+  cfg.shortSizeGain = 1.0;  // follow the last sample exactly
+  FlowTable t(cfg);
+  t.onFlowStart(1, 0);
+  auto& e = t.touch(1, 0);
+  t.recordPayload(e, 30 * kKB);
+  t.onFlowEnd(1);
+  EXPECT_EQ(t.meanShortFlowSize(), 30 * kKB);
+}
+
+TEST(FlowTable, MeanShortSizeIgnoresPureAckFlows) {
+  FlowTable t(config());
+  t.onFlowStart(1, 0);  // reverse-path entry: no payload ever
+  t.onFlowEnd(1);
+  EXPECT_EQ(t.meanShortFlowSize(), 70 * kKB);
+}
+
+TEST(FlowTable, MeanShortSizeIgnoresLongFlows) {
+  auto cfg = config();
+  cfg.shortSizeGain = 1.0;
+  FlowTable t(cfg);
+  t.onFlowStart(1, 0);
+  auto& e = t.touch(1, 0);
+  t.recordPayload(e, 10 * kMB);
+  t.onFlowEnd(1);
+  EXPECT_EQ(t.meanShortFlowSize(), 70 * kKB);  // unchanged
+}
+
+}  // namespace
+}  // namespace tlbsim::core

@@ -1,0 +1,120 @@
+#include "core/granularity_calculator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/queueing_model.hpp"
+
+namespace tlbsim::core {
+namespace {
+
+TlbConfig paperConfig() {
+  TlbConfig cfg;
+  cfg.updateInterval = microseconds(500);
+  cfg.longFlowWindow = 64 * kKiB;
+  cfg.rtt = microseconds(100);
+  cfg.linkCapacity = gbps(1);
+  cfg.mss = 1460;
+  cfg.deadline = milliseconds(10);
+  cfg.bufferPackets = 512;
+  cfg.packetWireSize = 1500;
+  return cfg;
+}
+
+model::ModelParams modelOf(const TlbConfig& cfg, int n, int mS, int mL,
+                           Bytes X) {
+  model::ModelParams p;
+  p.n = n;
+  p.mS = mS;
+  p.mL = mL;
+  p.X = static_cast<double>(X);
+  p.WL = static_cast<double>(cfg.longFlowWindow);
+  p.C = cfg.linkCapacity.bytesPerSecond();
+  // The calculator evaluates the model at the *effective* RTT of a
+  // saturated W_L-window flow (a long flow cannot exceed line rate).
+  p.rtt = std::max(toSeconds(cfg.rtt), p.WL / p.C);
+  p.t = toSeconds(cfg.updateInterval);
+  p.D = toSeconds(cfg.deadline);
+  p.mss = static_cast<double>(cfg.mss);
+  return p;
+}
+
+TEST(GranularityCalculator, MatchesClosedForm) {
+  // Contended point: more long flows than the paths left over for them.
+  const auto cfg = paperConfig();
+  GranularityCalculator calc(cfg, 15);
+  const Bytes qth = calc.update(100, 24, 70 * kKB);
+  const double expected =
+      model::switchingThresholdBytes(modelOf(cfg, 15, 100, 24, 70 * kKB));
+  EXPECT_GT(qth, 0);
+  EXPECT_NEAR(static_cast<double>(qth), expected, 1.0);
+}
+
+TEST(GranularityCalculator, ZeroLongFlowsGivesZeroThreshold) {
+  GranularityCalculator calc(paperConfig(), 15);
+  EXPECT_EQ(calc.update(50, 0, 70 * kKB), 0);
+}
+
+TEST(GranularityCalculator, NoShortFlowsGivesSmallThreshold) {
+  // With m_S = 0 long flows may switch at fine granularity; q_th should be
+  // small (a few packets at most for the paper's parameters).
+  GranularityCalculator calc(paperConfig(), 15);
+  const Bytes qth = calc.update(0, 3, 70 * kKB);
+  EXPECT_LT(qth, 10 * 1500);
+}
+
+TEST(GranularityCalculator, MoreShortFlowsRaisesThreshold) {
+  // Contended regime (long flows outnumber spare paths) so the threshold
+  // is interior rather than clamped at 0.
+  GranularityCalculator calc(paperConfig(), 15);
+  const Bytes q50 = calc.update(50, 24, 70 * kKB);
+  const Bytes q150 = calc.update(150, 24, 70 * kKB);
+  EXPECT_GT(q150, q50);
+}
+
+TEST(GranularityCalculator, MoreLongFlowsRaisesThreshold) {
+  GranularityCalculator calc(paperConfig(), 15);
+  const Bytes q16 = calc.update(100, 16, 70 * kKB);
+  const Bytes q24 = calc.update(100, 24, 70 * kKB);
+  EXPECT_GT(q24, q16);
+  EXPECT_GT(q16, 0);
+}
+
+TEST(GranularityCalculator, ClampedToBuffer) {
+  auto cfg = paperConfig();
+  cfg.bufferPackets = 64;
+  GranularityCalculator calc(cfg, 15);
+  // Overwhelming short load: the model wants an enormous threshold.
+  const Bytes qth = calc.update(5000, 10, 70 * kKB);
+  EXPECT_EQ(qth, cfg.bufferBytes());
+}
+
+TEST(GranularityCalculator, NeverNegative) {
+  GranularityCalculator calc(paperConfig(), 64);
+  // Many paths, tiny long-flow demand: raw Eq. (9) would go negative.
+  EXPECT_GE(calc.update(1, 1, 10 * kKB), 0);
+}
+
+TEST(GranularityCalculator, OverrideBypassesModel) {
+  auto cfg = paperConfig();
+  cfg.qthOverrideBytes = 12345;
+  GranularityCalculator calc(cfg, 15);
+  EXPECT_EQ(calc.qthBytes(), 12345);
+  EXPECT_EQ(calc.update(100, 3, 70 * kKB), 12345);
+}
+
+TEST(GranularityCalculator, InitialThresholdIsZero) {
+  GranularityCalculator calc(paperConfig(), 15);
+  EXPECT_EQ(calc.qthBytes(), 0);
+}
+
+TEST(GranularityCalculator, ShortPathsDiagnosticExposed) {
+  GranularityCalculator calc(paperConfig(), 15);
+  calc.update(100, 3, 70 * kKB);
+  EXPECT_GT(calc.lastShortPaths(), 0.0);
+  EXPECT_LT(calc.lastShortPaths(), 15.0);
+}
+
+}  // namespace
+}  // namespace tlbsim::core

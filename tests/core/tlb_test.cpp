@@ -1,0 +1,205 @@
+#include "core/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlbsim::core {
+namespace {
+
+net::UplinkView makeView(std::vector<Bytes> queueBytes) {
+  net::UplinkView v;
+  for (std::size_t i = 0; i < queueBytes.size(); ++i) {
+    v.push_back(net::PortView{static_cast<int>(i),
+                              static_cast<int>(queueBytes[i] / 1500),
+                              queueBytes[i]});
+  }
+  return v;
+}
+
+net::Packet packet(FlowId flow, net::PacketType type, Bytes payload = 0) {
+  net::Packet p;
+  p.flow = flow;
+  p.type = type;
+  p.payload = payload;
+  p.size = payload + 40;
+  return p;
+}
+
+TlbConfig config(Bytes qthOverride = -1) {
+  TlbConfig cfg;
+  cfg.qthOverrideBytes = qthOverride;
+  return cfg;
+}
+
+TEST(Tlb, ShortFlowGoesToShortestQueue) {
+  Tlb tlb(config(), 3, 1);
+  const auto v = makeView({5000, 100, 9000});
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), v);
+  EXPECT_EQ(tlb.selectUplink(packet(1, net::PacketType::kData, 1460), v), 1);
+}
+
+TEST(Tlb, ShortFlowSwitchesPerPacket) {
+  Tlb tlb(config(), 3, 1);
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  EXPECT_EQ(tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                             makeView({9000, 0, 20000})),
+            1);
+  EXPECT_EQ(tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                             makeView({9000, 9000, 0})),
+            2);
+}
+
+TEST(Tlb, ShortFlowSticksWithinOnePacketOfMinimum) {
+  // Ablation mode (sprayStickiness > 0): moving for a sub-packet queue
+  // difference cannot reduce the wait but does reorder the in-flight
+  // burst, so the flow stays put.
+  auto cfg = config();
+  cfg.sprayStickiness = 1500;
+  Tlb tlb(cfg, 3, 1);
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  const int first = tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                                     makeView({0, 0, 0}));
+  std::vector<Bytes> q = {1400, 1400, 1400};
+  q[static_cast<std::size_t>(first)] = 1400;  // all within one packet
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                               makeView(q)),
+              first);
+  }
+}
+
+TEST(Tlb, LongFlowSticksBelowThreshold) {
+  Tlb tlb(config(/*qthOverride=*/50000), 3, 1);
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  // Push the flow across the 100 KB classification boundary.
+  net::UplinkView v = makeView({0, 0, 0});
+  int port = -1;
+  for (int i = 0; i < 80; ++i) {
+    port = tlb.selectUplink(packet(1, net::PacketType::kData, 1460), v);
+  }
+  EXPECT_TRUE(tlb.flowTable().contains(1));
+  ASSERT_GE(port, 0);
+  // Now long: stays put even when its queue is the longest, as long as it
+  // is below q_th.
+  std::vector<Bytes> q = {0, 0, 0};
+  q[static_cast<std::size_t>(port)] = 40000;  // below 50 KB threshold
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                               makeView(q)),
+              port);
+  }
+  EXPECT_EQ(tlb.longFlowSwitches(), 0u);
+}
+
+TEST(Tlb, LongFlowSwitchesAtThreshold) {
+  Tlb tlb(config(/*qthOverride=*/50000), 3, 1);
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  int port = -1;
+  for (int i = 0; i < 80; ++i) {
+    port = tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                            makeView({0, 0, 0}));
+  }
+  std::vector<Bytes> q = {10000, 10000, 10000};
+  q[static_cast<std::size_t>(port)] = 60000;  // above q_th = 50 KB
+  const int next =
+      tlb.selectUplink(packet(1, net::PacketType::kData, 1460), makeView(q));
+  EXPECT_NE(next, port);
+  EXPECT_EQ(tlb.longFlowSwitches(), 1u);
+}
+
+TEST(Tlb, SynAndSynAckBothRegisterFlows) {
+  Tlb tlb(config(), 3, 1);
+  const auto v = makeView({0, 0, 0});
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), v);
+  tlb.selectUplink(packet(2, net::PacketType::kSynAck), v);
+  EXPECT_EQ(tlb.flowTable().shortCount(), 2);
+}
+
+TEST(Tlb, FinRetiresFlow) {
+  Tlb tlb(config(), 3, 1);
+  const auto v = makeView({0, 0, 0});
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), v);
+  EXPECT_EQ(tlb.flowTable().shortCount(), 1);
+  tlb.selectUplink(packet(1, net::PacketType::kFin), v);
+  EXPECT_EQ(tlb.flowTable().shortCount(), 0);
+  EXPECT_EQ(tlb.flowTable().size(), 0u);
+}
+
+TEST(Tlb, MissedSynStillTracked) {
+  Tlb tlb(config(), 3, 1);
+  const auto v = makeView({0, 0, 0});
+  tlb.selectUplink(packet(9, net::PacketType::kData, 1460), v);
+  EXPECT_EQ(tlb.flowTable().shortCount(), 1);
+}
+
+TEST(Tlb, ControlTickUpdatesThresholdFromLiveCounts) {
+  sim::Simulator simr;
+  net::Switch sw(simr, "leaf");
+  Tlb tlb(config(), 15, 1);
+  tlb.attach(sw, simr);
+
+  const auto v = makeView(std::vector<Bytes>(15, 0));
+  // Register enough long flows (by volume) that they contend for the 15
+  // paths — with rate-capped long flows, q_th only goes positive once the
+  // long count exceeds the paths left over from the short flows.
+  for (FlowId f = 1; f <= 24; ++f) {
+    tlb.selectUplink(packet(f, net::PacketType::kSyn), v);
+    for (int i = 0; i < 80; ++i) {
+      tlb.selectUplink(packet(f, net::PacketType::kData, 1460), v);
+    }
+  }
+  for (FlowId f = 100; f < 200; ++f) {
+    tlb.selectUplink(packet(f, net::PacketType::kSyn), v);
+  }
+  EXPECT_EQ(tlb.flowTable().longCount(), 24);
+  EXPECT_EQ(tlb.flowTable().shortCount(), 100);
+
+  tlb.controlTick();
+  EXPECT_GT(tlb.qthBytes(), 0);
+}
+
+TEST(Tlb, AttachedTimerPurgesIdleFlows) {
+  sim::Simulator simr;
+  net::Switch sw(simr, "leaf");
+  auto cfg = config();
+  cfg.updateInterval = microseconds(500);
+  cfg.idleTimeout = microseconds(1000);
+  Tlb tlb(cfg, 3, 1);
+  tlb.attach(sw, simr);
+
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  EXPECT_EQ(tlb.flowTable().size(), 1u);
+  simr.run(milliseconds(5));  // several update intervals, flow stays idle
+  EXPECT_EQ(tlb.flowTable().size(), 0u);
+}
+
+TEST(Tlb, AckOnlyReverseFlowStaysShort) {
+  Tlb tlb(config(), 3, 1);
+  const auto v = makeView({500, 100, 900});
+  tlb.selectUplink(packet(4, net::PacketType::kSynAck), v);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tlb.selectUplink(packet(4, net::PacketType::kAck), v), 1);
+  }
+  EXPECT_EQ(tlb.flowTable().shortCount(), 1);
+  EXPECT_EQ(tlb.flowTable().longCount(), 0);
+}
+
+TEST(Tlb, LongFlowRelocatesWhenPortVanishes) {
+  Tlb tlb(config(/*qthOverride=*/50000), 3, 1);
+  tlb.selectUplink(packet(1, net::PacketType::kSyn), makeView({0, 0, 0}));
+  for (int i = 0; i < 80; ++i) {
+    tlb.selectUplink(packet(1, net::PacketType::kData, 1460),
+                     makeView({0, 0, 0}));
+  }
+  // Present a view whose ports don't include the flow's current one.
+  net::UplinkView v;
+  v.push_back(net::PortView{7, 0, 0});
+  v.push_back(net::PortView{8, 0, 100});
+  const int p = tlb.selectUplink(packet(1, net::PacketType::kData, 1460), v);
+  EXPECT_EQ(p, 7);  // shortest of the new group
+}
+
+}  // namespace
+}  // namespace tlbsim::core

@@ -1,0 +1,88 @@
+// Integration tests: full TCP simulations over the fat-tree harness.
+#include "harness/fat_tree_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/flow_size_dist.hpp"
+
+namespace tlbsim::harness {
+namespace {
+
+FatTreeExperimentConfig smallConfig(Scheme scheme, std::uint64_t seed = 1) {
+  FatTreeExperimentConfig cfg;
+  cfg.topo.k = 4;
+  cfg.scheme.scheme = scheme;
+  cfg.seed = seed;
+  cfg.maxDuration = seconds(10);
+
+  // Cross-pod flows: a few long, a burst of short.
+  Rng rng(seed * 13 + 1);
+  FlowId id = 1;
+  for (int i = 0; i < 2; ++i) {
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(i);
+    f.dst = static_cast<net::HostId>(12 + i);
+    f.size = 1 * kMB;
+    cfg.flows.push_back(f);
+  }
+  for (int i = 0; i < 12; ++i) {
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(rng.uniformInt(8));       // pods 0-1
+    f.dst = static_cast<net::HostId>(8 + rng.uniformInt(8));   // pods 2-3
+    f.size = rng.uniformInt(10 * kKB, 90 * kKB);
+    f.start = microseconds(rng.uniformInt(0, 2000));
+    f.deadline = milliseconds(20);
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+class FatTreeSchemeSweep
+    : public ::testing::TestWithParam<std::tuple<Scheme, std::uint64_t>> {};
+
+TEST_P(FatTreeSchemeSweep, AllFlowsComplete) {
+  const auto [scheme, seed] = GetParam();
+  const auto res = runFatTreeExperiment(smallConfig(scheme, seed));
+  EXPECT_EQ(res.ledger.completedCount([](const auto&) { return true; }),
+            res.ledger.size())
+      << schemeName(scheme) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, FatTreeSchemeSweep,
+    ::testing::Combine(::testing::Values(Scheme::kEcmp, Scheme::kRps,
+                                         Scheme::kLetFlow, Scheme::kConga,
+                                         Scheme::kPresto, Scheme::kTlb),
+                       ::testing::Values(1, 2)));
+
+TEST(FatTreeExperiment, DeterministicForSameSeed) {
+  const auto a = runFatTreeExperiment(smallConfig(Scheme::kTlb, 5));
+  const auto b = runFatTreeExperiment(smallConfig(Scheme::kTlb, 5));
+  ASSERT_EQ(a.ledger.size(), b.ledger.size());
+  for (std::size_t i = 0; i < a.ledger.size(); ++i) {
+    EXPECT_EQ(a.ledger.flows()[i].fct, b.ledger.flows()[i].fct);
+  }
+}
+
+TEST(FatTreeExperiment, TlbInstancesLiveAtBothTiers) {
+  auto cfg = smallConfig(Scheme::kTlb);
+  const auto res = runFatTreeExperiment(cfg);
+  // TLB runs on 8 edge + 8 agg switches; switching counters aggregate
+  // across all of them (value itself workload-dependent, just must not
+  // crash and the ledger must be complete).
+  EXPECT_EQ(res.ledger.size(), cfg.flows.size());
+}
+
+TEST(FatTreeExperiment, HardStopRespected) {
+  auto cfg = smallConfig(Scheme::kEcmp);
+  cfg.maxDuration = microseconds(100);
+  const auto res = runFatTreeExperiment(cfg);
+  EXPECT_LE(res.endTime, microseconds(100) + microseconds(1));
+  EXPECT_LT(res.ledger.completedCount([](const auto&) { return true; }),
+            res.ledger.size());
+}
+
+}  // namespace
+}  // namespace tlbsim::harness

@@ -1,0 +1,74 @@
+#include "harness/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace tlbsim::harness {
+namespace {
+
+const Scheme kAllSchemes[] = {
+    Scheme::kEcmp,          Scheme::kWcmp,        Scheme::kRps,
+    Scheme::kDrill,         Scheme::kPresto,      Scheme::kLetFlow,
+    Scheme::kConga,         Scheme::kHermes,      Scheme::kRoundRobin,
+    Scheme::kFlowLevel,     Scheme::kFlowletLevel, Scheme::kPacketLevel,
+    Scheme::kShortestQueue, Scheme::kFixedGranularity, Scheme::kTlb,
+};
+
+TEST(SchemeRegistry, EverySchemeHasAName) {
+  for (const Scheme s : kAllSchemes) {
+    const std::string name = schemeName(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+  }
+}
+
+TEST(SchemeRegistry, NamesAreUniqueUpToAliases) {
+  // FlowletLevel aliases LetFlow's implementation but keeps its own label;
+  // all labels in the enum order must be pairwise distinct.
+  std::set<std::string> names;
+  for (const Scheme s : kAllSchemes) names.insert(schemeName(s));
+  EXPECT_EQ(names.size(), std::size(kAllSchemes));
+}
+
+TEST(SchemeRegistry, FactoryProducesEverySelector) {
+  for (const Scheme s : kAllSchemes) {
+    SchemeConfig cfg;
+    cfg.scheme = s;
+    cfg.numPaths = 8;
+    auto sel = makeSelector(cfg, /*salt=*/3);
+    ASSERT_NE(sel, nullptr) << schemeName(s);
+    EXPECT_NE(std::string(sel->name()), "");
+  }
+}
+
+TEST(SchemeRegistry, FactoryInstancesAreIndependent) {
+  SchemeConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  auto a = makeSelector(cfg, 1);
+  auto b = makeSelector(cfg, 1);
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(SchemeRegistry, AliasesShareImplementations) {
+  SchemeConfig cfg;
+  cfg.scheme = Scheme::kPacketLevel;
+  auto packetLevel = makeSelector(cfg, 1);
+  EXPECT_STREQ(packetLevel->name(), "RPS");
+  cfg.scheme = Scheme::kFlowletLevel;
+  auto flowletLevel = makeSelector(cfg, 1);
+  EXPECT_STREQ(flowletLevel->name(), "LetFlow");
+}
+
+TEST(SchemeRegistry, TlbConfigPlumbsThrough) {
+  SchemeConfig cfg;
+  cfg.scheme = Scheme::kTlb;
+  cfg.numPaths = 15;
+  cfg.tlb.qthOverrideBytes = 4242;
+  auto sel = makeSelector(cfg, 1);
+  EXPECT_STREQ(sel->name(), "TLB");
+}
+
+}  // namespace
+}  // namespace tlbsim::harness

@@ -1,0 +1,212 @@
+#include "model/queueing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tlbsim::model {
+namespace {
+
+ModelParams paperParams() {
+  // Section 4.2 defaults: 15 paths, 3 long + 100 short flows, X = 70 KB,
+  // C = 1 Gbps, RTT = 100 us, t = 500 us, D = 10 ms.
+  return ModelParams{};
+}
+
+TEST(SlowStartRounds, MatchesEquationThree) {
+  // r = floor(log2(X/MSS)) + 1.
+  EXPECT_EQ(slowStartRounds(1460, 1460), 1);
+  EXPECT_EQ(slowStartRounds(1000, 1460), 1);   // under one segment
+  EXPECT_EQ(slowStartRounds(2920, 1460), 2);   // X/MSS = 2
+  EXPECT_EQ(slowStartRounds(5840, 1460), 3);   // X/MSS = 4
+  EXPECT_EQ(slowStartRounds(70000, 1460), 6);  // X/MSS = 47.9
+  EXPECT_EQ(slowStartRounds(100000, 1460), 7);
+}
+
+TEST(ExpectedWait, PollaczekKhintchine) {
+  // M/D/1: W = rho / (2(1-rho)) * E[S].
+  EXPECT_DOUBLE_EQ(expectedWait(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(expectedWait(0.5, 2.0), 1.0);
+  EXPECT_NEAR(expectedWait(0.9, 1.0), 4.5, 1e-12);
+  EXPECT_TRUE(std::isinf(expectedWait(1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(expectedWait(1.5, 1.0)));
+}
+
+TEST(ShortFlowPaths, PaperOperatingPointIsFeasible) {
+  const double nS = shortFlowPaths(paperParams());
+  // 100 short flows of 70 KB against a 10 ms deadline need a handful of
+  // 1 Gbps paths — well inside the 15 available.
+  EXPECT_GT(nS, 1.0);
+  EXPECT_LT(nS, 15.0);
+}
+
+TEST(ShortFlowPaths, ScalesLinearlyInShortCount) {
+  auto p = paperParams();
+  const double n100 = shortFlowPaths(p);
+  p.mS = 200;
+  const double n200 = shortFlowPaths(p);
+  EXPECT_NEAR(n200, 2.0 * n100, 1e-9);
+}
+
+TEST(ShortFlowPaths, InfeasibleDeadlineIsInfinity) {
+  auto p = paperParams();
+  p.D = 1e-6;  // 1 us: below even the bare transmission delay
+  EXPECT_TRUE(std::isinf(shortFlowPaths(p)));
+}
+
+TEST(LongFlowPaths, DecreasesWithThreshold) {
+  const auto p = paperParams();
+  const double n0 = longFlowPaths(p, 0);
+  const double n50k = longFlowPaths(p, 50000);
+  EXPECT_GT(n0, n50k);
+}
+
+TEST(LongFlowPaths, MatchesEquationTwoByHand) {
+  auto p = paperParams();
+  // n_L = mL * WL * (t/rtt) / (qth + t*C)
+  const double expected = 3.0 * 65536.0 * (500e-6 / 100e-6) /
+                          (10000.0 + 500e-6 * 1.25e8);
+  EXPECT_NEAR(longFlowPaths(p, 10000.0), expected, 1e-9);
+}
+
+// ------------------------------------------------------- q_th (Eq. 9) --
+
+TEST(SwitchingThreshold, PaperOperatingPointIsPositive) {
+  const double qth = switchingThresholdBytes(paperParams());
+  EXPECT_GT(qth, 0.0);
+  // Order tens of packets for the paper's parameters.
+  EXPECT_LT(qth, 200 * 1500.0);
+}
+
+TEST(SwitchingThreshold, IncreasesWithShortFlows) {
+  // Fig. 7(a): q_th grows with m_S.
+  auto p = paperParams();
+  double last = -1.0;
+  for (int mS : {25, 50, 100, 150, 200}) {
+    p.mS = mS;
+    const double q = switchingThresholdBytes(p);
+    EXPECT_GE(q, last) << "mS=" << mS;
+    last = q;
+  }
+}
+
+TEST(SwitchingThreshold, IncreasesWithLongFlows) {
+  // Fig. 7(b): q_th grows with m_L.
+  auto p = paperParams();
+  double last = -1.0;
+  for (int mL : {1, 2, 3, 4, 6, 8}) {
+    p.mL = mL;
+    const double q = switchingThresholdBytes(p);
+    EXPECT_GE(q, last) << "mL=" << mL;
+    last = q;
+  }
+}
+
+TEST(SwitchingThreshold, DecreasesWithMorePaths) {
+  // Fig. 7(c): q_th shrinks as the path count grows.
+  auto p = paperParams();
+  double last = std::numeric_limits<double>::infinity();
+  for (int n : {8, 10, 15, 20, 30}) {
+    p.n = n;
+    const double q = switchingThresholdBytes(p);
+    EXPECT_LE(q, last) << "n=" << n;
+    last = q;
+  }
+}
+
+TEST(SwitchingThreshold, DecreasesWithLooserDeadline) {
+  // Fig. 7(d): q_th shrinks as D grows.
+  auto p = paperParams();
+  double last = std::numeric_limits<double>::infinity();
+  for (double D : {5e-3, 10e-3, 15e-3, 20e-3, 25e-3}) {
+    p.D = D;
+    const double q = switchingThresholdBytes(p);
+    EXPECT_LE(q, last) << "D=" << D;
+    last = q;
+  }
+}
+
+TEST(SwitchingThreshold, NoLongFlowsNeedsNoThreshold) {
+  auto p = paperParams();
+  p.mL = 0;
+  EXPECT_DOUBLE_EQ(switchingThresholdBytes(p), 0.0);
+}
+
+TEST(SwitchingThreshold, OverloadedShortsGiveInfinity) {
+  auto p = paperParams();
+  p.mS = 100000;  // shorts alone need more than all paths
+  EXPECT_TRUE(std::isinf(switchingThresholdBytes(p)));
+}
+
+TEST(SwitchingThreshold, NeverNegative) {
+  auto p = paperParams();
+  p.mL = 1;
+  p.n = 64;  // huge fabric, trivial long demand
+  EXPECT_GE(switchingThresholdBytes(p), 0.0);
+}
+
+// ------------------------------------------------- mean FCT (Eq. 8) --
+
+TEST(MeanShortFct, AtLeastTransmissionDelay) {
+  const auto p = paperParams();
+  const double fct = meanShortFct(p, 50000.0);
+  const double tx = (p.X / p.mss) / (p.C / p.mss);
+  EXPECT_GE(fct, tx);
+}
+
+TEST(MeanShortFct, SatisfiesFixedPointResidual) {
+  const auto p = paperParams();
+  const double qth = 50000.0;
+  const double fct = meanShortFct(p, qth);
+  ASSERT_GT(fct, 0.0);
+  // Plug back into Eq. (8) (packet units) and check residual ~ 0.
+  const double Cp = p.C / p.mss;
+  const double Xp = p.X / p.mss;
+  const double r = slowStartRounds(p.X, p.mss);
+  const double nS = p.n - longFlowPaths(p, qth);
+  const double rhs = p.mS * Xp * r / Cp /
+                         (2.0 * (fct * nS * Cp - p.mS * Xp)) +
+                     Xp / Cp;
+  EXPECT_NEAR(fct, rhs, 1e-9);
+}
+
+TEST(MeanShortFct, GrowsAsThresholdShrinks) {
+  // Smaller q_th -> long flows spread over more paths -> fewer paths for
+  // shorts -> larger FCT. (Below q_th ~ 3 KB the model says the long flows
+  // would cover ALL 15 paths, so the smallest feasible point is ~5 KB.)
+  const auto p = paperParams();
+  const double fctLow = meanShortFct(p, 5000.0);
+  const double fctHigh = meanShortFct(p, 200000.0);
+  ASSERT_GT(fctLow, 0.0);
+  ASSERT_GT(fctHigh, 0.0);
+  EXPECT_GT(fctLow, fctHigh);
+}
+
+TEST(MeanShortFct, AtPaperThresholdMeetsDeadline) {
+  // The q_th from Eq. (9) is defined as the minimum threshold for which
+  // FCT_S <= D; the fixed point at that threshold must equal D (within
+  // numerical noise).
+  const auto p = paperParams();
+  const double qth = switchingThresholdBytes(p);
+  const double fct = meanShortFct(p, qth);
+  ASSERT_GT(fct, 0.0);
+  EXPECT_NEAR(fct, p.D, p.D * 0.01);
+}
+
+TEST(MeanShortFct, OverloadReturnsNegative) {
+  auto p = paperParams();
+  p.mS = 100000;
+  EXPECT_LT(meanShortFct(p, 0.0), 0.0);
+}
+
+TEST(FctFromWait, ComposesRoundsAndTransmission) {
+  const auto p = paperParams();
+  const double tx = (p.X / p.mss) / (p.C / p.mss);
+  EXPECT_NEAR(fctFromWait(p, 0.0), tx, 1e-12);
+  const double r = slowStartRounds(p.X, p.mss);
+  EXPECT_NEAR(fctFromWait(p, 1e-3), 1e-3 * r + tx, 1e-12);
+}
+
+}  // namespace
+}  // namespace tlbsim::model

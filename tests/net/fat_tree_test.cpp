@@ -1,0 +1,188 @@
+#include "net/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/ecmp.hpp"
+#include "lb/rps.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+namespace {
+
+FatTreeConfig k4Config() {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.linkDelay = microseconds(10);
+  return cfg;
+}
+
+SelectorFactory ecmpFactory() {
+  return [](Switch&, int idx) {
+    return std::make_unique<lb::Ecmp>(static_cast<std::uint64_t>(idx));
+  };
+}
+
+class CaptureHandler : public PacketHandler {
+ public:
+  void onPacket(const Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<Packet> packets;
+};
+
+TEST(FatTree, DimensionsForK4) {
+  const auto cfg = k4Config();
+  EXPECT_EQ(cfg.numHosts(), 16);
+  EXPECT_EQ(cfg.numPods(), 4);
+  EXPECT_EQ(cfg.numCores(), 4);
+
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, cfg, ecmpFactory());
+  // Edge: 2 host ports + 2 agg uplinks; agg: 2 edge downlinks + 2 core
+  // uplinks; core: 4 pod downlinks.
+  EXPECT_EQ(topo.edge(0, 0).numPorts(), 4);
+  EXPECT_EQ(topo.agg(0, 0).numPorts(), 4);
+  EXPECT_EQ(topo.core(0).numPorts(), 4);
+  EXPECT_EQ(topo.edge(0, 0).uplinkGroup().size(), 2u);
+  EXPECT_EQ(topo.agg(0, 0).uplinkGroup().size(), 2u);
+}
+
+TEST(FatTree, PodAndEdgeMapping) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  EXPECT_EQ(topo.podOf(0), 0);
+  EXPECT_EQ(topo.podOf(3), 0);
+  EXPECT_EQ(topo.podOf(4), 1);
+  EXPECT_EQ(topo.podOf(15), 3);
+  EXPECT_EQ(topo.edgeOf(0), 0);
+  EXPECT_EQ(topo.edgeOf(1), 0);
+  EXPECT_EQ(topo.edgeOf(2), 1);
+  EXPECT_EQ(topo.edgeOf(5), 0);
+}
+
+TEST(FatTree, EveryHostPairIsReachable) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  std::vector<std::unique_ptr<CaptureHandler>> captures;
+  FlowId flow = 1;
+  int expected = 0;
+  for (int a = 0; a < topo.numHosts(); ++a) {
+    for (int b = 0; b < topo.numHosts(); ++b) {
+      if (a == b) continue;
+      auto cap = std::make_unique<CaptureHandler>();
+      topo.host(b).bind(flow, cap.get());
+      Packet p;
+      p.flow = flow++;
+      p.src = static_cast<HostId>(a);
+      p.dst = static_cast<HostId>(b);
+      p.size = 100;
+      topo.host(a).send(p);
+      captures.push_back(std::move(cap));
+      ++expected;
+    }
+  }
+  simr.run();
+  int delivered = 0;
+  for (const auto& cap : captures) {
+    delivered += static_cast<int>(cap->packets.size());
+  }
+  EXPECT_EQ(delivered, expected);
+}
+
+TEST(FatTree, IntraPodTrafficAvoidsCore) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  CaptureHandler cap;
+  // Hosts 0 (edge 0) and 2 (edge 1) are both in pod 0.
+  topo.host(2).bind(42, &cap);
+  Packet p;
+  p.flow = 42;
+  p.src = 0;
+  p.dst = 2;
+  p.size = 100;
+  topo.host(0).send(p);
+  simr.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(topo.core(c).forwardedPackets(), 0u) << "core " << c;
+  }
+}
+
+TEST(FatTree, SameEdgeTrafficStaysLocal) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  CaptureHandler cap;
+  topo.host(1).bind(43, &cap);
+  Packet p;
+  p.flow = 43;
+  p.src = 0;
+  p.dst = 1;
+  p.size = 100;
+  topo.host(0).send(p);
+  simr.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  // host->edge->host: exactly 2 links of 10 us + 2 serializations.
+  EXPECT_EQ(simr.now(), microseconds(20) + 2 * gbps(1).transmissionTime(100));
+}
+
+TEST(FatTree, CrossPodPathLengthIsSixHops) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  CaptureHandler cap;
+  topo.host(15).bind(44, &cap);  // pod 3
+  Packet p;
+  p.flow = 44;
+  p.src = 0;  // pod 0
+  p.dst = 15;
+  p.size = 100;
+  topo.host(0).send(p);
+  simr.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  // host-edge-agg-core-agg-edge-host = 6 links.
+  EXPECT_EQ(simr.now(),
+            6 * microseconds(10) + 6 * gbps(1).transmissionTime(100));
+}
+
+TEST(FatTree, RpsTrafficSpreadsOverCores) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), [](Switch&, int idx) {
+    return std::make_unique<lb::Rps>(static_cast<std::uint64_t>(idx) + 9);
+  });
+  CaptureHandler cap;
+  topo.host(12).bind(50, &cap);
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.flow = 50;
+    p.src = 0;
+    p.dst = 12;
+    p.size = 100;
+    topo.host(0).send(p);
+  }
+  simr.run();
+  EXPECT_EQ(cap.packets.size(), 200u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GT(topo.core(c).forwardedPackets(), 20u) << "core " << c;
+  }
+}
+
+TEST(FatTree, ForEachFabricLinkCountsAllSwitchLinks) {
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, k4Config(), ecmpFactory());
+  int count = 0;
+  topo.forEachFabricLink([&](Link&) { ++count; });
+  // k=4: edge-agg links: 4 pods * 2 edges * 2 aggs * 2 dirs = 32;
+  // agg-core: 4 pods * 2 aggs * 2 cores * 2 dirs = 32.
+  EXPECT_EQ(count, 64);
+}
+
+TEST(FatTree, LargerArityDimensions) {
+  FatTreeConfig cfg;
+  cfg.k = 8;
+  EXPECT_EQ(cfg.numHosts(), 128);
+  EXPECT_EQ(cfg.numCores(), 16);
+  sim::Simulator simr;
+  FatTreeTopology topo(simr, cfg, ecmpFactory());
+  EXPECT_EQ(topo.edge(7, 3).numPorts(), 8);
+  EXPECT_EQ(topo.core(15).numPorts(), 8);
+}
+
+}  // namespace
+}  // namespace tlbsim::net

@@ -1,0 +1,90 @@
+#include "net/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+namespace {
+
+class RecordingHandler : public PacketHandler {
+ public:
+  void onPacket(const Packet& pkt) override { received.push_back(pkt); }
+  std::vector<Packet> received;
+};
+
+class LoopbackNode : public Node {
+ public:
+  explicit LoopbackNode(Host& target) : target_(target) {}
+  void receive(Packet pkt, int) override { target_.receive(pkt, 0); }
+  std::string name() const override { return "loopback"; }
+
+ private:
+  Host& target_;
+};
+
+Packet packetFor(FlowId flow) {
+  Packet p;
+  p.flow = flow;
+  p.size = 100;
+  return p;
+}
+
+TEST(Host, DemultiplexesByFlow) {
+  Host host(0, "h0");
+  RecordingHandler a, b;
+  host.bind(1, &a);
+  host.bind(2, &b);
+  host.receive(packetFor(1), 0);
+  host.receive(packetFor(2), 0);
+  host.receive(packetFor(1), 0);
+  EXPECT_EQ(a.received.size(), 2u);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Host, UnboundFlowsAreDroppedSilently) {
+  Host host(0, "h0");
+  host.receive(packetFor(99), 0);  // must not crash
+  RecordingHandler a;
+  host.bind(1, &a);
+  host.unbind(1);
+  host.receive(packetFor(1), 0);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Host, RebindReplacesHandler) {
+  Host host(0, "h0");
+  RecordingHandler a, b;
+  host.bind(1, &a);
+  host.bind(1, &b);
+  host.receive(packetFor(1), 0);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Host, SendGoesOutTheUplink) {
+  sim::Simulator simr;
+  Host src(0, "src");
+  Host dst(1, "dst");
+  LoopbackNode loop(dst);
+  auto link = std::make_unique<Link>(simr, gbps(1), microseconds(1),
+                                     QueueConfig{16, 0});
+  link->connect(&loop, 0);
+  src.attachUplink(std::move(link));
+
+  RecordingHandler h;
+  dst.bind(7, &h);
+  src.send(packetFor(7));
+  simr.run();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].flow, 7u);
+}
+
+TEST(Host, IdentityAccessors) {
+  Host host(42, "the-host");
+  EXPECT_EQ(host.id(), 42);
+  EXPECT_EQ(host.name(), "the-host");
+}
+
+}  // namespace
+}  // namespace tlbsim::net

@@ -1,0 +1,136 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+namespace {
+
+/// Records every delivered packet with its arrival time.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(sim::Simulator& simr) : sim_(simr) {}
+  void receive(Packet pkt, int inPort) override {
+    arrivals.push_back({pkt, sim_.now(), inPort});
+  }
+  std::string name() const override { return "sink"; }
+
+  struct Arrival {
+    Packet pkt;
+    SimTime at;
+    int port;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+Packet makePacket(FlowId flow, Bytes size) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.payload = size;
+  return p;
+}
+
+TEST(Link, SingleTransmissionTiming) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), /*delay=*/microseconds(10), {16, 0});
+  link.connect(&sink, 3);
+  link.send(makePacket(1, 1500));
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  // 1500B @ 1Gbps = 12 us serialize + 10 us propagate.
+  EXPECT_EQ(sink.arrivals[0].at, microseconds(22));
+  EXPECT_EQ(sink.arrivals[0].port, 3);
+}
+
+TEST(Link, BackToBackPipelining) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.send(makePacket(1, 1500));
+  link.send(makePacket(2, 1500));
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  // Second packet serializes right after the first: arrives 12 us later
+  // (propagation overlaps).
+  EXPECT_EQ(sink.arrivals[1].at - sink.arrivals[0].at, microseconds(12));
+}
+
+TEST(Link, DeliveryPreservesFifoPerLink) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(10), microseconds(1), {64, 0});
+  link.connect(&sink, 0);
+  for (FlowId f = 1; f <= 20; ++f) link.send(makePacket(f, 500));
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 20u);
+  for (FlowId f = 1; f <= 20; ++f) {
+    EXPECT_EQ(sink.arrivals[f - 1].pkt.flow, f);
+  }
+}
+
+TEST(Link, DropWhenQueueFull) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, kbps(8), microseconds(1), {2, 0});  // 1 B/ms: very slow
+  link.connect(&sink, 0);
+  // First packet starts transmitting immediately (leaves the queue); the
+  // next two fill the queue; the fourth drops.
+  for (int i = 0; i < 4; ++i) link.send(makePacket(1, 1000));
+  EXPECT_EQ(link.drops(), 1u);
+}
+
+TEST(Link, TxCountersAndBusyTime) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(5), {16, 0});
+  link.connect(&sink, 0);
+  link.send(makePacket(1, 1500));
+  link.send(makePacket(2, 750));
+  simr.run();
+  EXPECT_EQ(link.txPackets(), 2u);
+  EXPECT_EQ(link.txBytes(), 2250);
+  EXPECT_EQ(link.busyTime(), microseconds(12) + microseconds(6));
+}
+
+TEST(Link, DequeueHookReportsQueueDelay) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(1), {16, 0});
+  link.connect(&sink, 0);
+  std::vector<SimTime> delays;
+  link.addDequeueHook(
+      [&](const Packet&, SimTime d) { delays.push_back(d); });
+  link.send(makePacket(1, 1500));
+  link.send(makePacket(2, 1500));
+  simr.run();
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_EQ(delays[0], 0);                 // went straight to the wire
+  EXPECT_EQ(delays[1], microseconds(12));  // waited one serialization
+}
+
+TEST(Link, QueueStateVisibleToObservers) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(1), {16, 0});
+  link.connect(&sink, 0);
+  link.send(makePacket(1, 1500));
+  link.send(makePacket(2, 1000));
+  link.send(makePacket(3, 500));
+  // First packet is on the wire; two wait in the queue.
+  EXPECT_EQ(link.queuePackets(), 2);
+  EXPECT_EQ(link.queueBytes(), 1500);
+  simr.run();
+  EXPECT_EQ(link.queuePackets(), 0);
+}
+
+}  // namespace
+}  // namespace tlbsim::net

@@ -1,0 +1,88 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim::net {
+namespace {
+
+Packet makeData(FlowId flow, Bytes size, bool ecnCapable = false) {
+  Packet p;
+  p.flow = flow;
+  p.type = PacketType::kData;
+  p.size = size;
+  p.payload = size - 40;
+  p.ecnCapable = ecnCapable;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q({4, 0});
+  for (FlowId f = 1; f <= 4; ++f) {
+    EXPECT_TRUE(q.enqueue(makeData(f, 100), 0));
+  }
+  for (FlowId f = 1; f <= 4; ++f) {
+    EXPECT_EQ(q.dequeue(0).flow, f);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q({2, 0});
+  EXPECT_TRUE(q.enqueue(makeData(1, 100), 0));
+  EXPECT_TRUE(q.enqueue(makeData(2, 100), 0));
+  EXPECT_FALSE(q.enqueue(makeData(3, 100), 0));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.droppedBytes(), 100);
+  EXPECT_EQ(q.packets(), 2);
+}
+
+TEST(DropTailQueue, ByteAccounting) {
+  DropTailQueue q({10, 0});
+  q.enqueue(makeData(1, 100), 0);
+  q.enqueue(makeData(2, 250), 0);
+  EXPECT_EQ(q.bytes(), 350);
+  q.dequeue(0);
+  EXPECT_EQ(q.bytes(), 250);
+  q.dequeue(0);
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+TEST(DropTailQueue, QueueDelayMeasured) {
+  DropTailQueue q({10, 0});
+  q.enqueue(makeData(1, 100), /*now=*/1000);
+  SimTime delay = -1;
+  q.dequeue(/*now=*/2500, &delay);
+  EXPECT_EQ(delay, 1500);
+}
+
+TEST(DropTailQueue, EcnMarksAboveThreshold) {
+  DropTailQueue q({10, /*ecnThreshold=*/2});
+  // Occupancy at enqueue time: 0, 1 -> unmarked; 2, 3 -> marked.
+  q.enqueue(makeData(1, 100, true), 0);
+  q.enqueue(makeData(2, 100, true), 0);
+  q.enqueue(makeData(3, 100, true), 0);
+  q.enqueue(makeData(4, 100, true), 0);
+  EXPECT_FALSE(q.dequeue(0).ce);
+  EXPECT_FALSE(q.dequeue(0).ce);
+  EXPECT_TRUE(q.dequeue(0).ce);
+  EXPECT_TRUE(q.dequeue(0).ce);
+  EXPECT_EQ(q.ecnMarks(), 2u);
+}
+
+TEST(DropTailQueue, EcnIgnoresNonCapablePackets) {
+  DropTailQueue q({10, 1});
+  q.enqueue(makeData(1, 100, false), 0);
+  q.enqueue(makeData(2, 100, false), 0);
+  EXPECT_FALSE(q.dequeue(0).ce);
+  EXPECT_FALSE(q.dequeue(0).ce);
+  EXPECT_EQ(q.ecnMarks(), 0u);
+}
+
+TEST(DropTailQueue, EcnDisabledByZeroThreshold) {
+  DropTailQueue q({10, 0});
+  for (int i = 0; i < 10; ++i) q.enqueue(makeData(1, 100, true), 0);
+  EXPECT_EQ(q.ecnMarks(), 0u);
+}
+
+}  // namespace
+}  // namespace tlbsim::net

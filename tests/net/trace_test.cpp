@@ -1,0 +1,120 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+namespace {
+
+class NullSink : public Node {
+ public:
+  void receive(Packet, int) override {}
+  std::string name() const override { return "null"; }
+};
+
+Packet makePacket(FlowId flow, Bytes size = 1500) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.payload = size - 40;
+  return p;
+}
+
+struct Rig {
+  sim::Simulator simr;
+  NullSink sink;
+  Link link;
+
+  Rig() : link(simr, gbps(1), microseconds(1), QueueConfig{64, 0}) {
+    link.connect(&sink, 0);
+  }
+};
+
+TEST(PacketTracer, RecordsEveryDequeueInTimeOrder) {
+  Rig rig;
+  PacketTracer tracer;
+  tracer.attach(rig.link, "A->B");
+  for (FlowId f = 1; f <= 5; ++f) rig.link.send(makePacket(f));
+  rig.simr.run();
+  ASSERT_EQ(tracer.events().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tracer.events()[i].pkt.flow, i + 1);
+    EXPECT_EQ(tracer.events()[i].link, "A->B");
+    if (i > 0) {
+      EXPECT_GE(tracer.events()[i].time, tracer.events()[i - 1].time);
+    }
+  }
+  // Queue delays grow by one 12 us serialization per predecessor.
+  EXPECT_EQ(tracer.events()[0].queueDelay, 0);
+  EXPECT_EQ(tracer.events()[1].queueDelay, microseconds(12));
+  EXPECT_EQ(tracer.events()[4].queueDelay, microseconds(48));
+}
+
+TEST(PacketTracer, FilterSelectsFlows) {
+  Rig rig;
+  PacketTracer tracer;
+  tracer.setFilter([](const Packet& p) { return p.flow == 2; });
+  tracer.attach(rig.link, "A->B");
+  for (FlowId f = 1; f <= 4; ++f) rig.link.send(makePacket(f));
+  rig.simr.run();
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].pkt.flow, 2u);
+}
+
+TEST(PacketTracer, EventsForFlowExtractsSubset) {
+  Rig rig;
+  PacketTracer tracer;
+  tracer.attach(rig.link, "A->B");
+  for (int i = 0; i < 6; ++i) rig.link.send(makePacket(i % 2 == 0 ? 1 : 2));
+  rig.simr.run();
+  EXPECT_EQ(tracer.eventsForFlow(1).size(), 3u);
+  EXPECT_EQ(tracer.eventsForFlow(2).size(), 3u);
+  EXPECT_TRUE(tracer.eventsForFlow(9).empty());
+}
+
+TEST(PacketTracer, CapBoundsMemory) {
+  Rig rig;
+  PacketTracer tracer(/*maxEvents=*/3);
+  tracer.attach(rig.link, "A->B");
+  for (int i = 0; i < 10; ++i) rig.link.send(makePacket(1));
+  rig.simr.run();
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+}
+
+TEST(PacketTracer, MultipleLinksAndCoexistingHooks) {
+  sim::Simulator simr;
+  NullSink sink;
+  Link a(simr, gbps(1), microseconds(1), QueueConfig{64, 0});
+  Link b(simr, gbps(1), microseconds(1), QueueConfig{64, 0});
+  a.connect(&sink, 0);
+  b.connect(&sink, 0);
+  int otherHookCalls = 0;
+  a.addDequeueHook([&](const Packet&, SimTime) { ++otherHookCalls; });
+
+  PacketTracer tracer;
+  tracer.attach(a, "a");
+  tracer.attach(b, "b");
+  a.send(makePacket(1));
+  b.send(makePacket(2));
+  simr.run();
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(otherHookCalls, 1);
+}
+
+TEST(PacketTracer, FormatContainsKeyFields) {
+  PacketTracer::Event e;
+  e.link = "leaf0->spine1";
+  e.pkt = makePacket(42);
+  e.pkt.retransmit = true;
+  e.pkt.ce = true;
+  const std::string s = PacketTracer::format(e);
+  EXPECT_NE(s.find("leaf0->spine1"), std::string::npos);
+  EXPECT_NE(s.find("flow=42"), std::string::npos);
+  EXPECT_NE(s.find("CE"), std::string::npos);
+  EXPECT_NE(s.find("RTX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlbsim::net

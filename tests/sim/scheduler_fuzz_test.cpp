@@ -1,0 +1,74 @@
+// Property test: random interleavings of schedule / cancel / step keep the
+// scheduler's accounting exact and its clock monotone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::sim {
+namespace {
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, AccountingStaysExact) {
+  Scheduler sched;
+  Rng rng(GetParam());
+  std::vector<EventId> live;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  SimTime lastNow = 0;
+
+  for (int op = 0; op < 8000; ++op) {
+    const double action = rng.uniform();
+    if (action < 0.5) {
+      const SimTime delay = rng.uniformInt(0, 1000);
+      live.push_back(sched.schedule(delay, [&fired] { ++fired; }));
+      ++scheduled;
+    } else if (action < 0.7 && !live.empty()) {
+      const std::size_t idx = rng.uniformInt(live.size());
+      if (sched.cancel(live[idx])) ++cancelled;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      sched.step();
+      EXPECT_GE(sched.now(), lastNow);
+      lastNow = sched.now();
+    }
+    ASSERT_EQ(sched.pendingEvents(), scheduled - cancelled - fired);
+  }
+
+  sched.run();
+  EXPECT_EQ(sched.pendingEvents(), 0u);
+  EXPECT_EQ(fired, scheduled - cancelled);
+  EXPECT_EQ(sched.executedEvents(), fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(SchedulerFuzz, CancelDuringCallbackIsSafe) {
+  Scheduler sched;
+  EventId second = kInvalidEvent;
+  bool secondFired = false;
+  sched.schedule(10, [&] { sched.cancel(second); });
+  second = sched.schedule(20, [&] { secondFired = true; });
+  sched.run();
+  EXPECT_FALSE(secondFired);
+  EXPECT_EQ(sched.pendingEvents(), 0u);
+}
+
+TEST(SchedulerFuzz, ScheduleDuringCallbackRuns) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sched.schedule(1, chain);
+  };
+  sched.schedule(0, chain);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+}
+
+}  // namespace
+}  // namespace tlbsim::sim

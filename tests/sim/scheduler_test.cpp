@@ -1,0 +1,169 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tlbsim::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, EqualTimestampsFireInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesMonotonically) {
+  Scheduler s;
+  SimTime last = -1;
+  for (int i = 0; i < 50; ++i) {
+    s.schedule(i * 7 % 13, [&s, &last] {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+    });
+  }
+  s.run();
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule(100, [] {});
+  s.run();
+  bool fired = false;
+  s.scheduleAt(50, [&] { fired = true; });  // in the past
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 100);  // did not go backwards
+}
+
+TEST(Scheduler, CancelPendingEvent) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelFiredEventIsNoop) {
+  Scheduler s;
+  const EventId id = s.schedule(10, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Scheduler, DoubleCancelIsNoop) {
+  Scheduler s;
+  const EventId id = s.schedule(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler s;
+  const EventId a = s.schedule(1, [] {});
+  s.schedule(2, [] {});
+  EXPECT_EQ(s.pendingEvents(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  EXPECT_EQ(s.executedEvents(), 1u);
+}
+
+TEST(Scheduler, RunLimitStopsBeforeLaterEvents) {
+  Scheduler s;
+  bool early = false;
+  bool late = false;
+  s.schedule(10, [&] { early = true; });
+  s.schedule(100, [&] { late = true; });
+  s.run(50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), 50);  // clock advances to the limit
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule(10, recurse);
+  };
+  s.schedule(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule(1, [&] { ++count; });
+  s.schedule(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, PeriodicTimerFiresRepeatedly) {
+  Simulator sim;
+  int ticks = 0;
+  sim.every(100, [&] { ++ticks; }, /*start=*/100);
+  sim.run(1000);
+  EXPECT_EQ(ticks, 10);  // t = 100, 200, ..., 1000
+}
+
+TEST(Simulator, PeriodicTimerStopsAtRunLimit) {
+  Simulator sim;
+  int ticks = 0;
+  sim.every(100, [&] { ++ticks; }, /*start=*/100);
+  sim.run(350);
+  // After the limited run the queue should not grow unboundedly; re-running
+  // with a longer limit resumes ticking.
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, ScheduleAndCancelThroughFacade) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run(100);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+}  // namespace
+}  // namespace tlbsim::sim

@@ -1,0 +1,114 @@
+#include "stats/flow_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim::stats {
+namespace {
+
+FlowResult makeResult(FlowId id, Bytes size, SimTime fct, bool completed = true,
+                      SimTime deadline = 0) {
+  FlowResult r;
+  r.spec.id = id;
+  r.spec.size = size;
+  r.spec.deadline = deadline;
+  r.completed = completed;
+  r.fct = fct;
+  return r;
+}
+
+TEST(FlowResult, DeadlineMissLogic) {
+  EXPECT_FALSE(makeResult(1, kKB, milliseconds(3), true, milliseconds(5))
+                   .missedDeadline());
+  EXPECT_TRUE(makeResult(1, kKB, milliseconds(7), true, milliseconds(5))
+                  .missedDeadline());
+  // Incomplete flow with a deadline counts as missed.
+  EXPECT_TRUE(makeResult(1, kKB, 0, false, milliseconds(5)).missedDeadline());
+  // No deadline: never a miss.
+  EXPECT_FALSE(makeResult(1, kKB, milliseconds(100), true, 0).missedDeadline());
+}
+
+TEST(FlowResult, GoodputComputation) {
+  // 1 MB in 10 ms = 800 Mbps.
+  const auto r = makeResult(1, kMB, milliseconds(10));
+  EXPECT_NEAR(r.goodputBps(), 8e8, 1.0);
+  EXPECT_DOUBLE_EQ(makeResult(1, kMB, 0, false).goodputBps(), 0.0);
+}
+
+TEST(FlowLedger, ClassPredicates) {
+  EXPECT_TRUE(FlowLedger::isShort(makeResult(1, 99 * kKB, 1)));
+  EXPECT_FALSE(FlowLedger::isShort(makeResult(1, 100 * kKB, 1)));
+  EXPECT_TRUE(FlowLedger::isLong(makeResult(1, 10 * kMB, 1)));
+}
+
+class LedgerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 3 short flows: 10, 20, 30 ms (one missing its 15 ms deadline).
+    ledger.add(makeResult(1, 50 * kKB, milliseconds(10), true, milliseconds(15)));
+    ledger.add(makeResult(2, 60 * kKB, milliseconds(20), true, milliseconds(15)));
+    ledger.add(makeResult(3, 70 * kKB, milliseconds(30), true, milliseconds(40)));
+    // 2 long flows, one incomplete.
+    ledger.add(makeResult(4, 10 * kMB, milliseconds(100), true));
+    ledger.add(makeResult(5, 10 * kMB, 0, false));
+  }
+  FlowLedger ledger;
+};
+
+TEST_F(LedgerFixture, Counts) {
+  EXPECT_EQ(ledger.size(), 5u);
+  EXPECT_EQ(ledger.count(FlowLedger::isShort), 3u);
+  EXPECT_EQ(ledger.count(FlowLedger::isLong), 2u);
+  EXPECT_EQ(ledger.completedCount(FlowLedger::isLong), 1u);
+}
+
+TEST_F(LedgerFixture, AfctOverCompletedOnly) {
+  EXPECT_NEAR(ledger.afct(FlowLedger::isShort), 0.020, 1e-9);
+  EXPECT_NEAR(ledger.afct(FlowLedger::isLong), 0.100, 1e-9);
+}
+
+TEST_F(LedgerFixture, Percentiles) {
+  EXPECT_NEAR(ledger.fctPercentile(FlowLedger::isShort, 0), 0.010, 1e-9);
+  EXPECT_NEAR(ledger.fctPercentile(FlowLedger::isShort, 100), 0.030, 1e-9);
+  EXPECT_NEAR(ledger.fctPercentile(FlowLedger::isShort, 50), 0.020, 1e-9);
+}
+
+TEST_F(LedgerFixture, DeadlineMissRatio) {
+  // Flows 1..3 carry deadlines; only flow 2 misses.
+  EXPECT_NEAR(ledger.deadlineMissRatio(FlowLedger::isShort), 1.0 / 3.0, 1e-9);
+  // Long flows have no deadlines -> ratio 0.
+  EXPECT_DOUBLE_EQ(ledger.deadlineMissRatio(FlowLedger::isLong), 0.0);
+}
+
+TEST_F(LedgerFixture, MeanGoodput) {
+  // Only the completed 10 MB / 100 ms flow: 800 Mbps.
+  EXPECT_NEAR(ledger.meanGoodputBps(FlowLedger::isLong), 8e8, 1.0);
+}
+
+TEST(FlowLedger, DupAckAndOooRatios) {
+  FlowLedger ledger;
+  auto a = makeResult(1, 10 * kKB, 1);
+  a.dupAcks = 5;
+  a.acks = 50;
+  a.outOfOrderPackets = 2;
+  a.dataPackets = 20;
+  auto b = makeResult(2, 10 * kKB, 1);
+  b.dupAcks = 0;
+  b.acks = 50;
+  b.outOfOrderPackets = 0;
+  b.dataPackets = 20;
+  ledger.add(a);
+  ledger.add(b);
+  EXPECT_NEAR(ledger.dupAckRatio(FlowLedger::isShort), 0.05, 1e-9);
+  EXPECT_NEAR(ledger.outOfOrderRatio(FlowLedger::isShort), 0.05, 1e-9);
+}
+
+TEST(FlowLedger, EmptyLedgerIsSafe) {
+  FlowLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.afct(FlowLedger::isShort), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.deadlineMissRatio(FlowLedger::isShort), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.dupAckRatio(FlowLedger::isShort), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.meanGoodputBps(FlowLedger::isLong), 0.0);
+}
+
+}  // namespace
+}  // namespace tlbsim::stats

@@ -1,0 +1,65 @@
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/time_series.hpp"
+
+namespace tlbsim::stats {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Table, PrintDoesNotCrash) {
+  Table t({"col1", "col2", "col3"});
+  t.addRow({"a", "b", "c"});
+  t.addRow("label", {1.23456, 7.8}, 2);
+  t.print("test table");  // visual smoke only
+}
+
+TEST(Table, ShortRowsTolerated) {
+  Table t({"a", "b", "c"});
+  t.addRow({"only-one"});
+  t.print("short rows");
+}
+
+TEST(TimeSeries, MeanAndMax) {
+  TimeSeries ts;
+  ts.add(0, 1.0);
+  ts.add(1, 3.0);
+  ts.add(2, 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 3.0);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, EmptyIsSafe) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TimeSeries, DownsampleKeepsOrder) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.add(i, i);
+  const auto ds = ts.downsample(10);
+  EXPECT_LE(ds.size(), 12u);
+  EXPECT_GE(ds.size(), 9u);
+  for (std::size_t i = 1; i < ds.points().size(); ++i) {
+    EXPECT_LT(ds.points()[i - 1].first, ds.points()[i].first);
+  }
+}
+
+TEST(TimeSeries, DownsampleSmallSeriesUnchanged) {
+  TimeSeries ts;
+  ts.add(0, 1.0);
+  ts.add(1, 2.0);
+  EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace tlbsim::stats

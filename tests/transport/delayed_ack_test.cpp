@@ -1,0 +1,115 @@
+// Delayed-ACK behavior (TcpParams::delayedAckEvery > 1).
+#include <gtest/gtest.h>
+
+#include "tcp_rig.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::transport {
+namespace {
+
+using testing::TcpRig;
+
+TcpParams delayedParams(int every = 2) {
+  TcpParams p;
+  p.delayedAckEvery = every;
+  p.delayedAckTimeout = microseconds(500);
+  return p;
+}
+
+TEST(DelayedAck, FlowCompletesExactly) {
+  TcpRig rig;
+  auto f = rig.makeFlow(200 * kKB, delayedParams());
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.sender->bytesAcked(), 200 * kKB);
+}
+
+TEST(DelayedAck, RoughlyHalvesAckCount) {
+  const Bytes size = 300 * kKB;
+
+  TcpRig perPacket;
+  auto f1 = perPacket.makeFlow(size);
+  f1.sender->start();
+  perPacket.simr.run(seconds(10));
+
+  TcpRig delayed;
+  auto f2 = delayed.makeFlow(size, delayedParams());
+  f2.sender->start();
+  delayed.simr.run(seconds(10));
+
+  ASSERT_TRUE(f1.sender->completed());
+  ASSERT_TRUE(f2.sender->completed());
+  EXPECT_LT(f2.receiver->acksSent(), f1.receiver->acksSent() * 6 / 10);
+  EXPECT_GT(f2.receiver->acksSent(), f1.receiver->acksSent() * 4 / 10);
+}
+
+TEST(DelayedAck, TimeoutFlushesOddSegment) {
+  // A 1-segment flow never reaches the 2-segment coalescing threshold;
+  // the timer must flush the ACK and the flow must not need an RTO.
+  TcpRig rig;
+  auto f = rig.makeFlow(1000, delayedParams());
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.sender->timeouts(), 0u);
+  // FCT = handshake + data + the delayed-ACK wait, well under an RTO.
+  EXPECT_LT(f.sender->fct(), milliseconds(2));
+}
+
+TEST(DelayedAck, OutOfOrderStillAcksImmediately) {
+  TcpRig rig;
+  bool armed = true;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (armed && p.isData() && p.seq == 14600 && !p.retransmit) {
+      armed = false;
+      return 0;  // drop one segment -> subsequent arrivals are OOO
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(100 * kKB, delayedParams());
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  ASSERT_TRUE(f.sender->completed());
+  // Dup-ACKs must have reached the sender fast enough for fast retransmit
+  // (no RTO), exactly as with per-packet ACKs.
+  EXPECT_GE(f.sender->fastRetransmits(), 1u);
+  EXPECT_EQ(f.sender->timeouts(), 0u);
+}
+
+TEST(DelayedAck, CeChangeFlushesImmediately) {
+  // Mark exactly one mid-flow segment CE. The receiver must not blur it
+  // into an unmarked coalesced ACK: the sender's DCTCP alpha must rise.
+  TcpRig rig;
+  int marked = 0;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (p.isData() && p.seq >= 50000 && p.seq < 80000) {
+      p.ce = true;
+      ++marked;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(200 * kKB, delayedParams());
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  ASSERT_TRUE(f.sender->completed());
+  ASSERT_GT(marked, 0);
+  EXPECT_GT(f.sender->dctcpAlpha(), 0.0);
+}
+
+class DelayedAckEverySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayedAckEverySweep, CompletesForAnyCoalescingFactor) {
+  TcpRig rig;
+  auto f = rig.makeFlow(123 * kKB, delayedParams(GetParam()));
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  EXPECT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.receiver->cumulativeAck(), 123 * 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DelayedAckEverySweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace tlbsim::transport

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "tcp_rig.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::transport {
+namespace {
+
+using testing::TcpRig;
+
+TEST(Tcp, SmallFlowCompletes) {
+  TcpRig rig;
+  auto f = rig.makeFlow(1000);
+  f.sender->start();
+  rig.simr.run(seconds(1));
+  EXPECT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.sender->bytesAcked(), 1000);
+  EXPECT_EQ(f.receiver->cumulativeAck(), 1000u);
+  EXPECT_TRUE(f.receiver->finReceived());
+}
+
+TEST(Tcp, FctIsAboutTwoRttsForOneSegment) {
+  TcpRig rig;  // base RTT = 4 * 25 us = 100 us
+  auto f = rig.makeFlow(1000);
+  f.sender->start();
+  rig.simr.run(seconds(1));
+  ASSERT_TRUE(f.sender->completed());
+  // Handshake RTT + data/ack RTT, plus a few serializations.
+  EXPECT_GT(f.sender->fct(), microseconds(200));
+  EXPECT_LT(f.sender->fct(), microseconds(260));
+}
+
+TEST(Tcp, ZeroByteFlowCompletesAtHandshake) {
+  TcpRig rig;
+  auto f = rig.makeFlow(0);
+  f.sender->start();
+  rig.simr.run(seconds(1));
+  EXPECT_TRUE(f.sender->completed());
+  EXPECT_GT(f.sender->fct(), 0);
+}
+
+TEST(Tcp, CleanPathHasNoRetransmissions) {
+  TcpRig rig;
+  auto f = rig.makeFlow(500 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.sender->fastRetransmits(), 0u);
+  EXPECT_EQ(f.sender->timeouts(), 0u);
+  EXPECT_EQ(f.sender->dupAcksReceived(), 0u);
+  EXPECT_EQ(f.receiver->outOfOrderPackets(), 0u);
+}
+
+TEST(Tcp, ThroughputIsWindowLimited) {
+  // Receiver window of 8 KB over a 1 ms-delay path (RTT 4 ms): throughput
+  // is capped at roughly W/RTT = 2 MB/s regardless of the 1 Gbps line.
+  TcpRig rig(gbps(1), milliseconds(1));
+  TcpParams params;
+  params.receiverWindow = 8 * kKB;
+  auto f = rig.makeFlow(200 * kKB, params);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  const double seconds = toSeconds(f.sender->fct());
+  const double bps = 200e3 / seconds;
+  EXPECT_LT(bps, 2.3e6);
+  EXPECT_GT(bps, 1.0e6);
+}
+
+TEST(Tcp, FastRetransmitRecoversSingleLoss) {
+  TcpRig rig;
+  // Drop the first transmission of the segment at byte 14600.
+  bool armed = true;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (armed && p.isData() && p.seq == 14600 && !p.retransmit) {
+      armed = false;
+      return 0;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(100 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_GE(f.sender->fastRetransmits(), 1u);
+  EXPECT_EQ(f.sender->timeouts(), 0u);
+  EXPECT_GE(f.sender->dupAcksReceived(), 3u);
+  EXPECT_EQ(f.receiver->cumulativeAck(), 100 * 1000u);
+  // The loss must not cost a full RTO (10 ms floor).
+  EXPECT_LT(f.sender->fct(), milliseconds(10));
+}
+
+TEST(Tcp, TimeoutRecoversTailLoss) {
+  TcpRig rig;
+  // Drop the last segment (no later packets -> no dup ACKs -> RTO).
+  bool armed = true;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (armed && p.isData() && p.seq + static_cast<std::uint64_t>(p.payload) ==
+                                   20 * 1000u &&
+        !p.retransmit) {
+      armed = false;
+      return 0;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(20 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_GE(f.sender->timeouts(), 1u);
+  EXPECT_GT(f.sender->fct(), milliseconds(10));  // paid the minRto
+}
+
+TEST(Tcp, SynLossIsRetried) {
+  TcpRig rig;
+  int drops = 0;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (p.type == net::PacketType::kSyn && drops < 1) {
+      ++drops;
+      return 0;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(10 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  EXPECT_TRUE(f.sender->completed());
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(Tcp, ReceiverCountsReorderingAndDupAcks) {
+  TcpRig rig;
+  bool armed = true;
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (armed && p.isData() && p.seq == 2920 && !p.retransmit) {
+      armed = false;
+      return 0;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(50 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_GT(f.receiver->outOfOrderPackets(), 0u);
+  EXPECT_GT(f.receiver->dupAcksSent(), 0u);
+}
+
+TEST(Tcp, DuplicatedSegmentsAreHarmless) {
+  TcpRig rig;
+  rig.abFilter.setHook([](net::Packet& p) { return p.isData() ? 2 : 1; });
+  auto f = rig.makeFlow(30 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.receiver->cumulativeAck(), 30 * 1000u);
+}
+
+TEST(Tcp, DctcpAlphaTracksMarkingRate) {
+  TcpRig rig;
+  // Mark every data packet CE: alpha should converge toward 1.
+  rig.abFilter.setHook([](net::Packet& p) {
+    if (p.isData()) p.ce = true;
+    return 1;
+  });
+  auto f = rig.makeFlow(300 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_GT(f.sender->dctcpAlpha(), 0.5);
+}
+
+TEST(Tcp, EcnMarkingSlowsTheFlowDown) {
+  TcpParams params;
+  const Bytes size = 300 * kKB;
+
+  TcpRig clean;
+  auto f1 = clean.makeFlow(size, params);
+  f1.sender->start();
+  clean.simr.run(seconds(10));
+
+  TcpRig marked;
+  marked.abFilter.setHook([](net::Packet& p) {
+    if (p.isData()) p.ce = true;
+    return 1;
+  });
+  auto f2 = marked.makeFlow(size, params);
+  f2.sender->start();
+  marked.simr.run(seconds(10));
+
+  ASSERT_TRUE(f1.sender->completed());
+  ASSERT_TRUE(f2.sender->completed());
+  EXPECT_GT(f2.sender->fct(), f1.sender->fct());
+}
+
+TEST(Tcp, EcnDisabledSenderIgnoresMarks) {
+  TcpRig rig;
+  rig.abFilter.setHook([](net::Packet& p) {
+    if (p.isData()) p.ce = true;  // CE on a non-ECT packet: bogus marking
+    return 1;
+  });
+  TcpParams params;
+  params.enableEcn = false;
+  auto f = rig.makeFlow(100 * kKB, params);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_DOUBLE_EQ(f.sender->dctcpAlpha(), 0.0);
+}
+
+TEST(Tcp, RttEstimateIsReasonable) {
+  TcpRig rig;  // base RTT 100 us
+  auto f = rig.makeFlow(100 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(5));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_GT(f.sender->smoothedRtt(), microseconds(90));
+  // Upper bound includes self-induced queueing: the 64 KB window exceeds
+  // the 12.5 KB BDP, so ~50 KB (~420 us at 1 Gbps) stands in the queue.
+  EXPECT_LT(f.sender->smoothedRtt(), microseconds(700));
+}
+
+// Flow sizes crossing every segmentation boundary must complete exactly.
+class TcpSizeSweep : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(TcpSizeSweep, CompletesExactly) {
+  TcpRig rig;
+  auto f = rig.makeFlow(GetParam());
+  f.sender->start();
+  rig.simr.run(seconds(10));
+  ASSERT_TRUE(f.sender->completed());
+  EXPECT_EQ(f.sender->bytesAcked(), GetParam());
+  EXPECT_EQ(f.receiver->cumulativeAck(),
+            static_cast<std::uint64_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, TcpSizeSweep,
+                         ::testing::Values(1, 1459, 1460, 1461, 2920, 2921,
+                                           10000, 65536, 100000, 1000000));
+
+// Random loss at several rates: the flow must still complete.
+class TcpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweep, CompletesUnderRandomLoss) {
+  TcpRig rig;
+  const int lossPercent = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lossPercent) + 99);
+  rig.abFilter.setHook([&](net::Packet& p) {
+    if (p.isData() &&
+        rng.uniform() < static_cast<double>(lossPercent) / 100.0) {
+      return 0;
+    }
+    return 1;
+  });
+  auto f = rig.makeFlow(200 * kKB);
+  f.sender->start();
+  rig.simr.run(seconds(30));
+  EXPECT_TRUE(f.sender->completed())
+      << "stalled at " << f.sender->bytesAcked() << " bytes";
+  EXPECT_EQ(f.receiver->cumulativeAck(), 200 * 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace tlbsim::transport

@@ -1,0 +1,89 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tlbsim {
+namespace {
+
+TEST(KeyValueConfig, ParsesBasicEntries) {
+  const auto cfg = KeyValueConfig::fromString(
+      "scheme = tlb\n"
+      "load=0.6\n"
+      "  flows =  300  \n");
+  EXPECT_EQ(cfg.get("scheme"), "tlb");
+  EXPECT_DOUBLE_EQ(cfg.getDouble("load", 0), 0.6);
+  EXPECT_EQ(cfg.getInt("flows", 0), 300);
+  EXPECT_TRUE(cfg.errors().empty());
+}
+
+TEST(KeyValueConfig, CommentsAndBlanksIgnored) {
+  const auto cfg = KeyValueConfig::fromString(
+      "# full-line comment\n"
+      "\n"
+      "a = 1   # trailing comment\n"
+      "   \t  \n"
+      "b = 2\n");
+  EXPECT_EQ(cfg.getInt("a", 0), 1);
+  EXPECT_EQ(cfg.getInt("b", 0), 2);
+  EXPECT_EQ(cfg.keys().size(), 2u);
+}
+
+TEST(KeyValueConfig, LaterDuplicatesWin) {
+  const auto cfg = KeyValueConfig::fromString("x = 1\nx = 2\n");
+  EXPECT_EQ(cfg.getInt("x", 0), 2);
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(KeyValueConfig, MalformedLinesReportedNotFatal) {
+  const auto cfg = KeyValueConfig::fromString(
+      "good = yes\n"
+      "this line has no equals\n"
+      "= novalue-key\n"
+      "also = fine\n");
+  EXPECT_TRUE(cfg.getBool("good", false));
+  EXPECT_EQ(cfg.get("also"), "fine");
+  EXPECT_EQ(cfg.errors().size(), 2u);
+  EXPECT_NE(cfg.errors()[0].find("2:"), std::string::npos);
+}
+
+TEST(KeyValueConfig, TypedAccessorsFallBack) {
+  const auto cfg = KeyValueConfig::fromString("s = hello\n");
+  EXPECT_DOUBLE_EQ(cfg.getDouble("s", 7.5), 7.5);
+  EXPECT_EQ(cfg.getInt("s", 9), 9);
+  EXPECT_FALSE(cfg.getBool("s", false));
+  EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 1.25), 1.25);
+}
+
+TEST(KeyValueConfig, BoolSpellings) {
+  const auto cfg = KeyValueConfig::fromString(
+      "a = true\nb = 1\nc = yes\nd = on\ne = false\nf = 0\ng = no\nh = off\n");
+  for (const char* k : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(cfg.getBool(k, false)) << k;
+  }
+  for (const char* k : {"e", "f", "g", "h"}) {
+    EXPECT_FALSE(cfg.getBool(k, true)) << k;
+  }
+}
+
+TEST(KeyValueConfig, FromFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/kv_test.conf";
+  {
+    std::ofstream out(path);
+    out << "scheme = conga\nload = 0.8\n";
+  }
+  const auto cfg = KeyValueConfig::fromFile(path);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get("scheme"), "conga");
+  EXPECT_DOUBLE_EQ(cfg->getDouble("load", 0), 0.8);
+  std::remove(path.c_str());
+}
+
+TEST(KeyValueConfig, MissingFileIsNullopt) {
+  EXPECT_FALSE(KeyValueConfig::fromFile("/no/such/file.conf").has_value());
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::setLevel(LogLevel::kNone); }
+};
+
+TEST_F(LoggingTest, DefaultIsSilent) {
+  EXPECT_EQ(Logger::level(), LogLevel::kNone);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kError));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  Logger::setLevel(LogLevel::kWarn);
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, DebugEnablesEverything) {
+  Logger::setLevel(LogLevel::kDebug);
+  for (const auto l : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                       LogLevel::kDebug}) {
+    EXPECT_TRUE(Logger::enabled(l));
+  }
+}
+
+TEST_F(LoggingTest, LogCallsAreSafeAtAnyLevel) {
+  Logger::setLevel(LogLevel::kNone);
+  TLBSIM_LOG_ERROR("suppressed %d", 1);
+  Logger::setLevel(LogLevel::kDebug);
+  TLBSIM_LOG_DEBUG("emitted %s %d", "x", 2);  // writes to stderr; no crash
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tlbsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeExactly) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniformInt(5, 5), 5);
+    EXPECT_EQ(rng.uniformInt(1), 0u);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(12);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Splitmix64IsStateless) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+// Uniformity of uniformInt across a handful of moduli (chi-square-lite).
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, BucketsBalanced) {
+  const std::uint64_t buckets = GetParam();
+  Rng rng(1000 + buckets);
+  std::vector<int> counts(buckets, 0);
+  // Scale draws with bucket count so per-bucket noise stays well inside
+  // the tolerance (expected ~2000/bucket, sd ~45, tolerance 300).
+  const int n = static_cast<int>(2000 * buckets);
+  for (int i = 0; i < n; ++i) ++counts[rng.uniformInt(buckets)];
+  const double expected = static_cast<double>(n) / static_cast<double>(buckets);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.15)
+        << "bucket " << b << " of " << buckets;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RngUniformity,
+                         ::testing::Values(2, 3, 7, 15, 16, 255));
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,40 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1000000);
+  EXPECT_EQ(seconds(1), 1000000000);
+  EXPECT_EQ(microseconds(12.5), 12500);
+  EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(7)), 7.0);
+}
+
+TEST(Units, LinkRateBytesPerSecond) {
+  EXPECT_DOUBLE_EQ(gbps(1).bytesPerSecond(), 1.25e8);
+  EXPECT_DOUBLE_EQ(mbps(20).bytesPerSecond(), 2.5e6);
+  EXPECT_DOUBLE_EQ(kbps(8).bytesPerSecond(), 1e3);
+}
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 1 Gbps = 12 microseconds.
+  EXPECT_EQ(gbps(1).transmissionTime(1500), 12000);
+  // 1500 bytes at 20 Mbps = 600 microseconds.
+  EXPECT_EQ(mbps(20).transmissionTime(1500), 600000);
+  EXPECT_EQ(gbps(1).transmissionTime(0), 0);
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKB, 1000);
+  EXPECT_EQ(kMB, 1000000);
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(64 * kKiB, 65536);
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/traffic_gen.hpp"
+
+namespace tlbsim::workload {
+namespace {
+
+TEST(Incast, FanInAndTarget) {
+  IncastConfig cfg;
+  cfg.fanIn = 10;
+  cfg.aggregator = 3;
+  cfg.numHosts = 16;
+  Rng rng(1);
+  const auto flows = incastWorkload(cfg, rng);
+  ASSERT_EQ(flows.size(), 10u);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.dst, 3);
+    EXPECT_NE(f.src, 3);
+    EXPECT_EQ(f.size, 64 * kKB);
+  }
+}
+
+TEST(Incast, SynchronizedWithoutJitter) {
+  IncastConfig cfg;
+  cfg.start = milliseconds(5);
+  cfg.jitter = 0;
+  Rng rng(2);
+  for (const auto& f : incastWorkload(cfg, rng)) {
+    EXPECT_EQ(f.start, milliseconds(5));
+  }
+}
+
+TEST(Incast, JitterBoundsStarts) {
+  IncastConfig cfg;
+  cfg.fanIn = 100;
+  cfg.numHosts = 128;
+  cfg.start = milliseconds(1);
+  cfg.jitter = microseconds(50);
+  Rng rng(3);
+  std::set<SimTime> starts;
+  for (const auto& f : incastWorkload(cfg, rng)) {
+    EXPECT_GE(f.start, milliseconds(1));
+    EXPECT_LE(f.start, milliseconds(1) + microseconds(50));
+    starts.insert(f.start);
+  }
+  EXPECT_GT(starts.size(), 10u);  // actually jittered
+}
+
+TEST(Incast, SendersRoundRobinOverHosts) {
+  IncastConfig cfg;
+  cfg.fanIn = 8;
+  cfg.numHosts = 4;  // more responses than hosts: senders repeat
+  cfg.aggregator = 0;
+  Rng rng(4);
+  const auto flows = incastWorkload(cfg, rng);
+  std::set<net::HostId> senders;
+  for (const auto& f : flows) senders.insert(f.src);
+  EXPECT_EQ(senders.size(), 3u);  // hosts 1..3
+}
+
+TEST(Incast, DeadlinePropagates) {
+  IncastConfig cfg;
+  cfg.deadline = milliseconds(10);
+  Rng rng(5);
+  for (const auto& f : incastWorkload(cfg, rng)) {
+    EXPECT_EQ(f.deadline, milliseconds(10));
+  }
+}
+
+TEST(Incast, IdsSequential) {
+  IncastConfig cfg;
+  cfg.fanIn = 5;
+  Rng rng(6);
+  const auto flows = incastWorkload(cfg, rng, /*firstId=*/50);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].id, 50 + i);
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim::workload

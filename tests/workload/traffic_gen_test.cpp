@@ -1,0 +1,167 @@
+#include "workload/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlbsim::workload {
+namespace {
+
+TEST(PoissonWorkload, GeneratesRequestedCount) {
+  PoissonConfig cfg;
+  cfg.flowCount = 250;
+  Rng rng(1);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::fixed(10 * kKB), rng);
+  EXPECT_EQ(flows.size(), 250u);
+}
+
+TEST(PoissonWorkload, IdsAreSequentialFromFirstId) {
+  PoissonConfig cfg;
+  cfg.flowCount = 10;
+  Rng rng(2);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::fixed(kKB), rng, 100);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].id, 100 + i);
+  }
+}
+
+TEST(PoissonWorkload, StartTimesIncrease) {
+  PoissonConfig cfg;
+  cfg.flowCount = 100;
+  Rng rng(3);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::fixed(kKB), rng);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].start, flows[i - 1].start);
+  }
+}
+
+TEST(PoissonWorkload, ArrivalRateMatchesLoad) {
+  PoissonConfig cfg;
+  cfg.load = 0.5;
+  cfg.flowCount = 5000;
+  cfg.numHosts = 16;
+  cfg.hostsPerLeaf = 8;
+  const auto dist = FlowSizeDistribution::fixed(100 * kKB);
+  Rng rng(4);
+  const auto flows = poissonWorkload(cfg, dist, rng);
+  const double duration = toSeconds(flows.back().start);
+  const double byteRate =
+      100e3 * static_cast<double>(flows.size()) / duration;
+  const double targetRate = 0.5 * 16 * gbps(1).bytesPerSecond();
+  EXPECT_NEAR(byteRate / targetRate, 1.0, 0.1);
+}
+
+TEST(PoissonWorkload, CrossLeafOnlyRespected) {
+  PoissonConfig cfg;
+  cfg.flowCount = 500;
+  cfg.numHosts = 16;
+  cfg.hostsPerLeaf = 4;
+  cfg.crossLeafOnly = true;
+  Rng rng(5);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::fixed(kKB), rng);
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src / 4, f.dst / 4) << "flow " << f.id;
+  }
+}
+
+TEST(PoissonWorkload, SrcNeverEqualsDst) {
+  PoissonConfig cfg;
+  cfg.flowCount = 500;
+  cfg.crossLeafOnly = false;
+  Rng rng(6);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::fixed(kKB), rng);
+  for (const auto& f : flows) EXPECT_NE(f.src, f.dst);
+}
+
+TEST(PoissonWorkload, DeadlinesOnlyOnShortFlows) {
+  PoissonConfig cfg;
+  cfg.flowCount = 2000;
+  Rng rng(7);
+  const auto flows =
+      poissonWorkload(cfg, FlowSizeDistribution::webSearch(), rng);
+  for (const auto& f : flows) {
+    if (f.size < 100 * kKB) {
+      EXPECT_GE(f.deadline, milliseconds(5));
+      EXPECT_LE(f.deadline, milliseconds(25));
+    } else {
+      EXPECT_EQ(f.deadline, 0);
+    }
+  }
+}
+
+TEST(PoissonWorkload, DeterministicForSameSeed) {
+  PoissonConfig cfg;
+  cfg.flowCount = 50;
+  Rng a(8), b(8);
+  const auto f1 = poissonWorkload(cfg, FlowSizeDistribution::webSearch(), a);
+  const auto f2 = poissonWorkload(cfg, FlowSizeDistribution::webSearch(), b);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].src, f2[i].src);
+    EXPECT_EQ(f1[i].size, f2[i].size);
+    EXPECT_EQ(f1[i].start, f2[i].start);
+  }
+}
+
+TEST(BasicMix, StructureMatchesPaperSetup) {
+  BasicMixConfig cfg;  // 100 short + 5 long
+  Rng rng(9);
+  const auto flows = basicMixWorkload(cfg, rng);
+  ASSERT_EQ(flows.size(), 105u);
+
+  int longs = 0, shorts = 0;
+  for (const auto& f : flows) {
+    if (f.size >= 10 * kMB) {
+      ++longs;
+      EXPECT_EQ(f.start, 0);
+      EXPECT_EQ(f.deadline, 0);
+    } else {
+      ++shorts;
+      EXPECT_GE(f.size, 40 * kKB);
+      EXPECT_LE(f.size, 100 * kKB);
+      EXPECT_GE(f.deadline, milliseconds(5));
+      EXPECT_LE(f.deadline, milliseconds(25));
+    }
+    // Senders on leaf 0, receivers on leaf 1.
+    EXPECT_LT(f.src, 16);
+    EXPECT_GE(f.dst, 16);
+  }
+  EXPECT_EQ(longs, 5);
+  EXPECT_EQ(shorts, 100);
+}
+
+TEST(BasicMix, LongFlowsUseDistinctSenders) {
+  BasicMixConfig cfg;
+  cfg.numLong = 4;
+  Rng rng(10);
+  const auto flows = basicMixWorkload(cfg, rng);
+  std::set<net::HostId> senders;
+  for (const auto& f : flows) {
+    if (f.size >= 10 * kMB) senders.insert(f.src);
+  }
+  EXPECT_EQ(senders.size(), 4u);
+}
+
+TEST(BasicMix, ShortMeanSizeIsSeventyKB) {
+  BasicMixConfig cfg;
+  cfg.numShort = 5000;
+  Rng rng(11);
+  const auto flows = basicMixWorkload(cfg, rng);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& f : flows) {
+    if (f.size <= 100 * kKB) {
+      sum += static_cast<double>(f.size);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 70e3, 2e3);
+}
+
+}  // namespace
+}  // namespace tlbsim::workload

@@ -1,0 +1,298 @@
+// tlbsim command-line runner: configure a leaf-spine experiment entirely
+// from flags and get a summary table (and optionally per-flow CSV).
+//
+//   $ tlbsim_cli --scheme tlb --load 0.6 --flows 300 --workload websearch
+//   $ tlbsim_cli --scheme letflow --leaves 4 --spines 8 --hosts-per-leaf 16 \
+//                --rate-gbps 1 --buffer 256 --ecn-k 65 --seed 7 \
+//                --csv flows.csv
+//   $ tlbsim_cli --list-schemes
+//
+// Exit code 0 on success, 1 on bad flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/csv.hpp"
+#include "stats/report.hpp"
+#include "util/config.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace tlbsim;
+
+namespace {
+
+struct Options {
+  harness::Scheme scheme = harness::Scheme::kTlb;
+  std::string workload = "websearch";
+  double load = 0.5;
+  int flows = 300;
+  int leaves = 4;
+  int spines = 4;
+  int hostsPerLeaf = 8;
+  double rateGbps = 1.0;
+  double rttUs = 100.0;
+  int buffer = 256;
+  int ecnK = 65;
+  std::uint64_t seed = 1;
+  std::string csvPath;
+  bool classicTcp = false;
+};
+
+const std::vector<std::pair<std::string, harness::Scheme>>& schemeNames() {
+  static const std::vector<std::pair<std::string, harness::Scheme>> names = {
+      {"ecmp", harness::Scheme::kEcmp},
+      {"wcmp", harness::Scheme::kWcmp},
+      {"rps", harness::Scheme::kRps},
+      {"drill", harness::Scheme::kDrill},
+      {"presto", harness::Scheme::kPresto},
+      {"letflow", harness::Scheme::kLetFlow},
+      {"conga", harness::Scheme::kConga},
+      {"hermes", harness::Scheme::kHermes},
+      {"round-robin", harness::Scheme::kRoundRobin},
+      {"shortest-queue", harness::Scheme::kShortestQueue},
+      {"flow-level", harness::Scheme::kFlowLevel},
+      {"tlb", harness::Scheme::kTlb},
+  };
+  return names;
+}
+
+/// Apply one config-file key (same vocabulary as the flags, sans "--").
+bool applyKey(Options* opt, const std::string& key,
+              const std::string& value) {
+  if (key == "scheme") {
+    for (const auto& [name, s] : schemeNames()) {
+      if (name == value) {
+        opt->scheme = s;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (key == "workload") opt->workload = value;
+  else if (key == "load") opt->load = std::atof(value.c_str());
+  else if (key == "flows") opt->flows = std::atoi(value.c_str());
+  else if (key == "leaves") opt->leaves = std::atoi(value.c_str());
+  else if (key == "spines") opt->spines = std::atoi(value.c_str());
+  else if (key == "hosts-per-leaf") opt->hostsPerLeaf = std::atoi(value.c_str());
+  else if (key == "rate-gbps") opt->rateGbps = std::atof(value.c_str());
+  else if (key == "rtt-us") opt->rttUs = std::atof(value.c_str());
+  else if (key == "buffer") opt->buffer = std::atoi(value.c_str());
+  else if (key == "ecn-k") opt->ecnK = std::atoi(value.c_str());
+  else if (key == "seed") opt->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+  else if (key == "csv") opt->csvPath = value;
+  else if (key == "classic-tcp") opt->classicTcp = (value == "true" || value == "1" || value == "yes" || value == "on");
+  else return false;
+  return true;
+}
+
+bool loadConfigFile(Options* opt, const std::string& path) {
+  const auto cfg = KeyValueConfig::fromFile(path);
+  if (!cfg.has_value()) {
+    std::fprintf(stderr, "cannot read config file '%s'\n", path.c_str());
+    return false;
+  }
+  for (const auto& err : cfg->errors()) {
+    std::fprintf(stderr, "config %s: bad line %s\n", path.c_str(),
+                 err.c_str());
+  }
+  bool ok = true;
+  for (const auto& key : cfg->keys()) {
+    if (!applyKey(opt, key, cfg->get(key))) {
+      std::fprintf(stderr, "config %s: unknown key or value '%s = %s'\n",
+                   path.c_str(), key.c_str(), cfg->get(key).c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void usage() {
+  std::printf(
+      "usage: tlbsim_cli [options]\n"
+      "  --config PATH        key=value file with the options below\n"
+      "                       (sans --; later flags override it)\n"
+      "  --scheme NAME        load balancer (--list-schemes)\n"
+      "  --workload NAME      websearch | datamining | basicmix\n"
+      "  --load X             offered load vs bisection (default 0.5)\n"
+      "  --flows N            flows to generate (default 300)\n"
+      "  --leaves N --spines N --hosts-per-leaf N   topology\n"
+      "  --rate-gbps X        link rate (default 1)\n"
+      "  --rtt-us X           base RTT (default 100)\n"
+      "  --buffer N           buffer per port, packets (default 256)\n"
+      "  --ecn-k N            DCTCP marking threshold, packets (0=off)\n"
+      "  --seed N             RNG seed (default 1)\n"
+      "  --csv PATH           write per-flow results as CSV\n"
+      "  --classic-tcp        disable reordering-tolerant retransmit guard\n"
+      "  --list-schemes       print scheme names and exit\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--list-schemes") {
+      for (const auto& [name, s] : schemeNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::exit(0);
+    } else if (arg == "--config") {
+      const char* v = next("--config");
+      if (v == nullptr || !loadConfigFile(opt, v)) return false;
+    } else if (arg == "--scheme") {
+      const char* v = next("--scheme");
+      if (v == nullptr) return false;
+      bool found = false;
+      for (const auto& [name, s] : schemeNames()) {
+        if (name == v) {
+          opt->scheme = s;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown scheme '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--workload") {
+      const char* v = next("--workload");
+      if (v == nullptr) return false;
+      opt->workload = v;
+    } else if (arg == "--load") {
+      const char* v = next("--load");
+      if (v == nullptr) return false;
+      opt->load = std::atof(v);
+    } else if (arg == "--flows") {
+      const char* v = next("--flows");
+      if (v == nullptr) return false;
+      opt->flows = std::atoi(v);
+    } else if (arg == "--leaves") {
+      const char* v = next("--leaves");
+      if (v == nullptr) return false;
+      opt->leaves = std::atoi(v);
+    } else if (arg == "--spines") {
+      const char* v = next("--spines");
+      if (v == nullptr) return false;
+      opt->spines = std::atoi(v);
+    } else if (arg == "--hosts-per-leaf") {
+      const char* v = next("--hosts-per-leaf");
+      if (v == nullptr) return false;
+      opt->hostsPerLeaf = std::atoi(v);
+    } else if (arg == "--rate-gbps") {
+      const char* v = next("--rate-gbps");
+      if (v == nullptr) return false;
+      opt->rateGbps = std::atof(v);
+    } else if (arg == "--rtt-us") {
+      const char* v = next("--rtt-us");
+      if (v == nullptr) return false;
+      opt->rttUs = std::atof(v);
+    } else if (arg == "--buffer") {
+      const char* v = next("--buffer");
+      if (v == nullptr) return false;
+      opt->buffer = std::atoi(v);
+    } else if (arg == "--ecn-k") {
+      const char* v = next("--ecn-k");
+      if (v == nullptr) return false;
+      opt->ecnK = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      opt->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      opt->csvPath = v;
+    } else if (arg == "--classic-tcp") {
+      opt->classicTcp = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 1;
+
+  harness::ExperimentConfig cfg;
+  cfg.topo.numLeaves = opt.leaves;
+  cfg.topo.numSpines = opt.spines;
+  cfg.topo.hostsPerLeaf = opt.hostsPerLeaf;
+  cfg.topo.hostLinkRate = gbps(opt.rateGbps);
+  cfg.topo.fabricLinkRate = gbps(opt.rateGbps);
+  cfg.topo.linkDelay = microseconds(opt.rttUs / 8.0);
+  cfg.topo.bufferPackets = opt.buffer;
+  cfg.topo.ecnThresholdPackets = opt.ecnK;
+  cfg.scheme.scheme = opt.scheme;
+  cfg.tcp.enableEcn = opt.ecnK > 0;
+  cfg.tcp.holeRetransmitGuard = !opt.classicTcp;
+  cfg.seed = opt.seed;
+  cfg.maxDuration = seconds(120);
+
+  Rng rng(opt.seed);
+  if (opt.workload == "basicmix") {
+    workload::BasicMixConfig mix;
+    mix.numHosts = cfg.topo.numHosts();
+    mix.hostsPerLeaf = cfg.topo.hostsPerLeaf;
+    cfg.flows = workload::basicMixWorkload(mix, rng);
+  } else {
+    const auto dist = opt.workload == "datamining"
+                          ? workload::FlowSizeDistribution::dataMining(
+                                35 * kMB)
+                          : workload::FlowSizeDistribution::webSearch(
+                                30 * kMB);
+    workload::PoissonConfig pcfg;
+    pcfg.load = opt.load;
+    pcfg.flowCount = opt.flows;
+    pcfg.numHosts = cfg.topo.numHosts();
+    pcfg.hostsPerLeaf = cfg.topo.hostsPerLeaf;
+    pcfg.hostRate = cfg.topo.hostLinkRate;
+    pcfg.offeredCapacityBps = static_cast<double>(opt.leaves) *
+                              static_cast<double>(opt.spines) *
+                              cfg.topo.fabricLinkRate.bytesPerSecond();
+    cfg.flows = workload::poissonWorkload(pcfg, dist, rng);
+  }
+
+  const auto res = harness::runExperiment(cfg);
+
+  stats::Table t({"metric", "value"});
+  t.addRow("completed flows",
+           {static_cast<double>(
+               res.ledger.completedCount([](const auto&) { return true; }))},
+           0);
+  t.addRow("total flows", {static_cast<double>(res.ledger.size())}, 0);
+  t.addRow("simulated ms", {toMilliseconds(res.endTime)}, 1);
+  t.addRow("short AFCT ms", {res.shortAfctSec() * 1e3}, 3);
+  t.addRow("short p99 ms", {res.shortP99Sec() * 1e3}, 3);
+  t.addRow("deadline miss %", {res.shortMissRatio() * 100.0}, 2);
+  t.addRow("long goodput Mbps", {res.longGoodputGbps() * 1e3}, 1);
+  t.addRow("short dup-ACK ratio", {res.shortDupAckRatioTotal()}, 4);
+  t.addRow("long ooo ratio", {res.longOooRatioTotal()}, 4);
+  t.addRow("fabric drops", {static_cast<double>(res.totalDrops)}, 0);
+  t.addRow("ECN marks", {static_cast<double>(res.totalEcnMarks)}, 0);
+  std::printf("scheme=%s workload=%s load=%.2f seed=%llu\n",
+              harness::schemeName(opt.scheme), opt.workload.c_str(), opt.load,
+              static_cast<unsigned long long>(opt.seed));
+  t.print("tlbsim_cli results");
+
+  if (!opt.csvPath.empty()) {
+    stats::writeFlowsCsv(opt.csvPath, res.ledger);
+    std::printf("per-flow CSV written to %s\n", opt.csvPath.c_str());
+  }
+  return 0;
+}
