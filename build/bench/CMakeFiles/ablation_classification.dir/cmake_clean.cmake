@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classification.dir/ablation_classification.cpp.o"
+  "CMakeFiles/ablation_classification.dir/ablation_classification.cpp.o.d"
+  "ablation_classification"
+  "ablation_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spray_policy.dir/ablation_spray_policy.cpp.o"
+  "CMakeFiles/ablation_spray_policy.dir/ablation_spray_policy.cpp.o.d"
+  "ablation_spray_policy"
+  "ablation_spray_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spray_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcp_guard.dir/ablation_tcp_guard.cpp.o"
+  "CMakeFiles/ablation_tcp_guard.dir/ablation_tcp_guard.cpp.o.d"
+  "ablation_tcp_guard"
+  "ablation_tcp_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fattree.dir/ext_fattree.cpp.o"
+  "CMakeFiles/ext_fattree.dir/ext_fattree.cpp.o.d"
+  "ext_fattree"
+  "ext_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

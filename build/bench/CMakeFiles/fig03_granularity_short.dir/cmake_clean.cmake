@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_granularity_short.dir/fig03_granularity_short.cpp.o"
+  "CMakeFiles/fig03_granularity_short.dir/fig03_granularity_short.cpp.o.d"
+  "fig03_granularity_short"
+  "fig03_granularity_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_granularity_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

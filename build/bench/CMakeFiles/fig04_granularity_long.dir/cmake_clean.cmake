@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_granularity_long.dir/fig04_granularity_long.cpp.o"
+  "CMakeFiles/fig04_granularity_long.dir/fig04_granularity_long.cpp.o.d"
+  "fig04_granularity_long"
+  "fig04_granularity_long.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_granularity_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_model_verification.dir/fig07_model_verification.cpp.o"
+  "CMakeFiles/fig07_model_verification.dir/fig07_model_verification.cpp.o.d"
+  "fig07_model_verification"
+  "fig07_model_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_model_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

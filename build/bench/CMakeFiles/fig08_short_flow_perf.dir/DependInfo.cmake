@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_short_flow_perf.cpp" "bench/CMakeFiles/fig08_short_flow_perf.dir/fig08_short_flow_perf.cpp.o" "gcc" "bench/CMakeFiles/fig08_short_flow_perf.dir/fig08_short_flow_perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tlbsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlbsim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tlbsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tlbsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tlbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tlbsim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tlbsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlbsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

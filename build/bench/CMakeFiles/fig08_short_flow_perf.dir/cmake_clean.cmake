@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_short_flow_perf.dir/fig08_short_flow_perf.cpp.o"
+  "CMakeFiles/fig08_short_flow_perf.dir/fig08_short_flow_perf.cpp.o.d"
+  "fig08_short_flow_perf"
+  "fig08_short_flow_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_short_flow_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_long_flow_perf.dir/fig09_long_flow_perf.cpp.o"
+  "CMakeFiles/fig09_long_flow_perf.dir/fig09_long_flow_perf.cpp.o.d"
+  "fig09_long_flow_perf"
+  "fig09_long_flow_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_long_flow_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_datamining.dir/fig11_datamining.cpp.o"
+  "CMakeFiles/fig11_datamining.dir/fig11_datamining.cpp.o.d"
+  "fig11_datamining"
+  "fig11_datamining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_datamining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

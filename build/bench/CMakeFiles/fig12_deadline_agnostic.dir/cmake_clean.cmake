@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_deadline_agnostic.dir/fig12_deadline_agnostic.cpp.o"
+  "CMakeFiles/fig12_deadline_agnostic.dir/fig12_deadline_agnostic.cpp.o.d"
+  "fig12_deadline_agnostic"
+  "fig12_deadline_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_deadline_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_deadline_agnostic.
+# This may be replaced when dependencies are built.

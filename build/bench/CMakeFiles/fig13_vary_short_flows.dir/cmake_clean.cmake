@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vary_short_flows.dir/fig13_vary_short_flows.cpp.o"
+  "CMakeFiles/fig13_vary_short_flows.dir/fig13_vary_short_flows.cpp.o.d"
+  "fig13_vary_short_flows"
+  "fig13_vary_short_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_short_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vary_long_flows.dir/fig14_vary_long_flows.cpp.o"
+  "CMakeFiles/fig14_vary_long_flows.dir/fig14_vary_long_flows.cpp.o.d"
+  "fig14_vary_long_flows"
+  "fig14_vary_long_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vary_long_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_asym_bandwidth.dir/fig17_asym_bandwidth.cpp.o"
+  "CMakeFiles/fig17_asym_bandwidth.dir/fig17_asym_bandwidth.cpp.o.d"
+  "fig17_asym_bandwidth"
+  "fig17_asym_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_asym_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

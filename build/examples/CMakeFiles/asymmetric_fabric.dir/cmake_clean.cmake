@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_fabric.dir/asymmetric_fabric.cpp.o"
+  "CMakeFiles/asymmetric_fabric.dir/asymmetric_fabric.cpp.o.d"
+  "asymmetric_fabric"
+  "asymmetric_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_experiment.dir/websearch_experiment.cpp.o"
+  "CMakeFiles/websearch_experiment.dir/websearch_experiment.cpp.o.d"
+  "websearch_experiment"
+  "websearch_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

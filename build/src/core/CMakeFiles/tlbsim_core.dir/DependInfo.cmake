@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deadline_tracker.cpp" "src/core/CMakeFiles/tlbsim_core.dir/deadline_tracker.cpp.o" "gcc" "src/core/CMakeFiles/tlbsim_core.dir/deadline_tracker.cpp.o.d"
+  "/root/repo/src/core/flow_table.cpp" "src/core/CMakeFiles/tlbsim_core.dir/flow_table.cpp.o" "gcc" "src/core/CMakeFiles/tlbsim_core.dir/flow_table.cpp.o.d"
+  "/root/repo/src/core/granularity_calculator.cpp" "src/core/CMakeFiles/tlbsim_core.dir/granularity_calculator.cpp.o" "gcc" "src/core/CMakeFiles/tlbsim_core.dir/granularity_calculator.cpp.o.d"
+  "/root/repo/src/core/tlb.cpp" "src/core/CMakeFiles/tlbsim_core.dir/tlb.cpp.o" "gcc" "src/core/CMakeFiles/tlbsim_core.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lb/CMakeFiles/tlbsim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tlbsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tlbsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlbsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

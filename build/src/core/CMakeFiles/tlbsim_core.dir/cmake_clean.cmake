@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_core.dir/deadline_tracker.cpp.o"
+  "CMakeFiles/tlbsim_core.dir/deadline_tracker.cpp.o.d"
+  "CMakeFiles/tlbsim_core.dir/flow_table.cpp.o"
+  "CMakeFiles/tlbsim_core.dir/flow_table.cpp.o.d"
+  "CMakeFiles/tlbsim_core.dir/granularity_calculator.cpp.o"
+  "CMakeFiles/tlbsim_core.dir/granularity_calculator.cpp.o.d"
+  "CMakeFiles/tlbsim_core.dir/tlb.cpp.o"
+  "CMakeFiles/tlbsim_core.dir/tlb.cpp.o.d"
+  "libtlbsim_core.a"
+  "libtlbsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

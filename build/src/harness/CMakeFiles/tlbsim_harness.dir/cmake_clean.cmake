@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/tlbsim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/tlbsim_harness.dir/fat_tree_experiment.cpp.o"
+  "CMakeFiles/tlbsim_harness.dir/fat_tree_experiment.cpp.o.d"
+  "CMakeFiles/tlbsim_harness.dir/scheme.cpp.o"
+  "CMakeFiles/tlbsim_harness.dir/scheme.cpp.o.d"
+  "libtlbsim_harness.a"
+  "libtlbsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_lb.dir/lb.cpp.o"
+  "CMakeFiles/tlbsim_lb.dir/lb.cpp.o.d"
+  "libtlbsim_lb.a"
+  "libtlbsim_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

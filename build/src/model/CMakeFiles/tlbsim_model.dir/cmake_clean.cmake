@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_model.dir/queueing_model.cpp.o"
+  "CMakeFiles/tlbsim_model.dir/queueing_model.cpp.o.d"
+  "libtlbsim_model.a"
+  "libtlbsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_net.dir/fat_tree.cpp.o"
+  "CMakeFiles/tlbsim_net.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/tlbsim_net.dir/leaf_spine.cpp.o"
+  "CMakeFiles/tlbsim_net.dir/leaf_spine.cpp.o.d"
+  "CMakeFiles/tlbsim_net.dir/link.cpp.o"
+  "CMakeFiles/tlbsim_net.dir/link.cpp.o.d"
+  "CMakeFiles/tlbsim_net.dir/switch.cpp.o"
+  "CMakeFiles/tlbsim_net.dir/switch.cpp.o.d"
+  "CMakeFiles/tlbsim_net.dir/trace.cpp.o"
+  "CMakeFiles/tlbsim_net.dir/trace.cpp.o.d"
+  "libtlbsim_net.a"
+  "libtlbsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

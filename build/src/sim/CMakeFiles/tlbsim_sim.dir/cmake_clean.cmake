@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/tlbsim_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tlbsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tlbsim_sim.dir/simulator.cpp.o.d"
+  "libtlbsim_sim.a"
+  "libtlbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv.cpp" "src/stats/CMakeFiles/tlbsim_stats.dir/csv.cpp.o" "gcc" "src/stats/CMakeFiles/tlbsim_stats.dir/csv.cpp.o.d"
+  "/root/repo/src/stats/flow_ledger.cpp" "src/stats/CMakeFiles/tlbsim_stats.dir/flow_ledger.cpp.o" "gcc" "src/stats/CMakeFiles/tlbsim_stats.dir/flow_ledger.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/stats/CMakeFiles/tlbsim_stats.dir/report.cpp.o" "gcc" "src/stats/CMakeFiles/tlbsim_stats.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/tlbsim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tlbsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlbsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

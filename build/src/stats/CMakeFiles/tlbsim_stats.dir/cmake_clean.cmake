@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_stats.dir/csv.cpp.o"
+  "CMakeFiles/tlbsim_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/tlbsim_stats.dir/flow_ledger.cpp.o"
+  "CMakeFiles/tlbsim_stats.dir/flow_ledger.cpp.o.d"
+  "CMakeFiles/tlbsim_stats.dir/report.cpp.o"
+  "CMakeFiles/tlbsim_stats.dir/report.cpp.o.d"
+  "libtlbsim_stats.a"
+  "libtlbsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_transport.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/tlbsim_transport.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/tlbsim_transport.dir/tcp_sender.cpp.o"
+  "CMakeFiles/tlbsim_transport.dir/tcp_sender.cpp.o.d"
+  "libtlbsim_transport.a"
+  "libtlbsim_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_util.dir/config.cpp.o"
+  "CMakeFiles/tlbsim_util.dir/config.cpp.o.d"
+  "CMakeFiles/tlbsim_util.dir/rng.cpp.o"
+  "CMakeFiles/tlbsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tlbsim_util.dir/summary_stats.cpp.o"
+  "CMakeFiles/tlbsim_util.dir/summary_stats.cpp.o.d"
+  "libtlbsim_util.a"
+  "libtlbsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_workload.dir/flow_size_dist.cpp.o"
+  "CMakeFiles/tlbsim_workload.dir/flow_size_dist.cpp.o.d"
+  "CMakeFiles/tlbsim_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/tlbsim_workload.dir/traffic_gen.cpp.o.d"
+  "libtlbsim_workload.a"
+  "libtlbsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

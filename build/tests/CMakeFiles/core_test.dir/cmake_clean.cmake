@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/deadline_tracker_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/deadline_tracker_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/flow_table_fuzz_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/flow_table_fuzz_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/flow_table_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/flow_table_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/granularity_calculator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/granularity_calculator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tlb_switching_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tlb_switching_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tlb_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tlb_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

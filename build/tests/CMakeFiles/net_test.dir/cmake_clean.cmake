@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/fat_tree_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/fat_tree_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/host_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/host_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/leaf_spine_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/leaf_spine_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/link_property_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/link_property_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/queue_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/queue_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/red_queue_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/red_queue_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/switch_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/switch_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/trace_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/trace_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_cli.dir/tlbsim_cli.cpp.o"
+  "CMakeFiles/tlbsim_cli.dir/tlbsim_cli.cpp.o.d"
+  "tlbsim_cli"
+  "tlbsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
