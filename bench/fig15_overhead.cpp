@@ -12,6 +12,8 @@
 // memory stays negligible (one small entry per live flow).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -19,6 +21,9 @@
 #include "harness/scheme.hpp"
 #include "lb/letflow.hpp"
 #include "lb/presto.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/trace.hpp"
 
 using namespace tlbsim;
 
@@ -111,6 +116,82 @@ void BM_UplinkViewBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_UplinkViewBuild);
 
+/// TLB decision with the full metrics registry + trace installed, for
+/// comparison against BM_Tlb (observability uninstalled = null-pointer
+/// branches only).
+void BM_TlbObsOn(benchmark::State& state) {
+  core::TlbConfig cfg;
+  core::Tlb tlb(cfg, 15, 7);
+  obs::MetricsRegistry metrics;
+  obs::EventTrace trace;
+  tlb.installObs(&metrics, &trace, "bench");
+  const auto view = makeView(15);
+  FlowId flow = 0;
+  for (auto _ : state) {
+    flow = (flow + 1) % 64;
+    benchmark::DoNotOptimize(tlb.selectUplink(dataPacket(flow), view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbObsOn);
+
+/// Steady-clock measurement of the observability tax on the TLB decision
+/// path: metrics/trace uninstalled (the shipping default) vs installed.
+/// Written to BENCH_obs_overhead.json so the cost is tracked over time.
+double measureTlbNsPerDecision(bool obsOn, obs::MetricsRegistry* metrics,
+                               obs::EventTrace* trace) {
+  core::TlbConfig cfg;
+  core::Tlb tlb(cfg, 15, 7);
+  if (obsOn) tlb.installObs(metrics, trace, "bench");
+  const auto view = makeView(15);
+  constexpr int kWarmup = 200'000;
+  constexpr int kIters = 2'000'000;
+  FlowId flow = 0;
+  int sink = 0;
+  for (int i = 0; i < kWarmup; ++i) {
+    flow = (flow + 1) % 64;
+    sink += tlb.selectUplink(dataPacket(flow), view);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    flow = (flow + 1) % 64;
+    sink += tlb.selectUplink(dataPacket(flow), view);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         kIters;
+}
+
+void writeObsOverheadJson(const char* path) {
+  // Interleave repetitions and keep each side's best to damp frequency
+  // scaling and scheduling noise.
+  double offBest = 1e18;
+  double onBest = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::MetricsRegistry metrics;
+    obs::EventTrace trace(/*maxEvents=*/1);  // count, don't store
+    offBest = std::min(offBest,
+                       measureTlbNsPerDecision(false, nullptr, nullptr));
+    onBest = std::min(onBest,
+                      measureTlbNsPerDecision(true, &metrics, &trace));
+  }
+  obs::RunSummary run;
+  run.setMeta("figure", "obs_overhead");
+  run.setMeta("workload", "tlb_select_uplink_64flows_15paths");
+  run.set("ns_per_decision_obs_off", offBest);
+  run.set("ns_per_decision_obs_on", onBest);
+  run.set("overhead_pct", (onBest - offBest) / offBest * 100.0);
+  if (run.writeJsonFile(path)) {
+    std::printf("\n== observability overhead ==\n%s", run.toJson().c_str());
+    std::printf("written to %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+  }
+}
+
 void printStateFootprint() {
   std::printf("\n== Fig 15(b): per-switch state footprint ==\n");
   std::printf("%-10s %-40s\n", "scheme", "state per switch");
@@ -132,5 +213,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printStateFootprint();
+  writeObsOverheadJson("BENCH_obs_overhead.json");
   return 0;
 }

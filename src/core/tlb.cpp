@@ -4,6 +4,9 @@
 
 #include "lb/selector_util.hpp"
 #include "net/switch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace tlbsim::core {
 
@@ -20,7 +23,23 @@ void Tlb::attach(net::Switch& sw, sim::Simulator& simr) {
   switch_ = &sw;
   sim_ = &simr;
   simr.every(cfg_.updateInterval, [this] { controlTick(); },
-             /*start=*/cfg_.updateInterval);
+             /*start=*/cfg_.updateInterval, /*name=*/"tlb.control_tick");
+}
+
+void Tlb::installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace,
+                     const std::string& label) {
+  if (metrics != nullptr) {
+    const std::string p = "tlb." + label + ".";
+    cShortSpray_ = &metrics->counter(p + "short.spray");
+    cShortSticky_ = &metrics->counter(p + "short.sticky_stay");
+    cLongStay_ = &metrics->counter(p + "long.stay");
+    cLongReroute_ = &metrics->counter(p + "long.reroute");
+    cReclassified_ = &metrics->counter(p + "reclassified_long");
+    cTicks_ = &metrics->counter(p + "control_ticks");
+    qthSeries_ = &metrics->series(p + "qth_bytes");
+  }
+  trace_ = trace;
+  if (trace_ != nullptr) traceName_ = trace_->intern("tlb." + label);
 }
 
 void Tlb::controlTick() {
@@ -33,6 +52,23 @@ void Tlb::controlTick() {
   }
   calc_.update(table_.shortCount(), table_.longCount(),
                table_.meanShortFlowSize(), effectiveDeadline_);
+  if (cTicks_ != nullptr) cTicks_->inc();
+  if (qthSeries_ != nullptr) {
+    qthSeries_->add(now, static_cast<double>(calc_.qthBytes()));
+  }
+  if (trace_ != nullptr) {
+    trace_->counter(
+        "tlb", traceName_, now,
+        {{"qth_bytes", static_cast<double>(calc_.qthBytes())},
+         {"short_flows", static_cast<double>(table_.shortCount())},
+         {"long_flows", static_cast<double>(table_.longCount())}});
+  }
+  if (Logger::enabled(LogLevel::kDebug)) {
+    TLBSIM_LOG_DEBUG("tlb tick t=%.3fms q_th=%lld B short=%d long=%d",
+                     toMilliseconds(now),
+                     static_cast<long long>(calc_.qthBytes()),
+                     table_.shortCount(), table_.longCount());
+  }
   // Smooth the uplink waits (the long-flow escape signal) over a few
   // control intervals so the DCTCP sawtooth phase averages out.
   if (switch_ != nullptr) {
@@ -89,7 +125,10 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
   FlowEntry& entry = table_.touch(pkt.flow, now);
   if (pkt.payload > 0) {
     if (!entry.isLong) loadEst_.onShortPayload(pkt.payload);
-    table_.recordPayload(entry, pkt.payload);
+    if (table_.recordPayload(entry, pkt.payload) &&
+        cReclassified_ != nullptr) {
+      cReclassified_->inc();
+    }
     entry.bytesSinceSwitch += pkt.payload;
   }
 
@@ -105,12 +144,15 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
       const int best = shortest(uplinks);
       const Bytes bestBytes = lb::queueBytesOfPort(uplinks, best);
       if (cur >= 0 && cur <= bestBytes + cfg_.sprayStickiness) {
+        if (cShortSticky_ != nullptr) cShortSticky_->inc();
         return entry.port;  // ablation mode: sticky spraying
       }
       entry.port = best;
+      if (cShortSpray_ != nullptr) cShortSpray_->inc();
       return entry.port;
     }
     entry.port = shortest(uplinks);
+    if (cShortSpray_ != nullptr) cShortSpray_->inc();
     return entry.port;
   }
 
@@ -167,8 +209,16 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
       entry.port = next;
       entry.bytesSinceSwitch = 0;
       ++longSwitches_;
+      if (cLongReroute_ != nullptr) cLongReroute_->inc();
+      if (trace_ != nullptr) {
+        trace_->instant("tlb", "long_reroute", now,
+                        {{"flow", static_cast<double>(pkt.flow)},
+                         {"to_port", static_cast<double>(next)}});
+      }
+      return entry.port;
     }
   }
+  if (cLongStay_ != nullptr) cLongStay_->inc();
   return entry.port;
 }
 

@@ -24,6 +24,13 @@
 #include "net/uplink_selector.hpp"
 #include "util/rng.hpp"
 
+namespace tlbsim::obs {
+class Counter;
+class EventTrace;
+class MetricsRegistry;
+class Series;
+}  // namespace tlbsim::obs
+
 namespace tlbsim::core {
 
 class Tlb final : public net::UplinkSelector {
@@ -50,6 +57,15 @@ class Tlb final : public net::UplinkSelector {
 
   /// Run one control-loop tick explicitly (normally timer-driven).
   void controlTick();
+
+  /// Wire this instance's decision counters ("tlb.<label>.short.spray",
+  /// ".short.sticky_stay", ".long.stay", ".long.reroute", ".reclassified",
+  /// ".control_ticks"), the q_th time series ("tlb.<label>.qth_bytes",
+  /// one point per control tick) and, when `trace` is non-null, a Perfetto
+  /// counter track graphing q_th and live flow counts. Either sink may be
+  /// null. Costs one null-pointer branch per decision when not installed.
+  void installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace,
+                  const std::string& label);
 
  private:
   int shortest(const net::UplinkView& uplinks) {
@@ -78,6 +94,17 @@ class Tlb final : public net::UplinkSelector {
   net::Switch* switch_ = nullptr;
   std::unordered_map<int, double> portEwma_;
   std::uint64_t longSwitches_ = 0;
+
+  // Observability sinks (null = disabled; see installObs).
+  obs::Counter* cShortSpray_ = nullptr;
+  obs::Counter* cShortSticky_ = nullptr;
+  obs::Counter* cLongStay_ = nullptr;
+  obs::Counter* cLongReroute_ = nullptr;
+  obs::Counter* cReclassified_ = nullptr;
+  obs::Counter* cTicks_ = nullptr;
+  obs::Series* qthSeries_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
+  const char* traceName_ = nullptr;
 };
 
 }  // namespace tlbsim::core

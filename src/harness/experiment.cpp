@@ -1,6 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,6 +11,7 @@
 #include "stats/queue_monitor.hpp"
 #include "transport/tcp_receiver.hpp"
 #include "transport/tcp_sender.hpp"
+#include "util/logging.hpp"
 
 namespace tlbsim::harness {
 
@@ -27,6 +30,13 @@ struct Totals {
 ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
   ExperimentConfig cfg = cfgIn;  // local copy: we fill derived fields
   ExperimentResult res;
+
+  TLBSIM_LOG_INFO(
+      "experiment: scheme=%s leaves=%d spines=%d hosts/leaf=%d flows=%zu "
+      "seed=%llu",
+      schemeName(cfg.scheme.scheme), cfg.topo.numLeaves, cfg.topo.numSpines,
+      cfg.topo.hostsPerLeaf, cfg.flows.size(),
+      static_cast<unsigned long long>(cfg.seed));
 
   sim::Simulator simr;
 
@@ -73,6 +83,51 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     }
   }
 
+  // Observability wiring: metrics registry, trace tracks, and a periodic
+  // queue-depth sampler. Skipped entirely (no hooks, no branches beyond
+  // the null-pointer guards) when neither sink is configured.
+  std::vector<std::pair<obs::Gauge*, net::Link*>> depthGauges;
+  if (cfg.metrics != nullptr || cfg.trace != nullptr) {
+    simr.installObs(cfg.metrics, cfg.trace);
+    for (int l = 0; l < topo.numLeaves(); ++l) {
+      for (int s = 0; s < topo.numSpines(); ++s) {
+        char label[48];
+        std::snprintf(label, sizeof(label), "leaf%d->spine%d", l, s);
+        net::Link& link = topo.leafUplink(l, s);
+        if (cfg.metrics != nullptr) {
+          link.installObs(*cfg.metrics, cfg.trace, label);
+          depthGauges.emplace_back(
+              &cfg.metrics->gauge(std::string("port.") + label +
+                                  ".queue_pkts"),
+              &link);
+        }
+      }
+    }
+    if (cfg.metrics != nullptr) {
+      for (int l = 0; l < topo.numLeaves(); ++l) {
+        topo.leaf(l).installObs(*cfg.metrics);
+      }
+      for (int s = 0; s < topo.numSpines(); ++s) {
+        topo.spine(s).installObs(*cfg.metrics);
+      }
+    }
+    for (std::size_t i = 0; i < tlbs.size(); ++i) {
+      tlbs[i]->installObs(cfg.metrics, cfg.trace,
+                          "leaf" + std::to_string(i));
+    }
+    if (cfg.metrics != nullptr && cfg.obsSampleInterval > 0 &&
+        !depthGauges.empty()) {
+      simr.every(
+          cfg.obsSampleInterval,
+          [&depthGauges] {
+            for (auto& [gauge, link] : depthGauges) {
+              gauge->set(static_cast<double>(link->queuePackets()));
+            }
+          },
+          /*start=*/cfg.obsSampleInterval, /*name=*/"obs.sample");
+    }
+  }
+
   // Transport endpoints.
   std::vector<std::unique_ptr<transport::TcpReceiver>> receivers;
   std::vector<std::unique_ptr<transport::TcpSender>> senders;
@@ -85,6 +140,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     senders.push_back(std::make_unique<transport::TcpSender>(
         simr, topo.host(f.src), f, cfg.tcp,
         [&completed](transport::TcpSender&) { ++completed; }));
+    if (cfg.metrics != nullptr || cfg.trace != nullptr) {
+      senders.back()->installObs(cfg.metrics, cfg.trace);
+    }
     senders.back()->start();
   }
 
@@ -159,6 +217,10 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     if (!sched.step(cfg.maxDuration)) break;
   }
   res.endTime = simr.now();
+  TLBSIM_LOG_INFO("experiment: done t=%.1fms completed=%zu/%zu events=%llu",
+                  toMilliseconds(res.endTime), completed, cfg.flows.size(),
+                  static_cast<unsigned long long>(
+                      simr.scheduler().executedEvents()));
 
   // Harvest per-flow results.
   for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
@@ -196,7 +258,39 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
                                 toSeconds(res.endTime) /
                                 static_cast<double>(fabricLinks);
   }
+
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->gauge("sim.executed_events")
+        .set(static_cast<double>(simr.scheduler().executedEvents()));
+    cfg.metrics->gauge("sim.end_time_s").set(toSeconds(res.endTime));
+    cfg.metrics->gauge("run.completed_flows")
+        .set(static_cast<double>(
+            res.ledger.completedCount([](const auto&) { return true; })));
+  }
   return res;
+}
+
+obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
+                                    const ExperimentResult& res) {
+  obs::RunSummary s;
+  s.setMeta("scheme", schemeName(cfg.scheme.scheme));
+  s.set("seed", static_cast<double>(cfg.seed));
+  s.set("flows", static_cast<double>(res.ledger.size()));
+  s.set("completed_flows",
+        static_cast<double>(
+            res.ledger.completedCount([](const auto&) { return true; })));
+  s.set("sim_end_time_s", toSeconds(res.endTime));
+  s.set("short_afct_ms", res.shortAfctSec() * 1e3);
+  s.set("short_p99_ms", res.shortP99Sec() * 1e3);
+  s.set("deadline_miss_ratio", res.shortMissRatio());
+  s.set("long_goodput_gbps", res.longGoodputGbps());
+  s.set("short_dupack_ratio", res.shortDupAckRatioTotal());
+  s.set("long_ooo_ratio", res.longOooRatioTotal());
+  s.set("fabric_drops", static_cast<double>(res.totalDrops));
+  s.set("ecn_marks", static_cast<double>(res.totalEcnMarks));
+  s.set("mean_fabric_utilization", res.meanFabricUtilization);
+  s.set("tlb_long_switches", static_cast<double>(res.tlbLongSwitches));
+  return s;
 }
 
 }  // namespace tlbsim::harness

@@ -7,6 +7,9 @@
 
 #include "harness/scheme.hpp"
 #include "net/leaf_spine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/trace.hpp"
 #include "stats/flow_ledger.hpp"
 #include "stats/time_series.hpp"
 #include "transport/tcp_params.hpp"
@@ -36,6 +39,20 @@ struct ExperimentConfig {
   /// When true (default), TLB's physical parameters (RTT, capacity,
   /// buffer) are derived from the topology config before the run.
   bool autoFillTlbFromTopology = true;
+
+  // --- observability (both null = fully disabled; the hot paths then pay
+  // one branch per instrumentation site, nothing more) -------------------
+  /// When set, the run wires per-port drop/ECN/tx counters, TLB decision
+  /// counters and the q_th time series, aggregate TCP counters, and a
+  /// periodic queue-depth sampler into this registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, packet serializations/drops/marks on the leaf uplinks, TLB
+  /// control ticks and TCP loss events are recorded as Chrome trace
+  /// events.
+  obs::EventTrace* trace = nullptr;
+  /// Cadence of the queue-depth snapshot sampler (matches TLB's control
+  /// interval by default).
+  SimTime obsSampleInterval = microseconds(500);
 };
 
 struct ExperimentResult {
@@ -83,5 +100,11 @@ struct ExperimentResult {
 
 /// Build the network, run the flow list, and collect results.
 ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+/// Flatten the headline results of a run into a RunSummary (the JSON the
+/// bench binaries emit). Callers add their own metadata (figure, workload,
+/// sweep point) on top.
+obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
+                                    const ExperimentResult& res);
 
 }  // namespace tlbsim::harness

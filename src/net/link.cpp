@@ -2,10 +2,49 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tlbsim::net {
 
+void Link::installObs(obs::MetricsRegistry& metrics, obs::EventTrace* trace,
+                      const std::string& label) {
+  obsTx_ = &metrics.counter("port." + label + ".tx_packets");
+  obsDrops_ = &metrics.counter("port." + label + ".drops");
+  obsMarks_ = &metrics.counter("port." + label + ".ecn_marks");
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    traceLabel_ = trace_->intern(label);
+    traceTid_ = trace_->newTrack(traceLabel_);
+  }
+}
+
 void Link::send(Packet pkt) {
-  if (!queue_.enqueue(pkt, sim_.now())) return;  // drop-tail
+  const std::uint64_t marksBefore = queue_.ecnMarks();
+  if (!queue_.enqueue(pkt, sim_.now())) {  // drop-tail
+    if (obsDrops_ != nullptr) obsDrops_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("net", "drop", sim_.now(),
+                      {{"flow", static_cast<double>(pkt.flow)},
+                       {"seq", static_cast<double>(pkt.seq)},
+                       {"size", static_cast<double>(pkt.size)}},
+                      traceTid_);
+    }
+    for (const auto& hook : dropHooks_) hook(pkt);
+    return;
+  }
+  if (queue_.ecnMarks() != marksBefore) {
+    // Observers see the packet as stored: with its CE mark.
+    pkt.ce = true;
+    if (obsMarks_ != nullptr) obsMarks_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("net", "ecn_mark", sim_.now(),
+                      {{"flow", static_cast<double>(pkt.flow)},
+                       {"queue_pkts", static_cast<double>(queue_.packets())}},
+                      traceTid_);
+    }
+    for (const auto& hook : markHooks_) hook(pkt);
+  }
   if (!transmitting_) startTransmission();
 }
 
@@ -17,12 +56,22 @@ void Link::startTransmission() {
   transmitting_ = true;
   const SimTime txTime = rate_.transmissionTime(pkt.size);
   busyTime_ += txTime;
+  if (trace_ != nullptr) {
+    // One span per serialization on this link's track; the packet type is
+    // visible via the name, the identity via args.
+    trace_->complete("net", toString(pkt.type), sim_.now(), txTime,
+                     {{"flow", static_cast<double>(pkt.flow)},
+                      {"seq", static_cast<double>(pkt.seq)},
+                      {"qdelay_us", toMicroseconds(queueDelay)}},
+                     traceTid_);
+  }
   sim_.schedule(txTime, [this, pkt] { onTransmitComplete(pkt); });
 }
 
 void Link::onTransmitComplete(Packet pkt) {
   ++txPackets_;
   txBytes_ += pkt.size;
+  if (obsTx_ != nullptr) obsTx_->inc();
   // Propagation is pipelined: delivery is scheduled independently while the
   // transmitter immediately starts on the next queued packet.
   if (peer_ != nullptr) {

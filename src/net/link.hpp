@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "net/node.hpp"
@@ -21,6 +22,10 @@ class Link {
   /// Called with each packet as it leaves the queue, together with the time
   /// it spent queued. Used by the stats layer; null by default.
   using DequeueHook = std::function<void(const Packet&, SimTime queueDelay)>;
+  /// Called with each packet the full queue rejects (a network drop).
+  using DropHook = std::function<void(const Packet&)>;
+  /// Called with each packet the queue ECN-marks on enqueue (pkt.ce set).
+  using MarkHook = std::function<void(const Packet&)>;
 
   Link(sim::Simulator& simr, LinkRate rate, SimTime propagationDelay,
        QueueConfig queueCfg)
@@ -62,6 +67,16 @@ class Link {
   void addDequeueHook(DequeueHook hook) {
     dequeueHooks_.push_back(std::move(hook));
   }
+  void addDropHook(DropHook hook) { dropHooks_.push_back(std::move(hook)); }
+  void addMarkHook(MarkHook hook) { markHooks_.push_back(std::move(hook)); }
+
+  /// Wire this link into the metrics registry (per-port tx/drop/mark
+  /// counters named "port.<label>.*") and, when `trace` is non-null, give
+  /// it a trace track where serializations render as spans and drops/marks
+  /// as instant events. Without this call the data path pays one
+  /// null-pointer branch per event class.
+  void installObs(obs::MetricsRegistry& metrics, obs::EventTrace* trace,
+                  const std::string& label);
 
  private:
   void startTransmission();
@@ -79,6 +94,16 @@ class Link {
   Bytes txBytes_ = 0;
   SimTime busyTime_ = 0;
   std::vector<DequeueHook> dequeueHooks_;
+  std::vector<DropHook> dropHooks_;
+  std::vector<MarkHook> markHooks_;
+
+  // Observability sinks (null = disabled; see installObs).
+  obs::Counter* obsTx_ = nullptr;
+  obs::Counter* obsDrops_ = nullptr;
+  obs::Counter* obsMarks_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
+  const char* traceLabel_ = nullptr;
+  int traceTid_ = 0;
 };
 
 }  // namespace tlbsim::net

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace tlbsim::net {
@@ -15,6 +16,11 @@ void Switch::setRoute(HostId dstHost, int port) {
 }
 
 void Switch::routeViaUplinks(HostId dstHost) { setRoute(dstHost, kViaUplinks); }
+
+void Switch::installObs(obs::MetricsRegistry& metrics) {
+  obsForwarded_ = &metrics.counter("switch." + name_ + ".forwarded");
+  obsUnroutable_ = &metrics.counter("switch." + name_ + ".unroutable");
+}
 
 void Switch::setSelector(std::unique_ptr<UplinkSelector> selector) {
   selector_ = std::move(selector);
@@ -46,11 +52,13 @@ void Switch::receive(Packet pkt, int inPort) {
   }
   if (out < 0 || out >= numPorts()) {
     ++unroutable_;
+    if (obsUnroutable_ != nullptr) obsUnroutable_->inc();
     TLBSIM_LOG_WARN("%s: no route for host %d (flow %llu)", name_.c_str(),
                     pkt.dst, static_cast<unsigned long long>(pkt.flow));
     return;
   }
   ++forwarded_;
+  if (obsForwarded_ != nullptr) obsForwarded_->inc();
   ports_[static_cast<std::size_t>(out)]->send(pkt);
 }
 

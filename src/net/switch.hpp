@@ -55,6 +55,11 @@ class Switch : public Node {
   std::uint64_t forwardedPackets() const { return forwarded_; }
   std::uint64_t unroutablePackets() const { return unroutable_; }
 
+  /// Wire this switch's forwarding counters into the registry
+  /// ("switch.<name>.forwarded" / ".unroutable"). One null-pointer branch
+  /// per packet when not installed.
+  void installObs(obs::MetricsRegistry& metrics);
+
  private:
   static constexpr int kNoRoute = -1;
   static constexpr int kViaUplinks = -2;
@@ -73,6 +78,8 @@ class Switch : public Node {
   std::unique_ptr<UplinkSelector> selector_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t unroutable_ = 0;
+  obs::Counter* obsForwarded_ = nullptr;
+  obs::Counter* obsUnroutable_ = nullptr;
 };
 
 }  // namespace tlbsim::net

@@ -6,20 +6,32 @@ namespace tlbsim::net {
 
 void PacketTracer::attach(Link& link, std::string label) {
   sim::Simulator* clock = &link.simulator();
-  link.addDequeueHook([this, label = std::move(label), clock](
-                          const Packet& pkt, SimTime queueDelay) {
-    record(label, pkt, clock->now(), queueDelay);
+  link.addDequeueHook([this, label, clock](const Packet& pkt,
+                                           SimTime queueDelay) {
+    record(Kind::kDequeue, label, pkt, clock->now(), queueDelay);
+  });
+  link.addDropHook([this, label, clock](const Packet& pkt) {
+    record(Kind::kDrop, label, pkt, clock->now(), 0);
+  });
+  link.addMarkHook([this, label = std::move(label), clock](const Packet& pkt) {
+    record(Kind::kMark, label, pkt, clock->now(), 0);
   });
 }
 
-void PacketTracer::record(const std::string& label, const Packet& pkt,
-                          SimTime now, SimTime queueDelay) {
+void PacketTracer::record(Kind kind, const std::string& label,
+                          const Packet& pkt, SimTime now, SimTime queueDelay) {
   if (filter_ && !filter_(pkt)) return;
   if (events_.size() >= maxEvents_) {
-    ++droppedEvents_;
+    ++notStored_;
     return;
   }
-  events_.push_back(Event{now, queueDelay, label, pkt});
+  events_.push_back(Event{kind, now, queueDelay, label, pkt});
+}
+
+std::size_t PacketTracer::countOf(Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
 }
 
 std::vector<PacketTracer::Event> PacketTracer::eventsForFlow(
@@ -34,8 +46,9 @@ std::vector<PacketTracer::Event> PacketTracer::eventsForFlow(
 std::string PacketTracer::format(const Event& e) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%-18s %-7s flow=%llu seq=%llu ack=%llu size=%lld qdelay=%.1fus%s%s",
-                e.link.c_str(), toString(e.pkt.type),
+                "%-5s %-18s %-7s flow=%llu seq=%llu ack=%llu size=%lld "
+                "qdelay=%.1fus%s%s",
+                toString(e.kind), e.link.c_str(), toString(e.pkt.type),
                 static_cast<unsigned long long>(e.pkt.flow),
                 static_cast<unsigned long long>(e.pkt.seq),
                 static_cast<unsigned long long>(e.pkt.ack),
@@ -49,9 +62,9 @@ void PacketTracer::dump(std::FILE* out) const {
   for (const auto& e : events_) {
     std::fprintf(out, "%s\n", format(e).c_str());
   }
-  if (droppedEvents_ > 0) {
+  if (notStored_ > 0) {
     std::fprintf(out, "... %zu further events not stored (cap %zu)\n",
-                 droppedEvents_, maxEvents_);
+                 notStored_, maxEvents_);
   }
 }
 

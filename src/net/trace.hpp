@@ -1,6 +1,6 @@
-// Packet tracing: record packets as they leave chosen links' queues, with
-// per-hop queueing delay — the tool for debugging a scheme's forwarding
-// decisions or a flow's retransmission story.
+// Packet tracing: record packets at chosen links — dequeues (with per-hop
+// queueing delay), network drops, and ECN marks — the tool for debugging a
+// scheme's forwarding decisions or a flow's complete retransmission story.
 //
 //   PacketTracer tracer;
 //   tracer.setFilter([](const Packet& p) { return p.flow == 42; });
@@ -22,9 +22,17 @@ namespace tlbsim::net {
 
 class PacketTracer {
  public:
+  /// What happened to the packet at the observed link.
+  enum class Kind {
+    kDequeue,  ///< left the queue (start of serialization)
+    kDrop,     ///< rejected by the full queue (a network drop)
+    kMark,     ///< ECN-marked on enqueue
+  };
+
   struct Event {
-    SimTime time = 0;       ///< dequeue time (start of serialization)
-    SimTime queueDelay = 0;
+    Kind kind = Kind::kDequeue;
+    SimTime time = 0;       ///< event time (dequeue: start of serialization)
+    SimTime queueDelay = 0; ///< time spent queued (dequeue events only)
     std::string link;
     Packet pkt;
   };
@@ -43,7 +51,14 @@ class PacketTracer {
   void attach(Link& link, std::string label);
 
   const std::vector<Event>& events() const { return events_; }
-  std::size_t dropped() const { return droppedEvents_; }
+
+  /// Trace events rejected because the maxEvents cap was reached. (This
+  /// is about the tracer's own storage — network drops are regular events
+  /// with kind == Kind::kDrop; see countOf().)
+  std::size_t eventsNotStored() const { return notStored_; }
+
+  /// Number of stored events of one kind (e.g. network drops seen).
+  std::size_t countOf(Kind kind) const;
 
   /// Events seen for one flow, in time order.
   std::vector<Event> eventsForFlow(FlowId flow) const;
@@ -54,13 +69,22 @@ class PacketTracer {
   static std::string format(const Event& e);
 
  private:
-  void record(const std::string& label, const Packet& pkt, SimTime now,
-              SimTime queueDelay);
+  void record(Kind kind, const std::string& label, const Packet& pkt,
+              SimTime now, SimTime queueDelay);
 
   std::size_t maxEvents_;
   Filter filter_;
   std::vector<Event> events_;
-  std::size_t droppedEvents_ = 0;
+  std::size_t notStored_ = 0;
 };
+
+constexpr const char* toString(PacketTracer::Kind k) {
+  switch (k) {
+    case PacketTracer::Kind::kDequeue: return "DEQ";
+    case PacketTracer::Kind::kDrop: return "DROP";
+    case PacketTracer::Kind::kMark: return "MARK";
+  }
+  return "?";
+}
 
 }  // namespace tlbsim::net

@@ -1,0 +1,87 @@
+#include "obs/run_summary.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace tlbsim::obs {
+
+void RunSummary::setMeta(const std::string& key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, std::move(value));
+}
+
+void RunSummary::set(const std::string& key, double value) {
+  for (auto& [k, v] : values_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  values_.emplace_back(key, value);
+}
+
+const std::string* RunSummary::meta(const std::string& key) const {
+  for (const auto& [k, v] : meta_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const double* RunSummary::value(const std::string& key) const {
+  for (const auto& [k, v] : values_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string RunSummary::toJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : meta_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + jsonEscape(k) + "\": \"" + jsonEscape(v) + "\"";
+  }
+  for (const auto& [k, v] : values_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + jsonEscape(k) + "\": " + jsonNumber(v);
+  }
+  out += first ? "}" : "\n}";
+  return out;
+}
+
+bool RunSummary::writeJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = toJson() + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string runsToJson(const std::vector<RunSummary>& runs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += runs[i].toJson();
+  }
+  out += runs.empty() ? "]" : "\n]";
+  return out;
+}
+
+bool writeRunsJsonFile(const std::string& path,
+                       const std::vector<RunSummary>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = runsToJson(runs) + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tlbsim::obs

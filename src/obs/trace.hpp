@@ -1,0 +1,94 @@
+// Structured event tracing in Chrome trace-event format. The exported
+// file loads directly in chrome://tracing or https://ui.perfetto.dev:
+// packet lifetimes appear as spans on per-link tracks, drops/marks/
+// retransmits as instant events, and control-loop state (q_th, queue
+// depths) as counter tracks.
+//
+// Hot-path contract mirrors MetricsRegistry: components hold an
+// `EventTrace*` that is nullptr unless tracing was requested, so disabled
+// tracing costs one branch per site. Event name/category strings must
+// outlive the trace — pass string literals, or intern dynamic labels with
+// intern().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::obs {
+
+class EventTrace {
+ public:
+  /// `maxEvents` bounds memory; further events are counted, not stored.
+  explicit EventTrace(std::size_t maxEvents = 500'000)
+      : maxEvents_(maxEvents) {}
+
+  struct Arg {
+    const char* key;
+    double value;
+  };
+  static constexpr std::size_t kMaxArgs = 4;
+
+  /// Copy a dynamic label into trace-owned storage and return a pointer
+  /// valid for the trace's lifetime. Deduplicated, so repeated interning
+  /// of the same label is cheap.
+  const char* intern(const std::string& s);
+
+  /// Allocate a named track (a Chrome "thread") and return its tid.
+  /// Events on distinct tracks render as separate rows.
+  int newTrack(const char* name);
+
+  /// Instant event (phase "i"): a point in time, e.g. a drop or an RTO.
+  void instant(const char* cat, const char* name, SimTime t,
+               std::initializer_list<Arg> args = {}, int tid = 0);
+
+  /// Complete event (phase "X"): a span [start, start+dur), e.g. one
+  /// packet's serialization on a link.
+  void complete(const char* cat, const char* name, SimTime start,
+                SimTime dur, std::initializer_list<Arg> args = {},
+                int tid = 0);
+
+  /// Counter event (phase "C"): each arg becomes one series on the
+  /// counter track named `name`.
+  void counter(const char* cat, const char* name, SimTime t,
+               std::initializer_list<Arg> args, int tid = 0);
+
+  std::size_t size() const { return events_.size(); }
+  /// Events rejected because the maxEvents cap was reached.
+  std::size_t eventsNotStored() const { return notStored_; }
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}; ts/dur are in
+  /// microseconds as the format requires.
+  std::string toJson() const;
+  bool writeJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;
+    int tid;
+    const char* cat;
+    const char* name;
+    SimTime t;
+    SimTime dur;
+    std::array<Arg, kMaxArgs> args;
+    std::uint8_t numArgs;
+  };
+
+  void record(char ph, const char* cat, const char* name, SimTime t,
+              SimTime dur, std::initializer_list<Arg> args, int tid);
+
+  std::size_t maxEvents_;
+  std::size_t notStored_ = 0;
+  std::vector<Event> events_;
+  std::deque<std::string> internPool_;
+  std::unordered_map<std::string, const char*> interned_;
+  std::vector<const char*> trackNames_;
+};
+
+}  // namespace tlbsim::obs

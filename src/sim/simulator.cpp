@@ -1,13 +1,25 @@
 #include "sim/simulator.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tlbsim::sim {
 
-void Simulator::every(SimTime period, Scheduler::Callback fn, SimTime start) {
+void Simulator::every(SimTime period, Scheduler::Callback fn, SimTime start,
+                      const char* name) {
   auto timer =
       std::make_unique<PeriodicTimer>(PeriodicTimer{period, std::move(fn)});
   timer->nextDue = start;
+  timer->name = name;
   timers_.push_back(std::move(timer));
   arm(timers_.size() - 1);
+}
+
+void Simulator::installObs(obs::MetricsRegistry* metrics,
+                           obs::EventTrace* trace) {
+  obsTicks_ = metrics != nullptr ? &metrics->counter("sim.periodic_ticks")
+                                 : nullptr;
+  trace_ = trace;
 }
 
 void Simulator::arm(std::size_t idx) {
@@ -24,6 +36,10 @@ void Simulator::arm(std::size_t idx) {
 
 void Simulator::firePeriodic(std::size_t idx) {
   PeriodicTimer& t = *timers_[idx];
+  if (obsTicks_ != nullptr) obsTicks_->inc();
+  if (trace_ != nullptr && t.name != nullptr) {
+    trace_->instant("sim", t.name, scheduler_.now());
+  }
   t.fn();
   t.nextDue = scheduler_.now() + t.period;
   arm(idx);

@@ -11,6 +11,12 @@
 #include "sim/scheduler.hpp"
 #include "util/units.hpp"
 
+namespace tlbsim::obs {
+class Counter;
+class EventTrace;
+class MetricsRegistry;
+}  // namespace tlbsim::obs
+
 namespace tlbsim::sim {
 
 class Simulator {
@@ -33,10 +39,21 @@ class Simulator {
   /// terminates) and revived by a later run() with a higher limit. With an
   /// unbounded run() the timer keeps the event queue alive forever — give
   /// run() a limit when periodic timers exist.
-  void every(SimTime period, Scheduler::Callback fn, SimTime start = 0);
+  ///
+  /// `name` (a string literal or other pointer outliving the simulator)
+  /// labels the timer's ticks in the event trace when observability is
+  /// installed; nullptr keeps the timer anonymous.
+  void every(SimTime period, Scheduler::Callback fn, SimTime start = 0,
+             const char* name = nullptr);
 
   /// Run until `limit` (absolute time) or event exhaustion.
   std::uint64_t run(SimTime limit = Scheduler::kMaxTime);
+
+  /// Attach metrics/tracing sinks (either may be null). Named periodic
+  /// timers then emit "sim" instant events per tick, and the
+  /// "sim.periodic_ticks" counter counts all timer fires. Without this
+  /// call the simulator's hot path pays one null-pointer branch per tick.
+  void installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace);
 
  private:
   struct PeriodicTimer {
@@ -44,6 +61,7 @@ class Simulator {
     Scheduler::Callback fn;
     SimTime nextDue = 0;
     bool armed = false;
+    const char* name = nullptr;
   };
 
   void arm(std::size_t idx);
@@ -52,6 +70,8 @@ class Simulator {
   Scheduler scheduler_;
   std::vector<std::unique_ptr<PeriodicTimer>> timers_;
   SimTime runLimit_ = Scheduler::kMaxTime;
+  obs::Counter* obsTicks_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace tlbsim::sim

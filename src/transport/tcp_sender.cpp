@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace tlbsim::transport {
 
 namespace {
 constexpr int kMaxSynRetries = 8;
+}
+
+void TcpSender::installObs(obs::MetricsRegistry* metrics,
+                           obs::EventTrace* trace) {
+  if (metrics != nullptr) {
+    // All senders of a run share these aggregates: the registry returns
+    // the same Counter for the same name.
+    cFastRetransmits_ = &metrics->counter("tcp.fast_retransmits");
+    cTimeouts_ = &metrics->counter("tcp.timeouts");
+    cEcnCuts_ = &metrics->counter("tcp.ecn_cwnd_cuts");
+    cRetransmitted_ = &metrics->counter("tcp.retransmitted_segments");
+  }
+  trace_ = trace;
 }
 
 TcpSender::TcpSender(sim::Simulator& simr, net::Host& localHost,
@@ -147,6 +162,12 @@ void TcpSender::onDupAck() {
   ++dupAckCount_;
   if (dupAckCount_ >= params_.dupAckThreshold) {
     ++fastRetransmits_;
+    if (cFastRetransmits_ != nullptr) cFastRetransmits_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("tcp", "fast_retransmit", sim_.now(),
+                      {{"flow", static_cast<double>(flow_.id)},
+                       {"cwnd", cwnd_}});
+    }
     inRecovery_ = true;
     recoverPoint_ = sndNxt_;
     const auto mss = static_cast<double>(params_.mss);
@@ -180,6 +201,13 @@ void TcpSender::updateDctcp(std::uint64_t newlyAcked, bool ece) {
                      cwnd_ * (1.0 - alpha_ / 2.0));
     ssthresh_ = cwnd_;
     ecnCutPoint_ = sndNxt_;
+    if (cEcnCuts_ != nullptr) cEcnCuts_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("tcp", "ecn_cwnd_cut", sim_.now(),
+                      {{"flow", static_cast<double>(flow_.id)},
+                       {"cwnd", cwnd_},
+                       {"alpha", alpha_}});
+    }
   }
 }
 
@@ -212,6 +240,7 @@ void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
   pkt.sentAt = sim_.now();
   pkt.retransmit = isRetransmit;
   ++dataPacketsSent_;
+  if (isRetransmit && cRetransmitted_ != nullptr) cRetransmitted_->inc();
   host_.send(pkt);
 }
 
@@ -242,6 +271,12 @@ void TcpSender::onRto() {
   rtoEvent_ = sim::kInvalidEvent;
   if (completed_ || inFlight() <= 0) return;
   ++timeouts_;
+  if (cTimeouts_ != nullptr) cTimeouts_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant("tcp", "rto", sim_.now(),
+                    {{"flow", static_cast<double>(flow_.id)},
+                     {"snd_una", static_cast<double>(sndUna_)}});
+  }
   // Go-back-N: rewind and re-enter slow start.
   const auto mss = static_cast<double>(params_.mss);
   ssthresh_ = std::max(static_cast<double>(inFlight()) / 2.0, 2.0 * mss);

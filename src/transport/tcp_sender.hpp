@@ -21,6 +21,12 @@
 #include "sim/simulator.hpp"
 #include "transport/tcp_params.hpp"
 
+namespace tlbsim::obs {
+class Counter;
+class EventTrace;
+class MetricsRegistry;
+}  // namespace tlbsim::obs
+
 namespace tlbsim::transport {
 
 class TcpSender : public net::PacketHandler {
@@ -55,6 +61,14 @@ class TcpSender : public net::PacketHandler {
   double cwndBytes() const { return cwnd_; }
   double dctcpAlpha() const { return alpha_; }
   SimTime smoothedRtt() const { return srtt_; }
+
+  /// Wire this sender into the aggregate transport counters
+  /// ("tcp.fast_retransmits", "tcp.timeouts", "tcp.ecn_cwnd_cuts",
+  /// "tcp.retransmitted_segments" — shared across all senders of a run)
+  /// and, when `trace` is non-null, emit per-flow instant events for RTO
+  /// fires, fast retransmits and ECN cwnd cuts. Either sink may be null.
+  /// One null-pointer branch per site when not installed.
+  void installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace);
 
  private:
   void sendSyn();
@@ -125,6 +139,13 @@ class TcpSender : public net::PacketHandler {
   std::uint64_t timeouts_ = 0;
   std::uint64_t dataPacketsSent_ = 0;
   std::uint64_t acksReceived_ = 0;
+
+  // Observability sinks (null = disabled; see installObs).
+  obs::Counter* cFastRetransmits_ = nullptr;
+  obs::Counter* cTimeouts_ = nullptr;
+  obs::Counter* cEcnCuts_ = nullptr;
+  obs::Counter* cRetransmitted_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace tlbsim::transport

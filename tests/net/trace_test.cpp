@@ -80,7 +80,43 @@ TEST(PacketTracer, CapBoundsMemory) {
   for (int i = 0; i < 10; ++i) rig.link.send(makePacket(1));
   rig.simr.run();
   EXPECT_EQ(tracer.events().size(), 3u);
-  EXPECT_EQ(tracer.dropped(), 7u);
+  EXPECT_EQ(tracer.eventsNotStored(), 7u);
+}
+
+TEST(PacketTracer, RecordsDropsAndEcnMarks) {
+  sim::Simulator simr;
+  NullSink sink;
+  // Two-packet buffer with marking from one queued packet onward.
+  Link link(simr, gbps(1), microseconds(1), QueueConfig{2, 1});
+  link.connect(&sink, 0);
+  PacketTracer tracer;
+  tracer.attach(link, "A->B");
+  for (FlowId f = 1; f <= 5; ++f) {
+    Packet p = makePacket(f);
+    p.ecnCapable = true;
+    link.send(p);
+  }
+  // p1 dequeues immediately; p2 enqueues into an empty queue (no mark);
+  // p3 sees one queued packet and is marked; p4 and p5 overflow.
+  simr.run();
+  EXPECT_EQ(tracer.countOf(PacketTracer::Kind::kDequeue), 3u);
+  ASSERT_EQ(tracer.countOf(PacketTracer::Kind::kMark), 1u);
+  ASSERT_EQ(tracer.countOf(PacketTracer::Kind::kDrop), 2u);
+  for (const auto& e : tracer.events()) {
+    if (e.kind == PacketTracer::Kind::kMark) {
+      EXPECT_EQ(e.pkt.flow, 3u);
+      EXPECT_TRUE(e.pkt.ce);
+    }
+    if (e.kind == PacketTracer::Kind::kDrop) {
+      EXPECT_GE(e.pkt.flow, 4u);
+    }
+  }
+  // The full retransmission story of flow 4 shows its drop.
+  const auto story = tracer.eventsForFlow(4);
+  ASSERT_EQ(story.size(), 1u);
+  EXPECT_EQ(story[0].kind, PacketTracer::Kind::kDrop);
+  // Storage was never exhausted: nothing rejected by the cap.
+  EXPECT_EQ(tracer.eventsNotStored(), 0u);
 }
 
 TEST(PacketTracer, MultipleLinksAndCoexistingHooks) {
@@ -110,6 +146,7 @@ TEST(PacketTracer, FormatContainsKeyFields) {
   e.pkt.retransmit = true;
   e.pkt.ce = true;
   const std::string s = PacketTracer::format(e);
+  EXPECT_NE(s.find("DEQ"), std::string::npos);
   EXPECT_NE(s.find("leaf0->spine1"), std::string::npos);
   EXPECT_NE(s.find("flow=42"), std::string::npos);
   EXPECT_NE(s.find("CE"), std::string::npos);

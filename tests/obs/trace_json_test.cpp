@@ -1,0 +1,123 @@
+// EventTrace unit tests: Chrome trace-event JSON structure, string
+// interning, per-track metadata, and the storage cap.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace tlbsim::obs {
+namespace {
+
+const JsonValue* eventNamed(const JsonValue& doc, std::string_view name) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const auto& e : events->items) {
+    const JsonValue* n = e.find("name");
+    if (n != nullptr && n->str == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(EventTrace, ExportsValidJsonWithAllPhaseTypes) {
+  EventTrace trace;
+  const int tid = trace.newTrack("leaf0->spine1");
+  trace.instant("net", "drop", microseconds(10), {{"flow", 42}}, tid);
+  trace.complete("net", "DATA", microseconds(20), microseconds(12),
+                 {{"flow", 42}, {"seq", 1500}}, tid);
+  trace.counter("tlb", "tlb.leaf0", microseconds(500),
+                {{"qth_bytes", 65536}, {"short_flows", 3}});
+
+  const auto doc = JsonValue::parse(trace.toJson());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->find("traceEvents")->isArray());
+  EXPECT_EQ(doc->find("displayTimeUnit")->str, "ms");
+  // 3 events + 1 thread_name metadata record.
+  EXPECT_EQ(doc->find("traceEvents")->items.size(), 4u);
+
+  const JsonValue* meta = eventNamed(*doc, "thread_name");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("ph")->str, "M");
+  EXPECT_EQ(meta->find("tid")->number, static_cast<double>(tid));
+  EXPECT_EQ(meta->find("args")->find("name")->str, "leaf0->spine1");
+
+  const JsonValue* drop = eventNamed(*doc, "drop");
+  ASSERT_NE(drop, nullptr);
+  EXPECT_EQ(drop->find("ph")->str, "i");
+  EXPECT_EQ(drop->find("s")->str, "g");  // global-scope instant
+  EXPECT_DOUBLE_EQ(drop->find("ts")->number, 10.0);  // microseconds
+  EXPECT_EQ(drop->find("args")->find("flow")->number, 42.0);
+  EXPECT_EQ(drop->find("pid")->number, 1.0);
+
+  const JsonValue* span = eventNamed(*doc, "DATA");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->find("ph")->str, "X");
+  EXPECT_DOUBLE_EQ(span->find("ts")->number, 20.0);
+  EXPECT_DOUBLE_EQ(span->find("dur")->number, 12.0);
+  EXPECT_EQ(span->find("tid")->number, static_cast<double>(tid));
+
+  const JsonValue* ctr = eventNamed(*doc, "tlb.leaf0");
+  ASSERT_NE(ctr, nullptr);
+  EXPECT_EQ(ctr->find("ph")->str, "C");
+  EXPECT_EQ(ctr->find("args")->find("qth_bytes")->number, 65536.0);
+  EXPECT_EQ(ctr->find("args")->find("short_flows")->number, 3.0);
+  EXPECT_EQ(ctr->find("tid")->number, 0.0);  // main track
+}
+
+TEST(EventTrace, EmptyTraceIsStillValidJson) {
+  EventTrace trace;
+  const auto doc = JsonValue::parse(trace.toJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("traceEvents")->items.empty());
+}
+
+TEST(EventTrace, CapCountsButDoesNotStore) {
+  EventTrace trace(/*maxEvents=*/2);
+  for (int i = 0; i < 5; ++i) {
+    trace.instant("sim", "tick", microseconds(i));
+  }
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.eventsNotStored(), 3u);
+  const auto doc = JsonValue::parse(trace.toJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("traceEvents")->items.size(), 2u);
+}
+
+TEST(EventTrace, InternDeduplicatesAndOutlivesSource) {
+  EventTrace trace;
+  const char* a;
+  {
+    // The source string dies before export; the interned copy must not.
+    std::string label = "leaf3->spine7";
+    a = trace.intern(label);
+    EXPECT_EQ(trace.intern(label), a);
+  }
+  trace.instant("net", a, microseconds(1));
+  const auto doc = JsonValue::parse(trace.toJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_NE(eventNamed(*doc, "leaf3->spine7"), nullptr);
+}
+
+TEST(EventTrace, DistinctTracksGetDistinctTids) {
+  EventTrace trace;
+  const int t1 = trace.newTrack("a");
+  const int t2 = trace.newTrack("b");
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(t1, 0);  // 0 is the main track
+  EXPECT_NE(t2, 0);
+}
+
+TEST(EventTrace, ArgsBeyondKMaxArgsAreDropped) {
+  EventTrace trace;
+  trace.instant("x", "crowded", 0,
+                {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+  const auto doc = JsonValue::parse(trace.toJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* e = eventNamed(*doc, "crowded");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->find("args")->members.size(), EventTrace::kMaxArgs);
+  EXPECT_EQ(e->find("args")->find("e"), nullptr);
+}
+
+}  // namespace
+}  // namespace tlbsim::obs

@@ -11,13 +11,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_summary.hpp"
+#include "obs/trace.hpp"
 #include "stats/csv.hpp"
 #include "stats/report.hpp"
 #include "util/config.hpp"
+#include "util/logging.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace tlbsim;
@@ -38,8 +43,21 @@ struct Options {
   int ecnK = 65;
   std::uint64_t seed = 1;
   std::string csvPath;
+  std::string metricsJsonPath;
+  std::string traceJsonPath;
+  std::string logLevel = "none";
   bool classicTcp = false;
 };
+
+/// Maps a --log-level name onto the Logger enum; nullopt for unknown names.
+std::optional<LogLevel> parseLogLevel(const std::string& name) {
+  if (name == "none") return LogLevel::kNone;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
 
 const std::vector<std::pair<std::string, harness::Scheme>>& schemeNames() {
   static const std::vector<std::pair<std::string, harness::Scheme>> names = {
@@ -83,6 +101,12 @@ bool applyKey(Options* opt, const std::string& key,
   else if (key == "ecn-k") opt->ecnK = std::atoi(value.c_str());
   else if (key == "seed") opt->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
   else if (key == "csv") opt->csvPath = value;
+  else if (key == "metrics-json") opt->metricsJsonPath = value;
+  else if (key == "trace-json") opt->traceJsonPath = value;
+  else if (key == "log-level") {
+    if (!parseLogLevel(value).has_value()) return false;
+    opt->logLevel = value;
+  }
   else if (key == "classic-tcp") opt->classicTcp = (value == "true" || value == "1" || value == "yes" || value == "on");
   else return false;
   return true;
@@ -125,6 +149,11 @@ void usage() {
       "  --ecn-k N            DCTCP marking threshold, packets (0=off)\n"
       "  --seed N             RNG seed (default 1)\n"
       "  --csv PATH           write per-flow results as CSV\n"
+      "  --metrics-json PATH  write counters/gauges/histograms/series as JSON\n"
+      "  --trace-json PATH    write a Chrome trace-event JSON (open in\n"
+      "                       Perfetto / chrome://tracing)\n"
+      "  --log-level LEVEL    stderr logging: error|warn|info|debug\n"
+      "                       (default: none)\n"
       "  --classic-tcp        disable reordering-tolerant retransmit guard\n"
       "  --list-schemes       print scheme names and exit\n");
 }
@@ -212,6 +241,23 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next("--csv");
       if (v == nullptr) return false;
       opt->csvPath = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next("--metrics-json");
+      if (v == nullptr) return false;
+      opt->metricsJsonPath = v;
+    } else if (arg == "--trace-json") {
+      const char* v = next("--trace-json");
+      if (v == nullptr) return false;
+      opt->traceJsonPath = v;
+    } else if (arg == "--log-level") {
+      const char* v = next("--log-level");
+      if (v == nullptr) return false;
+      if (!parseLogLevel(v).has_value()) {
+        std::fprintf(stderr, "unknown log level '%s' (error|warn|info|debug)\n",
+                     v);
+        return false;
+      }
+      opt->logLevel = v;
     } else if (arg == "--classic-tcp") {
       opt->classicTcp = true;
     } else {
@@ -228,8 +274,16 @@ bool parse(int argc, char** argv, Options* opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, &opt)) return 1;
+  Logger::setLevel(*parseLogLevel(opt.logLevel));
+
+  // Observability is pay-for-what-you-ask: the registry and trace only
+  // exist (and the hot paths only record) when an output path was given.
+  obs::MetricsRegistry metrics;
+  obs::EventTrace trace;
 
   harness::ExperimentConfig cfg;
+  if (!opt.metricsJsonPath.empty()) cfg.metrics = &metrics;
+  if (!opt.traceJsonPath.empty()) cfg.trace = &trace;
   cfg.topo.numLeaves = opt.leaves;
   cfg.topo.numSpines = opt.spines;
   cfg.topo.hostsPerLeaf = opt.hostsPerLeaf;
@@ -293,6 +347,27 @@ int main(int argc, char** argv) {
   if (!opt.csvPath.empty()) {
     stats::writeFlowsCsv(opt.csvPath, res.ledger);
     std::printf("per-flow CSV written to %s\n", opt.csvPath.c_str());
+  }
+  if (!opt.metricsJsonPath.empty()) {
+    if (!metrics.writeJsonFile(opt.metricsJsonPath)) {
+      std::fprintf(stderr, "cannot write metrics JSON '%s'\n",
+                   opt.metricsJsonPath.c_str());
+      return 1;
+    }
+    std::printf("metrics JSON written to %s\n", opt.metricsJsonPath.c_str());
+  }
+  if (!opt.traceJsonPath.empty()) {
+    if (!trace.writeJsonFile(opt.traceJsonPath)) {
+      std::fprintf(stderr, "cannot write trace JSON '%s'\n",
+                   opt.traceJsonPath.c_str());
+      return 1;
+    }
+    std::printf("trace JSON written to %s (%zu events)\n",
+                opt.traceJsonPath.c_str(), trace.size());
+    if (trace.eventsNotStored() > 0) {
+      std::printf("  note: %zu further trace events hit the cap\n",
+                  trace.eventsNotStored());
+    }
   }
   return 0;
 }
