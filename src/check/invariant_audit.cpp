@@ -1,0 +1,266 @@
+#include "check/invariant_audit.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/tlb.hpp"
+#include "net/leaf_spine.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp_receiver.hpp"
+#include "transport/tcp_sender.hpp"
+#include "util/check.hpp"
+
+namespace tlbsim::check {
+
+InvariantAuditor::InvariantAuditor() = default;
+
+InvariantAuditor::InvariantAuditor(Config cfg) : cfg_(cfg) {}
+
+void InvariantAuditor::watchLink(const net::Link& link, std::string label) {
+  links_.push_back(WatchedLink{&link, std::move(label)});
+}
+
+void InvariantAuditor::watchSwitch(const net::Switch& sw) {
+  switches_.push_back(&sw);
+}
+
+void InvariantAuditor::watchTlb(const core::Tlb& tlb, Bytes qthCapBytes) {
+  tlbs_.push_back(WatchedTlb{&tlb, qthCapBytes});
+}
+
+void InvariantAuditor::watchFlow(const transport::TcpSender& sender,
+                                 const transport::TcpReceiver& receiver,
+                                 Bytes mss) {
+  flows_.push_back(WatchedFlow{&sender, &receiver, mss});
+}
+
+void InvariantAuditor::watchTopology(net::LeafSpineTopology& topo) {
+  for (int h = 0; h < topo.numHosts(); ++h) {
+    watchLink(topo.host(h).uplink(), "host" + std::to_string(h) + "->leaf");
+    watchLink(topo.leafDownlink(static_cast<net::HostId>(h)),
+              "leaf->host" + std::to_string(h));
+  }
+  for (int l = 0; l < topo.numLeaves(); ++l) {
+    watchSwitch(topo.leaf(l));
+    for (int s = 0; s < topo.numSpines(); ++s) {
+      watchLink(topo.leafUplink(l, s),
+                "leaf" + std::to_string(l) + "->spine" + std::to_string(s));
+      watchLink(topo.spineDownlink(s, l),
+                "spine" + std::to_string(s) + "->leaf" + std::to_string(l));
+    }
+  }
+  for (int s = 0; s < topo.numSpines(); ++s) watchSwitch(topo.spine(s));
+  // Every link a packet can traverse is now watched, which closes the
+  // end-to-end conservation sum.
+  topologyComplete_ = true;
+}
+
+void InvariantAuditor::install(sim::Simulator& simr) {
+  sim_ = &simr;
+  simr.every(
+      cfg_.interval,
+      [this] {
+        ++ticks_;
+        auditNow(sim_->now());
+      },
+      /*start=*/cfg_.interval, /*name=*/"check.audit");
+}
+
+void InvariantAuditor::report(SimTime now, const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  ++violationCount_;
+  if (violations_.size() < cfg_.maxRecorded) {
+    violations_.push_back(AuditViolation{now, buf});
+  }
+  if (cfg_.assertOnViolation) {
+    fail(__FILE__, __LINE__, "invariant audit", "t=%lldns %s",
+         static_cast<long long>(now), buf);
+  }
+}
+
+void InvariantAuditor::auditNow(SimTime now) {
+  // Event-time monotonicity: the scheduler must never hand us a tick from
+  // the past.
+  ++checksRun_;
+  if (now < lastAuditTime_) {
+    report(now, "time regressed: audit at %lld after one at %lld",
+           static_cast<long long>(now),
+           static_cast<long long>(lastAuditTime_));
+  }
+  lastAuditTime_ = now;
+
+  auditLinks(now);
+  auditSwitches(now);
+  auditTlbs(now);
+  auditFlows(now);
+  auditConservation(now);
+}
+
+void InvariantAuditor::auditLinks(SimTime now) {
+  for (const auto& w : links_) {
+    const net::Link& link = *w.link;
+    ++checksRun_;
+
+    // Byte accounting: the incremental depth counter must equal a
+    // from-scratch sum over the stored packets.
+    const Bytes recomputed = link.queue().recomputeBytes();
+    if (link.queueBytes() != recomputed) {
+      report(now, "port %s: queue byte counter %lld != recomputed %lld",
+             w.label.c_str(), static_cast<long long>(link.queueBytes()),
+             static_cast<long long>(recomputed));
+    }
+    if (link.queueBytes() < 0) {
+      report(now, "port %s: negative queue depth %lld bytes",
+             w.label.c_str(), static_cast<long long>(link.queueBytes()));
+    }
+    if (link.queuePackets() > link.queue().config().capacityPackets) {
+      report(now, "port %s: %d packets queued above capacity %d",
+             w.label.c_str(), link.queuePackets(),
+             link.queue().config().capacityPackets);
+    }
+
+    // Packet conservation within the link: everything accepted is either
+    // transmitted, waiting, or (at most one packet) being serialized.
+    const std::uint64_t accounted =
+        link.txPackets() + static_cast<std::uint64_t>(link.queuePackets()) +
+        (link.transmitting() ? 1 : 0);
+    if (link.enqueuedPackets() != accounted) {
+      report(now,
+             "port %s: conservation broken: enqueued %llu != tx %llu + "
+             "queued %d + serializing %d",
+             w.label.c_str(),
+             static_cast<unsigned long long>(link.enqueuedPackets()),
+             static_cast<unsigned long long>(link.txPackets()),
+             link.queuePackets(), link.transmitting() ? 1 : 0);
+    }
+    if (link.deliveredPackets() > link.txPackets()) {
+      report(now, "port %s: delivered %llu packets but only %llu left the "
+             "transmitter",
+             w.label.c_str(),
+             static_cast<unsigned long long>(link.deliveredPackets()),
+             static_cast<unsigned long long>(link.txPackets()));
+    }
+  }
+}
+
+void InvariantAuditor::auditSwitches(SimTime now) {
+  for (const net::Switch* sw : switches_) {
+    ++checksRun_;
+    for (int port : sw->uplinkGroup()) {
+      if (port < 0 || port >= sw->numPorts()) {
+        report(now, "switch %s: uplink group references invalid port %d",
+               sw->name().c_str(), port);
+      }
+    }
+  }
+}
+
+void InvariantAuditor::auditTlbs(SimTime now) {
+  for (const auto& w : tlbs_) {
+    ++checksRun_;
+    const Bytes qth = w.tlb->qthBytes();
+    if (qth < 0) {
+      report(now, "tlb: q_th negative (%lld bytes)",
+             static_cast<long long>(qth));
+    }
+    if (w.qthCapBytes > 0 && qth > w.qthCapBytes) {
+      report(now, "tlb: q_th %lld bytes above admissible cap %lld",
+             static_cast<long long>(qth),
+             static_cast<long long>(w.qthCapBytes));
+    }
+  }
+}
+
+void InvariantAuditor::auditFlows(SimTime now) {
+  for (const auto& w : flows_) {
+    ++checksRun_;
+    const transport::TcpSender& snd = *w.sender;
+    const transport::TcpReceiver& rcv = *w.receiver;
+    const auto flowId = static_cast<unsigned long long>(snd.flow().id);
+    const Bytes size = snd.flow().size;
+
+    if (snd.bytesAcked() > snd.bytesSent()) {
+      report(now, "flow %llu: snd_una %lld beyond snd_nxt %lld", flowId,
+             static_cast<long long>(snd.bytesAcked()),
+             static_cast<long long>(snd.bytesSent()));
+    }
+    if (snd.bytesSent() > size) {
+      report(now, "flow %llu: snd_nxt %lld beyond flow size %lld", flowId,
+             static_cast<long long>(snd.bytesSent()),
+             static_cast<long long>(size));
+    }
+    // ACK information only flows from the receiver back, so the sender's
+    // cumulative ack can lag the receiver's but never lead it.
+    if (static_cast<std::uint64_t>(snd.bytesAcked()) > rcv.cumulativeAck()) {
+      report(now, "flow %llu: sender acked %lld ahead of receiver's %llu",
+             flowId, static_cast<long long>(snd.bytesAcked()),
+             static_cast<unsigned long long>(rcv.cumulativeAck()));
+    }
+    if (rcv.cumulativeAck() > static_cast<std::uint64_t>(size)) {
+      report(now, "flow %llu: receiver ack %llu beyond flow size %lld",
+             flowId, static_cast<unsigned long long>(rcv.cumulativeAck()),
+             static_cast<long long>(size));
+    }
+    if (rcv.outOfOrderPackets() > rcv.dataPacketsReceived()) {
+      report(now, "flow %llu: %llu out-of-order among %llu data packets",
+             flowId,
+             static_cast<unsigned long long>(rcv.outOfOrderPackets()),
+             static_cast<unsigned long long>(rcv.dataPacketsReceived()));
+    }
+    if (snd.completed() && snd.bytesAcked() < size) {
+      report(now, "flow %llu: completed with %lld of %lld bytes acked",
+             flowId, static_cast<long long>(snd.bytesAcked()),
+             static_cast<long long>(size));
+    }
+    const double cwnd = snd.cwndBytes();
+    if (size > 0 &&
+        (cwnd < static_cast<double>(w.mss) || cwnd > 1e15 || cwnd != cwnd)) {
+      report(now, "flow %llu: cwnd %.1f outside [1 MSS=%lld, finite)",
+             flowId, cwnd, static_cast<long long>(w.mss));
+    }
+  }
+}
+
+void InvariantAuditor::auditConservation(SimTime now) {
+  // End-to-end packet conservation needs every link watched; partial
+  // coverage would mis-attribute packets queued on unwatched links.
+  if (!topologyComplete_ || flows_.empty()) return;
+  ++checksRun_;
+
+  std::uint64_t dataSent = 0;
+  std::uint64_t dataReceived = 0;
+  for (const auto& w : flows_) {
+    dataSent += w.sender->dataPacketsSent();
+    dataReceived += w.receiver->dataPacketsReceived();
+  }
+  std::uint64_t drops = 0;
+  std::uint64_t inNetwork = 0;
+  for (const auto& w : links_) {
+    drops += w.link->drops();
+    inNetwork += w.link->enqueuedPackets() - w.link->deliveredPackets();
+  }
+  if (dataReceived > dataSent) {
+    report(now, "conservation: %llu data packets received but only %llu "
+           "sent",
+           static_cast<unsigned long long>(dataReceived),
+           static_cast<unsigned long long>(dataSent));
+  } else if (dataSent - dataReceived > drops + inNetwork) {
+    report(now,
+           "conservation: %llu data packets unaccounted for (sent %llu, "
+           "received %llu, dropped %llu, in network %llu)",
+           static_cast<unsigned long long>(dataSent - dataReceived - drops -
+                                           inNetwork),
+           static_cast<unsigned long long>(dataSent),
+           static_cast<unsigned long long>(dataReceived),
+           static_cast<unsigned long long>(drops),
+           static_cast<unsigned long long>(inNetwork));
+  }
+}
+
+}  // namespace tlbsim::check

@@ -1,0 +1,150 @@
+// Runtime invariant audit (tlbsim::check): a validator that re-derives the
+// simulation's conservation laws from first principles on every control
+// tick and cross-checks them against the incremental counters the hot
+// paths maintain. A silent unit mix-up (ns vs µs, bytes vs packets) or an
+// off-by-one in queue accounting skews every figure without crashing —
+// this layer turns those into loud failures.
+//
+// Checked each tick:
+//   * packet conservation, per link:  enqueued == tx + queued + serializing,
+//     delivered <= tx (the difference is in propagation),
+//   * packet conservation, end to end:  data sent >= data received, and the
+//     difference is covered by drops + packets still inside the network,
+//   * byte accounting, per port: the queue's incremental byte counter
+//     equals a from-scratch sum over the stored packets, and the depth
+//     never exceeds the configured capacity,
+//   * event-time monotonicity: simulation time never moves backwards
+//     between ticks,
+//   * TLB model range: q_th stays within [0, buffer/cap] (a threshold the
+//     queue can never reach means the control loop is dead),
+//   * TCP sequence sanity per flow: snd_una <= snd_nxt <= flow size,
+//     snd_una <= receiver's cumulative ack <= flow size, cwnd within
+//     [1 MSS, +inf) and finite, completion implies full acknowledgment.
+//
+// Violations are recorded (bounded) and, by default, also routed through
+// TLBSIM_ASSERT so a Debug test run dies at the offending tick. The
+// harness installs an auditor for every experiment in Debug builds; see
+// ExperimentConfig::audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::net {
+class Link;
+class Switch;
+class LeafSpineTopology;
+}  // namespace tlbsim::net
+namespace tlbsim::core {
+class Tlb;
+}
+namespace tlbsim::transport {
+class TcpReceiver;
+class TcpSender;
+}  // namespace tlbsim::transport
+namespace tlbsim::sim {
+class Simulator;
+}
+
+namespace tlbsim::check {
+
+struct AuditViolation {
+  SimTime time = 0;
+  std::string what;
+};
+
+class InvariantAuditor {
+ public:
+  struct Config {
+    /// Audit cadence; matches TLB's 500 µs control interval by default.
+    SimTime interval = microseconds(500);
+    /// Route each violation through TLBSIM_ASSERT (dies unless a test
+    /// installed a check::FailureHandler). Violations are recorded either
+    /// way.
+    bool assertOnViolation = true;
+    /// Cap on recorded violations (the count keeps incrementing).
+    std::size_t maxRecorded = 64;
+  };
+
+  // Out-of-line: a default argument here would need Config's member
+  // initializers before the enclosing class is complete.
+  InvariantAuditor();
+  explicit InvariantAuditor(Config cfg);
+
+  // --- registration (all watched objects must outlive the auditor) ------
+  void watchLink(const net::Link& link, std::string label);
+  void watchSwitch(const net::Switch& sw);
+  /// `qthCapBytes` is the admissible upper bound for q_th (buffer depth,
+  /// tightened by the ECN cap when one is configured).
+  void watchTlb(const core::Tlb& tlb, Bytes qthCapBytes);
+  /// Sender/receiver of one flow, as a pair so the end-to-end conservation
+  /// sum stays closed.
+  void watchFlow(const transport::TcpSender& sender,
+                 const transport::TcpReceiver& receiver, Bytes mss);
+  /// Every host access link, fabric link, and switch of a leaf-spine
+  /// topology in one call.
+  void watchTopology(net::LeafSpineTopology& topo);
+
+  /// Start the periodic audit (fires every cfg.interval; also audits once
+  /// at the end of a bounded run when the simulator revives the timer).
+  void install(sim::Simulator& simr);
+
+  /// Run every registered check once against the state at time `now`.
+  void auditNow(SimTime now);
+
+  // --- results ----------------------------------------------------------
+  std::uint64_t ticks() const { return ticks_; }
+  std::uint64_t checksRun() const { return checksRun_; }
+  std::uint64_t violationCount() const { return violationCount_; }
+  const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  struct WatchedLink {
+    const net::Link* link;
+    std::string label;
+  };
+  struct WatchedTlb {
+    const core::Tlb* tlb;
+    Bytes qthCapBytes;
+  };
+  struct WatchedFlow {
+    const transport::TcpSender* sender;
+    const transport::TcpReceiver* receiver;
+    Bytes mss;
+  };
+
+  /// Records (and possibly asserts on) one violation. `fmt` is
+  /// printf-style.
+  __attribute__((format(printf, 3, 4))) void report(SimTime now,
+                                                    const char* fmt, ...);
+
+  void auditLinks(SimTime now);
+  void auditSwitches(SimTime now);
+  void auditTlbs(SimTime now);
+  void auditFlows(SimTime now);
+  void auditConservation(SimTime now);
+
+  Config cfg_;
+  std::vector<WatchedLink> links_;
+  std::vector<const net::Switch*> switches_;
+  std::vector<WatchedTlb> tlbs_;
+  std::vector<WatchedFlow> flows_;
+
+  sim::Simulator* sim_ = nullptr;
+  /// True once watchTopology covered every link a packet can traverse;
+  /// gates the end-to-end conservation check (partial link coverage would
+  /// mis-attribute packets queued on unwatched links).
+  bool topologyComplete_ = false;
+  SimTime lastAuditTime_ = -1;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t checksRun_ = 0;
+  std::uint64_t violationCount_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace tlbsim::check

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "check/invariant_audit.hpp"
 #include "core/tlb.hpp"
 #include "sim/simulator.hpp"
 #include "stats/queue_monitor.hpp"
@@ -24,6 +25,24 @@ struct Totals {
   Bytes longAcked = 0;
   SimTime fabricBusy = 0;
 };
+
+/// Resolves the audit mode: kAuto follows the build type, so every Debug
+/// test run doubles as an invariant check at zero Release cost.
+bool auditEnabled(ExperimentConfig::Audit mode) {
+  switch (mode) {
+    case ExperimentConfig::Audit::kOn:
+      return true;
+    case ExperimentConfig::Audit::kOff:
+      return false;
+    case ExperimentConfig::Audit::kAuto:
+      break;
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
 
 }  // namespace
 
@@ -128,6 +147,27 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     }
   }
 
+  // Invariant audit: watch every link, switch, TLB instance, and flow,
+  // then re-verify the conservation laws each control tick.
+  std::unique_ptr<check::InvariantAuditor> auditor;
+  if (auditEnabled(cfg.audit)) {
+    check::InvariantAuditor::Config acfg;
+    acfg.interval = cfg.auditInterval;
+    auditor = std::make_unique<check::InvariantAuditor>(acfg);
+    auditor->watchTopology(topo);
+    // Admissible q_th range: [0, buffer depth], tightened by the ECN cap,
+    // widened by an explicit override (the Fig. 7 harness pins q_th).
+    Bytes qthCap = cfg.scheme.tlb.bufferBytes();
+    if (cfg.scheme.tlb.qthCapPackets > 0) {
+      qthCap = std::min(qthCap,
+                        static_cast<Bytes>(cfg.scheme.tlb.qthCapPackets) *
+                            cfg.scheme.tlb.packetWireSize);
+    }
+    qthCap = std::max(qthCap, cfg.scheme.tlb.qthOverrideBytes);
+    for (const auto* tlb : tlbs) auditor->watchTlb(*tlb, qthCap);
+    auditor->install(simr);
+  }
+
   // Transport endpoints.
   std::vector<std::unique_ptr<transport::TcpReceiver>> receivers;
   std::vector<std::unique_ptr<transport::TcpSender>> senders;
@@ -142,6 +182,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
         [&completed](transport::TcpSender&) { ++completed; }));
     if (cfg.metrics != nullptr || cfg.trace != nullptr) {
       senders.back()->installObs(cfg.metrics, cfg.trace);
+    }
+    if (auditor != nullptr) {
+      auditor->watchFlow(*senders.back(), *receivers.back(), cfg.tcp.mss);
     }
     senders.back()->start();
   }
@@ -217,6 +260,14 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     if (!sched.step(cfg.maxDuration)) break;
   }
   res.endTime = simr.now();
+  if (auditor != nullptr) {
+    // One final sweep so short runs (under one audit interval) are still
+    // checked at least once.
+    auditor->auditNow(simr.now());
+    res.auditTicks = auditor->ticks();
+    res.auditChecks = auditor->checksRun();
+    res.auditViolations = auditor->violationCount();
+  }
   TLBSIM_LOG_INFO("experiment: done t=%.1fms completed=%zu/%zu events=%llu",
                   toMilliseconds(res.endTime), completed, cfg.flows.size(),
                   static_cast<unsigned long long>(

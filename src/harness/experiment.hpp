@@ -53,6 +53,15 @@ struct ExperimentConfig {
   /// Cadence of the queue-depth snapshot sampler (matches TLB's control
   /// interval by default).
   SimTime obsSampleInterval = microseconds(500);
+
+  // --- invariant audit (tlbsim::check) ----------------------------------
+  /// kAuto enables the audit in Debug builds (every test run then doubles
+  /// as a conservation check) and disables it in Release; kOn/kOff force
+  /// it either way. A violation aborts with the offending invariant.
+  enum class Audit { kAuto, kOn, kOff };
+  Audit audit = Audit::kAuto;
+  /// Audit cadence (matches TLB's 500 µs control interval by default).
+  SimTime auditInterval = microseconds(500);
 };
 
 struct ExperimentResult {
@@ -76,6 +85,11 @@ struct ExperimentResult {
   std::uint64_t tlbLongSwitches = 0;  ///< sum over leaves (TLB runs only)
   SimTime endTime = 0;
   double meanFabricUtilization = 0.0;
+
+  // Invariant-audit outcome (zeros when the audit was disabled).
+  std::uint64_t auditTicks = 0;
+  std::uint64_t auditChecks = 0;
+  std::uint64_t auditViolations = 0;
 
   // --- the aggregates the paper reports -------------------------------
   double shortAfctSec() const {

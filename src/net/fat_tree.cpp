@@ -1,7 +1,8 @@
 #include "net/fat_tree.hpp"
 
-#include <cassert>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace tlbsim::net {
 
@@ -17,7 +18,8 @@ FatTreeTopology::FatTreeTopology(sim::Simulator& simr,
                                  const FatTreeConfig& cfg,
                                  const SelectorFactory& makeSelector)
     : sim_(simr), cfg_(cfg) {
-  assert(cfg.k >= 2 && cfg.k % 2 == 0);
+  TLBSIM_ASSERT(cfg.k >= 2 && cfg.k % 2 == 0,
+                "fat-tree k must be even and >= 2 (got %d)", cfg.k);
   const int half = cfg.k / 2;
   const QueueConfig qcfg{cfg.bufferPackets, cfg.ecnThresholdPackets};
 

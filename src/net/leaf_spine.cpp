@@ -1,7 +1,8 @@
 #include "net/leaf_spine.hpp"
 
-#include <cassert>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace tlbsim::net {
 
@@ -25,7 +26,11 @@ LeafSpineTopology::LeafSpineTopology(sim::Simulator& simr,
                                      const LeafSpineConfig& cfg,
                                      const SelectorFactory& makeSelector)
     : sim_(simr), cfg_(cfg) {
-  assert(cfg.numLeaves >= 1 && cfg.numSpines >= 1 && cfg.hostsPerLeaf >= 1);
+  TLBSIM_ASSERT(cfg.numLeaves >= 1 && cfg.numSpines >= 1 &&
+                    cfg.hostsPerLeaf >= 1,
+                "leaf-spine needs at least 1 leaf, 1 spine, 1 host/leaf "
+                "(got %d/%d/%d)",
+                cfg.numLeaves, cfg.numSpines, cfg.hostsPerLeaf);
   const QueueConfig qcfg{cfg.bufferPackets, cfg.ecnThresholdPackets};
 
   for (int l = 0; l < cfg.numLeaves; ++l) {

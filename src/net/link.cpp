@@ -1,9 +1,8 @@
 #include "net/link.hpp"
 
-#include <cassert>
-
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 
 namespace tlbsim::net {
 
@@ -33,6 +32,8 @@ void Link::send(Packet pkt) {
     for (const auto& hook : dropHooks_) hook(pkt);
     return;
   }
+  ++enqueuedPackets_;
+  enqueuedBytes_ += pkt.size;
   if (queue_.ecnMarks() != marksBefore) {
     // Observers see the packet as stored: with its CE mark.
     pkt.ce = true;
@@ -49,7 +50,7 @@ void Link::send(Packet pkt) {
 }
 
 void Link::startTransmission() {
-  assert(!queue_.empty());
+  TLBSIM_DCHECK(!queue_.empty(), "transmission started on an empty queue");
   SimTime queueDelay = 0;
   Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
   for (const auto& hook : dequeueHooks_) hook(pkt, queueDelay);
@@ -77,7 +78,12 @@ void Link::onTransmitComplete(Packet pkt) {
   if (peer_ != nullptr) {
     Node* peer = peer_;
     const int port = peerPort_;
-    sim_.schedule(delay_, [peer, port, pkt] { peer->receive(pkt, port); });
+    sim_.schedule(delay_, [this, peer, port, pkt] {
+      ++deliveredPackets_;
+      peer->receive(pkt, port);
+    });
+  } else {
+    ++deliveredPackets_;  // sinkless link: nothing left in flight
   }
   transmitting_ = false;
   if (!queue_.empty()) startTransmission();

@@ -59,6 +59,14 @@ class Link {
   std::uint64_t txPackets() const { return txPackets_; }
   Bytes txBytes() const { return txBytes_; }
   std::uint64_t drops() const { return queue_.drops(); }
+  /// Packets accepted into the queue since construction (audit support:
+  /// enqueued == tx + queued + serializing must hold at all times).
+  std::uint64_t enqueuedPackets() const { return enqueuedPackets_; }
+  Bytes enqueuedBytes() const { return enqueuedBytes_; }
+  /// Packets handed to the peer after propagation; tx - delivered is the
+  /// number currently in flight on the wire.
+  std::uint64_t deliveredPackets() const { return deliveredPackets_; }
+  bool transmitting() const { return transmitting_; }
   /// Cumulative time the transmitter has been busy; utilization over a
   /// window is the delta of this divided by the window.
   SimTime busyTime() const { return busyTime_; }
@@ -92,6 +100,9 @@ class Link {
 
   std::uint64_t txPackets_ = 0;
   Bytes txBytes_ = 0;
+  std::uint64_t enqueuedPackets_ = 0;
+  Bytes enqueuedBytes_ = 0;
+  std::uint64_t deliveredPackets_ = 0;
   SimTime busyTime_ = 0;
   std::vector<DequeueHook> dequeueHooks_;
   std::vector<DropHook> dropHooks_;

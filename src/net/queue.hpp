@@ -9,6 +9,7 @@
 #include <deque>
 
 #include "net/packet.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -61,6 +62,7 @@ class DropTailQueue {
   /// Pops the head. Precondition: !empty().
   /// `queueDelay` receives the time spent waiting in this queue.
   Packet dequeue(SimTime now, SimTime* queueDelay = nullptr) {
+    TLBSIM_DCHECK(!items_.empty(), "dequeue from an empty queue");
     Item item = items_.front();
     items_.pop_front();
     bytes_ -= item.pkt.size;
@@ -81,6 +83,14 @@ class DropTailQueue {
   /// RED's averaged queue length (packets); kInstantaneous mode keeps it
   /// at 0.
   double averagedQueuePackets() const { return avgQueue_; }
+
+  /// Recomputes the byte depth from the stored packets. O(n); used by the
+  /// invariant audit to cross-check the incremental `bytes_` counter.
+  Bytes recomputeBytes() const {
+    Bytes total = 0;
+    for (const auto& item : items_) total += item.pkt.size;
+    return total;
+  }
 
  private:
   struct Item {

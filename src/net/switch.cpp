@@ -1,14 +1,13 @@
 #include "net/switch.hpp"
 
-#include <cassert>
-
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace tlbsim::net {
 
 void Switch::setRoute(HostId dstHost, int port) {
-  assert(dstHost >= 0);
+  TLBSIM_ASSERT(dstHost >= 0, "route for negative host id %d", dstHost);
   if (static_cast<std::size_t>(dstHost) >= routes_.size()) {
     routes_.resize(static_cast<std::size_t>(dstHost) + 1, kNoRoute);
   }
@@ -43,7 +42,9 @@ void Switch::receive(Packet pkt, int inPort) {
   (void)inPort;
   int out = routeFor(pkt.dst);
   if (out == kViaUplinks) {
-    assert(!uplinks_.empty());
+    TLBSIM_ASSERT(!uplinks_.empty(),
+                  "%s routes via uplinks but has no uplink group",
+                  name_.c_str());
     if (selector_ != nullptr && uplinks_.size() > 1) {
       out = selector_->selectUplink(pkt, uplinkView());
     } else {

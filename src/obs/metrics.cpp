@@ -138,8 +138,13 @@ std::string MetricsRegistry::toJson() const {
     const auto& pts = s->points();
     for (std::size_t i = 0; i < pts.size(); ++i) {
       if (i > 0) out += ", ";
-      out += "[" + jsonNumber(toSeconds(pts[i].first)) + ", " +
-             jsonNumber(pts[i].second) + "]";
+      // Appended piecewise: GCC 12's -Wrestrict misfires on the inlined
+      // `"[" + std::string&&` concatenation chain at -O2 (GCC PR105651).
+      out += "[";
+      out += jsonNumber(toSeconds(pts[i].first));
+      out += ", ";
+      out += jsonNumber(pts[i].second);
+      out += "]";
     }
     out += "]";
   }

@@ -28,6 +28,10 @@ bool Scheduler::step(SimTime limit) {
     Entry e = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     if (live_.erase(e.id) == 0) continue;  // cancelled; skip
+    TLBSIM_DCHECK(e.time >= now_,
+                  "event time regressed: %lld < now %lld (heap corruption?)",
+                  static_cast<long long>(e.time),
+                  static_cast<long long>(now_));
     now_ = e.time;
     ++executed_;
     e.fn();

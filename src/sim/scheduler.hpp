@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/units.hpp"
 
 namespace tlbsim::sim {
@@ -26,7 +27,12 @@ class Scheduler {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` ns from now. Returns a cancellable id.
+  /// A negative delay is always a unit bug upstream (time never flows
+  /// backwards in the simulation), so Debug builds reject it.
   EventId schedule(SimTime delay, Callback fn) {
+    TLBSIM_DCHECK(delay >= 0, "negative delay %lld ns at t=%lld",
+                  static_cast<long long>(delay),
+                  static_cast<long long>(now_));
     return scheduleAt(now_ + delay, std::move(fn));
   }
 

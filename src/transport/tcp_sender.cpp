@@ -1,10 +1,10 @@
 #include "transport/tcp_sender.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace tlbsim::transport {
@@ -113,8 +113,17 @@ void TcpSender::handleAck(const net::Packet& ack) {
 }
 
 void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
+  TLBSIM_DCHECK(ackNo <= maxSent_,
+                "flow %llu acked byte %llu beyond the %llu ever sent",
+                static_cast<unsigned long long>(flow_.id),
+                static_cast<unsigned long long>(ackNo),
+                static_cast<unsigned long long>(maxSent_));
   const std::uint64_t newlyAcked = ackNo - sndUna_;
   sndUna_ = ackNo;
+  // A late ACK for data sent before a go-back-N rewind can overtake the
+  // rewound snd_nxt; without this resync inFlight() would go negative and
+  // the already-acked prefix would be retransmitted.
+  if (sndNxt_ < sndUna_) sndNxt_ = sndUna_;
   if (ack.echoTs >= 0 && !ack.ece) updateRtt(sim_.now() - ack.echoTs);
   rtoBackoff_ = 1;
   updateDctcp(newlyAcked, ack.ece);
@@ -225,6 +234,10 @@ void TcpSender::trySend() {
 
 void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
   const auto size = static_cast<std::uint64_t>(flow_.size);
+  TLBSIM_DCHECK(seq < size, "flow %llu segment starts past flow end (%llu >= %llu)",
+                static_cast<unsigned long long>(flow_.id),
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(size));
   const Bytes payload = static_cast<Bytes>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(params_.mss),
                               size - seq));
@@ -240,6 +253,7 @@ void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
   pkt.sentAt = sim_.now();
   pkt.retransmit = isRetransmit;
   ++dataPacketsSent_;
+  maxSent_ = std::max(maxSent_, seq + static_cast<std::uint64_t>(payload));
   if (isRetransmit && cRetransmitted_ != nullptr) cRetransmitted_->inc();
   host_.send(pkt);
 }

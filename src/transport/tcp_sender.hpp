@@ -53,6 +53,8 @@ class TcpSender : public net::PacketHandler {
   }
 
   Bytes bytesAcked() const { return static_cast<Bytes>(sndUna_); }
+  /// Highest byte handed to the network so far (snd_nxt).
+  Bytes bytesSent() const { return static_cast<Bytes>(sndNxt_); }
   std::uint64_t dupAcksReceived() const { return dupAcksReceived_; }
   std::uint64_t fastRetransmits() const { return fastRetransmits_; }
   std::uint64_t timeouts() const { return timeouts_; }
@@ -103,6 +105,7 @@ class TcpSender : public net::PacketHandler {
 
   std::uint64_t sndUna_ = 0;  ///< lowest unacked byte
   std::uint64_t sndNxt_ = 0;  ///< next byte to send
+  std::uint64_t maxSent_ = 0;  ///< high-water mark of bytes handed out
 
   double cwnd_ = 0.0;      ///< congestion window (bytes)
   double ssthresh_ = 0.0;  ///< slow-start threshold (bytes)

@@ -1,0 +1,43 @@
+#include "util/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlbsim::check {
+
+namespace {
+FailureHandler handler_ = nullptr;
+long failures_ = 0;
+}  // namespace
+
+FailureHandler setFailureHandler(FailureHandler handler) {
+  FailureHandler prev = handler_;
+  handler_ = handler;
+  failures_ = 0;
+  return prev;
+}
+
+long failureCount() { return failures_; }
+
+void fail(const char* file, int line, const char* expr, const char* fmt,
+          ...) {
+  char message[512];
+  message[0] = '\0';
+  if (fmt != nullptr && fmt[0] != '\0') {
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    va_end(args);
+  }
+  if (handler_ != nullptr) {
+    ++failures_;
+    handler_(file, line, expr, message);
+    return;
+  }
+  std::fprintf(stderr, "%s:%d: check failed: %s%s%s\n", file, line, expr,
+               message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace tlbsim::check

@@ -1,0 +1,62 @@
+// Message-bearing assertion macros — the only sanctioned assertions in src/
+// (tools/tlbsim_lint rejects bare `assert`).
+//
+//   TLBSIM_ASSERT(cond)                 always checked, every build type
+//   TLBSIM_ASSERT(cond, "fmt", ...)     ... with a printf-style message
+//   TLBSIM_DCHECK(cond)                 checked in Debug; in Release the
+//   TLBSIM_DCHECK(cond, "fmt", ...)     condition still compiles but is
+//                                       never evaluated (zero cost)
+//
+// Failures print "<file>:<line>: check failed: <expr>[ — <message>]" to
+// stderr and abort, unless a test installs a handler via setFailureHandler
+// (which lets assertion behavior itself be unit-tested without dying).
+#pragma once
+
+namespace tlbsim::check {
+
+/// Receives (file, line, expression text, formatted message — "" when the
+/// assertion carried none). A handler that returns suppresses the abort.
+using FailureHandler = void (*)(const char* file, int line, const char* expr,
+                                const char* message);
+
+/// Install a failure handler (tests only); nullptr restores abort-on-fail.
+/// Returns the previous handler.
+FailureHandler setFailureHandler(FailureHandler handler);
+
+/// Assertion-failure sink used by the macros below. Aborts unless a
+/// handler is installed.
+__attribute__((format(printf, 4, 5))) void fail(const char* file, int line,
+                                                const char* expr,
+                                                const char* fmt, ...);
+
+/// Number of failures routed through an installed handler (tests).
+long failureCount();
+
+}  // namespace tlbsim::check
+
+/// Always-on invariant check, kept in Release builds: use for conditions
+/// whose violation corrupts results silently (conservation, accounting).
+#define TLBSIM_ASSERT(cond, ...)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      /* The "" prefix makes the message optional; silence the */       \
+      /* zero-length-format warning that fires when it is omitted. */   \
+      _Pragma("GCC diagnostic push")                                    \
+      _Pragma("GCC diagnostic ignored \"-Wformat-zero-length\"")        \
+      ::tlbsim::check::fail(__FILE__, __LINE__, #cond, "" __VA_ARGS__); \
+      _Pragma("GCC diagnostic pop")                                     \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only check: compiled to nothing in Release (NDEBUG), but the
+/// condition must still compile, so it cannot rot.
+#ifdef NDEBUG
+#define TLBSIM_DCHECK(cond, ...)        \
+  do {                                  \
+    if (false) {                        \
+      static_cast<void>(cond);          \
+    }                                   \
+  } while (0)
+#else
+#define TLBSIM_DCHECK(cond, ...) TLBSIM_ASSERT(cond, ##__VA_ARGS__)
+#endif

@@ -1,6 +1,7 @@
 #include "util/config.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -99,6 +100,39 @@ bool KeyValueConfig::getBool(const std::string& key, bool fallback) const {
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   return fallback;
+}
+
+std::optional<std::int64_t> KeyValueConfig::getIntStrict(
+    const std::string& key) const {
+  if (!has(key)) return std::nullopt;
+  const std::string v = get(key);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size()) return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> KeyValueConfig::getDoubleStrict(
+    const std::string& key) const {
+  if (!has(key)) return std::nullopt;
+  const std::string v = get(key);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno == ERANGE || end != v.c_str() + v.size()) return std::nullopt;
+  return parsed;
+}
+
+std::optional<bool> KeyValueConfig::getBoolStrict(
+    const std::string& key) const {
+  if (!has(key)) return std::nullopt;
+  const std::string v = get(key);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return std::nullopt;
 }
 
 std::vector<std::string> KeyValueConfig::keys() const {

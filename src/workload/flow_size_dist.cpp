@@ -1,7 +1,8 @@
 #include "workload/flow_size_dist.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace tlbsim::workload {
 
@@ -24,7 +25,7 @@ FlowSizeDistribution::Table scaleToBytes(
 
 FlowSizeDistribution::FlowSizeDistribution(Table table, Bytes capBytes)
     : table_(std::move(table)) {
-  assert(!table_.empty());
+  TLBSIM_ASSERT(!table_.empty(), "flow-size CDF table is empty");
   if (capBytes > 0) {
     // Truncate the tail at capBytes: renormalize by folding the residual
     // probability onto the cap. Keeps small-flow shape identical while
@@ -37,7 +38,9 @@ FlowSizeDistribution::FlowSizeDistribution(Table table, Bytes capBytes)
     capped.emplace_back(capBytes, 1.0);
     table_ = std::move(capped);
   }
-  assert(table_.back().second >= 1.0 - 1e-9);
+  TLBSIM_ASSERT(table_.back().second >= 1.0 - 1e-9,
+                "flow-size CDF must reach 1.0 (tail cum=%f)",
+                table_.back().second);
 
   // Piecewise-uniform mean.
   double mean = static_cast<double>(table_.front().first) *
@@ -84,7 +87,8 @@ FlowSizeDistribution FlowSizeDistribution::dataMining(Bytes capBytes) {
 }
 
 FlowSizeDistribution FlowSizeDistribution::uniform(Bytes lo, Bytes hi) {
-  assert(lo <= hi);
+  TLBSIM_ASSERT(lo <= hi, "uniform flow-size bounds inverted (%lld > %lld)",
+                static_cast<long long>(lo), static_cast<long long>(hi));
   return FlowSizeDistribution(Table{{lo, 0.0}, {hi, 1.0}});
 }
 

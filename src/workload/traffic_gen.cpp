@@ -1,6 +1,6 @@
 #include "workload/traffic_gen.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace tlbsim::workload {
 
@@ -13,7 +13,8 @@ int leafOf(int host, int hostsPerLeaf) { return host / hostsPerLeaf; }
 std::vector<transport::FlowSpec> poissonWorkload(
     const PoissonConfig& cfg, const FlowSizeDistribution& dist, Rng& rng,
     FlowId firstId) {
-  assert(cfg.numHosts >= 2);
+  TLBSIM_ASSERT(cfg.numHosts >= 2, "poisson workload needs >= 2 hosts (got %d)",
+                cfg.numHosts);
   // Aggregate flow arrival rate: load * reference capacity / mean size.
   const double refCapacity =
       cfg.offeredCapacityBps > 0.0
@@ -52,7 +53,9 @@ std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
                                                   Rng& rng, FlowId firstId) {
   // Long senders wrap around the leaf when numLong > hostsPerLeaf (several
   // long flows then share an access link).
-  assert(cfg.numHosts == 2 * cfg.hostsPerLeaf);
+  TLBSIM_ASSERT(cfg.numHosts == 2 * cfg.hostsPerLeaf,
+                "basic mix assumes a 2-leaf topology (hosts=%d, hosts/leaf=%d)",
+                cfg.numHosts, cfg.hostsPerLeaf);
   std::vector<transport::FlowSpec> flows;
   flows.reserve(static_cast<std::size_t>(cfg.numShort + cfg.numLong));
   FlowId id = firstId;
@@ -92,7 +95,9 @@ std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
 
 std::vector<transport::FlowSpec> incastWorkload(const IncastConfig& cfg,
                                                 Rng& rng, FlowId firstId) {
-  assert(cfg.fanIn >= 1 && cfg.numHosts >= 2);
+  TLBSIM_ASSERT(cfg.fanIn >= 1 && cfg.numHosts >= 2,
+                "incast needs fanIn >= 1 and >= 2 hosts (got %d, %d)", cfg.fanIn,
+                cfg.numHosts);
   std::vector<transport::FlowSpec> flows;
   flows.reserve(static_cast<std::size_t>(cfg.fanIn));
   FlowId id = firstId;

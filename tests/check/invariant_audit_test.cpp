@@ -1,0 +1,129 @@
+#include "check/invariant_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace tlbsim::check {
+namespace {
+
+InvariantAuditor::Config lenient() {
+  InvariantAuditor::Config cfg;
+  cfg.assertOnViolation = false;
+  return cfg;
+}
+
+TEST(InvariantAuditor, CleanStartHasNoViolations) {
+  InvariantAuditor auditor(lenient());
+  auditor.auditNow(microseconds(1));
+  auditor.auditNow(microseconds(2));
+  EXPECT_EQ(auditor.violationCount(), 0u);
+  EXPECT_GE(auditor.checksRun(), 2u);
+}
+
+TEST(InvariantAuditor, DetectsTimeRegression) {
+  InvariantAuditor auditor(lenient());
+  auditor.auditNow(microseconds(100));
+  auditor.auditNow(microseconds(50));
+  ASSERT_EQ(auditor.violationCount(), 1u);
+  EXPECT_NE(auditor.violations()[0].what.find("time regressed"),
+            std::string::npos);
+  EXPECT_EQ(auditor.violations()[0].time, microseconds(50));
+}
+
+TEST(InvariantAuditor, RecordingIsBoundedButCountIsNot) {
+  auto cfg = lenient();
+  cfg.maxRecorded = 2;
+  InvariantAuditor auditor(cfg);
+  for (int i = 5; i >= 1; --i) {
+    auditor.auditNow(microseconds(i));  // strictly decreasing: 4 regressions
+  }
+  EXPECT_EQ(auditor.violationCount(), 4u);
+  EXPECT_EQ(auditor.violations().size(), 2u);
+}
+
+TEST(InvariantAuditor, AssertOnViolationRoutesThroughFailureHandler) {
+  static int fired = 0;
+  fired = 0;
+  auto prev = setFailureHandler(
+      [](const char*, int, const char*, const char*) { ++fired; });
+  InvariantAuditor auditor;  // default config asserts on violation
+  auditor.auditNow(microseconds(10));
+  auditor.auditNow(microseconds(5));
+  setFailureHandler(prev);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(InvariantAuditor, WatchedLinkStaysConsistentThroughTraffic) {
+  sim::Simulator simr;
+  net::Link link(simr, gbps(1), microseconds(10), {16, 0});
+  InvariantAuditor auditor(lenient());
+  auditor.watchLink(link, "test-link");
+
+  net::Packet pkt;
+  pkt.flow = 1;
+  pkt.size = 1500;
+  pkt.payload = 1500;
+  for (int i = 0; i < 4; ++i) link.send(pkt);
+  auditor.auditNow(simr.now());  // mid-flight: queued + serializing
+  simr.run();
+  auditor.auditNow(simr.now());  // drained: all tx'd and delivered
+  EXPECT_EQ(auditor.violationCount(), 0u);
+  EXPECT_EQ(link.enqueuedPackets(), 4u);
+  EXPECT_EQ(link.deliveredPackets(), 4u);
+}
+
+harness::ExperimentConfig auditedConfig(harness::Scheme scheme) {
+  harness::ExperimentConfig cfg;
+  cfg.topo.numLeaves = 2;
+  cfg.topo.numSpines = 2;
+  cfg.topo.hostsPerLeaf = 4;
+  cfg.topo.linkDelay = microseconds(12.5);
+  cfg.topo.bufferPackets = 64;
+  cfg.scheme.scheme = scheme;
+  cfg.seed = 11;
+  cfg.maxDuration = seconds(5);
+  cfg.audit = harness::ExperimentConfig::Audit::kOn;
+
+  workload::BasicMixConfig mix;
+  mix.numShort = 16;
+  mix.numLong = 2;
+  mix.numHosts = 8;
+  mix.hostsPerLeaf = 4;
+  mix.longSize = kMB;
+  Rng rng(11);
+  cfg.flows = workload::basicMixWorkload(mix, rng);
+  return cfg;
+}
+
+TEST(InvariantAuditor, FullTlbExperimentAuditsClean) {
+  const auto res = harness::runExperiment(auditedConfig(harness::Scheme::kTlb));
+  EXPECT_GT(res.auditTicks, 0u);
+  EXPECT_GT(res.auditChecks, res.auditTicks);
+  EXPECT_EQ(res.auditViolations, 0u);
+}
+
+TEST(InvariantAuditor, FullEcmpExperimentAuditsClean) {
+  const auto res =
+      harness::runExperiment(auditedConfig(harness::Scheme::kEcmp));
+  EXPECT_GT(res.auditTicks, 0u);
+  EXPECT_EQ(res.auditViolations, 0u);
+}
+
+TEST(InvariantAuditor, AuditOffRunsNoChecks) {
+  auto cfg = auditedConfig(harness::Scheme::kTlb);
+  cfg.audit = harness::ExperimentConfig::Audit::kOff;
+  const auto res = harness::runExperiment(cfg);
+  EXPECT_EQ(res.auditTicks, 0u);
+  EXPECT_EQ(res.auditChecks, 0u);
+}
+
+}  // namespace
+}  // namespace tlbsim::check

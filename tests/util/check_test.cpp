@@ -1,0 +1,90 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tlbsim::check {
+namespace {
+
+struct Captured {
+  std::string file;
+  int line = 0;
+  std::string expr;
+  std::string message;
+  int fires = 0;
+};
+
+Captured* g_sink = nullptr;
+
+void capture(const char* file, int line, const char* expr,
+             const char* message) {
+  if (g_sink == nullptr) return;
+  g_sink->file = file;
+  g_sink->line = line;
+  g_sink->expr = expr;
+  g_sink->message = message;
+  ++g_sink->fires;
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_sink = &captured_;
+    prev_ = setFailureHandler(&capture);
+  }
+  void TearDown() override {
+    setFailureHandler(prev_);
+    g_sink = nullptr;
+  }
+
+  Captured captured_;
+  FailureHandler prev_ = nullptr;
+};
+
+TEST_F(CheckTest, PassingAssertDoesNotFire) {
+  TLBSIM_ASSERT(1 + 1 == 2);
+  TLBSIM_ASSERT(true, "never printed %d", 1);
+  EXPECT_EQ(captured_.fires, 0);
+}
+
+TEST_F(CheckTest, FailingAssertReportsExprFileAndMessage) {
+  const long before = failureCount();
+  TLBSIM_ASSERT(1 == 2, "value was %d", 42);
+  EXPECT_EQ(captured_.fires, 1);
+  EXPECT_EQ(failureCount(), before + 1);
+  EXPECT_EQ(captured_.expr, "1 == 2");
+  EXPECT_EQ(captured_.message, "value was 42");
+  EXPECT_NE(captured_.file.find("check_test.cpp"), std::string::npos);
+  EXPECT_GT(captured_.line, 0);
+}
+
+TEST_F(CheckTest, MessagelessAssertHasEmptyMessage) {
+  TLBSIM_ASSERT(false);
+  EXPECT_EQ(captured_.fires, 1);
+  EXPECT_EQ(captured_.message, "");
+}
+
+TEST_F(CheckTest, SetFailureHandlerReturnsPrevious) {
+  FailureHandler other = [](const char*, int, const char*, const char*) {};
+  EXPECT_EQ(setFailureHandler(other), &capture);
+  EXPECT_EQ(setFailureHandler(&capture), other);
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildType) {
+  int evaluations = 0;
+  TLBSIM_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0) << "DCHECK condition must not run in Release";
+  EXPECT_EQ(captured_.fires, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(captured_.fires, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace tlbsim::check

@@ -68,6 +68,49 @@ TEST(KeyValueConfig, BoolSpellings) {
   }
 }
 
+TEST(KeyValueConfig, StrictIntRejectsTrailingGarbage) {
+  const auto cfg = KeyValueConfig::fromString(
+      "good = 65\nbad = 65x\nworse = x65\nempty =\n");
+  ASSERT_TRUE(cfg.getIntStrict("good").has_value());
+  EXPECT_EQ(*cfg.getIntStrict("good"), 65);
+  EXPECT_FALSE(cfg.getIntStrict("bad").has_value());
+  EXPECT_FALSE(cfg.getIntStrict("worse").has_value());
+  EXPECT_FALSE(cfg.getIntStrict("empty").has_value());
+  EXPECT_FALSE(cfg.getIntStrict("missing").has_value());
+  // The lenient accessor keeps its prefix-parsing contract.
+  EXPECT_EQ(cfg.getInt("bad", 0), 65);
+}
+
+TEST(KeyValueConfig, StrictIntRejectsOverflow) {
+  const auto cfg = KeyValueConfig::fromString(
+      "huge = 99999999999999999999999999\n"
+      "neghuge = -99999999999999999999999999\n"
+      "fine = -42\n");
+  EXPECT_FALSE(cfg.getIntStrict("huge").has_value());
+  EXPECT_FALSE(cfg.getIntStrict("neghuge").has_value());
+  ASSERT_TRUE(cfg.getIntStrict("fine").has_value());
+  EXPECT_EQ(*cfg.getIntStrict("fine"), -42);
+}
+
+TEST(KeyValueConfig, StrictDoubleRejectsGarbageAndOverflow) {
+  const auto cfg = KeyValueConfig::fromString(
+      "ok = 0.75\nsci = 1e3\nbad = 0.75oops\nhuge = 1e99999\n");
+  ASSERT_TRUE(cfg.getDoubleStrict("ok").has_value());
+  EXPECT_DOUBLE_EQ(*cfg.getDoubleStrict("ok"), 0.75);
+  EXPECT_DOUBLE_EQ(*cfg.getDoubleStrict("sci"), 1000.0);
+  EXPECT_FALSE(cfg.getDoubleStrict("bad").has_value());
+  EXPECT_FALSE(cfg.getDoubleStrict("huge").has_value());
+}
+
+TEST(KeyValueConfig, StrictBoolRejectsUnknownSpellings) {
+  const auto cfg = KeyValueConfig::fromString("a = yes\nb = maybe\nc = 2\n");
+  ASSERT_TRUE(cfg.getBoolStrict("a").has_value());
+  EXPECT_TRUE(*cfg.getBoolStrict("a"));
+  EXPECT_FALSE(cfg.getBoolStrict("b").has_value());
+  EXPECT_FALSE(cfg.getBoolStrict("c").has_value());
+  EXPECT_FALSE(cfg.getBoolStrict("missing").has_value());
+}
+
 TEST(KeyValueConfig, FromFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/kv_test.conf";
   {

@@ -2,9 +2,8 @@
 // from flags and get a summary table (and optionally per-flow CSV).
 //
 //   $ tlbsim_cli --scheme tlb --load 0.6 --flows 300 --workload websearch
-//   $ tlbsim_cli --scheme letflow --leaves 4 --spines 8 --hosts-per-leaf 16 \
-//                --rate-gbps 1 --buffer 256 --ecn-k 65 --seed 7 \
-//                --csv flows.csv
+//   $ tlbsim_cli --scheme letflow --leaves 4 --spines 8 --hosts-per-leaf 16
+//         --rate-gbps 1 --buffer 256 --ecn-k 65 --seed 7 --csv flows.csv
 //   $ tlbsim_cli --list-schemes
 //
 // Exit code 0 on success, 1 on bad flags.
@@ -47,7 +46,29 @@ struct Options {
   std::string traceJsonPath;
   std::string logLevel = "none";
   bool classicTcp = false;
+  bool audit = false;
 };
+
+/// Rejects out-of-range option values with a message; the vocabulary here
+/// is shared by flags and config-file keys.
+bool validate(const Options& opt) {
+  bool ok = true;
+  const auto reject = [&ok](const char* what) {
+    std::fprintf(stderr, "invalid value: %s\n", what);
+    ok = false;
+  };
+  if (!(opt.load > 0.0) || opt.load > 10.0) reject("--load must be in (0, 10]");
+  if (opt.flows < 1) reject("--flows must be >= 1");
+  if (opt.leaves < 1) reject("--leaves must be >= 1");
+  if (opt.spines < 1) reject("--spines must be >= 1");
+  if (opt.hostsPerLeaf < 1) reject("--hosts-per-leaf must be >= 1");
+  if (!(opt.rateGbps > 0.0)) reject("--rate-gbps must be > 0");
+  if (!(opt.rttUs > 0.0)) reject("--rtt-us must be > 0");
+  if (opt.buffer < 1) reject("--buffer must be >= 1");
+  if (opt.ecnK < 0) reject("--ecn-k must be >= 0");
+  if (opt.ecnK > opt.buffer) reject("--ecn-k cannot exceed --buffer");
+  return ok;
+}
 
 /// Maps a --log-level name onto the Logger enum; nullopt for unknown names.
 std::optional<LogLevel> parseLogLevel(const std::string& name) {
@@ -89,17 +110,36 @@ bool applyKey(Options* opt, const std::string& key,
     }
     return false;
   }
+  const KeyValueConfig one = KeyValueConfig::fromString(key + "=" + value);
+  const auto intVal = [&] { return one.getIntStrict(key); };
+  const auto dblVal = [&] { return one.getDoubleStrict(key); };
+  const auto setInt = [&](int* field) {
+    const auto v = intVal();
+    if (!v.has_value()) return false;
+    *field = static_cast<int>(*v);
+    return true;
+  };
+  const auto setDouble = [&](double* field) {
+    const auto v = dblVal();
+    if (!v.has_value()) return false;
+    *field = *v;
+    return true;
+  };
   if (key == "workload") opt->workload = value;
-  else if (key == "load") opt->load = std::atof(value.c_str());
-  else if (key == "flows") opt->flows = std::atoi(value.c_str());
-  else if (key == "leaves") opt->leaves = std::atoi(value.c_str());
-  else if (key == "spines") opt->spines = std::atoi(value.c_str());
-  else if (key == "hosts-per-leaf") opt->hostsPerLeaf = std::atoi(value.c_str());
-  else if (key == "rate-gbps") opt->rateGbps = std::atof(value.c_str());
-  else if (key == "rtt-us") opt->rttUs = std::atof(value.c_str());
-  else if (key == "buffer") opt->buffer = std::atoi(value.c_str());
-  else if (key == "ecn-k") opt->ecnK = std::atoi(value.c_str());
-  else if (key == "seed") opt->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+  else if (key == "load") { if (!setDouble(&opt->load)) return false; }
+  else if (key == "flows") { if (!setInt(&opt->flows)) return false; }
+  else if (key == "leaves") { if (!setInt(&opt->leaves)) return false; }
+  else if (key == "spines") { if (!setInt(&opt->spines)) return false; }
+  else if (key == "hosts-per-leaf") { if (!setInt(&opt->hostsPerLeaf)) return false; }
+  else if (key == "rate-gbps") { if (!setDouble(&opt->rateGbps)) return false; }
+  else if (key == "rtt-us") { if (!setDouble(&opt->rttUs)) return false; }
+  else if (key == "buffer") { if (!setInt(&opt->buffer)) return false; }
+  else if (key == "ecn-k") { if (!setInt(&opt->ecnK)) return false; }
+  else if (key == "seed") {
+    const auto v = intVal();
+    if (!v.has_value()) return false;
+    opt->seed = static_cast<std::uint64_t>(*v);
+  }
   else if (key == "csv") opt->csvPath = value;
   else if (key == "metrics-json") opt->metricsJsonPath = value;
   else if (key == "trace-json") opt->traceJsonPath = value;
@@ -107,7 +147,16 @@ bool applyKey(Options* opt, const std::string& key,
     if (!parseLogLevel(value).has_value()) return false;
     opt->logLevel = value;
   }
-  else if (key == "classic-tcp") opt->classicTcp = (value == "true" || value == "1" || value == "yes" || value == "on");
+  else if (key == "classic-tcp") {
+    const auto v = one.getBoolStrict(key);
+    if (!v.has_value()) return false;
+    opt->classicTcp = *v;
+  }
+  else if (key == "audit") {
+    const auto v = one.getBoolStrict(key);
+    if (!v.has_value()) return false;
+    opt->audit = *v;
+  }
   else return false;
   return true;
 }
@@ -155,6 +204,9 @@ void usage() {
       "  --log-level LEVEL    stderr logging: error|warn|info|debug\n"
       "                       (default: none)\n"
       "  --classic-tcp        disable reordering-tolerant retransmit guard\n"
+      "  --audit              run the tlbsim::check invariant audit each\n"
+      "                       control tick (on by default in Debug builds);\n"
+      "                       violations abort the run\n"
       "  --list-schemes       print scheme names and exit\n");
 }
 
@@ -179,91 +231,37 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if (arg == "--config") {
       const char* v = next("--config");
       if (v == nullptr || !loadConfigFile(opt, v)) return false;
-    } else if (arg == "--scheme") {
-      const char* v = next("--scheme");
-      if (v == nullptr) return false;
-      bool found = false;
-      for (const auto& [name, s] : schemeNames()) {
-        if (name == v) {
-          opt->scheme = s;
-          found = true;
-        }
-      }
-      if (!found) {
-        std::fprintf(stderr, "unknown scheme '%s'\n", v);
-        return false;
-      }
-    } else if (arg == "--workload") {
-      const char* v = next("--workload");
-      if (v == nullptr) return false;
-      opt->workload = v;
-    } else if (arg == "--load") {
-      const char* v = next("--load");
-      if (v == nullptr) return false;
-      opt->load = std::atof(v);
-    } else if (arg == "--flows") {
-      const char* v = next("--flows");
-      if (v == nullptr) return false;
-      opt->flows = std::atoi(v);
-    } else if (arg == "--leaves") {
-      const char* v = next("--leaves");
-      if (v == nullptr) return false;
-      opt->leaves = std::atoi(v);
-    } else if (arg == "--spines") {
-      const char* v = next("--spines");
-      if (v == nullptr) return false;
-      opt->spines = std::atoi(v);
-    } else if (arg == "--hosts-per-leaf") {
-      const char* v = next("--hosts-per-leaf");
-      if (v == nullptr) return false;
-      opt->hostsPerLeaf = std::atoi(v);
-    } else if (arg == "--rate-gbps") {
-      const char* v = next("--rate-gbps");
-      if (v == nullptr) return false;
-      opt->rateGbps = std::atof(v);
-    } else if (arg == "--rtt-us") {
-      const char* v = next("--rtt-us");
-      if (v == nullptr) return false;
-      opt->rttUs = std::atof(v);
-    } else if (arg == "--buffer") {
-      const char* v = next("--buffer");
-      if (v == nullptr) return false;
-      opt->buffer = std::atoi(v);
-    } else if (arg == "--ecn-k") {
-      const char* v = next("--ecn-k");
-      if (v == nullptr) return false;
-      opt->ecnK = std::atoi(v);
-    } else if (arg == "--seed") {
-      const char* v = next("--seed");
-      if (v == nullptr) return false;
-      opt->seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--csv") {
-      const char* v = next("--csv");
-      if (v == nullptr) return false;
-      opt->csvPath = v;
-    } else if (arg == "--metrics-json") {
-      const char* v = next("--metrics-json");
-      if (v == nullptr) return false;
-      opt->metricsJsonPath = v;
-    } else if (arg == "--trace-json") {
-      const char* v = next("--trace-json");
-      if (v == nullptr) return false;
-      opt->traceJsonPath = v;
-    } else if (arg == "--log-level") {
-      const char* v = next("--log-level");
-      if (v == nullptr) return false;
-      if (!parseLogLevel(v).has_value()) {
-        std::fprintf(stderr, "unknown log level '%s' (error|warn|info|debug)\n",
-                     v);
-        return false;
-      }
-      opt->logLevel = v;
     } else if (arg == "--classic-tcp") {
       opt->classicTcp = true;
+    } else if (arg == "--audit") {
+      opt->audit = true;
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
-      usage();
-      return false;
+      // Every remaining value-taking flag shares its name (sans "--") and
+      // its strict parsing with the config-file vocabulary.
+      static const char* const kValueFlags[] = {
+          "--scheme",  "--workload",       "--load",      "--flows",
+          "--leaves",  "--spines",         "--hosts-per-leaf",
+          "--rate-gbps", "--rtt-us",       "--buffer",    "--ecn-k",
+          "--seed",    "--csv",            "--metrics-json",
+          "--trace-json", "--log-level"};
+      bool known = false;
+      for (const char* flag : kValueFlags) {
+        if (arg == flag) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        usage();
+        return false;
+      }
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      if (!applyKey(opt, arg.substr(2), v)) {
+        std::fprintf(stderr, "bad value '%s' for %s\n", v, arg.c_str());
+        return false;
+      }
     }
   }
   return true;
@@ -274,6 +272,7 @@ bool parse(int argc, char** argv, Options* opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, &opt)) return 1;
+  if (!validate(opt)) return 1;
   Logger::setLevel(*parseLogLevel(opt.logLevel));
 
   // Observability is pay-for-what-you-ask: the registry and trace only
@@ -297,6 +296,7 @@ int main(int argc, char** argv) {
   cfg.tcp.holeRetransmitGuard = !opt.classicTcp;
   cfg.seed = opt.seed;
   cfg.maxDuration = seconds(120);
+  if (opt.audit) cfg.audit = harness::ExperimentConfig::Audit::kOn;
 
   Rng rng(opt.seed);
   if (opt.workload == "basicmix") {
@@ -339,6 +339,11 @@ int main(int argc, char** argv) {
   t.addRow("long ooo ratio", {res.longOooRatioTotal()}, 4);
   t.addRow("fabric drops", {static_cast<double>(res.totalDrops)}, 0);
   t.addRow("ECN marks", {static_cast<double>(res.totalEcnMarks)}, 0);
+  if (res.auditChecks > 0) {
+    t.addRow("audit checks", {static_cast<double>(res.auditChecks)}, 0);
+    t.addRow("audit violations", {static_cast<double>(res.auditViolations)},
+             0);
+  }
   std::printf("scheme=%s workload=%s load=%.2f seed=%llu\n",
               harness::schemeName(opt.scheme), opt.workload.c_str(), opt.load,
               static_cast<unsigned long long>(opt.seed));
@@ -368,6 +373,11 @@ int main(int argc, char** argv) {
       std::printf("  note: %zu further trace events hit the cap\n",
                   trace.eventsNotStored());
     }
+  }
+  if (res.auditViolations > 0) {
+    std::fprintf(stderr, "invariant audit recorded %llu violation(s)\n",
+                 static_cast<unsigned long long>(res.auditViolations));
+    return 1;
   }
   return 0;
 }

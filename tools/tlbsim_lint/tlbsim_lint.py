@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""tlbsim-lint: repo-specific static checks clang-tidy cannot express.
+
+Rules
+-----
+bare-assert
+    No `assert(...)` or `#include <cassert>` in src/. Assertions must use
+    TLBSIM_ASSERT / TLBSIM_DCHECK from src/util/check.hpp, which carry a
+    message, stay active in Debug, and are compiled out (DCHECK) or kept
+    (ASSERT) per-macro in Release.
+
+raw-unit-literal
+    No bare integer literals with time meaning: a `SimTime` initialized or
+    assigned from a plain integer literal >= 10 must go through the
+    units.hpp helpers (microseconds(5), 2 * kMillisecond, ...) so the
+    nanosecond convention is visible at the call site. Same for `Bytes`
+    from literals >= 10000 (use kKB / kMB / kKiB). Only src/util/units.hpp
+    may define such constants.
+
+negative-delay
+    Every `schedule(...)` / `every(...)` call site is audited: a delay
+    expression that syntactically starts with a negation is rejected
+    (time never flows backwards; the runtime TLBSIM_DCHECK in
+    Scheduler::schedule is the dynamic half of this rule).
+
+installobs-wiring
+    Every component declaring an `installObs(...)` hook must be wired up
+    by the experiment harness (src/harness/) or the CLI (tools/): a hook
+    nobody calls silently produces empty metrics.
+
+Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line.
+
+Exit status: 0 when clean, 1 when any rule fired, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_DIRS = ["src", "tools", "bench", "examples"]
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+ALLOW_RE = re.compile(r"tlbsim-lint:\s*allow\(([a-z-]+)\)")
+
+BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+CASSERT_RE = re.compile(r'#\s*include\s*<(cassert|assert\.h)>')
+
+SIMTIME_LITERAL_RE = re.compile(
+    r"\bSimTime\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
+BYTES_LITERAL_RE = re.compile(r"\bBytes\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
+
+SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def iter_sources(root: pathlib.Path):
+    for d in SOURCE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_SUFFIXES:
+                yield path
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string/char literals and // comments so the
+    regex rules don't fire inside them. Block comments are handled by the
+    caller keeping per-file state."""
+    out = []
+    i = 0
+    in_str = None
+    while i < len(line):
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < len(line) and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def first_argument(text: str, open_paren: int) -> str:
+    """Returns the first top-level argument of the call whose '(' is at
+    `open_paren` in `text` (which may span lines)."""
+    depth = 0
+    arg = []
+    for ch in text[open_paren:]:
+        if ch in "([{":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                break
+        elif ch == "," and depth == 1:
+            break
+        if depth >= 1:
+            arg.append(ch)
+    return "".join(arg).strip()
+
+
+def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
+               findings: list, stats: dict):
+    in_src = rel.parts[0] == "src"
+    is_units = rel.as_posix() == "src/util/units.hpp"
+    is_check = rel.as_posix() in ("src/util/check.hpp", "src/util/check.cpp")
+    lines = text.splitlines()
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Strip block comments that open (and maybe close) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        code = strip_comments_and_strings(line)
+
+        # --- bare-assert ----------------------------------------------
+        if in_src and not is_check:
+            if CASSERT_RE.search(code) and not allowed(raw, "bare-assert"):
+                findings.append(Finding(
+                    rel, lineno, "bare-assert",
+                    "<cassert> include; use util/check.hpp "
+                    "(TLBSIM_ASSERT / TLBSIM_DCHECK)"))
+            m = BARE_ASSERT_RE.search(code)
+            if m and "static_assert" not in code and \
+                    not allowed(raw, "bare-assert"):
+                findings.append(Finding(
+                    rel, lineno, "bare-assert",
+                    "bare assert(); use TLBSIM_ASSERT / TLBSIM_DCHECK "
+                    "with a message"))
+
+        # --- raw-unit-literal -----------------------------------------
+        if not is_units:
+            m = SIMTIME_LITERAL_RE.search(code)
+            if m and not allowed(raw, "raw-unit-literal"):
+                value = int(m.group(1).replace("'", ""))
+                if abs(value) >= 10:
+                    findings.append(Finding(
+                        rel, lineno, "raw-unit-literal",
+                        f"SimTime from raw literal {m.group(1)}; spell the "
+                        "unit (microseconds(x), n * kMillisecond, ...)"))
+            m = BYTES_LITERAL_RE.search(code)
+            if m and not allowed(raw, "raw-unit-literal"):
+                value = int(m.group(1).replace("'", ""))
+                if abs(value) >= 10000:
+                    findings.append(Finding(
+                        rel, lineno, "raw-unit-literal",
+                        f"Bytes from raw literal {m.group(1)}; spell the "
+                        "magnitude (n * kKB / kMB / kKiB)"))
+
+        # --- negative-delay -------------------------------------------
+        for m in SCHEDULE_CALL_RE.finditer(code):
+            if allowed(raw, "negative-delay"):
+                continue
+            # Look at the call with up to 3 lines of continuation so
+            # multi-line argument lists resolve.
+            window = "\n".join(lines[lineno - 1:lineno + 3])
+            paren = window.find("(", window.find(m.group(1)))
+            if paren < 0:
+                continue
+            arg = first_argument(window, paren)
+            if not arg:
+                continue
+            stats["schedule_sites"] += 1
+            if arg.startswith("-") and not re.match(r"-\s*>\s*", arg):
+                findings.append(Finding(
+                    rel, lineno, "negative-delay",
+                    f"{m.group(1)}() with a syntactically negative delay "
+                    f"'{arg}'"))
+
+
+def check_installobs(root: pathlib.Path, findings: list, stats: dict):
+    class_re = re.compile(r"^\s*class\s+(\w+)")
+    declare_re = re.compile(r"\bvoid\s+installObs\s*\(")
+    declaring = {}  # class name -> (rel path, line)
+    for path in sorted((root / "src").rglob("*.hpp")):
+        rel = path.relative_to(root)
+        text = path.read_text(errors="replace")
+        current = None
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = class_re.match(line)
+            if m:
+                current = m.group(1)
+            if declare_re.search(line) and current:
+                declaring[current] = (rel, lineno)
+
+    wired_text = ""
+    for d in ("src/harness", "tools"):
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_SUFFIXES:
+                text = path.read_text(errors="replace")
+                if "installObs(" in text:
+                    wired_text += text
+
+    stats["installobs_classes"] = len(declaring)
+    for name, (rel, lineno) in sorted(declaring.items()):
+        if not re.search(rf"\b{re.escape(name)}\b", wired_text):
+            findings.append(Finding(
+                rel, lineno, "installobs-wiring",
+                f"{name}::installObs() is never wired up by the harness "
+                "(src/harness/) or the CLI (tools/)"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"tlbsim-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list = []
+    stats = {"files": 0, "schedule_sites": 0}
+    for path in iter_sources(root):
+        rel = path.relative_to(root)
+        stats["files"] += 1
+        check_file(path, rel, path.read_text(errors="replace"), findings,
+                   stats)
+    check_installobs(root, findings, stats)
+
+    for f in findings:
+        print(f)
+    if not args.quiet:
+        print(f"tlbsim-lint: {stats['files']} files, "
+              f"{stats['schedule_sites']} schedule/every sites audited, "
+              f"{stats['installobs_classes']} installObs hooks, "
+              f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
