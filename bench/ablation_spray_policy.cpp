@@ -3,62 +3,79 @@
 // The paper's rule is per-packet shortest queue. Alternatives measured
 // here: stickier variants (only move for a >= s byte improvement) and the
 // related per-packet baselines (random, power-of-two-choices) for
-// reference.
+// reference. The variant x seed grid runs through the parallel sweep
+// engine (--jobs); reference schemes are expressed as `scheme=` overrides
+// on the TLB axis point.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 
 using namespace tlbsim;
 
-namespace {
-
-struct Variant {
-  const char* name;
-  harness::Scheme scheme;
-  Bytes stickiness;  // TLB only
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   std::printf("Ablation: short-flow spraying policy\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(30 * kMB);
-  const Variant variants[] = {
-      {"TLB shortest-q (paper)", harness::Scheme::kTlb, 0},
-      {"TLB sticky 1 pkt", harness::Scheme::kTlb, 1500},
-      {"TLB sticky 3 pkt", harness::Scheme::kTlb, 4500},
-      {"TLB sticky 10 pkt", harness::Scheme::kTlb, 15000},
-      {"RPS (random ref)", harness::Scheme::kRps, 0},
-      {"DRILL (po2 ref)", harness::Scheme::kDrill, 0},
+
+  runner::SweepSpec spec;
+  spec.schemes = {harness::Scheme::kTlb};
+  spec.loads = {0.6};
+  spec.seeds = bench::seedAxis(args.seed, 3);
+  spec.sweepSeed = args.seed;
+  spec.variants = {
+      {"TLB shortest-q (paper)", {"tlb.spray-stickiness-bytes=0"}},
+      {"TLB sticky 1 pkt", {"tlb.spray-stickiness-bytes=1500"}},
+      {"TLB sticky 3 pkt", {"tlb.spray-stickiness-bytes=4500"}},
+      {"TLB sticky 10 pkt", {"tlb.spray-stickiness-bytes=15000"}},
+      {"RPS (random ref)", {"scheme=rps"}},
+      {"DRILL (po2 ref)", {"scheme=drill"}},
   };
+
+  runner::SweepScenario scenario;
+  scenario.base = [&args](const runner::SweepPoint& pt) {
+    return bench::largeScaleSetup(pt.scheme, args.full);
+  };
+  scenario.workload = [&](harness::ExperimentConfig& cfg,
+                          const runner::SweepPoint& pt) {
+    bench::addPoissonWorkload(cfg, pt.load, dist, args.full ? 1000 : 200);
+  };
+
+  runner::RunnerOptions ropt;
+  ropt.jobs = args.jobs;
+  ropt.onRunDone = [](const runner::SweepPoint& pt,
+                      const harness::ExperimentResult&) {
+    std::fprintf(stderr, "  %s done\n", pt.label().c_str());
+  };
+  const runner::SweepReport report = runner::runSweep(spec, scenario, ropt);
 
   stats::Table t({"policy", "short AFCT (ms)", "short p99 (ms)", "miss (%)",
                   "long goodput (Mbps)", "short dup-ACK"});
-
-  for (const auto& v : variants) {
-    double afct = 0, p99 = 0, miss = 0, tput = 0, dup = 0;
-    const std::vector<std::uint64_t> seeds = {1, 2, 3};
-    for (const std::uint64_t seed : seeds) {
-      auto cfg = bench::largeScaleSetup(v.scheme, full, seed);
-      cfg.scheme.tlb.sprayStickiness = v.stickiness;
-      bench::addPoissonWorkload(cfg, 0.6, dist, full ? 1000 : 200);
-      const auto res = harness::runExperiment(cfg);
-      afct += res.shortAfctSec() * 1e3;
-      p99 += res.shortP99Sec() * 1e3;
-      miss += res.shortMissRatio() * 100.0;
-      tput += res.longGoodputGbps() * 1e3;
-      dup += res.shortDupAckRatioTotal();
-    }
-    const double n = 3.0;
-    t.addRow(v.name, {afct / n, p99 / n, miss / n, tput / n, dup / n}, 3);
-    std::fprintf(stderr, "  %s done\n", v.name);
+  for (const runner::Variant& v : spec.variants) {
+    const runner::PointAggregate* agg =
+        report.find(harness::Scheme::kTlb, v.label);
+    if (agg == nullptr) continue;
+    t.addRow(v.label,
+             {agg->mean("short_afct_ms"), agg->mean("short_p99_ms"),
+              agg->mean("deadline_miss_ratio") * 100.0,
+              agg->mean("long_goodput_gbps") * 1e3,
+              agg->mean("short_dupack_ratio")},
+             3);
   }
 
   t.print("short-flow spray policy (web search, load 0.6)");
   std::printf(
       "\nReading: stickiness trades reordering (dup-ACK column) against\n"
       "responsiveness to queue imbalance.\n");
+
+  const std::string jsonPath = args.jsonPath.empty()
+                                   ? "BENCH_ablation_spray_policy.json"
+                                   : args.jsonPath;
+  if (!report.writeJsonFile(jsonPath)) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("sweep JSON written to %s\n", jsonPath.c_str());
   return 0;
 }

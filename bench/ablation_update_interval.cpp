@@ -3,43 +3,65 @@
 // Smaller t tracks the short-flow load more closely but recomputes q_th
 // (and purges flow state) more often; larger t risks acting on stale
 // counts. The paper fixes t = 500 us; this sweep shows the sensitivity.
+// The variant x seed grid runs through the parallel sweep engine (--jobs).
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   std::printf("Ablation: TLB granularity update interval t\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(30 * kMB);
   const std::vector<double> intervalsUs =
-      full ? std::vector<double>{125, 250, 500, 1000, 2000, 4000}
-           : std::vector<double>{250, 500, 1000, 2000};
+      args.full ? std::vector<double>{125, 250, 500, 1000, 2000, 4000}
+                : std::vector<double>{250, 500, 1000, 2000};
+
+  runner::SweepSpec spec;
+  spec.schemes = {harness::Scheme::kTlb};
+  spec.loads = {0.6};
+  spec.seeds = bench::seedAxis(args.seed, 3);
+  spec.sweepSeed = args.seed;
+  for (const double us : intervalsUs) {
+    runner::Variant v;
+    v.label = "t=" + stats::fmt(us, 0) + "us";
+    v.overrides = {"tlb.update-interval-us=" + stats::fmt(us, 0),
+                   "tlb.idle-timeout-us=" + stats::fmt(3 * us, 0)};
+    spec.variants.push_back(std::move(v));
+  }
+
+  runner::SweepScenario scenario;
+  scenario.base = [&args](const runner::SweepPoint& pt) {
+    return bench::largeScaleSetup(pt.scheme, args.full);
+  };
+  scenario.workload = [&](harness::ExperimentConfig& cfg,
+                          const runner::SweepPoint& pt) {
+    bench::addPoissonWorkload(cfg, pt.load, dist, args.full ? 1000 : 200);
+  };
+
+  runner::RunnerOptions ropt;
+  ropt.jobs = args.jobs;
+  ropt.onRunDone = [](const runner::SweepPoint& pt,
+                      const harness::ExperimentResult&) {
+    std::fprintf(stderr, "  %s done\n", pt.label().c_str());
+  };
+  const runner::SweepReport report = runner::runSweep(spec, scenario, ropt);
 
   stats::Table t({"t (us)", "short AFCT (ms)", "short p99 (ms)", "miss (%)",
                   "long goodput (Mbps)", "long switches"});
-
-  for (const double us : intervalsUs) {
-    double afct = 0, p99 = 0, miss = 0, tput = 0, switches = 0;
-    const std::vector<std::uint64_t> seeds = {1, 2, 3};
-    for (const std::uint64_t seed : seeds) {
-      auto cfg = bench::largeScaleSetup(harness::Scheme::kTlb, full, seed);
-      cfg.scheme.tlb.updateInterval = microseconds(us);
-      cfg.scheme.tlb.idleTimeout = microseconds(3 * us);
-      bench::addPoissonWorkload(cfg, 0.6, dist, full ? 1000 : 200);
-      const auto res = harness::runExperiment(cfg);
-      afct += res.shortAfctSec() * 1e3;
-      p99 += res.shortP99Sec() * 1e3;
-      miss += res.shortMissRatio() * 100.0;
-      tput += res.longGoodputGbps() * 1e3;
-      switches += static_cast<double>(res.tlbLongSwitches);
-    }
-    const double n = static_cast<double>(seeds.size());
-    t.addRow(stats::fmt(us, 0),
-             {afct / n, p99 / n, miss / n, tput / n, switches / n}, 2);
-    std::fprintf(stderr, "  t=%.0fus done\n", us);
+  for (std::size_t i = 0; i < intervalsUs.size(); ++i) {
+    const runner::PointAggregate* agg =
+        report.find(harness::Scheme::kTlb, spec.variants[i].label);
+    if (agg == nullptr) continue;
+    t.addRow(stats::fmt(intervalsUs[i], 0),
+             {agg->mean("short_afct_ms"), agg->mean("short_p99_ms"),
+              agg->mean("deadline_miss_ratio") * 100.0,
+              agg->mean("long_goodput_gbps") * 1e3,
+              agg->mean("tlb_long_switches")},
+             2);
   }
 
   t.print("TLB vs control interval (web search, load 0.6)");
@@ -47,5 +69,14 @@ int main(int argc, char** argv) {
       "\nExpected: flat around the paper's 500 us default; very coarse\n"
       "intervals react late to load swings (worse tails), very fine ones\n"
       "purge idle state too aggressively.\n");
+
+  const std::string jsonPath = args.jsonPath.empty()
+                                   ? "BENCH_ablation_update_interval.json"
+                                   : args.jsonPath;
+  if (!report.writeJsonFile(jsonPath)) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("sweep JSON written to %s\n", jsonPath.c_str());
   return 0;
 }

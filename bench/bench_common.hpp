@@ -5,8 +5,11 @@
 // single core; pass --full for the paper's scale (documented per bench).
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "stats/report.hpp"
@@ -14,11 +17,77 @@
 
 namespace tlbsim::bench {
 
-inline bool fullScale(int argc, char** argv) {
+/// The flag vocabulary every bench binary shares. Benches that sweep
+/// through the runner honor all four; single-run benches still reject
+/// unknown flags instead of silently ignoring a typo.
+struct BenchArgs {
+  bool full = false;        ///< paper scale instead of the reduced default
+  int jobs = 0;             ///< sweep worker threads; 0 = all cores
+  std::uint64_t seed = 1;   ///< base seed (seed axes count up from it)
+  std::string jsonPath;     ///< overrides the bench's default BENCH_*.json
+};
+
+/// Parse the shared bench flags. Unknown flags and malformed values are
+/// fatal (exit 1); --help prints the vocabulary and exits 0.
+inline BenchArgs parseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  const auto usage = [&](std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s [--full] [--jobs N] [--seed N] [--json PATH]\n"
+                 "  --full       run at the paper's scale\n"
+                 "  --jobs N     sweep worker threads (default: all cores)\n"
+                 "  --seed N     base RNG seed (default 1)\n"
+                 "  --json PATH  write results JSON here instead of the\n"
+                 "               bench's default BENCH_*.json\n",
+                 argv[0]);
+  };
+  const auto next = [&](int* i, const char* flag) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag);
+      std::exit(1);
+    }
+    return argv[++*i];
+  };
+  const auto parseU64 = [](const char* flag, const char* v) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr, "bad value '%s' for %s\n", v, flag);
+      std::exit(1);
+    }
+    return static_cast<std::uint64_t>(n);
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) return true;
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg == "--jobs") {
+      args.jobs = static_cast<int>(parseU64("--jobs", next(&i, "--jobs")));
+    } else if (arg == "--seed") {
+      args.seed = parseU64("--seed", next(&i, "--seed"));
+    } else if (arg == "--json") {
+      args.jsonPath = next(&i, "--json");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage(stderr);
+      std::exit(1);
+    }
   }
-  return false;
+  return args;
+}
+
+/// `count` consecutive seeds starting at `base` (the repetition axis of a
+/// sweep; --seed shifts the whole axis).
+inline std::vector<std::uint64_t> seedAxis(std::uint64_t base, int count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(base + static_cast<std::uint64_t>(i));
+  }
+  return seeds;
 }
 
 /// The paper's basic NS2 setup (Sections 2.2, 4.2, 6.1): 2 leaves joined by

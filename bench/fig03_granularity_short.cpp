@@ -19,7 +19,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   const int numShort = full ? 100 : 100;  // paper scale is already small
   const int numLong = 5;
 
@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   for (const auto scheme : granularities) {
     auto cfg = bench::basicSetup(scheme);
     bench::addBasicMix(cfg, numShort, numLong);
+    // tlbsim-lint: allow(bench-direct-experiment)
     results.push_back(harness::runExperiment(cfg));
     dup.addRow(harness::schemeName(scheme),
                {results.back().shortDupAckRatioTotal()}, 4);

@@ -15,7 +15,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  (void)bench::fullScale(argc, argv);
+  (void)bench::parseBenchArgs(argc, argv);
 
   std::printf("Figure 4: impact of switching granularity on long flows\n");
 
@@ -41,10 +41,12 @@ int main(int argc, char** argv) {
       bench::addBasicMix(cfg);
       if (seed == seeds.front()) {
         cfg.sampleInterval = milliseconds(1);
+        // tlbsim-lint: allow(bench-direct-experiment)
         results.push_back(harness::runExperiment(cfg));
         oooSum += results.back().longOooRatioTotal();
         tputSum += results.back().longGoodputGbps();
       } else {
+        // tlbsim-lint: allow(bench-direct-experiment)
         const auto r = harness::runExperiment(cfg);
         oooSum += r.longOooRatioTotal();
         tputSum += r.longGoodputGbps();

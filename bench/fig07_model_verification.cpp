@@ -83,6 +83,7 @@ double shortAfctAt(const Point& pt, Bytes qth) {
   mix.deadlineMax = pt.deadline;
   Rng rng(1234);
   cfg.flows = workload::basicMixWorkload(mix, rng);
+  // tlbsim-lint: allow(bench-direct-experiment)
   const auto res = harness::runExperiment(cfg);
 
   // Unfinished short flows mean the deadline was certainly blown.
@@ -144,7 +145,7 @@ void sweep(const char* title, const char* xlabel,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 7: numeric (Eq. 9) vs simulated switching threshold\n");
 
   {

@@ -14,7 +14,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  (void)bench::fullScale(argc, argv);
+  (void)bench::parseBenchArgs(argc, argv);
   std::printf("Figure 9: long-flow reordering and instantaneous throughput\n");
 
   const harness::Scheme schemes[] = {
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     auto cfg = bench::basicSetup(scheme);
     bench::addBasicMix(cfg);
     cfg.sampleInterval = milliseconds(1);
+    // tlbsim-lint: allow(bench-direct-experiment)
     results.push_back(harness::runExperiment(cfg));
   }
 

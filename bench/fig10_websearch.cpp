@@ -9,7 +9,9 @@
 // for ECMP / RPS / Presto / LetFlow / TLB.
 //
 // Default scale: 32 hosts, ~240 flows per point (finishes in minutes on a
-// laptop core); --full runs 256 hosts and 2000 flows per point.
+// laptop core); --full runs 256 hosts and 2000 flows per point. The
+// scheme x load grid runs through the parallel sweep engine (--jobs);
+// the aggregated report lands in BENCH_fig10.json (--json overrides).
 //
 // Expected shape (paper): TLB wins AFCT/p99/miss across loads, with the
 // largest margins at high load (~25% over LetFlow, ~45% over Presto,
@@ -18,41 +20,60 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "runner/runner.hpp"
 
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   std::printf("Figure 10: web-search workload, load sweep\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(
-      full ? 0 : 30 * kMB);
-  const std::vector<double> loads =
-      full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
-           : std::vector<double>{0.2, 0.4, 0.6, 0.8};
-  const int flowCount = full ? 2000 : 240;
+      args.full ? 0 : 30 * kMB);
+  const int flowCount = args.full ? 2000 : 240;
 
-  const harness::Scheme schemes[] = {
-      harness::Scheme::kEcmp, harness::Scheme::kRps, harness::Scheme::kPresto,
-      harness::Scheme::kLetFlow, harness::Scheme::kTlb};
+  runner::SweepSpec spec;
+  spec.schemes = {harness::Scheme::kEcmp, harness::Scheme::kRps,
+                  harness::Scheme::kPresto, harness::Scheme::kLetFlow,
+                  harness::Scheme::kTlb};
+  spec.loads =
+      args.full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+                : std::vector<double>{0.2, 0.4, 0.6, 0.8};
+  spec.seeds = {args.seed};
+  spec.sweepSeed = args.seed;
+
+  runner::SweepScenario scenario;
+  scenario.base = [&args](const runner::SweepPoint& pt) {
+    return bench::largeScaleSetup(pt.scheme, args.full);
+  };
+  scenario.workload = [&](harness::ExperimentConfig& cfg,
+                          const runner::SweepPoint& pt) {
+    bench::addPoissonWorkload(cfg, pt.load, dist, flowCount);
+  };
+
+  runner::RunnerOptions ropt;
+  ropt.jobs = args.jobs;
+  ropt.onRunDone = [](const runner::SweepPoint& pt,
+                      const harness::ExperimentResult& res) {
+    std::fprintf(stderr, "  %s done (%.0f ms simulated)\n",
+                 pt.label().c_str(), toMilliseconds(res.endTime));
+  };
+  const runner::SweepReport report = runner::runSweep(spec, scenario, ropt);
 
   stats::Table afct({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
   stats::Table p99({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
   stats::Table miss({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
   stats::Table tput({"load", "ECMP", "RPS", "Presto", "LetFlow", "TLB"});
 
-  for (const double load : loads) {
+  for (const double load : spec.loads) {
     std::vector<double> a, b, c, d;
-    for (const auto scheme : schemes) {
-      auto cfg = bench::largeScaleSetup(scheme, full);
-      bench::addPoissonWorkload(cfg, load, dist, flowCount);
-      const auto res = harness::runExperiment(cfg);
-      a.push_back(res.shortAfctSec() * 1e3);
-      b.push_back(res.shortP99Sec() * 1e3);
-      c.push_back(res.shortMissRatio() * 100.0);
-      d.push_back(res.longGoodputGbps());
-      std::fprintf(stderr, "  load %.1f %s done (%.0f ms simulated)\n", load,
-                   harness::schemeName(scheme), toMilliseconds(res.endTime));
+    for (const harness::Scheme scheme : spec.schemes) {
+      const runner::PointAggregate* agg = report.find(scheme, load);
+      a.push_back(agg != nullptr ? agg->mean("short_afct_ms") : 0.0);
+      b.push_back(agg != nullptr ? agg->mean("short_p99_ms") : 0.0);
+      c.push_back(agg != nullptr ? agg->mean("deadline_miss_ratio") * 100.0
+                                 : 0.0);
+      d.push_back(agg != nullptr ? agg->mean("long_goodput_gbps") : 0.0);
     }
     afct.addRow(stats::fmt(load, 1), a, 2);
     p99.addRow(stats::fmt(load, 1), b, 2);
@@ -64,5 +85,13 @@ int main(int argc, char** argv) {
   p99.print("Fig 10(b): short-flow 99th-percentile FCT (ms), web search");
   miss.print("Fig 10(c): short-flow deadline miss ratio (%), web search");
   tput.print("Fig 10(d): long-flow throughput (Gbps), web search");
+
+  const std::string jsonPath =
+      args.jsonPath.empty() ? "BENCH_fig10.json" : args.jsonPath;
+  if (!report.writeJsonFile(jsonPath)) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("sweep JSON written to %s\n", jsonPath.c_str());
   return 0;
 }

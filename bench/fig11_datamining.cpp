@@ -15,7 +15,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 11: data-mining workload, load sweep\n");
 
   const auto dist = workload::FlowSizeDistribution::dataMining(
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     for (const auto scheme : schemes) {
       auto cfg = bench::largeScaleSetup(scheme, full, /*seed=*/2);
       bench::addPoissonWorkload(cfg, load, dist, flowCount);
+      // tlbsim-lint: allow(bench-direct-experiment)
       const auto res = harness::runExperiment(cfg);
       a.push_back(res.shortAfctSec() * 1e3);
       b.push_back(res.shortP99Sec() * 1e3);

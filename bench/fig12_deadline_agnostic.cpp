@@ -15,7 +15,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 12: deadline-agnostic TLB (web search)\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
       cfg.scheme.tlb.autoDeadline = true;
       cfg.scheme.tlb.deadlinePercentile = v.percentile;
       bench::addPoissonWorkload(cfg, load, dist, flowCount);
+      // tlbsim-lint: allow(bench-direct-experiment)
       const auto res = harness::runExperiment(cfg);
       a.push_back(res.shortAfctSec() * 1e3);
       b.push_back(res.shortP99Sec() * 1e3);

@@ -17,7 +17,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 13: testbed scale, varying short-flow count\n");
 
   const std::vector<int> shortCounts =
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
       for (const std::uint64_t seed : seeds) {
         auto cfg = bench::testbedSetup(scheme, seed);
         bench::addTestbedMix(cfg, numShort, /*numLong=*/4);
+        // tlbsim-lint: allow(bench-direct-experiment)
         const auto res = harness::runExperiment(cfg);
         afctSum += res.shortAfctSec() * 1e3;
         tputSum += res.longGoodputGbps() * 1e3;

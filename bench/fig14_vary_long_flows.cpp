@@ -10,7 +10,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 14: testbed scale, varying long-flow count\n");
 
   const std::vector<int> longCounts = full ? std::vector<int>{2, 4, 6, 8, 10}
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       for (const std::uint64_t seed : seeds) {
         auto cfg = bench::testbedSetup(scheme, seed);
         bench::addTestbedMix(cfg, /*numShort=*/100, numLong);
+        // tlbsim-lint: allow(bench-direct-experiment)
         const auto res = harness::runExperiment(cfg);
         afctSum += res.shortAfctSec() * 1e3;
         tputSum += res.longGoodputGbps() * 1e3;

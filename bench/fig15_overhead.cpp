@@ -13,10 +13,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "core/tlb.hpp"
 #include "harness/scheme.hpp"
 #include "lb/letflow.hpp"
@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/trace.hpp"
+#include "runner/runner.hpp"
 
 using namespace tlbsim;
 
@@ -135,54 +136,50 @@ void BM_TlbObsOn(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbObsOn);
 
-/// Steady-clock measurement of the observability tax on the TLB decision
-/// path: metrics/trace uninstalled (the shipping default) vs installed.
-/// Written to BENCH_obs_overhead.json so the cost is tracked over time.
-double measureTlbNsPerDecision(bool obsOn, obs::MetricsRegistry* metrics,
-                               obs::EventTrace* trace) {
-  core::TlbConfig cfg;
-  core::Tlb tlb(cfg, 15, 7);
-  if (obsOn) tlb.installObs(metrics, trace, "bench");
-  const auto view = makeView(15);
-  constexpr int kWarmup = 200'000;
-  constexpr int kIters = 2'000'000;
-  FlowId flow = 0;
-  int sink = 0;
-  for (int i = 0; i < kWarmup; ++i) {
-    flow = (flow + 1) % 64;
-    sink += tlb.selectUplink(dataPacket(flow), view);
-  }
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) {
-    flow = (flow + 1) % 64;
-    sink += tlb.selectUplink(dataPacket(flow), view);
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(sink);
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                 .count()) /
-         kIters;
-}
+/// End-to-end measurement of the observability tax: the same basic-setup
+/// TLB experiment, run through the sweep engine with per-run metrics off
+/// vs on, compared in wall-clock nanoseconds per executed simulator event.
+/// The best-of-seeds value on each side damps frequency scaling and
+/// scheduling noise. Written to BENCH_obs_overhead.json so the cost is
+/// tracked over time.
+void writeObsOverheadJson(const bench::BenchArgs& args, const char* path) {
+  runner::SweepSpec spec;
+  spec.schemes = {harness::Scheme::kTlb};
+  spec.seeds = bench::seedAxis(args.seed, 3);
+  spec.sweepSeed = args.seed;
 
-void writeObsOverheadJson(const char* path) {
-  // Interleave repetitions and keep each side's best to damp frequency
-  // scaling and scheduling noise.
+  runner::SweepScenario scenario;
+  scenario.base = [](const runner::SweepPoint& pt) {
+    return bench::basicSetup(pt.scheme);
+  };
+  scenario.workload = [](harness::ExperimentConfig& cfg,
+                         const runner::SweepPoint&) {
+    bench::addBasicMix(cfg, /*numShort=*/50, /*numLong=*/2);
+  };
+
   double offBest = 1e18;
   double onBest = 1e18;
-  for (int rep = 0; rep < 3; ++rep) {
-    obs::MetricsRegistry metrics;
-    obs::EventTrace trace(/*maxEvents=*/1);  // count, don't store
-    offBest = std::min(offBest,
-                       measureTlbNsPerDecision(false, nullptr, nullptr));
-    onBest = std::min(onBest,
-                      measureTlbNsPerDecision(true, &metrics, &trace));
+  std::uint64_t events = 0;
+  for (const bool obsOn : {false, true}) {
+    runner::RunnerOptions ropt;
+    ropt.jobs = 1;  // timing measurement: no co-running workers
+    ropt.collectMetrics = obsOn;
+    const runner::SweepReport report = runner::runSweep(spec, scenario, ropt);
+    for (const auto& run : report.runs) {
+      if (run.result.executedEvents == 0) continue;
+      const double ns = run.wallSeconds * 1e9 /
+                        static_cast<double>(run.result.executedEvents);
+      (obsOn ? onBest : offBest) = std::min(obsOn ? onBest : offBest, ns);
+      events = run.result.executedEvents;
+    }
   }
+
   obs::RunSummary run;
   run.setMeta("figure", "obs_overhead");
-  run.setMeta("workload", "tlb_select_uplink_64flows_15paths");
-  run.set("ns_per_decision_obs_off", offBest);
-  run.set("ns_per_decision_obs_on", onBest);
+  run.setMeta("workload", "basic_setup_tlb_50short_2long");
+  run.set("events_per_run", static_cast<double>(events));
+  run.set("ns_per_event_obs_off", offBest);
+  run.set("ns_per_event_obs_on", onBest);
   run.set("overhead_pct", (onBest - offBest) / offBest * 100.0);
   if (run.writeJsonFile(path)) {
     std::printf("\n== observability overhead ==\n%s", run.toJson().c_str());
@@ -210,9 +207,14 @@ void printStateFootprint() {
 
 int main(int argc, char** argv) {
   std::printf("Figure 15: switch overhead (per-packet decision cost)\n");
+  // google-benchmark consumes its --benchmark_* flags first; whatever
+  // remains must be the shared bench vocabulary.
   benchmark::Initialize(&argc, argv);
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printStateFootprint();
-  writeObsOverheadJson("BENCH_obs_overhead.json");
+  writeObsOverheadJson(args, args.jsonPath.empty()
+                                 ? "BENCH_obs_overhead.json"
+                                 : args.jsonPath.c_str());
   return 0;
 }

@@ -15,7 +15,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 16: delay asymmetry on 2 leaf-spine links\n");
 
   const std::vector<double> factors = full
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
         cfg.topo.overrides.push_back({1, 2, 1.0, f});
         cfg.topo.overrides.push_back({1, 7, 1.0, f});
         bench::addTestbedMix(cfg, /*numShort=*/100, /*numLong=*/4);
+        // tlbsim-lint: allow(bench-direct-experiment)
         const auto res = harness::runExperiment(cfg);
         afctSum += res.shortAfctSec() * 1e3;
         tputSum += res.longGoodputGbps() * 1e3;

@@ -14,7 +14,7 @@
 using namespace tlbsim;
 
 int main(int argc, char** argv) {
-  const bool full = bench::fullScale(argc, argv);
+  const bool full = bench::parseBenchArgs(argc, argv).full;
   std::printf("Figure 17: bandwidth asymmetry on 2 leaf-spine links\n");
 
   // Divisor applied to the degraded links' bandwidth.
@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
         cfg.topo.overrides.push_back({1, 2, 1.0 / div, 1.0});
         cfg.topo.overrides.push_back({1, 7, 1.0 / div, 1.0});
         bench::addTestbedMix(cfg, /*numShort=*/100, /*numLong=*/4);
+        // tlbsim-lint: allow(bench-direct-experiment)
         const auto res = harness::runExperiment(cfg);
         afctSum += res.shortAfctSec() * 1e3;
         tputSum += res.longGoodputGbps() * 1e3;

@@ -8,6 +8,8 @@
 
 #include "check/invariant_audit.hpp"
 #include "core/tlb.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "stats/queue_monitor.hpp"
 #include "transport/tcp_receiver.hpp"
@@ -46,8 +48,29 @@ bool auditEnabled(ExperimentConfig::Audit mode) {
 
 }  // namespace
 
-ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
-  ExperimentConfig cfg = cfgIn;  // local copy: we fill derived fields
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+Experiment::~Experiment() = default;
+Experiment::Experiment(Experiment&&) noexcept = default;
+Experiment& Experiment::operator=(Experiment&&) noexcept = default;
+
+obs::MetricsRegistry& Experiment::ownMetrics() {
+  if (ownedMetrics_ == nullptr) {
+    ownedMetrics_ = std::make_unique<obs::MetricsRegistry>();
+    cfg_.sinks.metrics = ownedMetrics_.get();
+  }
+  return *ownedMetrics_;
+}
+
+obs::EventTrace& Experiment::ownTrace(std::size_t maxEvents) {
+  if (ownedTrace_ == nullptr) {
+    ownedTrace_ = std::make_unique<obs::EventTrace>(maxEvents);
+    cfg_.sinks.trace = ownedTrace_.get();
+  }
+  return *ownedTrace_;
+}
+
+ExperimentResult Experiment::run() const {
+  ExperimentConfig cfg = cfg_;  // local copy: we fill derived fields
   ExperimentResult res;
 
   TLBSIM_LOG_INFO(
@@ -105,36 +128,37 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
   // Observability wiring: metrics registry, trace tracks, and a periodic
   // queue-depth sampler. Skipped entirely (no hooks, no branches beyond
   // the null-pointer guards) when neither sink is configured.
+  const obs::Sinks sinks = cfg.sinks;
   std::vector<std::pair<obs::Gauge*, net::Link*>> depthGauges;
-  if (cfg.metrics != nullptr || cfg.trace != nullptr) {
-    simr.installObs(cfg.metrics, cfg.trace);
+  if (sinks.any()) {
+    simr.installObs(sinks.metrics, sinks.trace);
     for (int l = 0; l < topo.numLeaves(); ++l) {
       for (int s = 0; s < topo.numSpines(); ++s) {
         char label[48];
         std::snprintf(label, sizeof(label), "leaf%d->spine%d", l, s);
         net::Link& link = topo.leafUplink(l, s);
-        if (cfg.metrics != nullptr) {
-          link.installObs(*cfg.metrics, cfg.trace, label);
+        if (sinks.metrics != nullptr) {
+          link.installObs(*sinks.metrics, sinks.trace, label);
           depthGauges.emplace_back(
-              &cfg.metrics->gauge(std::string("port.") + label +
-                                  ".queue_pkts"),
+              &sinks.metrics->gauge(std::string("port.") + label +
+                                    ".queue_pkts"),
               &link);
         }
       }
     }
-    if (cfg.metrics != nullptr) {
+    if (sinks.metrics != nullptr) {
       for (int l = 0; l < topo.numLeaves(); ++l) {
-        topo.leaf(l).installObs(*cfg.metrics);
+        topo.leaf(l).installObs(*sinks.metrics);
       }
       for (int s = 0; s < topo.numSpines(); ++s) {
-        topo.spine(s).installObs(*cfg.metrics);
+        topo.spine(s).installObs(*sinks.metrics);
       }
     }
     for (std::size_t i = 0; i < tlbs.size(); ++i) {
-      tlbs[i]->installObs(cfg.metrics, cfg.trace,
+      tlbs[i]->installObs(sinks.metrics, sinks.trace,
                           "leaf" + std::to_string(i));
     }
-    if (cfg.metrics != nullptr && cfg.obsSampleInterval > 0 &&
+    if (sinks.metrics != nullptr && cfg.obsSampleInterval > 0 &&
         !depthGauges.empty()) {
       simr.every(
           cfg.obsSampleInterval,
@@ -180,8 +204,8 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     senders.push_back(std::make_unique<transport::TcpSender>(
         simr, topo.host(f.src), f, cfg.tcp,
         [&completed](transport::TcpSender&) { ++completed; }));
-    if (cfg.metrics != nullptr || cfg.trace != nullptr) {
-      senders.back()->installObs(cfg.metrics, cfg.trace);
+    if (sinks.any()) {
+      senders.back()->installObs(sinks.metrics, sinks.trace);
     }
     if (auditor != nullptr) {
       auditor->watchFlow(*senders.back(), *receivers.back(), cfg.tcp.mss);
@@ -260,6 +284,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
     if (!sched.step(cfg.maxDuration)) break;
   }
   res.endTime = simr.now();
+  res.executedEvents = simr.scheduler().executedEvents();
   if (auditor != nullptr) {
     // One final sweep so short runs (under one audit interval) are still
     // checked at least once.
@@ -310,15 +335,23 @@ ExperimentResult runExperiment(const ExperimentConfig& cfgIn) {
                                 static_cast<double>(fabricLinks);
   }
 
-  if (cfg.metrics != nullptr) {
-    cfg.metrics->gauge("sim.executed_events")
+  if (sinks.metrics != nullptr) {
+    sinks.metrics->gauge("sim.executed_events")
         .set(static_cast<double>(simr.scheduler().executedEvents()));
-    cfg.metrics->gauge("sim.end_time_s").set(toSeconds(res.endTime));
-    cfg.metrics->gauge("run.completed_flows")
+    sinks.metrics->gauge("sim.end_time_s").set(toSeconds(res.endTime));
+    sinks.metrics->gauge("run.completed_flows")
         .set(static_cast<double>(
             res.ledger.completedCount([](const auto&) { return true; })));
   }
   return res;
+}
+
+obs::RunSummary Experiment::summarize(const ExperimentResult& res) const {
+  return summarizeExperiment(cfg_, res);
+}
+
+ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+  return Experiment(cfg).run();
 }
 
 obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,

@@ -1,15 +1,21 @@
 // One experiment = topology + scheme + flow list, run to completion, with
 // the measurements the paper's figures need collected along the way.
+//
+// The Experiment class is the run-owning API: it copies its config at
+// construction, optionally owns private observability sinks, and run()
+// returns a self-contained value-type ExperimentResult that shares no
+// mutable state with the harness — which is what lets the runner execute
+// many Experiments on concurrent threads without any locking.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "harness/scheme.hpp"
 #include "net/leaf_spine.hpp"
-#include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
-#include "obs/trace.hpp"
+#include "obs/sinks.hpp"
 #include "stats/flow_ledger.hpp"
 #include "stats/time_series.hpp"
 #include "transport/tcp_params.hpp"
@@ -40,16 +46,11 @@ struct ExperimentConfig {
   /// buffer) are derived from the topology config before the run.
   bool autoFillTlbFromTopology = true;
 
-  // --- observability (both null = fully disabled; the hot paths then pay
-  // one branch per instrumentation site, nothing more) -------------------
-  /// When set, the run wires per-port drop/ECN/tx counters, TLB decision
-  /// counters and the q_th time series, aggregate TCP counters, and a
-  /// periodic queue-depth sampler into this registry.
-  obs::MetricsRegistry* metrics = nullptr;
-  /// When set, packet serializations/drops/marks on the leaf uplinks, TLB
-  /// control ticks and TCP loss events are recorded as Chrome trace
-  /// events.
-  obs::EventTrace* trace = nullptr;
+  /// Observability sinks (both null = fully disabled). The struct is the
+  /// single wiring point; the pointed-to registry/trace must outlive the
+  /// run and are never owned through this config — Experiment owns
+  /// per-run sinks when asked to.
+  obs::Sinks sinks;
   /// Cadence of the queue-depth snapshot sampler (matches TLB's control
   /// interval by default).
   SimTime obsSampleInterval = microseconds(500);
@@ -85,6 +86,7 @@ struct ExperimentResult {
   std::uint64_t tlbLongSwitches = 0;  ///< sum over leaves (TLB runs only)
   SimTime endTime = 0;
   double meanFabricUtilization = 0.0;
+  std::uint64_t executedEvents = 0;  ///< discrete events the run processed
 
   // Invariant-audit outcome (zeros when the audit was disabled).
   std::uint64_t auditTicks = 0;
@@ -112,12 +114,48 @@ struct ExperimentResult {
   }
 };
 
-/// Build the network, run the flow list, and collect results.
+/// One configured run. Immutable after construction except for sink
+/// ownership; run() may be called repeatedly and each call is an
+/// independent, identically-seeded simulation.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+  ~Experiment();
+
+  Experiment(Experiment&&) noexcept;
+  Experiment& operator=(Experiment&&) noexcept;
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Create a MetricsRegistry (resp. EventTrace) owned by this Experiment
+  /// and wire it into the run's sinks. The sweep runner uses these so
+  /// concurrent runs share nothing; callers that want to aggregate across
+  /// runs keep passing external sinks through the config instead.
+  obs::MetricsRegistry& ownMetrics();
+  obs::EventTrace& ownTrace(std::size_t maxEvents = 500'000);
+
+  const ExperimentConfig& config() const { return cfg_; }
+  obs::MetricsRegistry* metrics() const { return cfg_.sinks.metrics; }
+  obs::EventTrace* trace() const { return cfg_.sinks.trace; }
+
+  /// Build the network, run the flow list, and collect results.
+  ExperimentResult run() const;
+
+  /// Flatten the headline results of a run into a RunSummary (the JSON
+  /// the bench binaries emit). Callers add their own metadata (figure,
+  /// workload, sweep point) on top.
+  obs::RunSummary summarize(const ExperimentResult& res) const;
+
+ private:
+  ExperimentConfig cfg_;
+  std::unique_ptr<obs::MetricsRegistry> ownedMetrics_;
+  std::unique_ptr<obs::EventTrace> ownedTrace_;
+};
+
+/// Convenience wrapper: Experiment(cfg).run().
 ExperimentResult runExperiment(const ExperimentConfig& cfg);
 
-/// Flatten the headline results of a run into a RunSummary (the JSON the
-/// bench binaries emit). Callers add their own metadata (figure, workload,
-/// sweep point) on top.
+/// Convenience wrapper: Experiment(cfg).summarize(res).
 obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
                                     const ExperimentResult& res);
 

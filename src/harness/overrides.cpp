@@ -1,0 +1,232 @@
+#include "harness/overrides.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/config.hpp"
+
+namespace tlbsim::harness {
+
+namespace {
+
+struct Key {
+  const char* name;
+  const char* help;
+  /// Parses `value` (pre-wrapped in a one-entry KeyValueConfig for the
+  /// strict accessors) into cfg; false on parse failure.
+  std::function<bool(ExperimentConfig&, const KeyValueConfig&,
+                     const std::string&, const std::string&)>
+      apply;
+};
+
+bool setInt(const KeyValueConfig& kv, const std::string& key, int* out) {
+  const auto v = kv.getIntStrict(key);
+  if (!v.has_value()) return false;
+  *out = static_cast<int>(*v);
+  return true;
+}
+
+bool setBytes(const KeyValueConfig& kv, const std::string& key, Bytes* out) {
+  const auto v = kv.getIntStrict(key);
+  if (!v.has_value()) return false;
+  *out = static_cast<Bytes>(*v);
+  return true;
+}
+
+bool setU64(const KeyValueConfig& kv, const std::string& key,
+            std::uint64_t* out) {
+  const auto v = kv.getIntStrict(key);
+  if (!v.has_value()) return false;
+  *out = static_cast<std::uint64_t>(*v);
+  return true;
+}
+
+bool setMicros(const KeyValueConfig& kv, const std::string& key,
+               SimTime* out) {
+  const auto v = kv.getDoubleStrict(key);
+  if (!v.has_value()) return false;
+  *out = microseconds(*v);
+  return true;
+}
+
+bool setBool(const KeyValueConfig& kv, const std::string& key, bool* out) {
+  const auto v = kv.getBoolStrict(key);
+  if (!v.has_value()) return false;
+  *out = *v;
+  return true;
+}
+
+const std::vector<Key>& keyTable() {
+  static const std::vector<Key> table = {
+      {"scheme", "load-balancing scheme (parseScheme names)",
+       [](ExperimentConfig& c, const KeyValueConfig&, const std::string&,
+          const std::string& value) {
+         const auto s = parseScheme(value);
+         if (!s.has_value()) return false;
+         c.scheme.scheme = *s;
+         return true;
+       }},
+      {"topo.leaves", "number of leaf switches",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.topo.numLeaves);
+       }},
+      {"topo.spines", "number of spine switches (equal-cost paths)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.topo.numSpines);
+       }},
+      {"topo.hosts-per-leaf", "hosts under each leaf",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.topo.hostsPerLeaf);
+       }},
+      {"topo.buffer", "per-port buffer depth, packets",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.topo.bufferPackets);
+       }},
+      {"topo.ecn-k", "DCTCP marking threshold, packets (0 = off)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         if (!setInt(kv, k, &c.topo.ecnThresholdPackets)) return false;
+         c.tcp.enableEcn = c.topo.ecnThresholdPackets > 0;
+         return true;
+       }},
+      {"topo.rate-gbps", "host and fabric link rate, Gbps",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || !(*v > 0.0)) return false;
+         c.topo.hostLinkRate = gbps(*v);
+         c.topo.fabricLinkRate = gbps(*v);
+         return true;
+       }},
+      {"topo.rtt-us", "base RTT, microseconds (sets per-link delay)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || !(*v > 0.0)) return false;
+         c.topo.linkDelay = microseconds(*v / 8.0);
+         return true;
+       }},
+      {"tcp.hole-guard",
+       "reordering-tolerant retransmit guard (false = classic NS2-era TCP)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBool(kv, k, &c.tcp.holeRetransmitGuard);
+       }},
+      {"tcp.min-rto-us", "minimum retransmission timeout, microseconds",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.tcp.minRto);
+       }},
+      {"tlb.update-interval-us", "TLB control-loop interval t",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.scheme.tlb.updateInterval);
+       }},
+      {"tlb.idle-timeout-us", "TLB flow-entry idle purge timeout",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.scheme.tlb.idleTimeout);
+       }},
+      {"tlb.short-threshold-bytes",
+       "bytes before TLB reclassifies a flow as long",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.scheme.tlb.shortFlowThreshold);
+       }},
+      {"tlb.spray-stickiness-bytes",
+       "minimum queue-length gain before a short flow switches uplinks",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.scheme.tlb.sprayStickiness);
+       }},
+      {"tlb.deadline-ms", "short-flow deadline D, milliseconds",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || !(*v > 0.0)) return false;
+         c.scheme.tlb.deadline = milliseconds(*v);
+         return true;
+       }},
+      {"scheme.flowlet-timeout-us", "LetFlow/CONGA flowlet gap",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.scheme.flowletTimeout);
+       }},
+      {"scheme.presto-cell-bytes", "Presto flowcell size",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.scheme.prestoCellBytes);
+       }},
+      {"scheme.fixed-k", "FixedGranularity switching period, packets",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setU64(kv, k, &c.scheme.fixedK);
+       }},
+      {"max-duration-ms", "hard stop, simulated milliseconds",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || !(*v > 0.0)) return false;
+         c.maxDuration = milliseconds(*v);
+         return true;
+       }},
+      {"sample-interval-us", "time-series sampling period (0 = off)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.sampleInterval);
+       }},
+  };
+  return table;
+}
+
+}  // namespace
+
+bool applyOverride(ExperimentConfig& cfg, const std::string& key,
+                   const std::string& value, std::string* error) {
+  for (const auto& entry : keyTable()) {
+    if (key != entry.name) continue;
+    const KeyValueConfig kv = KeyValueConfig::fromString(key + "=" + value);
+    if (entry.apply(cfg, kv, key, value)) return true;
+    if (error != nullptr) {
+      *error = "bad value '" + value + "' for override '" + key + "'";
+    }
+    return false;
+  }
+  if (error != nullptr) *error = "unknown override key '" + key + "'";
+  return false;
+}
+
+bool applyOverrides(ExperimentConfig& cfg,
+                    const std::vector<std::string>& keyValues,
+                    std::string* error) {
+  for (const auto& kvStr : keyValues) {
+    const auto eq = kvStr.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "override '" + kvStr + "' is not of the form key=value";
+      }
+      return false;
+    }
+    if (!applyOverride(cfg, kvStr.substr(0, eq), kvStr.substr(eq + 1),
+                       error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> overrideHelp() {
+  std::vector<std::string> out;
+  out.reserve(keyTable().size());
+  for (const auto& entry : keyTable()) {
+    out.push_back(std::string(entry.name) + "  " + entry.help);
+  }
+  return out;
+}
+
+}  // namespace tlbsim::harness

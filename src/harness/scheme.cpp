@@ -1,5 +1,7 @@
 #include "harness/scheme.hpp"
 
+#include <cctype>
+
 #include "core/tlb.hpp"
 #include "lb/conga.hpp"
 #include "lb/drill.hpp"
@@ -13,6 +15,24 @@
 #include "util/rng.hpp"
 
 namespace tlbsim::harness {
+
+namespace {
+
+/// Canonical lookup key: lower-case with every separator removed, so the
+/// display name, the CLI spelling and hand-typed variants all collapse to
+/// the same string.
+std::string foldSchemeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* schemeName(Scheme s) {
   switch (s) {
@@ -32,7 +52,60 @@ const char* schemeName(Scheme s) {
     case Scheme::kFixedGranularity: return "FixedGranularity";
     case Scheme::kTlb: return "TLB";
   }
-  return "?";
+  throw UnknownSchemeError("schemeName: scheme enum value " +
+                           std::to_string(static_cast<int>(s)) +
+                           " is not in the registry");
+}
+
+const char* schemeCliName(Scheme s) {
+  switch (s) {
+    case Scheme::kEcmp: return "ecmp";
+    case Scheme::kWcmp: return "wcmp";
+    case Scheme::kConga: return "conga";
+    case Scheme::kHermes: return "hermes";
+    case Scheme::kRoundRobin: return "round-robin";
+    case Scheme::kRps: return "rps";
+    case Scheme::kDrill: return "drill";
+    case Scheme::kPresto: return "presto";
+    case Scheme::kLetFlow: return "letflow";
+    case Scheme::kFlowLevel: return "flow-level";
+    case Scheme::kFlowletLevel: return "flowlet-level";
+    case Scheme::kPacketLevel: return "packet-level";
+    case Scheme::kShortestQueue: return "shortest-queue";
+    case Scheme::kFixedGranularity: return "fixed-granularity";
+    case Scheme::kTlb: return "tlb";
+  }
+  throw UnknownSchemeError("schemeCliName: scheme enum value " +
+                           std::to_string(static_cast<int>(s)) +
+                           " is not in the registry");
+}
+
+const std::vector<Scheme>& allSchemes() {
+  static const std::vector<Scheme> all = {
+      Scheme::kEcmp,          Scheme::kWcmp,
+      Scheme::kRps,           Scheme::kDrill,
+      Scheme::kPresto,        Scheme::kLetFlow,
+      Scheme::kConga,         Scheme::kHermes,
+      Scheme::kRoundRobin,    Scheme::kFlowLevel,
+      Scheme::kFlowletLevel,  Scheme::kPacketLevel,
+      Scheme::kShortestQueue, Scheme::kFixedGranularity,
+      Scheme::kTlb,
+  };
+  return all;
+}
+
+std::optional<Scheme> parseScheme(std::string_view name) {
+  const std::string key = foldSchemeName(name);
+  if (key.empty()) return std::nullopt;
+  for (const Scheme s : allSchemes()) {
+    // Both spellings fold to the same key for every scheme except the
+    // "Hermes-like" display name, whose CLI short form is "hermes".
+    if (key == foldSchemeName(schemeName(s)) ||
+        key == foldSchemeName(schemeCliName(s))) {
+      return s;
+    }
+  }
+  return std::nullopt;
 }
 
 std::unique_ptr<net::UplinkSelector> makeSelector(const SchemeConfig& cfg,
@@ -73,7 +146,9 @@ std::unique_ptr<net::UplinkSelector> makeSelector(const SchemeConfig& cfg,
     case Scheme::kTlb:
       return std::make_unique<core::Tlb>(cfg.tlb, cfg.numPaths, seed);
   }
-  return nullptr;
+  throw UnknownSchemeError("makeSelector: scheme enum value " +
+                           std::to_string(static_cast<int>(cfg.scheme)) +
+                           " is not in the registry");
 }
 
 }  // namespace tlbsim::harness

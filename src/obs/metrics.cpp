@@ -68,6 +68,16 @@ Series& MetricsRegistry::series(const std::string& name) {
   return *slot;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counterValues() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
 const Counter* MetricsRegistry::findCounter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second.get() : nullptr;

@@ -101,6 +101,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
   Series& series(const std::string& name);
 
+  /// All counters as (name, value), sorted by name. Lets aggregators
+  /// (e.g. the sweep runner's per-run summaries) fold counters without
+  /// knowing their names up front.
+  std::vector<std::pair<std::string, std::uint64_t>> counterValues() const;
+
   /// Lookup without creation; nullptr when the metric does not exist.
   const Counter* findCounter(const std::string& name) const;
   const Gauge* findGauge(const std::string& name) const;

@@ -1,0 +1,32 @@
+// The one wiring point between a run and its observability consumers: a
+// small value struct of nullable sink pointers. Both null (the default)
+// means observability is fully disabled and the instrumented hot paths pay
+// one well-predicted branch per site, nothing more.
+//
+// Ownership is the caller's: a Sinks never owns what it points to. The
+// experiment harness copies the struct, so the pointed-to registry/trace
+// must outlive the run; runs that want private sinks own them through
+// harness::Experiment::ownMetrics()/ownTrace() instead of sharing raw
+// pointers with the harness.
+#pragma once
+
+namespace tlbsim::obs {
+
+class MetricsRegistry;
+class EventTrace;
+
+struct Sinks {
+  /// When set, the run wires per-port drop/ECN/tx counters, TLB decision
+  /// counters and the q_th time series, aggregate TCP counters, and a
+  /// periodic queue-depth sampler into this registry.
+  MetricsRegistry* metrics = nullptr;
+
+  /// When set, packet serializations/drops/marks on the leaf uplinks, TLB
+  /// control ticks and TCP loss events are recorded as Chrome trace
+  /// events.
+  EventTrace* trace = nullptr;
+
+  bool any() const { return metrics != nullptr || trace != nullptr; }
+};
+
+}  // namespace tlbsim::obs

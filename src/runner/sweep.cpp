@@ -1,0 +1,85 @@
+#include "runner/sweep.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tlbsim::runner {
+
+namespace {
+
+std::string fmtLoad(double load) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", load);
+  return buf;
+}
+
+}  // namespace
+
+std::string SweepPoint::label() const {
+  std::string out = harness::schemeCliName(scheme);
+  if (hasLoad) out += " load=" + fmtLoad(load);
+  if (!variant.label.empty()) out += " [" + variant.label + "]";
+  out += " seed=" + std::to_string(baseSeed);
+  return out;
+}
+
+std::string SweepPoint::groupKey() const {
+  std::string out = harness::schemeCliName(scheme);
+  out += '|';
+  if (hasLoad) out += fmtLoad(load);
+  out += '|';
+  out += variant.label;
+  for (const auto& kv : variant.overrides) {
+    out += '|';
+    out += kv;
+  }
+  return out;
+}
+
+std::size_t SweepSpec::size() const {
+  return schemes.size() * (loads.empty() ? 1 : loads.size()) *
+         (variants.empty() ? 1 : variants.size()) * seeds.size();
+}
+
+std::vector<SweepPoint> SweepSpec::expand() const {
+  TLBSIM_ASSERT(!schemes.empty(), "sweep needs at least one scheme");
+  TLBSIM_ASSERT(!seeds.empty(), "sweep needs at least one seed");
+  const std::vector<double> loadAxis = loads.empty()
+                                           ? std::vector<double>{0.0}
+                                           : loads;
+  const std::vector<Variant> variantAxis =
+      variants.empty() ? std::vector<Variant>{Variant{}} : variants;
+
+  std::vector<SweepPoint> points;
+  points.reserve(size());
+  for (const harness::Scheme scheme : schemes) {
+    for (const double load : loadAxis) {
+      for (const Variant& variant : variantAxis) {
+        for (const std::uint64_t seed : seeds) {
+          SweepPoint pt;
+          pt.index = points.size();
+          pt.scheme = scheme;
+          pt.hasLoad = !loads.empty();
+          pt.load = pt.hasLoad ? load : 0.0;
+          pt.baseSeed = seed;
+          pt.runSeed = deriveRunSeed(sweepSeed, pt.index, seed);
+          pt.variant = variant;
+          points.push_back(std::move(pt));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::uint64_t deriveRunSeed(std::uint64_t sweepSeed, std::size_t pointIndex,
+                            std::uint64_t baseSeed) {
+  std::uint64_t h = splitmix64(sweepSeed ^ 0x746c'6273'7765'6570ULL);
+  h = splitmix64(h ^ baseSeed);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(pointIndex));
+  return h != 0 ? h : 1;
+}
+
+}  // namespace tlbsim::runner

@@ -1,0 +1,71 @@
+// Declarative sweep specification: the axes a paper figure iterates over
+// (scheme x load x seed x config variant), expanded into a flat list of
+// SweepPoints the parallel runner executes.
+//
+// Seeds are derived, not taken verbatim: every point gets
+// deriveRunSeed(sweepSeed, index, seedAxisValue), so (a) two points never
+// share a seed even when the axes collide, and (b) the whole sweep is
+// reproducible from the spec alone, independent of how many worker
+// threads execute it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scheme.hpp"
+
+namespace tlbsim::runner {
+
+/// One configuration variant of the swept experiment: a row label plus
+/// the key=value overrides (harness::applyOverride vocabulary) defining
+/// it. An empty variant (no overrides) is the base configuration.
+struct Variant {
+  std::string label;
+  std::vector<std::string> overrides;
+};
+
+/// One point of the expanded sweep. Value type; carries everything a
+/// worker needs to build and seed its experiment.
+struct SweepPoint {
+  std::size_t index = 0;  ///< position in expansion order
+  harness::Scheme scheme = harness::Scheme::kTlb;
+  bool hasLoad = false;   ///< false when the sweep has no load axis
+  double load = 0.0;
+  std::uint64_t baseSeed = 1;  ///< the seed-axis value
+  std::uint64_t runSeed = 1;   ///< derived per-run RNG seed
+  Variant variant;
+
+  /// Human-readable "tlb load=0.6 [t=250us] seed=3".
+  std::string label() const;
+
+  /// Stable identity of the point minus its seed: runs sharing a
+  /// groupKey are repetitions of the same configuration and aggregate
+  /// into one summary row.
+  std::string groupKey() const;
+};
+
+struct SweepSpec {
+  std::vector<harness::Scheme> schemes = {harness::Scheme::kTlb};
+  /// Offered-load axis; leave empty when the scenario has no load knob.
+  std::vector<double> loads;
+  /// Seed axis: one independent repetition per entry.
+  std::vector<std::uint64_t> seeds = {1};
+  /// Config-variant axis; leave empty for the base configuration only.
+  std::vector<Variant> variants;
+  /// Mixed into every derived run seed; changing it re-randomizes the
+  /// whole sweep without touching the axes.
+  std::uint64_t sweepSeed = 1;
+
+  std::size_t size() const;
+
+  /// Cartesian product in scheme -> load -> variant -> seed order (seed
+  /// innermost, so repetitions of one configuration are adjacent).
+  std::vector<SweepPoint> expand() const;
+};
+
+/// splitmix64 chain over {sweepSeed, pointIndex, seedAxisValue}; never 0.
+std::uint64_t deriveRunSeed(std::uint64_t sweepSeed, std::size_t pointIndex,
+                            std::uint64_t baseSeed);
+
+}  // namespace tlbsim::runner

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "obs/metrics.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace tlbsim::harness {
@@ -143,6 +146,47 @@ INSTANTIATE_TEST_SUITE_P(Asym, AsymmetrySweep,
                          ::testing::Values(Scheme::kEcmp, Scheme::kRps,
                                            Scheme::kPresto, Scheme::kLetFlow,
                                            Scheme::kTlb));
+
+TEST(ExperimentClass, OwnedSinksAreWiredIntoTheRun) {
+  Experiment exp(smallConfig(Scheme::kTlb));
+  auto& metrics = exp.ownMetrics();
+  auto& trace = exp.ownTrace(1000);
+  EXPECT_EQ(exp.metrics(), &metrics);
+  EXPECT_EQ(exp.trace(), &trace);
+
+  const ExperimentResult res = exp.run();
+  EXPECT_GT(res.ledger.completedCount(stats::FlowLedger::isShort), 0u);
+  EXPECT_FALSE(metrics.counterValues().empty())
+      << "a run with owned metrics must record counters";
+}
+
+TEST(ExperimentClass, RunIsRepeatableAndConst) {
+  const Experiment exp(smallConfig(Scheme::kLetFlow));
+  const ExperimentResult a = exp.run();
+  const ExperimentResult b = exp.run();
+  EXPECT_EQ(a.endTime, b.endTime);
+  EXPECT_EQ(a.executedEvents, b.executedEvents);
+  EXPECT_GT(a.executedEvents, 0u);
+  EXPECT_DOUBLE_EQ(a.shortAfctSec(), b.shortAfctSec());
+}
+
+TEST(ExperimentClass, MoveTransfersOwnedSinks) {
+  Experiment src(smallConfig(Scheme::kRps));
+  auto& metrics = src.ownMetrics();
+  Experiment dst = std::move(src);
+  EXPECT_EQ(dst.metrics(), &metrics);
+  const ExperimentResult res = dst.run();
+  EXPECT_GT(res.ledger.completedCount(stats::FlowLedger::isShort), 0u);
+}
+
+TEST(ExperimentClass, SummarizeMatchesTheFreeFunction) {
+  const ExperimentConfig cfg = smallConfig(Scheme::kTlb);
+  Experiment exp(cfg);
+  const ExperimentResult res = exp.run();
+  const auto fromClass = exp.summarize(res).toJson();
+  const auto fromFree = summarizeExperiment(cfg, res).toJson();
+  EXPECT_EQ(fromClass, fromFree);
+}
 
 TEST(Experiment, TlbShortFlowsBeatEcmpOnTheBasicMix) {
   // The paper's headline direction at this small scale: TLB's short-flow

@@ -1,0 +1,74 @@
+#include "harness/overrides.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim::harness {
+namespace {
+
+TEST(Overrides, AppliesTypedValues) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(applyOverride(cfg, "topo.buffer", "128"));
+  EXPECT_EQ(cfg.topo.bufferPackets, 128);
+  EXPECT_TRUE(applyOverride(cfg, "scheme", "letflow"));
+  EXPECT_EQ(cfg.scheme.scheme, Scheme::kLetFlow);
+  EXPECT_TRUE(applyOverride(cfg, "tlb.update-interval-us", "250"));
+  EXPECT_EQ(cfg.scheme.tlb.updateInterval, microseconds(250));
+  EXPECT_TRUE(applyOverride(cfg, "tcp.hole-guard", "false"));
+  EXPECT_FALSE(cfg.tcp.holeRetransmitGuard);
+}
+
+TEST(Overrides, EcnThresholdKeepsTcpEcnConsistent) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(applyOverride(cfg, "topo.ecn-k", "0"));
+  EXPECT_FALSE(cfg.tcp.enableEcn);
+  EXPECT_TRUE(applyOverride(cfg, "topo.ecn-k", "65"));
+  EXPECT_TRUE(cfg.tcp.enableEcn);
+  EXPECT_EQ(cfg.topo.ecnThresholdPackets, 65);
+}
+
+TEST(Overrides, RejectsUnknownKeyWithExplanation) {
+  ExperimentConfig cfg;
+  std::string err;
+  EXPECT_FALSE(applyOverride(cfg, "no.such.key", "1", &err));
+  EXPECT_NE(err.find("no.such.key"), std::string::npos);
+}
+
+TEST(Overrides, RejectsGarbageValuesInsteadOfDefaulting) {
+  ExperimentConfig cfg;
+  const int before = cfg.topo.bufferPackets;
+  std::string err;
+  EXPECT_FALSE(applyOverride(cfg, "topo.buffer", "many", &err));
+  EXPECT_EQ(cfg.topo.bufferPackets, before);
+  EXPECT_FALSE(applyOverride(cfg, "topo.buffer", "128x", &err));
+  EXPECT_FALSE(applyOverride(cfg, "scheme", "no-such-scheme", &err));
+  EXPECT_FALSE(applyOverride(cfg, "topo.rate-gbps", "-1", &err));
+}
+
+TEST(Overrides, ListAppliesInOrderAndStopsAtFirstFailure) {
+  ExperimentConfig cfg;
+  std::string err;
+  EXPECT_TRUE(applyOverrides(
+      cfg, {"topo.buffer=32", "topo.buffer=64", "scheme=rps"}, &err));
+  EXPECT_EQ(cfg.topo.bufferPackets, 64);
+  EXPECT_EQ(cfg.scheme.scheme, Scheme::kRps);
+
+  EXPECT_FALSE(applyOverrides(cfg, {"topo.buffer=96", "nonsense"}, &err));
+  EXPECT_EQ(cfg.topo.bufferPackets, 96) << "prefix before the failure applies";
+  EXPECT_NE(err.find("key=value"), std::string::npos);
+}
+
+TEST(Overrides, HelpCoversEveryKey) {
+  const auto help = overrideHelp();
+  EXPECT_GE(help.size(), 15u);
+  ExperimentConfig cfg;
+  for (const std::string& line : help) {
+    const std::string key = line.substr(0, line.find(' '));
+    // Every documented key must be recognized (value may still be bad).
+    std::string err;
+    applyOverride(cfg, key, "not-a-value", &err);
+    EXPECT_EQ(err.find("unknown override key"), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim::harness

@@ -70,5 +70,46 @@ TEST(SchemeRegistry, TlbConfigPlumbsThrough) {
   EXPECT_STREQ(sel->name(), "TLB");
 }
 
+TEST(SchemeRegistry, AllSchemesMatchesTheEnum) {
+  const auto& all = allSchemes();
+  ASSERT_EQ(all.size(), std::size(kAllSchemes));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], kAllSchemes[i]);
+  }
+}
+
+TEST(SchemeRegistry, ParseSchemeRoundTripsEveryName) {
+  for (const Scheme s : allSchemes()) {
+    // Both the display name and the CLI name parse back to the scheme.
+    const auto fromDisplay = parseScheme(schemeName(s));
+    ASSERT_TRUE(fromDisplay.has_value()) << schemeName(s);
+    EXPECT_EQ(*fromDisplay, s);
+    const auto fromCli = parseScheme(schemeCliName(s));
+    ASSERT_TRUE(fromCli.has_value()) << schemeCliName(s);
+    EXPECT_EQ(*fromCli, s);
+  }
+}
+
+TEST(SchemeRegistry, ParseSchemeFoldsCaseAndSeparators) {
+  EXPECT_EQ(parseScheme("TLB"), Scheme::kTlb);
+  EXPECT_EQ(parseScheme("LetFlow"), Scheme::kLetFlow);
+  EXPECT_EQ(parseScheme("let_flow"), Scheme::kLetFlow);
+  EXPECT_EQ(parseScheme("round robin"), Scheme::kRoundRobin);
+  EXPECT_EQ(parseScheme("shortest-queue"), Scheme::kShortestQueue);
+}
+
+TEST(SchemeRegistry, ParseSchemeRejectsUnknownNames) {
+  EXPECT_FALSE(parseScheme("").has_value());
+  EXPECT_FALSE(parseScheme("no-such-scheme").has_value());
+  EXPECT_FALSE(parseScheme("tlbx").has_value());
+}
+
+TEST(SchemeRegistry, MakeSelectorThrowsTypedErrorForUnknownEnumValue) {
+  SchemeConfig cfg;
+  cfg.scheme = static_cast<Scheme>(255);
+  EXPECT_THROW(makeSelector(cfg, 1), UnknownSchemeError);
+  EXPECT_THROW(schemeName(static_cast<Scheme>(255)), UnknownSchemeError);
+}
+
 }  // namespace
 }  // namespace tlbsim::harness

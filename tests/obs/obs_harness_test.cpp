@@ -37,7 +37,7 @@ ExperimentConfig smallTlbConfig(std::uint64_t seed = 7) {
 TEST(ObsHarness, QthSeriesSampledAtControlInterval) {
   obs::MetricsRegistry metrics;
   auto cfg = smallTlbConfig();
-  cfg.metrics = &metrics;
+  cfg.sinks.metrics = &metrics;
   const auto res = runExperiment(cfg);
   ASSERT_GT(res.endTime, 0);
 
@@ -68,7 +68,7 @@ TEST(ObsHarness, QthSeriesSampledAtControlInterval) {
 TEST(ObsHarness, PerPortAndPerClassCountersPopulated) {
   obs::MetricsRegistry metrics;
   auto cfg = smallTlbConfig();
-  cfg.metrics = &metrics;
+  cfg.sinks.metrics = &metrics;
   const auto res = runExperiment(cfg);
 
   // Every leaf uplink registered tx/drop/mark counters.
@@ -121,8 +121,8 @@ TEST(ObsHarness, TraceExportsParsableChromeJson) {
   obs::MetricsRegistry metrics;
   obs::EventTrace trace;
   auto cfg = smallTlbConfig();
-  cfg.metrics = &metrics;
-  cfg.trace = &trace;
+  cfg.sinks.metrics = &metrics;
+  cfg.sinks.trace = &trace;
   runExperiment(cfg);
 
   ASSERT_GT(trace.size(), 0u);
@@ -157,8 +157,8 @@ TEST(ObsHarness, ObsDoesNotChangeSimulationOutcome) {
   obs::MetricsRegistry metrics;
   obs::EventTrace trace;
   auto cfg = smallTlbConfig(3);
-  cfg.metrics = &metrics;
-  cfg.trace = &trace;
+  cfg.sinks.metrics = &metrics;
+  cfg.sinks.trace = &trace;
   const auto observed = runExperiment(cfg);
   ASSERT_EQ(plain.ledger.size(), observed.ledger.size());
   for (std::size_t i = 0; i < plain.ledger.size(); ++i) {

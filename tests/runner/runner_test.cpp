@@ -1,0 +1,181 @@
+// The sweep engine's contracts: byte-identical reports for any worker
+// count, aggregation over the seed axis only, variant overrides applied
+// in variant-wins order, and error propagation after the join.
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace tlbsim::runner {
+namespace {
+
+/// A tiny but real experiment: 2 leaves x 3 spines, a handful of flows.
+/// Small enough that a full grid stays under a second per worker.
+SweepScenario tinyScenario() {
+  SweepScenario scenario;
+  scenario.base = [](const SweepPoint&) {
+    harness::ExperimentConfig cfg;
+    cfg.topo.numLeaves = 2;
+    cfg.topo.numSpines = 3;
+    cfg.topo.hostsPerLeaf = 4;
+    cfg.topo.linkDelay = microseconds(5);
+    cfg.topo.bufferPackets = 64;
+    cfg.topo.ecnThresholdPackets = 20;
+    cfg.maxDuration = seconds(5);
+    return cfg;
+  };
+  scenario.workload = [](harness::ExperimentConfig& cfg, const SweepPoint&) {
+    Rng rng(cfg.seed);
+    for (int i = 0; i < 6; ++i) {
+      transport::FlowSpec f;
+      f.id = i;
+      f.src = static_cast<net::HostId>(rng.uniformInt(0, 3));
+      f.dst = static_cast<net::HostId>(4 + rng.uniformInt(0, 3));
+      f.size = 20 * kKB + static_cast<Bytes>(rng.uniformInt(0, 40)) * kKB;
+      f.start = microseconds(static_cast<double>(rng.uniformInt(0, 200)));
+      cfg.flows.push_back(f);
+    }
+  };
+  return scenario;
+}
+
+SweepSpec tinySpec() {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kRps, harness::Scheme::kLetFlow,
+                  harness::Scheme::kTlb};
+  spec.seeds = {1, 2};
+  return spec;
+}
+
+TEST(Runner, ReportIsByteIdenticalAcrossWorkerCounts) {
+  const SweepScenario scenario = tinyScenario();
+  const SweepSpec spec = tinySpec();
+
+  RunnerOptions one;
+  one.jobs = 1;
+  RunnerOptions four;
+  four.jobs = 4;
+  RunnerOptions eight;
+  eight.jobs = 8;
+
+  const std::string j1 = runSweep(spec, scenario, one).toJson();
+  const std::string j4 = runSweep(spec, scenario, four).toJson();
+  const std::string j8 = runSweep(spec, scenario, eight).toJson();
+  EXPECT_EQ(j1, j4);
+  EXPECT_EQ(j1, j8);
+}
+
+TEST(Runner, ReportJsonParsesAndCarriesTheGrid) {
+  const SweepReport report = runSweep(tinySpec(), tinyScenario(), {});
+  const auto doc = obs::JsonValue::parse(report.toJson());
+  ASSERT_TRUE(doc.has_value());
+  const auto* sweep = doc->find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(sweep->find("schemes")->items.size(), 3u);
+  EXPECT_EQ(sweep->find("points")->number, 6.0);
+  EXPECT_EQ(doc->find("runs")->items.size(), 6u);
+  EXPECT_EQ(doc->find("aggregates")->items.size(), 3u);
+  // Every run summary carries its identity keys.
+  for (const auto& run : doc->find("runs")->items) {
+    EXPECT_NE(run.find("scheme"), nullptr);
+    EXPECT_NE(run.find("point_index"), nullptr);
+    EXPECT_NE(run.find("base_seed"), nullptr);
+  }
+}
+
+TEST(Runner, AggregatesAverageOverSeedsOnly) {
+  const SweepReport report = runSweep(tinySpec(), tinyScenario(), {});
+  ASSERT_EQ(report.runs.size(), 6u);
+  ASSERT_EQ(report.aggregates.size(), 3u);
+  for (const auto& agg : report.aggregates) {
+    EXPECT_EQ(agg.runs, 2u);
+    // Identity keys are not aggregated as metrics.
+    EXPECT_EQ(agg.stats("seed"), nullptr);
+    EXPECT_EQ(agg.stats("base_seed"), nullptr);
+    EXPECT_EQ(agg.stats("point_index"), nullptr);
+    const RunningStats* afct = agg.stats("short_afct_ms");
+    ASSERT_NE(afct, nullptr);
+    EXPECT_EQ(afct->count(), 2u);
+  }
+  // find() addresses the scheme axis.
+  EXPECT_NE(report.find(harness::Scheme::kTlb), nullptr);
+  EXPECT_EQ(report.find(harness::Scheme::kEcmp), nullptr);
+}
+
+TEST(Runner, RunsAreDeterministicPerPointSeed) {
+  // Same spec run twice: identical results, not merely identical shapes.
+  const SweepScenario scenario = tinyScenario();
+  const SweepSpec spec = tinySpec();
+  const SweepReport a = runSweep(spec, scenario, {});
+  const SweepReport b = runSweep(spec, scenario, {});
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].point.runSeed, b.runs[i].point.runSeed);
+    EXPECT_EQ(a.runs[i].result.endTime, b.runs[i].result.endTime);
+    EXPECT_EQ(a.runs[i].result.executedEvents,
+              b.runs[i].result.executedEvents);
+  }
+}
+
+TEST(Runner, VariantOverridesWinOverAxisScheme) {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kTlb};
+  spec.variants = {{"as-rps", {"scheme=rps"}}};
+  harness::Scheme seen = harness::Scheme::kTlb;
+  SweepScenario scenario = tinyScenario();
+  scenario.workload = [&seen, inner = scenario.workload](
+                          harness::ExperimentConfig& cfg,
+                          const SweepPoint& pt) {
+    seen = cfg.scheme.scheme;
+    inner(cfg, pt);
+  };
+  const SweepReport report = runSweep(spec, scenario, {});
+  EXPECT_EQ(seen, harness::Scheme::kRps);
+  ASSERT_EQ(report.runs.size(), 1u);
+  // The run summary reports the scheme that actually ran.
+  const std::string* scheme = report.runs[0].summary.meta("scheme");
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(*scheme, "RPS");
+}
+
+TEST(Runner, BadOverrideSurfacesAsErrorAfterDraining) {
+  SweepSpec spec = tinySpec();
+  spec.variants = {{"bad", {"no.such.key=1"}}};
+  EXPECT_THROW(runSweep(spec, tinyScenario(), {}), std::runtime_error);
+}
+
+TEST(Runner, CollectMetricsFoldsCountersIntoSummaries) {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kTlb};
+  RunnerOptions opt;
+  opt.collectMetrics = true;
+  const SweepReport report = runSweep(spec, tinyScenario(), opt);
+  ASSERT_EQ(report.runs.size(), 1u);
+  bool sawMetric = false;
+  for (const auto& [key, value] : report.runs[0].summary.values()) {
+    if (key.rfind("metric.", 0) == 0) sawMetric = true;
+  }
+  EXPECT_TRUE(sawMetric);
+}
+
+TEST(Runner, OnRunDoneFiresOncePerPoint) {
+  SweepSpec spec = tinySpec();
+  RunnerOptions opt;
+  opt.jobs = 4;
+  int calls = 0;
+  opt.onRunDone = [&calls](const SweepPoint&,
+                           const harness::ExperimentResult&) { ++calls; };
+  runSweep(spec, tinyScenario(), opt);
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(Runner, ResolveJobs) {
+  EXPECT_EQ(resolveJobs(3), 3);
+  EXPECT_GE(resolveJobs(0), 1);
+  EXPECT_GE(resolveJobs(-1), 1);
+}
+
+}  // namespace
+}  // namespace tlbsim::runner

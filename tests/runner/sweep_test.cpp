@@ -1,0 +1,108 @@
+#include "runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlbsim::runner {
+namespace {
+
+TEST(SweepSpec, SizeCountsAllAxes) {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kRps, harness::Scheme::kTlb};
+  spec.loads = {0.2, 0.4, 0.6};
+  spec.seeds = {1, 2};
+  EXPECT_EQ(spec.size(), 12u);
+
+  spec.variants = {{"a", {}}, {"b", {}}};
+  EXPECT_EQ(spec.size(), 24u);
+}
+
+TEST(SweepSpec, EmptyOptionalAxesCollapseToOne) {
+  SweepSpec spec;  // defaults: 1 scheme, no loads, 1 seed, no variants
+  EXPECT_EQ(spec.size(), 1u);
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_FALSE(points[0].hasLoad);
+  EXPECT_TRUE(points[0].variant.label.empty());
+}
+
+TEST(SweepSpec, ExpandOrderIsSchemeLoadVariantSeed) {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kRps, harness::Scheme::kTlb};
+  spec.loads = {0.2, 0.8};
+  spec.seeds = {1, 2};
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 8u);
+  // Seed is the innermost axis: repetitions of a configuration adjacent.
+  EXPECT_EQ(points[0].groupKey(), points[1].groupKey());
+  EXPECT_EQ(points[0].baseSeed, 1u);
+  EXPECT_EQ(points[1].baseSeed, 2u);
+  EXPECT_NE(points[1].groupKey(), points[2].groupKey());
+  // Load changes before scheme does.
+  EXPECT_EQ(points[2].scheme, harness::Scheme::kRps);
+  EXPECT_DOUBLE_EQ(points[2].load, 0.8);
+  EXPECT_EQ(points[4].scheme, harness::Scheme::kTlb);
+  // Index is the position in expansion order.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+}
+
+TEST(SweepSpec, DerivedRunSeedsAreUniqueAndReproducible) {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kRps, harness::Scheme::kTlb};
+  spec.loads = {0.2, 0.4, 0.6, 0.8};
+  spec.seeds = {1, 2, 3};
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].runSeed, b[i].runSeed) << "expansion must be pure";
+    EXPECT_NE(a[i].runSeed, 0u);
+    seen.insert(a[i].runSeed);
+  }
+  EXPECT_EQ(seen.size(), a.size()) << "no two points may share a run seed";
+}
+
+TEST(SweepSpec, SweepSeedRerandomizesEveryPoint) {
+  SweepSpec spec;
+  spec.seeds = {1, 2, 3};
+  auto base = spec.expand();
+  spec.sweepSeed = 99;
+  auto moved = spec.expand();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NE(base[i].runSeed, moved[i].runSeed);
+    EXPECT_EQ(base[i].groupKey(), moved[i].groupKey())
+        << "identity must not depend on sweepSeed";
+  }
+}
+
+TEST(DeriveRunSeed, DependsOnEveryInput) {
+  const auto s = deriveRunSeed(1, 2, 3);
+  EXPECT_NE(s, deriveRunSeed(2, 2, 3));
+  EXPECT_NE(s, deriveRunSeed(1, 3, 3));
+  EXPECT_NE(s, deriveRunSeed(1, 2, 4));
+  EXPECT_EQ(s, deriveRunSeed(1, 2, 3));
+}
+
+TEST(SweepPoint, LabelAndGroupKey) {
+  SweepPoint pt;
+  pt.scheme = harness::Scheme::kLetFlow;
+  pt.hasLoad = true;
+  pt.load = 0.6;
+  pt.baseSeed = 3;
+  pt.variant = {"t=250us", {"tlb.update-interval-us=250"}};
+  EXPECT_EQ(pt.label(), "letflow load=0.6 [t=250us] seed=3");
+  // groupKey carries everything but the seed.
+  SweepPoint other = pt;
+  other.baseSeed = 7;
+  other.index = 42;
+  other.runSeed = 1234;
+  EXPECT_EQ(pt.groupKey(), other.groupKey());
+  other.load = 0.8;
+  EXPECT_NE(pt.groupKey(), other.groupKey());
+}
+
+}  // namespace
+}  // namespace tlbsim::runner

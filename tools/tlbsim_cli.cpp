@@ -4,6 +4,8 @@
 //   $ tlbsim_cli --scheme tlb --load 0.6 --flows 300 --workload websearch
 //   $ tlbsim_cli --scheme letflow --leaves 4 --spines 8 --hosts-per-leaf 16
 //         --rate-gbps 1 --buffer 256 --ecn-k 65 --seed 7 --csv flows.csv
+//   $ tlbsim_cli sweep --schemes rps,letflow,tlb --loads 0.4,0.6,0.8
+//         --seeds 1,2,3 --jobs 4 --json sweep.json
 //   $ tlbsim_cli --list-schemes
 //
 // Exit code 0 on success, 1 on bad flags.
@@ -11,13 +13,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/overrides.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/trace.hpp"
+#include "runner/runner.hpp"
 #include "stats/csv.hpp"
 #include "stats/report.hpp"
 #include "util/config.hpp"
@@ -80,35 +85,45 @@ std::optional<LogLevel> parseLogLevel(const std::string& name) {
   return std::nullopt;
 }
 
-const std::vector<std::pair<std::string, harness::Scheme>>& schemeNames() {
-  static const std::vector<std::pair<std::string, harness::Scheme>> names = {
-      {"ecmp", harness::Scheme::kEcmp},
-      {"wcmp", harness::Scheme::kWcmp},
-      {"rps", harness::Scheme::kRps},
-      {"drill", harness::Scheme::kDrill},
-      {"presto", harness::Scheme::kPresto},
-      {"letflow", harness::Scheme::kLetFlow},
-      {"conga", harness::Scheme::kConga},
-      {"hermes", harness::Scheme::kHermes},
-      {"round-robin", harness::Scheme::kRoundRobin},
-      {"shortest-queue", harness::Scheme::kShortestQueue},
-      {"flow-level", harness::Scheme::kFlowLevel},
-      {"tlb", harness::Scheme::kTlb},
-  };
-  return names;
+/// Generate cfg.flows from the workload name, drawing randomness from
+/// cfg.seed against the (possibly overridden) topology. Shared by the
+/// single-run path and every sweep worker.
+bool buildFlows(harness::ExperimentConfig& cfg, const std::string& workload,
+                double load, int flows) {
+  Rng rng(cfg.seed);
+  if (workload == "basicmix") {
+    workload::BasicMixConfig mix;
+    mix.numHosts = cfg.topo.numHosts();
+    mix.hostsPerLeaf = cfg.topo.hostsPerLeaf;
+    cfg.flows = workload::basicMixWorkload(mix, rng);
+    return true;
+  }
+  if (workload != "websearch" && workload != "datamining") return false;
+  const auto dist =
+      workload == "datamining"
+          ? workload::FlowSizeDistribution::dataMining(35 * kMB)
+          : workload::FlowSizeDistribution::webSearch(30 * kMB);
+  workload::PoissonConfig pcfg;
+  pcfg.load = load;
+  pcfg.flowCount = flows;
+  pcfg.numHosts = cfg.topo.numHosts();
+  pcfg.hostsPerLeaf = cfg.topo.hostsPerLeaf;
+  pcfg.hostRate = cfg.topo.hostLinkRate;
+  pcfg.offeredCapacityBps = static_cast<double>(cfg.topo.numLeaves) *
+                            static_cast<double>(cfg.topo.numSpines) *
+                            cfg.topo.fabricLinkRate.bytesPerSecond();
+  cfg.flows = workload::poissonWorkload(pcfg, dist, rng);
+  return true;
 }
 
 /// Apply one config-file key (same vocabulary as the flags, sans "--").
 bool applyKey(Options* opt, const std::string& key,
               const std::string& value) {
   if (key == "scheme") {
-    for (const auto& [name, s] : schemeNames()) {
-      if (name == value) {
-        opt->scheme = s;
-        return true;
-      }
-    }
-    return false;
+    const auto s = harness::parseScheme(value);
+    if (!s.has_value()) return false;
+    opt->scheme = *s;
+    return true;
   }
   const KeyValueConfig one = KeyValueConfig::fromString(key + "=" + value);
   const auto intVal = [&] { return one.getIntStrict(key); };
@@ -185,6 +200,7 @@ bool loadConfigFile(Options* opt, const std::string& path) {
 void usage() {
   std::printf(
       "usage: tlbsim_cli [options]\n"
+      "       tlbsim_cli sweep [sweep options]   (tlbsim_cli sweep --help)\n"
       "  --config PATH        key=value file with the options below\n"
       "                       (sans --; later flags override it)\n"
       "  --scheme NAME        load balancer (--list-schemes)\n"
@@ -224,8 +240,8 @@ bool parse(int argc, char** argv, Options* opt) {
       usage();
       std::exit(0);
     } else if (arg == "--list-schemes") {
-      for (const auto& [name, s] : schemeNames()) {
-        std::printf("%s\n", name.c_str());
+      for (const harness::Scheme s : harness::allSchemes()) {
+        std::printf("%s\n", harness::schemeCliName(s));
       }
       std::exit(0);
     } else if (arg == "--config") {
@@ -267,9 +283,253 @@ bool parse(int argc, char** argv, Options* opt) {
   return true;
 }
 
+// --- sweep subcommand -----------------------------------------------------
+
+struct SweepOptions {
+  runner::SweepSpec spec;
+  std::string workload = "websearch";
+  int flows = 300;
+  int jobs = 0;  // 0 = all cores
+  std::string jsonPath;
+  std::vector<std::string> sets;  // base-config overrides
+  bool audit = false;
+  bool collectMetrics = false;
+};
+
+void sweepUsage() {
+  std::printf(
+      "usage: tlbsim_cli sweep [options]\n"
+      "  --schemes A,B,C      scheme axis (default tlb; --list-schemes)\n"
+      "  --loads X,Y,Z        offered-load axis (default 0.5)\n"
+      "  --seeds N,M,...      seed axis, one repetition each (default 1)\n"
+      "  --jobs N             worker threads (default: all cores)\n"
+      "  --json PATH          write the aggregated sweep report as JSON\n"
+      "  --set KEY=VALUE      base-config override, repeatable\n"
+      "                       (--list-overrides for the vocabulary)\n"
+      "  --workload NAME      websearch | datamining | basicmix\n"
+      "  --flows N            flows per run (default 300)\n"
+      "  --sweep-seed N       re-randomizes every derived run seed\n"
+      "  --metrics            collect per-run obs counters into the report\n"
+      "  --audit              run the invariant audit in every run\n"
+      "  --list-overrides     print --set keys and exit\n");
+}
+
+bool parseSweepArgs(int argc, char** argv, SweepOptions* opt) {
+  const auto splitCsv = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+      const std::size_t comma = s.find(',', start);
+      const std::size_t end = comma == std::string::npos ? s.size() : comma;
+      out.push_back(s.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return out;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      sweepUsage();
+      std::exit(0);
+    } else if (arg == "--list-overrides") {
+      for (const std::string& line : harness::overrideHelp()) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::exit(0);
+    } else if (arg == "--metrics") {
+      opt->collectMetrics = true;
+    } else if (arg == "--audit") {
+      opt->audit = true;
+    } else if (arg == "--schemes") {
+      const char* v = next("--schemes");
+      if (v == nullptr) return false;
+      opt->spec.schemes.clear();
+      for (const std::string& name : splitCsv(v)) {
+        const auto s = harness::parseScheme(name);
+        if (!s.has_value()) {
+          std::fprintf(stderr, "unknown scheme '%s' (--list-schemes)\n",
+                       name.c_str());
+          return false;
+        }
+        opt->spec.schemes.push_back(*s);
+      }
+    } else if (arg == "--loads" || arg == "--seeds" || arg == "--jobs" ||
+               arg == "--flows" || arg == "--sweep-seed") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      const KeyValueConfig one =
+          KeyValueConfig::fromString("v=" + std::string(v));
+      bool ok = true;
+      if (arg == "--loads") {
+        opt->spec.loads.clear();
+        for (const std::string& item : splitCsv(v)) {
+          const auto d = KeyValueConfig::fromString("v=" + item)
+                             .getDoubleStrict("v");
+          ok = ok && d.has_value() && *d > 0.0;
+          if (ok) opt->spec.loads.push_back(*d);
+        }
+      } else if (arg == "--seeds") {
+        opt->spec.seeds.clear();
+        for (const std::string& item : splitCsv(v)) {
+          const auto n =
+              KeyValueConfig::fromString("v=" + item).getIntStrict("v");
+          ok = ok && n.has_value() && *n >= 0;
+          if (ok) opt->spec.seeds.push_back(static_cast<std::uint64_t>(*n));
+        }
+      } else if (arg == "--jobs") {
+        const auto n = one.getIntStrict("v");
+        ok = n.has_value() && *n >= 0;
+        if (ok) opt->jobs = static_cast<int>(*n);
+      } else if (arg == "--flows") {
+        const auto n = one.getIntStrict("v");
+        ok = n.has_value() && *n >= 1;
+        if (ok) opt->flows = static_cast<int>(*n);
+      } else {  // --sweep-seed
+        const auto n = one.getIntStrict("v");
+        ok = n.has_value() && *n >= 0;
+        if (ok) opt->spec.sweepSeed = static_cast<std::uint64_t>(*n);
+      }
+      if (!ok) {
+        std::fprintf(stderr, "bad value '%s' for %s\n", v, arg.c_str());
+        return false;
+      }
+    } else if (arg == "--json") {
+      const char* v = next("--json");
+      if (v == nullptr) return false;
+      opt->jsonPath = v;
+    } else if (arg == "--workload") {
+      const char* v = next("--workload");
+      if (v == nullptr) return false;
+      opt->workload = v;
+    } else if (arg == "--set") {
+      const char* v = next("--set");
+      if (v == nullptr) return false;
+      opt->sets.push_back(v);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      sweepUsage();
+      return false;
+    }
+  }
+  if (opt->spec.schemes.empty()) {
+    std::fprintf(stderr, "--schemes must name at least one scheme\n");
+    return false;
+  }
+  if (opt->spec.seeds.empty()) {
+    std::fprintf(stderr, "--seeds must name at least one seed\n");
+    return false;
+  }
+  if (opt->spec.loads.empty()) opt->spec.loads = {0.5};
+  return true;
+}
+
+int sweepMain(int argc, char** argv) {
+  SweepOptions opt;
+  if (!parseSweepArgs(argc, argv, &opt)) return 1;
+
+  // Validate the base overrides once up front (on a scratch config) so a
+  // typo fails before any simulation starts rather than inside a worker.
+  {
+    harness::ExperimentConfig scratch;
+    std::string err;
+    if (!harness::applyOverrides(scratch, opt.sets, &err)) {
+      std::fprintf(stderr, "--set: %s (--list-overrides)\n", err.c_str());
+      return 1;
+    }
+  }
+  if (opt.workload != "websearch" && opt.workload != "datamining" &&
+      opt.workload != "basicmix") {
+    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    return 1;
+  }
+
+  runner::SweepScenario scenario;
+  scenario.base = [&opt](const runner::SweepPoint&) {
+    harness::ExperimentConfig cfg;
+    cfg.maxDuration = seconds(120);
+    if (opt.audit) cfg.audit = harness::ExperimentConfig::Audit::kOn;
+    std::string err;
+    if (!harness::applyOverrides(cfg, opt.sets, &err)) {
+      throw std::runtime_error(err);
+    }
+    return cfg;
+  };
+  scenario.workload = [&opt](harness::ExperimentConfig& cfg,
+                             const runner::SweepPoint& pt) {
+    buildFlows(cfg, opt.workload, pt.load, opt.flows);
+  };
+
+  runner::RunnerOptions ropt;
+  ropt.jobs = opt.jobs;
+  ropt.collectMetrics = opt.collectMetrics;
+  ropt.onRunDone = [](const runner::SweepPoint& pt,
+                      const harness::ExperimentResult& res) {
+    std::printf("  done %-40s afct=%.3fms p99=%.3fms\n", pt.label().c_str(),
+                res.shortAfctSec() * 1e3, res.shortP99Sec() * 1e3);
+  };
+
+  std::printf("sweep: %zu runs on %d worker(s), workload=%s\n",
+              opt.spec.size(), runner::resolveJobs(opt.jobs),
+              opt.workload.c_str());
+  runner::SweepReport report;
+  try {
+    report = runner::runSweep(opt.spec, scenario, ropt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  stats::Table t({"scheme", "load", "runs", "afct ms", "p99 ms", "miss %",
+                  "goodput Mbps"});
+  for (const auto& agg : report.aggregates) {
+    t.addRow(std::string(harness::schemeCliName(agg.point.scheme)) +
+                 (agg.point.variant.label.empty()
+                      ? ""
+                      : " [" + agg.point.variant.label + "]"),
+             {agg.point.load, static_cast<double>(agg.runs),
+              agg.mean("short_afct_ms"), agg.mean("short_p99_ms"),
+              agg.mean("deadline_miss_ratio") * 100.0,
+              agg.mean("long_goodput_gbps") * 1e3},
+             3);
+  }
+  t.print("sweep aggregates (mean over seeds)");
+  std::printf("sweep wall time: %.2fs\n", report.wallSeconds);
+
+  if (!opt.jsonPath.empty()) {
+    if (!report.writeJsonFile(opt.jsonPath)) {
+      std::fprintf(stderr, "cannot write sweep JSON '%s'\n",
+                   opt.jsonPath.c_str());
+      return 1;
+    }
+    std::printf("sweep JSON written to %s\n", opt.jsonPath.c_str());
+  }
+
+  bool auditFailed = false;
+  for (const auto& run : report.runs) {
+    if (run.result.auditViolations > 0) {
+      std::fprintf(stderr, "invariant audit: %llu violation(s) in '%s'\n",
+                   static_cast<unsigned long long>(run.result.auditViolations),
+                   run.point.label().c_str());
+      auditFailed = true;
+    }
+  }
+  return auditFailed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return sweepMain(argc - 1, argv + 1);
+  }
   Options opt;
   if (!parse(argc, argv, &opt)) return 1;
   if (!validate(opt)) return 1;
@@ -281,8 +541,8 @@ int main(int argc, char** argv) {
   obs::EventTrace trace;
 
   harness::ExperimentConfig cfg;
-  if (!opt.metricsJsonPath.empty()) cfg.metrics = &metrics;
-  if (!opt.traceJsonPath.empty()) cfg.trace = &trace;
+  if (!opt.metricsJsonPath.empty()) cfg.sinks.metrics = &metrics;
+  if (!opt.traceJsonPath.empty()) cfg.sinks.trace = &trace;
   cfg.topo.numLeaves = opt.leaves;
   cfg.topo.numSpines = opt.spines;
   cfg.topo.hostsPerLeaf = opt.hostsPerLeaf;
@@ -298,28 +558,9 @@ int main(int argc, char** argv) {
   cfg.maxDuration = seconds(120);
   if (opt.audit) cfg.audit = harness::ExperimentConfig::Audit::kOn;
 
-  Rng rng(opt.seed);
-  if (opt.workload == "basicmix") {
-    workload::BasicMixConfig mix;
-    mix.numHosts = cfg.topo.numHosts();
-    mix.hostsPerLeaf = cfg.topo.hostsPerLeaf;
-    cfg.flows = workload::basicMixWorkload(mix, rng);
-  } else {
-    const auto dist = opt.workload == "datamining"
-                          ? workload::FlowSizeDistribution::dataMining(
-                                35 * kMB)
-                          : workload::FlowSizeDistribution::webSearch(
-                                30 * kMB);
-    workload::PoissonConfig pcfg;
-    pcfg.load = opt.load;
-    pcfg.flowCount = opt.flows;
-    pcfg.numHosts = cfg.topo.numHosts();
-    pcfg.hostsPerLeaf = cfg.topo.hostsPerLeaf;
-    pcfg.hostRate = cfg.topo.hostLinkRate;
-    pcfg.offeredCapacityBps = static_cast<double>(opt.leaves) *
-                              static_cast<double>(opt.spines) *
-                              cfg.topo.fabricLinkRate.bytesPerSecond();
-    cfg.flows = workload::poissonWorkload(pcfg, dist, rng);
+  if (!buildFlows(cfg, opt.workload, opt.load, opt.flows)) {
+    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    return 1;
   }
 
   const auto res = harness::runExperiment(cfg);

@@ -28,7 +28,17 @@ installobs-wiring
     by the experiment harness (src/harness/) or the CLI (tools/): a hook
     nobody calls silently produces empty metrics.
 
-Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line.
+bench-direct-experiment
+    Bench binaries must drive simulations through the sweep engine
+    (runner::runSweep), not by constructing harness::Experiment or
+    calling runExperiment()/summarizeExperiment() directly. The runner
+    owns seed derivation, per-run sinks, and deterministic aggregation;
+    hand-rolled loops silently lose all three. Benches not yet ported
+    carry an explicit allow() marking them as pending migration.
+
+Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line,
+or place it as a comment-only line directly above (for lines that would
+overflow the 80-column format limit otherwise).
 
 Exit status: 0 when clean, 1 when any rule fired, 2 on usage errors.
 """
@@ -54,6 +64,11 @@ BYTES_LITERAL_RE = re.compile(r"\bBytes\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
 
 SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
 
+DIRECT_EXPERIMENT_RE = re.compile(
+    r"\b(runExperiment|summarizeExperiment)\s*\("
+    r"|\bExperiment\s+\w+\s*[({]"
+    r"|\bExperiment\s*\(")
+
 
 class Finding:
     def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
@@ -76,9 +91,17 @@ def iter_sources(root: pathlib.Path):
                 yield path
 
 
-def allowed(line: str, rule: str) -> bool:
+def allowed(line: str, rule: str, prev: str = "") -> bool:
     m = ALLOW_RE.search(line)
-    return bool(m) and m.group(1) == rule
+    if m and m.group(1) == rule:
+        return True
+    # A comment-only line directly above also suppresses (keeps long
+    # statements inside the 80-column limit).
+    prev = prev.strip()
+    if prev.startswith("//"):
+        m = ALLOW_RE.search(prev)
+        return bool(m) and m.group(1) == rule
+    return False
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -134,12 +157,14 @@ def first_argument(text: str, open_paren: int) -> str:
 def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                findings: list, stats: dict):
     in_src = rel.parts[0] == "src"
+    in_bench = rel.parts[0] == "bench"
     is_units = rel.as_posix() == "src/util/units.hpp"
     is_check = rel.as_posix() in ("src/util/check.hpp", "src/util/check.cpp")
     lines = text.splitlines()
 
     in_block_comment = False
     for lineno, raw in enumerate(lines, start=1):
+        prev_raw = lines[lineno - 2] if lineno >= 2 else ""
         line = raw
         if in_block_comment:
             end = line.find("*/")
@@ -162,14 +187,15 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
 
         # --- bare-assert ----------------------------------------------
         if in_src and not is_check:
-            if CASSERT_RE.search(code) and not allowed(raw, "bare-assert"):
+            if CASSERT_RE.search(code) and \
+                    not allowed(raw, "bare-assert", prev_raw):
                 findings.append(Finding(
                     rel, lineno, "bare-assert",
                     "<cassert> include; use util/check.hpp "
                     "(TLBSIM_ASSERT / TLBSIM_DCHECK)"))
             m = BARE_ASSERT_RE.search(code)
             if m and "static_assert" not in code and \
-                    not allowed(raw, "bare-assert"):
+                    not allowed(raw, "bare-assert", prev_raw):
                 findings.append(Finding(
                     rel, lineno, "bare-assert",
                     "bare assert(); use TLBSIM_ASSERT / TLBSIM_DCHECK "
@@ -178,7 +204,7 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
         # --- raw-unit-literal -----------------------------------------
         if not is_units:
             m = SIMTIME_LITERAL_RE.search(code)
-            if m and not allowed(raw, "raw-unit-literal"):
+            if m and not allowed(raw, "raw-unit-literal", prev_raw):
                 value = int(m.group(1).replace("'", ""))
                 if abs(value) >= 10:
                     findings.append(Finding(
@@ -186,7 +212,7 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                         f"SimTime from raw literal {m.group(1)}; spell the "
                         "unit (microseconds(x), n * kMillisecond, ...)"))
             m = BYTES_LITERAL_RE.search(code)
-            if m and not allowed(raw, "raw-unit-literal"):
+            if m and not allowed(raw, "raw-unit-literal", prev_raw):
                 value = int(m.group(1).replace("'", ""))
                 if abs(value) >= 10000:
                     findings.append(Finding(
@@ -194,9 +220,19 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                         f"Bytes from raw literal {m.group(1)}; spell the "
                         "magnitude (n * kKB / kMB / kKiB)"))
 
+        # --- bench-direct-experiment ----------------------------------
+        if in_bench:
+            m = DIRECT_EXPERIMENT_RE.search(code)
+            if m and not allowed(raw, "bench-direct-experiment", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "bench-direct-experiment",
+                    "bench drives Experiment directly; use "
+                    "runner::runSweep (owned sinks, derived seeds, "
+                    "deterministic aggregation)"))
+
         # --- negative-delay -------------------------------------------
         for m in SCHEDULE_CALL_RE.finditer(code):
-            if allowed(raw, "negative-delay"):
+            if allowed(raw, "negative-delay", prev_raw):
                 continue
             # Look at the call with up to 3 lines of continuation so
             # multi-line argument lists resolve.
