@@ -126,24 +126,29 @@ void InvariantAuditor::auditLinks(SimTime now) {
     }
 
     // Packet conservation within the link: everything accepted is either
-    // transmitted, waiting, or (at most one packet) being serialized.
+    // transmitted, waiting, being serialized (at most one packet), or was
+    // flushed out of the queue by a link-down fault.
     const std::uint64_t accounted =
         link.txPackets() + static_cast<std::uint64_t>(link.queuePackets()) +
-        (link.transmitting() ? 1 : 0);
+        (link.transmitting() ? 1 : 0) + link.faultFlushedPackets();
     if (link.enqueuedPackets() != accounted) {
       report(now,
              "port %s: conservation broken: enqueued %llu != tx %llu + "
-             "queued %d + serializing %d",
+             "queued %d + serializing %d + fault-flushed %llu",
              w.label.c_str(),
              static_cast<unsigned long long>(link.enqueuedPackets()),
              static_cast<unsigned long long>(link.txPackets()),
-             link.queuePackets(), link.transmitting() ? 1 : 0);
+             link.queuePackets(), link.transmitting() ? 1 : 0,
+             static_cast<unsigned long long>(link.faultFlushedPackets()));
     }
-    if (link.deliveredPackets() > link.txPackets()) {
-      report(now, "port %s: delivered %llu packets but only %llu left the "
-             "transmitter",
+    // Each transmitted packet is delivered or died on the wire to a fault.
+    if (link.deliveredPackets() + link.faultWireDrops() > link.txPackets()) {
+      report(now,
+             "port %s: delivered %llu + wire-dropped %llu packets but only "
+             "%llu left the transmitter",
              w.label.c_str(),
              static_cast<unsigned long long>(link.deliveredPackets()),
+             static_cast<unsigned long long>(link.faultWireDrops()),
              static_cast<unsigned long long>(link.txPackets()));
     }
   }
@@ -240,25 +245,34 @@ void InvariantAuditor::auditConservation(SimTime now) {
     dataReceived += w.receiver->dataPacketsReceived();
   }
   std::uint64_t drops = 0;
+  std::uint64_t faultDrops = 0;
   std::uint64_t inNetwork = 0;
   for (const auto& w : links_) {
     drops += w.link->drops();
-    inNetwork += w.link->enqueuedPackets() - w.link->deliveredPackets();
+    faultDrops += w.link->faultDrops();
+    // Enqueued packets that were neither delivered nor lost to a fault
+    // are still inside the link (queued, serializing, or on the wire).
+    // Fault-rejected packets never entered the queue, so they are not
+    // part of this difference.
+    inNetwork += w.link->enqueuedPackets() - w.link->deliveredPackets() -
+                 w.link->faultFlushedPackets() - w.link->faultWireDrops();
   }
   if (dataReceived > dataSent) {
     report(now, "conservation: %llu data packets received but only %llu "
            "sent",
            static_cast<unsigned long long>(dataReceived),
            static_cast<unsigned long long>(dataSent));
-  } else if (dataSent - dataReceived > drops + inNetwork) {
+  } else if (dataSent - dataReceived > drops + faultDrops + inNetwork) {
     report(now,
            "conservation: %llu data packets unaccounted for (sent %llu, "
-           "received %llu, dropped %llu, in network %llu)",
+           "received %llu, dropped %llu, fault-dropped %llu, in network "
+           "%llu)",
            static_cast<unsigned long long>(dataSent - dataReceived - drops -
-                                           inNetwork),
+                                           faultDrops - inNetwork),
            static_cast<unsigned long long>(dataSent),
            static_cast<unsigned long long>(dataReceived),
            static_cast<unsigned long long>(drops),
+           static_cast<unsigned long long>(faultDrops),
            static_cast<unsigned long long>(inNetwork));
   }
 }

@@ -6,10 +6,13 @@
 // this layer turns those into loud failures.
 //
 // Checked each tick:
-//   * packet conservation, per link:  enqueued == tx + queued + serializing,
-//     delivered <= tx (the difference is in propagation),
-//   * packet conservation, end to end:  data sent >= data received, and the
-//     difference is covered by drops + packets still inside the network,
+//   * packet conservation, per link:  enqueued == tx + queued + serializing
+//     + fault-flushed, and delivered + fault-wire-drops <= tx (the
+//     remaining difference is in propagation),
+//   * packet conservation, end to end:  data sent >= data received, and
+//     the difference is covered by queue drops + fault drops + packets
+//     still inside the network (fault losses are accounted separately so
+//     a fault-injection run audits clean; see src/fault),
 //   * byte accounting, per port: the queue's incremental byte counter
 //     equals a from-scratch sum over the stored packets, and the depth
 //     never exceeds the configured capacity,

@@ -161,15 +161,16 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
   // since its last move (the switching granularity — prevents thrashing
   // while a full queue drains). Waits, not bytes: on a degraded link the
   // same queue length blocks for proportionally longer (Figs. 16/17).
-  const net::PortView* curView = nullptr;
-  for (const auto& u : uplinks) {
-    if (u.port == entry.port) curView = &u;
-  }
-  if (curView == nullptr) {
-    // First long packet (or the group changed): place on shortest queue.
+  if (!lb::portUsable(uplinks, entry.port)) {
+    // First long packet, or the current uplink left the usable view (it
+    // went down, or the group changed): place on shortest queue.
     entry.port = shortest(uplinks);
     entry.bytesSinceSwitch = 0;
     return entry.port;
+  }
+  const net::PortView* curView = nullptr;
+  for (const auto& u : uplinks) {
+    if (u.port == entry.port) curView = &u;
   }
   const Bytes qth = calc_.qthBytes();
   const double qthWait = static_cast<double>(qth) * 8.0 /

@@ -1,0 +1,101 @@
+#include "fault/monitor.hpp"
+
+#include <algorithm>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace tlbsim::fault {
+
+FaultMonitor::FaultMonitor(net::LeafSpineTopology& topo,
+                           sim::Simulator& simr,
+                           std::function<bool(FlowId)> isLong, Config cfg)
+    : topo_(topo), sim_(simr), isLong_(std::move(isLong)), cfg_(cfg) {
+  for (int l = 0; l < topo_.numLeaves(); ++l) {
+    for (int s = 0; s < topo_.numSpines(); ++s) {
+      topo_.leafUplink(l, s).addDequeueHook(
+          [this, l, s](const net::Packet& pkt, SimTime) {
+            onDequeue(l, s, pkt);
+          });
+    }
+  }
+  simr.every(
+      cfg_.sampleInterval,
+      [this] {
+        if (probe_) samples_.emplace_back(sim_.now(), probe_());
+      },
+      /*start=*/cfg_.sampleInterval, /*name=*/"fault.monitor_sample");
+}
+
+void FaultMonitor::onDequeue(int leaf, int spine, const net::Packet& pkt) {
+  if (pkt.payload <= 0 || !isLong_(pkt.flow)) return;
+  if (const auto it = pending_.find(pkt.flow); it != pending_.end()) {
+    const Pending& p = it->second;
+    if (leaf != p.leaf || spine != p.spine) {
+      rerouteTimes_.push_back(toSeconds(sim_.now() - p.faultAt));
+      pending_.erase(it);
+    }
+  }
+  currentUplink_[pkt.flow] = {leaf, spine};
+}
+
+void FaultMonitor::onFault(const FaultEvent& ev) {
+  if (!ev.disruptive()) return;
+  const SimTime now = sim_.now();
+  if (firstDisruptiveAt_ < 0) firstDisruptiveAt_ = now;
+  // Snapshot which long flows currently ride the faulted uplink; order of
+  // iteration only feeds per-flow map inserts and a count, so the result
+  // is independent of the hash order.
+  for (const auto& [flow, link] : currentUplink_) {
+    if (link.first != ev.leaf || link.second != ev.spine) continue;
+    if (pending_.contains(flow)) continue;
+    pending_[flow] = Pending{now, ev.leaf, ev.spine};
+    ++affected_;
+  }
+}
+
+double FaultMonitor::meanRerouteSec() const {
+  if (rerouteTimes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double t : rerouteTimes_) sum += t;
+  return sum / static_cast<double>(rerouteTimes_.size());
+}
+
+double FaultMonitor::maxRerouteSec() const {
+  double mx = 0.0;
+  for (const double t : rerouteTimes_) mx = std::max(mx, t);
+  return mx;
+}
+
+double FaultMonitor::goodputDipRatio() const {
+  if (firstDisruptiveAt_ < 0 || samples_.size() < 2) return 1.0;
+  // Per-interval byte deltas on either side of the first disruptive
+  // fault: mean of the last dipWindow intervals before vs the minimum of
+  // the first dipWindow intervals after.
+  std::vector<double> pre;
+  double postMin = -1.0;
+  int postCount = 0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const auto& [t, bytes] = samples_[i];
+    const double delta =
+        static_cast<double>(bytes - samples_[i - 1].second);
+    if (t <= firstDisruptiveAt_) {
+      pre.push_back(delta);
+    } else if (postCount < cfg_.dipWindow) {
+      postMin = postCount == 0 ? delta : std::min(postMin, delta);
+      ++postCount;
+    }
+  }
+  if (pre.empty() || postCount == 0) return 1.0;
+  const std::size_t window =
+      std::min(pre.size(), static_cast<std::size_t>(cfg_.dipWindow));
+  double preSum = 0.0;
+  for (std::size_t i = pre.size() - window; i < pre.size(); ++i) {
+    preSum += pre[i];
+  }
+  if (preSum <= 0.0) return 1.0;
+  const double preMean = preSum / static_cast<double>(window);
+  return std::max(0.0, postMin / preMean);
+}
+
+}  // namespace tlbsim::fault

@@ -1,0 +1,90 @@
+// Declarative fault plans (tlbsim::fault): a seed-deterministic schedule
+// of network disruptions — link down/up, bandwidth degradation, delay
+// inflation, and gray failure (silent random loss) — applied to fabric
+// links at fixed simulation times by the FaultInjector.
+//
+// The plan is pure data: parse it from the override/CLI string grammar,
+// attach it to an ExperimentConfig, and the same seed + plan reproduce
+// the same run bit for bit on any worker count.
+//
+// String grammar (the `fault.link` override value and the CLI's --fault):
+//
+//   spec     := linkspec (';' linkspec)*
+//   linkspec := "leaf" L "-spine" S ',' action (',' action)*
+//   action   := "down" '@' time
+//             | "up" '@' time
+//             | "rate"  '=' factor '@' time   (bandwidth multiplier (0, 1])
+//             | "delay" '=' factor '@' time   (propagation multiplier >= 1)
+//             | "drop"  '=' prob   '@' time   (silent loss prob [0, 1])
+//   time     := number ('s' | 'ms' | 'us' | 'ns')
+//
+//   fault.link=leaf0-spine1,down@0.1s,up@0.3s
+//   fault.link=leaf1-spine2,rate=0.25@30ms,rate=1@90ms;leaf0-spine1,drop=0.01@10ms
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::fault {
+
+/// One scheduled disruption of one leaf<->spine cable (both directions,
+/// matching the static-asymmetry convention of LeafSpineConfig overrides).
+struct FaultEvent {
+  enum class Kind {
+    kDown,         ///< link fails; queue flushed, selectors mask the port
+    kUp,           ///< link restored
+    kRateFactor,   ///< bandwidth multiplied by `value` (1 restores)
+    kDelayFactor,  ///< propagation delay multiplied by `value` (1 restores)
+    kDropProb,     ///< silent per-packet loss with probability `value`
+  };
+
+  int leaf = 0;
+  int spine = 0;
+  SimTime at = 0;       ///< absolute simulation time
+  Kind kind = Kind::kDown;
+  double value = 0.0;   ///< factor / probability; unused for down/up
+
+  /// True when the event makes the link worse (down, a rate cut, delay
+  /// inflation, or a positive drop probability) as opposed to restoring
+  /// it. Recovery metrics anchor on the first disruptive event.
+  bool disruptive() const;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+const char* toString(FaultEvent::Kind kind);
+
+struct FaultPlan {
+  /// Events in declaration order. The injector schedules each at its
+  /// absolute time; same-time events apply in this order.
+  std::vector<FaultEvent> events;
+
+  /// Link-down policy for packets already past the queue: false (default)
+  /// kills the serializing packet and everything on the wire (counted as
+  /// fault drops); true lets them drain to the receiver. The queue is
+  /// flushed either way.
+  bool drainOnDown = false;
+
+  bool empty() const { return events.empty(); }
+
+  /// Time of the earliest disruptive event, or -1 when the plan has none.
+  SimTime firstDisruptiveAt() const;
+
+  /// Canonical string form: one linkspec per link in first-appearance
+  /// order, ';'-joined, times in the largest exact unit. parse(toString())
+  /// reproduces the same canonical form (round-trip tested).
+  std::string toString() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Parse one spec string (grammar above) and append its events onto
+/// `plan->events`. Returns false — with an explanation in *error when
+/// non-null — on any syntax error or out-of-range factor/probability;
+/// the plan is left untouched on failure.
+bool parseLinkFaults(const std::string& spec, FaultPlan* plan,
+                     std::string* error = nullptr);
+
+}  // namespace tlbsim::fault

@@ -8,6 +8,8 @@
 
 #include "check/invariant_audit.hpp"
 #include "core/tlb.hpp"
+#include "fault/injector.hpp"
+#include "fault/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -171,6 +173,24 @@ ExperimentResult Experiment::run() const {
     }
   }
 
+  // Fault injection: a non-empty plan arms the injector (which mutates
+  // links at the scheduled times) and a monitor measuring each scheme's
+  // recovery. Both must outlive the run loop below.
+  std::unique_ptr<fault::FaultMonitor> faultMon;
+  std::unique_ptr<fault::FaultInjector> faultInj;
+  if (!cfg.fault.empty()) {
+    fault::FaultMonitor::Config mcfg;
+    if (cfg.obsSampleInterval > 0) mcfg.sampleInterval = cfg.obsSampleInterval;
+    faultMon = std::make_unique<fault::FaultMonitor>(
+        topo, simr,
+        [&shortFlows](FlowId id) { return !shortFlows.contains(id); }, mcfg);
+    faultInj = std::make_unique<fault::FaultInjector>(cfg.fault, topo, simr,
+                                                      cfg.seed);
+    faultInj->setMonitor(faultMon.get());
+    if (sinks.any()) faultInj->installObs(sinks.metrics, sinks.trace);
+    faultInj->install();
+  }
+
   // Invariant audit: watch every link, switch, TLB instance, and flow,
   // then re-verify the conservation laws each control tick.
   std::unique_ptr<check::InvariantAuditor> auditor;
@@ -214,6 +234,20 @@ ExperimentResult Experiment::run() const {
   }
 
   const std::size_t numLong = cfg.flows.size() - shortFlows.size();
+
+  if (faultMon != nullptr) {
+    // Goodput = acked bytes summed over the long-flow senders, in flow
+    // order (a fixed iteration order keeps the sum byte-stable).
+    faultMon->setGoodputProbe([&cfg, &senders, &shortFlows] {
+      Bytes acked = 0;
+      for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+        if (!shortFlows.contains(cfg.flows[i].id)) {
+          acked += senders[i]->bytesAcked();
+        }
+      }
+      return acked;
+    });
+  }
 
   // Periodic sampling for the time-series figures.
   Totals prev;
@@ -326,6 +360,7 @@ ExperimentResult Experiment::run() const {
   topo.forEachFabricLink([&](net::Link& link) {
     res.totalDrops += link.drops();
     res.totalEcnMarks += link.queue().ecnMarks();
+    res.faultDrops += link.faultDrops();
     fabricBusy += link.busyTime();
     ++fabricLinks;
   });
@@ -333,6 +368,39 @@ ExperimentResult Experiment::run() const {
     res.meanFabricUtilization = toSeconds(fabricBusy) /
                                 toSeconds(res.endTime) /
                                 static_cast<double>(fabricLinks);
+  }
+
+  if (faultInj != nullptr) {
+    res.faultEventsApplied = faultInj->eventsApplied();
+    res.firstFaultAt = faultMon->firstDisruptiveAt();
+    res.faultAffectedLongFlows = faultMon->affectedLongFlows();
+    res.faultReroutedLongFlows = faultMon->reroutedLongFlows();
+    res.faultMeanRerouteSec = faultMon->meanRerouteSec();
+    res.faultMaxRerouteSec = faultMon->maxRerouteSec();
+    res.faultGoodputDipRatio = faultMon->goodputDipRatio();
+    // FCT inflation: completed short flows in flight when the first
+    // disruptive fault hit vs the rest of the completed short population.
+    if (res.firstFaultAt >= 0) {
+      double inFlightSum = 0.0, otherSum = 0.0;
+      std::size_t inFlightN = 0, otherN = 0;
+      for (const auto& r : res.ledger.flows()) {
+        if (!r.completed || !stats::FlowLedger::isShort(r)) continue;
+        const bool inFlight = r.spec.start <= res.firstFaultAt &&
+                              r.spec.start + r.fct > res.firstFaultAt;
+        if (inFlight) {
+          inFlightSum += toSeconds(r.fct);
+          ++inFlightN;
+        } else {
+          otherSum += toSeconds(r.fct);
+          ++otherN;
+        }
+      }
+      if (inFlightN > 0 && otherN > 0 && otherSum > 0.0) {
+        res.faultShortFctInflation =
+            (inFlightSum / static_cast<double>(inFlightN)) /
+            (otherSum / static_cast<double>(otherN));
+      }
+    }
   }
 
   if (sinks.metrics != nullptr) {
@@ -374,6 +442,22 @@ obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
   s.set("ecn_marks", static_cast<double>(res.totalEcnMarks));
   s.set("mean_fabric_utilization", res.meanFabricUtilization);
   s.set("tlb_long_switches", static_cast<double>(res.tlbLongSwitches));
+  // Fault keys are conditional so fault-free runs keep the exact summary
+  // shape (and JSON bytes) they had before the fault subsystem existed.
+  if (!cfg.fault.empty()) {
+    s.set("fault.events", static_cast<double>(res.faultEventsApplied));
+    s.set("fault.drops", static_cast<double>(res.faultDrops));
+    s.set("fault.first_at_ms",
+          res.firstFaultAt >= 0 ? toMilliseconds(res.firstFaultAt) : -1.0);
+    s.set("fault.affected_long_flows",
+          static_cast<double>(res.faultAffectedLongFlows));
+    s.set("fault.rerouted_long_flows",
+          static_cast<double>(res.faultReroutedLongFlows));
+    s.set("fault.time_to_reroute_ms", res.faultMeanRerouteSec * 1e3);
+    s.set("fault.time_to_reroute_max_ms", res.faultMaxRerouteSec * 1e3);
+    s.set("fault.goodput_dip_ratio", res.faultGoodputDipRatio);
+    s.set("fault.short_fct_inflation", res.faultShortFctInflation);
+  }
   return s;
 }
 

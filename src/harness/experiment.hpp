@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "harness/scheme.hpp"
 #include "net/leaf_spine.hpp"
 #include "obs/run_summary.hpp"
@@ -55,6 +56,14 @@ struct ExperimentConfig {
   /// interval by default).
   SimTime obsSampleInterval = microseconds(500);
 
+  // --- fault injection (tlbsim::fault) ----------------------------------
+  /// Declarative link-fault schedule, applied by a FaultInjector during
+  /// the run (empty = no faults, zero overhead). Populated from the
+  /// `fault.link` / `fault.drain` overrides or the CLI's --fault flags.
+  /// A non-empty plan also arms a FaultMonitor that measures per-scheme
+  /// recovery: time-to-reroute, goodput dip, and FCT inflation.
+  fault::FaultPlan fault;
+
   // --- invariant audit (tlbsim::check) ----------------------------------
   /// kAuto enables the audit in Debug builds (every test run then doubles
   /// as a conservation check) and disables it in Release; kOn/kOff force
@@ -92,6 +101,20 @@ struct ExperimentResult {
   std::uint64_t auditTicks = 0;
   std::uint64_t auditChecks = 0;
   std::uint64_t auditViolations = 0;
+
+  // Fault-injection outcome (defaults when cfg.fault was empty).
+  std::uint64_t faultEventsApplied = 0;
+  std::uint64_t faultDrops = 0;  ///< sum over links, all fault-loss classes
+  SimTime firstFaultAt = -1;     ///< first *disruptive* event, -1 if none
+  int faultAffectedLongFlows = 0;
+  int faultReroutedLongFlows = 0;
+  double faultMeanRerouteSec = 0.0;
+  double faultMaxRerouteSec = 0.0;
+  /// min(post-fault goodput) / mean(pre-fault goodput); 1.0 = no dip.
+  double faultGoodputDipRatio = 1.0;
+  /// Mean FCT of short flows in flight at the first disruptive fault,
+  /// relative to the other completed short flows (0 when inapplicable).
+  double faultShortFctInflation = 0.0;
 
   // --- the aggregates the paper reports -------------------------------
   double shortAfctSec() const {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "fault/plan.hpp"
 #include "util/config.hpp"
 
 namespace tlbsim::harness {
@@ -179,6 +180,19 @@ const std::vector<Key>& keyTable() {
        [](ExperimentConfig& c, const KeyValueConfig& kv,
           const std::string& k, const std::string&) {
          return setMicros(kv, k, &c.sampleInterval);
+       }},
+      {"fault.link",
+       "append link-fault events: leafL-spineS,down@T,up@T,rate=F@T,"
+       "delay=F@T,drop=P@T with time suffix s/ms/us/ns (';' joins links)",
+       [](ExperimentConfig& c, const KeyValueConfig&, const std::string&,
+          const std::string& value) {
+         return fault::parseLinkFaults(value, &c.fault);
+       }},
+      {"fault.drain",
+       "drain in-flight packets on link-down instead of dropping them",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBool(kv, k, &c.fault.drainOnDown);
        }},
   };
   return table;

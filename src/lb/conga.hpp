@@ -41,7 +41,7 @@ class Conga final : public net::UplinkSelector {
     State& st = flows_[pkt.flow];
     const bool newFlowlet = st.port < 0 ||
                             (now - st.lastSeen) > params_.flowletTimeout ||
-                            !containsPort(uplinks, st.port);
+                            !portUsable(uplinks, st.port);
     if (newFlowlet) {
       st.port = leastCongested(uplinks);
       ++flowlets_;

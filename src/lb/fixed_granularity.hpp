@@ -32,7 +32,7 @@ class FixedGranularity final : public net::UplinkSelector {
                    const net::UplinkView& uplinks) override {
     State& st = flows_[pkt.flow];
     const bool mustPick =
-        st.port < 0 || !containsPort(uplinks, st.port) ||
+        st.port < 0 || !portUsable(uplinks, st.port) ||
         (pkt.payload > 0 && k_ != kFlowLevel && st.sinceSwitch >= k_);
     if (mustPick) {
       st.port = target_ == Target::kRandom

@@ -43,7 +43,7 @@ class HermesLike final : public net::UplinkSelector {
     State& st = flows_[pkt.flow];
     if (pkt.payload > 0) st.bytesSinceMove += pkt.payload;
 
-    if (st.port < 0 || !containsPort(uplinks, st.port)) {
+    if (st.port < 0 || !portUsable(uplinks, st.port)) {
       st.port = pickGood(uplinks);
       st.bytesSinceMove = 0;
       return st.port;

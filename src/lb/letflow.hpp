@@ -6,6 +6,7 @@
 
 #include <unordered_map>
 
+#include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
@@ -25,7 +26,7 @@ class LetFlow final : public net::UplinkSelector {
     State& st = flows_[pkt.flow];
     const bool newFlowlet =
         st.port < 0 || (now - st.lastSeen) > timeout_ ||
-        !validPort(uplinks, st.port);
+        !portUsable(uplinks, st.port);
     if (newFlowlet) {
       st.port = uplinks[rng_.uniformInt(uplinks.size())].port;
       ++flowlets_;
@@ -47,13 +48,6 @@ class LetFlow final : public net::UplinkSelector {
     int port = -1;
     SimTime lastSeen = 0;
   };
-
-  static bool validPort(const net::UplinkView& uplinks, int port) {
-    for (const auto& u : uplinks) {
-      if (u.port == port) return true;
-    }
-    return false;
-  }
 
   Rng rng_;
   SimTime timeout_;

@@ -53,6 +53,17 @@ inline bool containsPort(const net::UplinkView& uplinks, int port) {
   return false;
 }
 
+/// True if a previously-chosen `port` may still be used for new packets.
+/// The switch masks downed uplinks out of the view it hands selectors, so
+/// a cached decision (flowlet table entry, flow placement, per-flow hash)
+/// pointing at a port that is no longer in the view is stale and must be
+/// re-made. Every scheme shares this one staleness policy: if the fault
+/// model ever grows softer states (draining, probation), this is the
+/// single place to teach selectors about them.
+inline bool portUsable(const net::UplinkView& uplinks, int port) {
+  return containsPort(uplinks, port);
+}
+
 /// Queue length in bytes of `port` within the group, or -1 if absent.
 inline Bytes queueBytesOfPort(const net::UplinkView& uplinks, int port) {
   for (const auto& u : uplinks) {

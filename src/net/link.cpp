@@ -11,6 +11,7 @@ void Link::installObs(obs::MetricsRegistry& metrics, obs::EventTrace* trace,
   obsTx_ = &metrics.counter("port." + label + ".tx_packets");
   obsDrops_ = &metrics.counter("port." + label + ".drops");
   obsMarks_ = &metrics.counter("port." + label + ".ecn_marks");
+  obsFaultDrops_ = &metrics.counter("port." + label + ".fault_drops");
   trace_ = trace;
   if (trace_ != nullptr) {
     traceLabel_ = trace_->intern(label);
@@ -18,7 +19,66 @@ void Link::installObs(obs::MetricsRegistry& metrics, obs::EventTrace* trace,
   }
 }
 
+void Link::noteFaultDrop(const Packet& pkt) {
+  if (obsFaultDrops_ != nullptr) obsFaultDrops_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant("net", "fault_drop", sim_.now(),
+                    {{"flow", static_cast<double>(pkt.flow)},
+                     {"seq", static_cast<double>(pkt.seq)},
+                     {"size", static_cast<double>(pkt.size)}},
+                    traceTid_);
+  }
+  for (const auto& hook : faultDropHooks_) hook(pkt);
+}
+
+void Link::faultDown(bool drainInFlight) {
+  if (!up_) return;
+  up_ = false;
+  drainInFlight_ = drainInFlight;
+  // In drop mode, everything already on the wire dies: deliveries carry
+  // the epoch they departed under and are discarded on mismatch.
+  if (!drainInFlight_) ++wireEpoch_;
+  // The queue behind a dead port empties — those packets are fault losses,
+  // not queue-overflow drops, and observers that meter dequeues (stats,
+  // load estimators) must not see them leave.
+  SimTime queueDelay = 0;
+  while (!queue_.empty()) {
+    const Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
+    ++faultFlushedPackets_;
+    noteFaultDrop(pkt);
+  }
+}
+
+void Link::faultUp() {
+  if (up_) return;
+  up_ = true;
+  drainInFlight_ = false;
+  if (!transmitting_ && !queue_.empty()) startTransmission();
+}
+
+void Link::faultSetRateFactor(double factor) {
+  TLBSIM_ASSERT(factor > 0.0, "rate factor must be positive, got %f", factor);
+  rateFactor_ = factor;
+}
+
+void Link::faultSetDelayFactor(double factor) {
+  TLBSIM_ASSERT(factor > 0.0, "delay factor must be positive, got %f", factor);
+  delayFactor_ = factor;
+}
+
+void Link::faultSetDropProb(double prob, std::uint64_t seed) {
+  TLBSIM_ASSERT(prob >= 0.0 && prob <= 1.0,
+                "drop probability must be in [0, 1], got %f", prob);
+  dropProb_ = prob;
+  faultRng_.reseed(seed);
+}
+
 void Link::send(Packet pkt) {
+  if (!up_) {  // dead port: the packet vanishes, accounted as a fault loss
+    ++faultRejectedPackets_;
+    noteFaultDrop(pkt);
+    return;
+  }
   const std::uint64_t marksBefore = queue_.ecnMarks();
   if (!queue_.enqueue(pkt, sim_.now())) {  // drop-tail
     if (obsDrops_ != nullptr) obsDrops_->inc();
@@ -55,7 +115,7 @@ void Link::startTransmission() {
   Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
   for (const auto& hook : dequeueHooks_) hook(pkt, queueDelay);
   transmitting_ = true;
-  const SimTime txTime = rate_.transmissionTime(pkt.size);
+  const SimTime txTime = effectiveRate().transmissionTime(pkt.size);
   busyTime_ += txTime;
   if (trace_ != nullptr) {
     // One span per serialization on this link's track; the packet type is
@@ -73,20 +133,35 @@ void Link::onTransmitComplete(Packet pkt) {
   ++txPackets_;
   txBytes_ += pkt.size;
   if (obsTx_ != nullptr) obsTx_->inc();
-  // Propagation is pipelined: delivery is scheduled independently while the
-  // transmitter immediately starts on the next queued packet.
-  if (peer_ != nullptr) {
+  // A packet that finished serializing after a drop-mode faultDown dies
+  // here; a gray failure drops it silently with probability dropProb_.
+  const bool killSerialized = !up_ && !drainInFlight_;
+  const bool grayDrop =
+      dropProb_ > 0.0 && faultRng_.uniform() < dropProb_;
+  if (peer_ == nullptr) {
+    ++deliveredPackets_;  // sinkless link: nothing left in flight
+  } else if (killSerialized || grayDrop) {
+    ++faultWireDrops_;
+    noteFaultDrop(pkt);
+  } else {
+    // Propagation is pipelined: delivery is scheduled independently while
+    // the transmitter immediately starts on the next queued packet. The
+    // delivery is valid only for the wire epoch it departed under.
     Node* peer = peer_;
     const int port = peerPort_;
-    sim_.schedule(delay_, [this, peer, port, pkt] {
+    const std::uint64_t epoch = wireEpoch_;
+    sim_.schedule(effectiveDelay(), [this, peer, port, pkt, epoch] {
+      if (epoch != wireEpoch_) {
+        ++faultWireDrops_;
+        noteFaultDrop(pkt);
+        return;
+      }
       ++deliveredPackets_;
       peer->receive(pkt, port);
     });
-  } else {
-    ++deliveredPackets_;  // sinkless link: nothing left in flight
   }
   transmitting_ = false;
-  if (!queue_.empty()) startTransmission();
+  if (up_ && !queue_.empty()) startTransmission();
 }
 
 }  // namespace tlbsim::net

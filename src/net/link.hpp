@@ -13,6 +13,7 @@
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace tlbsim::net {
@@ -26,6 +27,11 @@ class Link {
   using DropHook = std::function<void(const Packet&)>;
   /// Called with each packet the queue ECN-marks on enqueue (pkt.ce set).
   using MarkHook = std::function<void(const Packet&)>;
+  /// Called with each packet lost to an injected fault (rejected while the
+  /// link is down, flushed from the queue on faultDown, killed on the wire,
+  /// or gray-dropped). Distinct from DropHook so auditors can separate
+  /// fault losses from queue-overflow losses.
+  using FaultDropHook = std::function<void(const Packet&)>;
 
   Link(sim::Simulator& simr, LinkRate rate, SimTime propagationDelay,
        QueueConfig queueCfg)
@@ -55,6 +61,40 @@ class Link {
   Node* peer() const { return peer_; }
   sim::Simulator& simulator() { return sim_; }
 
+  // --- fault state (mutators reserved for fault::FaultInjector) ---------
+  // The faultXxx mutators below model operational failures. Only the
+  // fault-injection subsystem (src/fault) may call them — enforced by the
+  // tlbsim_lint `fault-mutation` rule — so every mid-run topology change
+  // flows through one declarative, seed-deterministic plan.
+  bool up() const { return up_; }
+  /// Serialization rate after degradation (== rate() while healthy).
+  LinkRate effectiveRate() const {
+    return LinkRate{rate_.bitsPerSecond * rateFactor_};
+  }
+  /// Propagation delay after inflation (== propagationDelay() healthy).
+  SimTime effectiveDelay() const {
+    return static_cast<SimTime>(static_cast<double>(delay_) * delayFactor_);
+  }
+  double faultRateFactor() const { return rateFactor_; }
+  double faultDelayFactor() const { return delayFactor_; }
+  /// Gray-failure drop probability applied at transmit completion.
+  double faultDropProb() const { return dropProb_; }
+
+  /// Take the link down. The queue is flushed (flushed packets count as
+  /// fault drops, not queue drops). In-flight packets are killed unless
+  /// `drainInFlight`; while down, send() rejects every packet.
+  void faultDown(bool drainInFlight);
+  /// Restore the link; transmission resumes if packets are queued.
+  void faultUp();
+  /// Degrade (factor < 1) or restore (factor == 1) the serialization rate.
+  void faultSetRateFactor(double factor);
+  /// Inflate (factor > 1) or restore (factor == 1) the propagation delay.
+  void faultSetDelayFactor(double factor);
+  /// Gray failure: silently drop each serialized packet with probability
+  /// `prob`, decided by a link-local RNG reseeded with `seed` (so drop
+  /// sequences are deterministic per link and independent of other links).
+  void faultSetDropProb(double prob, std::uint64_t seed);
+
   // --- statistics ---------------------------------------------------------
   std::uint64_t txPackets() const { return txPackets_; }
   Bytes txBytes() const { return txBytes_; }
@@ -71,12 +111,28 @@ class Link {
   /// window is the delta of this divided by the window.
   SimTime busyTime() const { return busyTime_; }
 
+  // --- fault-loss statistics (disjoint from queue drops()) --------------
+  /// Packets send() rejected while the link was down (never enqueued).
+  std::uint64_t faultRejectedPackets() const { return faultRejectedPackets_; }
+  /// Packets flushed out of the queue by faultDown (were enqueued).
+  std::uint64_t faultFlushedPackets() const { return faultFlushedPackets_; }
+  /// Packets lost after serialization: killed in flight by a drop-mode
+  /// faultDown, or gray-dropped (were enqueued and transmitted).
+  std::uint64_t faultWireDrops() const { return faultWireDrops_; }
+  /// All fault-induced losses on this link.
+  std::uint64_t faultDrops() const {
+    return faultRejectedPackets_ + faultFlushedPackets_ + faultWireDrops_;
+  }
+
   /// Register an observer; multiple observers (stats + tracing) coexist.
   void addDequeueHook(DequeueHook hook) {
     dequeueHooks_.push_back(std::move(hook));
   }
   void addDropHook(DropHook hook) { dropHooks_.push_back(std::move(hook)); }
   void addMarkHook(MarkHook hook) { markHooks_.push_back(std::move(hook)); }
+  void addFaultDropHook(FaultDropHook hook) {
+    faultDropHooks_.push_back(std::move(hook));
+  }
 
   /// Wire this link into the metrics registry (per-port tx/drop/mark
   /// counters named "port.<label>.*") and, when `trace` is non-null, give
@@ -89,6 +145,7 @@ class Link {
  private:
   void startTransmission();
   void onTransmitComplete(Packet pkt);
+  void noteFaultDrop(const Packet& pkt);
 
   sim::Simulator& sim_;
   LinkRate rate_;
@@ -97,6 +154,20 @@ class Link {
   Node* peer_ = nullptr;
   int peerPort_ = -1;
   bool transmitting_ = false;
+
+  // Fault state. wireEpoch_ is bumped by every drop-mode faultDown; each
+  // scheduled delivery carries the epoch it departed under and is discarded
+  // on mismatch (this is how in-flight packets die deterministically).
+  bool up_ = true;
+  double rateFactor_ = 1.0;
+  double delayFactor_ = 1.0;
+  double dropProb_ = 0.0;
+  bool drainInFlight_ = false;
+  std::uint64_t wireEpoch_ = 0;
+  Rng faultRng_{0};
+  std::uint64_t faultRejectedPackets_ = 0;
+  std::uint64_t faultFlushedPackets_ = 0;
+  std::uint64_t faultWireDrops_ = 0;
 
   std::uint64_t txPackets_ = 0;
   Bytes txBytes_ = 0;
@@ -107,11 +178,13 @@ class Link {
   std::vector<DequeueHook> dequeueHooks_;
   std::vector<DropHook> dropHooks_;
   std::vector<MarkHook> markHooks_;
+  std::vector<FaultDropHook> faultDropHooks_;
 
   // Observability sinks (null = disabled; see installObs).
   obs::Counter* obsTx_ = nullptr;
   obs::Counter* obsDrops_ = nullptr;
   obs::Counter* obsMarks_ = nullptr;
+  obs::Counter* obsFaultDrops_ = nullptr;
   obs::EventTrace* trace_ = nullptr;
   const char* traceLabel_ = nullptr;
   int traceTid_ = 0;

@@ -31,9 +31,13 @@ UplinkView Switch::uplinkView() const {
   view.reserve(uplinks_.size());
   for (int p : uplinks_) {
     const Link& link = *ports_[static_cast<std::size_t>(p)];
+    // Downed ports are masked out: selectors never see them, so every
+    // scheme stops choosing a dead uplink on its next selection. Rate and
+    // delay reflect active degradation faults.
+    if (!link.up()) continue;
     view.push_back(PortView{p, link.queuePackets(), link.queueBytes(),
-                            link.rate().bitsPerSecond,
-                            toSeconds(link.propagationDelay())});
+                            link.effectiveRate().bitsPerSecond,
+                            toSeconds(link.effectiveDelay())});
   }
   return view;
 }
@@ -45,10 +49,20 @@ void Switch::receive(Packet pkt, int inPort) {
     TLBSIM_ASSERT(!uplinks_.empty(),
                   "%s routes via uplinks but has no uplink group",
                   name_.c_str());
-    if (selector_ != nullptr && uplinks_.size() > 1) {
-      out = selector_->selectUplink(pkt, uplinkView());
-    } else {
+    if (uplinks_.size() == 1) {
       out = uplinks_.front();
+    } else {
+      const UplinkView view = uplinkView();
+      if (view.empty()) {
+        // Every uplink is down. Forward to the first one anyway: the dead
+        // link rejects the packet as a fault drop, which keeps the
+        // end-to-end conservation ledger closed.
+        out = uplinks_.front();
+      } else if (selector_ != nullptr) {
+        out = selector_->selectUplink(pkt, view);
+      } else {
+        out = view.front().port;
+      }
     }
   }
   if (out < 0 || out >= numPorts()) {

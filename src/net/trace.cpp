@@ -13,9 +13,13 @@ void PacketTracer::attach(Link& link, std::string label) {
   link.addDropHook([this, label, clock](const Packet& pkt) {
     record(Kind::kDrop, label, pkt, clock->now(), 0);
   });
-  link.addMarkHook([this, label = std::move(label), clock](const Packet& pkt) {
+  link.addMarkHook([this, label, clock](const Packet& pkt) {
     record(Kind::kMark, label, pkt, clock->now(), 0);
   });
+  link.addFaultDropHook(
+      [this, label = std::move(label), clock](const Packet& pkt) {
+        record(Kind::kFaultDrop, label, pkt, clock->now(), 0);
+      });
 }
 
 void PacketTracer::record(Kind kind, const std::string& label,

@@ -1,5 +1,6 @@
 // Packet tracing: record packets at chosen links — dequeues (with per-hop
-// queueing delay), network drops, and ECN marks — the tool for debugging a
+// queueing delay), network drops, ECN marks, and fault-induced losses —
+// the tool for debugging a
 // scheme's forwarding decisions or a flow's complete retransmission story.
 //
 //   PacketTracer tracer;
@@ -24,9 +25,10 @@ class PacketTracer {
  public:
   /// What happened to the packet at the observed link.
   enum class Kind {
-    kDequeue,  ///< left the queue (start of serialization)
-    kDrop,     ///< rejected by the full queue (a network drop)
-    kMark,     ///< ECN-marked on enqueue
+    kDequeue,    ///< left the queue (start of serialization)
+    kDrop,       ///< rejected by the full queue (a network drop)
+    kMark,       ///< ECN-marked on enqueue
+    kFaultDrop,  ///< lost to an injected fault (down/flush/wire/gray)
   };
 
   struct Event {
@@ -83,6 +85,7 @@ constexpr const char* toString(PacketTracer::Kind k) {
     case PacketTracer::Kind::kDequeue: return "DEQ";
     case PacketTracer::Kind::kDrop: return "DROP";
     case PacketTracer::Kind::kMark: return "MARK";
+    case PacketTracer::Kind::kFaultDrop: return "FDROP";
   }
   return "?";
 }

@@ -1,0 +1,252 @@
+// Link- and switch-level fault semantics: down/up, queue flushing,
+// in-flight (wire) kills vs draining, gray failures, degradation factors,
+// and selector-facing port masking.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace tlbsim::net {
+namespace {
+
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(sim::Simulator& simr) : sim_(simr) {}
+  void receive(Packet pkt, int) override {
+    arrivals.push_back({pkt, sim_.now()});
+  }
+  std::string name() const override { return "sink"; }
+
+  struct Arrival {
+    Packet pkt;
+    SimTime at;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+Packet makePacket(FlowId flow, Bytes size) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.payload = size;
+  return p;
+}
+
+TEST(LinkFault, SendWhileDownIsRejectedNotEnqueued) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.faultDown(/*drainInFlight=*/false);
+  link.send(makePacket(1, 1500));
+  simr.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(link.faultRejectedPackets(), 1u);
+  EXPECT_EQ(link.enqueuedPackets(), 0u);
+  EXPECT_EQ(link.drops(), 0u) << "a fault loss is not a queue drop";
+  EXPECT_EQ(link.faultDrops(), 1u);
+}
+
+TEST(LinkFault, DownFlushesQueueWithoutDequeueHooks) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  int dequeues = 0;
+  link.addDequeueHook([&](const Packet&, SimTime) { ++dequeues; });
+  // First packet serializes immediately; three more wait in the queue.
+  for (FlowId f = 1; f <= 4; ++f) link.send(makePacket(f, 1500));
+  ASSERT_EQ(link.queuePackets(), 3);
+  ASSERT_EQ(dequeues, 1);
+  link.faultDown(/*drainInFlight=*/false);
+  EXPECT_EQ(link.queuePackets(), 0);
+  EXPECT_EQ(link.faultFlushedPackets(), 3u);
+  EXPECT_EQ(dequeues, 1) << "flushed packets must not look like dequeues";
+  // Per-link conservation with the fault term:
+  // enqueued == tx + queued + serializing + flushed.
+  EXPECT_EQ(link.enqueuedPackets(),
+            link.txPackets() + static_cast<std::uint64_t>(link.queuePackets())
+                + (link.transmitting() ? 1 : 0) + link.faultFlushedPackets());
+}
+
+TEST(LinkFault, DropModeKillsSerializingAndInFlightPackets) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  // 1500 B @ 1 Gbps = 12 us serialization; 10 us propagation.
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.send(makePacket(1, 1500));  // tx completes at 12 us, delivery at 22 us
+  link.send(makePacket(2, 1500));  // tx completes at 24 us, delivery at 34 us
+  // Fail at 15 us: packet 1 is on the wire, packet 2 is serializing.
+  simr.schedule(microseconds(15), [&] { link.faultDown(false); });
+  simr.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(link.faultWireDrops(), 2u);
+  EXPECT_EQ(link.deliveredPackets() + link.faultWireDrops(),
+            link.txPackets());
+}
+
+TEST(LinkFault, DrainModeDeliversInFlightPackets) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.send(makePacket(1, 1500));
+  link.send(makePacket(2, 1500));
+  simr.schedule(microseconds(15), [&] { link.faultDown(true); });
+  simr.run();
+  // Both had left the queue by 15 us (packet 2 was serializing), so both
+  // drain through; nothing new may start.
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(link.faultWireDrops(), 0u);
+}
+
+TEST(LinkFault, UpRestoresServiceAndRestartsQueue) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.faultDown(false);
+  link.send(makePacket(1, 1500));  // rejected
+  link.faultUp();
+  EXPECT_TRUE(link.up());
+  link.send(makePacket(2, 1500));  // accepted
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].pkt.flow, 2u);
+  EXPECT_EQ(link.faultRejectedPackets(), 1u);
+}
+
+TEST(LinkFault, GrayFailureDropsAreDeterministicAndAccounted) {
+  const auto runOnce = [](std::uint64_t seed) {
+    sim::Simulator simr;
+    SinkNode sink(simr);
+    Link link(simr, gbps(10), microseconds(1), {512, 0});
+    link.connect(&sink, 0);
+    PacketTracer tracer;
+    tracer.attach(link, "gray");
+    link.faultSetDropProb(0.3, seed);
+    const int n = 200;
+    for (int i = 0; i < n; ++i) link.send(makePacket(1, 1000));
+    simr.run();
+    // Every transmitted packet is either delivered or gray-dropped.
+    EXPECT_EQ(link.txPackets(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(link.deliveredPackets() + link.faultWireDrops(),
+              link.txPackets());
+    EXPECT_GT(link.faultWireDrops(), 0u);
+    EXPECT_LT(link.faultWireDrops(), static_cast<std::uint64_t>(n));
+    // The queue stays healthy-looking: no queue drops, and the tracer
+    // classifies every loss as a fault drop, not a DROP.
+    EXPECT_EQ(link.drops(), 0u);
+    EXPECT_EQ(tracer.countOf(PacketTracer::Kind::kFaultDrop),
+              static_cast<std::size_t>(link.faultWireDrops()));
+    EXPECT_EQ(tracer.countOf(PacketTracer::Kind::kDrop), 0u);
+    return link.faultWireDrops();
+  };
+  EXPECT_EQ(runOnce(42), runOnce(42)) << "same seed, same drop sequence";
+  EXPECT_EQ(runOnce(42) == runOnce(43) && runOnce(43) == runOnce(44), false)
+      << "drop sequences should vary across seeds";
+}
+
+TEST(LinkFault, RateFactorSlowsSerialization) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.faultSetRateFactor(0.5);  // 1 Gbps -> 500 Mbps
+  link.send(makePacket(1, 1500));
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  // 24 us serialization (doubled) + 10 us propagation.
+  EXPECT_EQ(sink.arrivals[0].at, microseconds(34));
+  link.faultSetRateFactor(1.0);
+  EXPECT_EQ(link.effectiveRate().bitsPerSecond, gbps(1).bitsPerSecond);
+}
+
+TEST(LinkFault, DelayFactorInflatesPropagation) {
+  sim::Simulator simr;
+  SinkNode sink(simr);
+  Link link(simr, gbps(1), microseconds(10), {16, 0});
+  link.connect(&sink, 0);
+  link.faultSetDelayFactor(3.0);  // 10 us -> 30 us
+  link.send(makePacket(1, 1500));
+  simr.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].at, microseconds(12) + microseconds(30));
+}
+
+// --- switch-facing behavior ------------------------------------------------
+
+struct SwitchRig {
+  sim::Simulator simr;
+  SinkNode sinkA, sinkB, sinkC;
+  std::unique_ptr<Switch> sw;
+
+  SwitchRig() : sinkA(simr), sinkB(simr), sinkC(simr) {
+    sw = std::make_unique<Switch>(simr, "rig-switch");
+    for (SinkNode* sink : {&sinkA, &sinkB, &sinkC}) {
+      auto link = std::make_unique<Link>(simr, gbps(1), microseconds(1),
+                                         QueueConfig{16, 0});
+      link->connect(sink, 0);
+      sw->addPort(std::move(link));
+    }
+    sw->setUplinkGroup({0, 1, 2});
+    sw->routeViaUplinks(9);
+  }
+
+  Packet packetFor(HostId dst) {
+    Packet p;
+    p.flow = 7;
+    p.dst = dst;
+    p.size = 100;
+    p.payload = 100;
+    return p;
+  }
+};
+
+TEST(SwitchFault, UplinkViewMasksDownedPorts) {
+  SwitchRig rig;
+  EXPECT_EQ(rig.sw->uplinkView().size(), 3u);
+  rig.sw->port(1).faultDown(false);
+  const UplinkView view = rig.sw->uplinkView();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].port, 0);
+  EXPECT_EQ(view[1].port, 2);
+  rig.sw->port(1).faultUp();
+  EXPECT_EQ(rig.sw->uplinkView().size(), 3u);
+}
+
+TEST(SwitchFault, UplinkViewReflectsDegradation) {
+  SwitchRig rig;
+  rig.sw->port(0).faultSetRateFactor(0.25);
+  rig.sw->port(0).faultSetDelayFactor(2.0);
+  const UplinkView view = rig.sw->uplinkView();
+  EXPECT_DOUBLE_EQ(view[0].rateBps, gbps(1).bitsPerSecond * 0.25);
+  EXPECT_DOUBLE_EQ(view[0].linkDelaySec, toSeconds(microseconds(2)));
+  EXPECT_DOUBLE_EQ(view[1].rateBps, gbps(1).bitsPerSecond);
+}
+
+TEST(SwitchFault, AllUplinksDownStillAccountsEveryPacket) {
+  SwitchRig rig;
+  for (int p = 0; p < 3; ++p) rig.sw->port(p).faultDown(false);
+  rig.sw->receive(rig.packetFor(9), 0);
+  rig.simr.run();
+  // The packet is forwarded into a dead link and dies there as a fault
+  // drop — never silently vanishing, never counted unroutable.
+  EXPECT_EQ(rig.sw->forwardedPackets(), 1u);
+  EXPECT_EQ(rig.sw->unroutablePackets(), 0u);
+  std::uint64_t faultDrops = 0;
+  for (int p = 0; p < 3; ++p) faultDrops += rig.sw->port(p).faultDrops();
+  EXPECT_EQ(faultDrops, 1u);
+}
+
+}  // namespace
+}  // namespace tlbsim::net

@@ -1,0 +1,181 @@
+// End-to-end failure recovery: a leaf uplink dies mid-run and every
+// load-balancing scheme must move its long flows off the dead port, with
+// the fault-aware conservation audit staying green throughout; plus the
+// sweep-level guarantee that fault variants keep the parallel runner's
+// JSON report byte-identical across worker counts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "fault/plan.hpp"
+#include "harness/experiment.hpp"
+#include "runner/runner.hpp"
+
+namespace tlbsim::fault {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::Scheme;
+
+/// 2 leaves x 4 spines; 12 long flows leave leaf0 so every uplink carries
+/// long traffic when the fault fires, plus a sprinkling of short flows.
+ExperimentConfig recoveryConfig(Scheme scheme, std::uint64_t seed = 7) {
+  ExperimentConfig cfg;
+  cfg.topo.numLeaves = 2;
+  cfg.topo.numSpines = 4;
+  cfg.topo.hostsPerLeaf = 4;
+  cfg.topo.linkDelay = microseconds(12.5);
+  cfg.topo.bufferPackets = 128;
+  cfg.scheme.scheme = scheme;
+  cfg.seed = seed;
+  cfg.maxDuration = seconds(10);
+  cfg.audit = ExperimentConfig::Audit::kOn;
+
+  Rng rng(seed);
+  FlowId id = 0;
+  // Long flows: leaf0 -> leaf1, started within the first 200 us so they
+  // are all established well before the fault at 10 ms.
+  for (int i = 0; i < 12; ++i) {
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(i % 4);
+    f.dst = static_cast<net::HostId>(4 + rng.uniformInt(0, 3));
+    f.size = 2 * kMB;
+    f.start = microseconds(static_cast<double>(rng.uniformInt(0, 200)));
+    cfg.flows.push_back(f);
+  }
+  // Short flows spread across the run, some in flight at the fault.
+  for (int i = 0; i < 16; ++i) {
+    transport::FlowSpec f;
+    f.id = id++;
+    f.src = static_cast<net::HostId>(rng.uniformInt(0, 3));
+    f.dst = static_cast<net::HostId>(4 + rng.uniformInt(0, 3));
+    f.size = 20 * kKB;
+    f.start = milliseconds(static_cast<double>(rng.uniformInt(0, 20)));
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+class FaultRecovery : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(FaultRecovery, EverySchemeReroutesOffTheDeadUplink) {
+  auto cfg = recoveryConfig(GetParam());
+  ASSERT_TRUE(
+      parseLinkFaults("leaf0-spine1,down@10ms,up@60ms", &cfg.fault));
+  const auto res = harness::runExperiment(cfg);
+
+  EXPECT_EQ(res.faultEventsApplied, 2u) << harness::schemeName(GetParam());
+  EXPECT_EQ(res.firstFaultAt, milliseconds(10));
+
+  // The fault must actually hit established long flows, and every one of
+  // them must escape to another uplink.
+  EXPECT_GT(res.faultAffectedLongFlows, 0) << harness::schemeName(GetParam());
+  EXPECT_EQ(res.faultReroutedLongFlows, res.faultAffectedLongFlows)
+      << harness::schemeName(GetParam())
+      << " left flows stranded on a dead uplink";
+  EXPECT_GT(res.faultMeanRerouteSec, 0.0);
+  EXPECT_GE(res.faultMaxRerouteSec, res.faultMeanRerouteSec);
+
+  // The link went down under load: its queue flush and/or wire kills must
+  // be visible as fault drops, never as queue drops.
+  EXPECT_GT(res.faultDrops, 0u) << harness::schemeName(GetParam());
+
+  // Conservation holds through the whole down/up cycle.
+  EXPECT_GT(res.auditChecks, 0u);
+  EXPECT_EQ(res.auditViolations, 0u) << harness::schemeName(GetParam());
+
+  // TCP recovers: every flow still completes after the link returns.
+  EXPECT_EQ(res.ledger.completedCount([](const auto&) { return true; }),
+            res.ledger.size())
+      << harness::schemeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, FaultRecovery,
+    ::testing::Values(Scheme::kEcmp, Scheme::kWcmp, Scheme::kRps,
+                      Scheme::kDrill, Scheme::kPresto, Scheme::kLetFlow,
+                      Scheme::kConga, Scheme::kHermes, Scheme::kRoundRobin,
+                      Scheme::kFlowLevel, Scheme::kShortestQueue,
+                      Scheme::kFixedGranularity, Scheme::kTlb));
+
+TEST(FaultRecovery, GrayFailureIsMeasuredWithoutQueueDrops) {
+  auto cfg = recoveryConfig(Scheme::kTlb);
+  ASSERT_TRUE(parseLinkFaults("leaf0-spine1,drop=0.2@5ms", &cfg.fault));
+  const auto res = harness::runExperiment(cfg);
+  EXPECT_EQ(res.faultEventsApplied, 1u);
+  EXPECT_GT(res.faultDrops, 0u) << "gray link must drop some packets";
+  EXPECT_EQ(res.auditViolations, 0u);
+  EXPECT_EQ(res.ledger.completedCount([](const auto&) { return true; }),
+            res.ledger.size())
+      << "TCP must recover every gray-failure loss";
+}
+
+TEST(FaultRecovery, NoFaultRunsReportDefaults) {
+  const auto res = harness::runExperiment(recoveryConfig(Scheme::kEcmp));
+  EXPECT_EQ(res.faultEventsApplied, 0u);
+  EXPECT_EQ(res.faultDrops, 0u);
+  EXPECT_EQ(res.firstFaultAt, -1);
+  EXPECT_EQ(res.faultAffectedLongFlows, 0);
+  EXPECT_DOUBLE_EQ(res.faultGoodputDipRatio, 1.0);
+}
+
+// --- sweep integration ------------------------------------------------------
+
+runner::SweepScenario recoveryScenario() {
+  runner::SweepScenario scenario;
+  scenario.base = [](const runner::SweepPoint& pt) {
+    return recoveryConfig(pt.scheme, 1);
+  };
+  return scenario;
+}
+
+runner::SweepSpec faultSpec() {
+  runner::SweepSpec spec;
+  spec.schemes = {Scheme::kLetFlow, Scheme::kTlb};
+  spec.seeds = {1, 2};
+  spec.variants = {
+      {"baseline", {}},
+      {"linkdown", {"fault.link=leaf0-spine1,down@10ms,up@60ms"}},
+      {"gray", {"fault.link=leaf0-spine1,drop=0.1@5ms"}},
+  };
+  return spec;
+}
+
+TEST(FaultSweep, ReportIsByteIdenticalAcrossWorkerCounts) {
+  const auto scenario = recoveryScenario();
+  const auto spec = faultSpec();
+  runner::RunnerOptions one;
+  one.jobs = 1;
+  runner::RunnerOptions four;
+  four.jobs = 4;
+  const std::string j1 = runner::runSweep(spec, scenario, one).toJson();
+  const std::string j4 = runner::runSweep(spec, scenario, four).toJson();
+  EXPECT_EQ(j1, j4);
+}
+
+TEST(FaultSweep, FaultKeysAppearOnlyInFaultVariants) {
+  const auto report =
+      runner::runSweep(faultSpec(), recoveryScenario(), {});
+  ASSERT_EQ(report.runs.size(), 12u);
+  for (const auto& run : report.runs) {
+    bool hasFaultKeys = false;
+    for (const auto& [key, value] : run.summary.values()) {
+      if (key.rfind("fault.", 0) == 0) hasFaultKeys = true;
+    }
+    EXPECT_EQ(hasFaultKeys, run.point.variant.label != "baseline")
+        << run.point.label();
+  }
+  // The link-down aggregate carries a positive reroute count for both
+  // schemes.
+  for (Scheme s : {Scheme::kLetFlow, Scheme::kTlb}) {
+    const auto* agg = report.find(s, "linkdown");
+    ASSERT_NE(agg, nullptr);
+    EXPECT_GT(agg->mean("fault.rerouted_long_flows"), 0.0)
+        << harness::schemeName(s);
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim::fault

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "harness/experiment.hpp"
 #include "harness/overrides.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +53,8 @@ struct Options {
   std::string logLevel = "none";
   bool classicTcp = false;
   bool audit = false;
+  std::vector<std::string> faults;  // raw --fault specs, parsed later
+  bool faultDrain = false;
 };
 
 /// Rejects out-of-range option values with a message; the vocabulary here
@@ -219,6 +222,13 @@ void usage() {
       "                       Perfetto / chrome://tracing)\n"
       "  --log-level LEVEL    stderr logging: error|warn|info|debug\n"
       "                       (default: none)\n"
+      "  --fault SPEC         link-fault schedule, repeatable; SPEC is\n"
+      "                       leafL-spineS,down@T,up@T,rate=F@T,delay=F@T,\n"
+      "                       drop=P@T with time suffix s/ms/us/ns, e.g.\n"
+      "                       --fault leaf0-spine1,down@0.1s,up@0.3s\n"
+      "                       (';' joins several links in one SPEC)\n"
+      "  --fault-drain        drain in-flight packets on link-down instead\n"
+      "                       of dropping them\n"
       "  --classic-tcp        disable reordering-tolerant retransmit guard\n"
       "  --audit              run the tlbsim::check invariant audit each\n"
       "                       control tick (on by default in Debug builds);\n"
@@ -251,6 +261,12 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->classicTcp = true;
     } else if (arg == "--audit") {
       opt->audit = true;
+    } else if (arg == "--fault") {
+      const char* v = next("--fault");
+      if (v == nullptr) return false;
+      opt->faults.push_back(v);
+    } else if (arg == "--fault-drain") {
+      opt->faultDrain = true;
     } else {
       // Every remaining value-taking flag shares its name (sans "--") and
       // its strict parsing with the config-file vocabulary.
@@ -558,6 +574,28 @@ int main(int argc, char** argv) {
   cfg.maxDuration = seconds(120);
   if (opt.audit) cfg.audit = harness::ExperimentConfig::Audit::kOn;
 
+  cfg.fault.drainOnDown = opt.faultDrain;
+  for (const std::string& spec : opt.faults) {
+    std::string err;
+    if (!fault::parseLinkFaults(spec, &cfg.fault, &err)) {
+      std::fprintf(stderr, "--fault %s: %s\n", spec.c_str(), err.c_str());
+      return 1;
+    }
+  }
+  // Range-check the plan against the (possibly flag-overridden) topology
+  // here, where a typo exits gracefully instead of tripping the injector's
+  // install-time assertion mid-run.
+  for (const auto& ev : cfg.fault.events) {
+    if (ev.leaf < 0 || ev.leaf >= cfg.topo.numLeaves || ev.spine < 0 ||
+        ev.spine >= cfg.topo.numSpines) {
+      std::fprintf(stderr,
+                   "--fault leaf%d-spine%d is outside the %dx%d topology\n",
+                   ev.leaf, ev.spine, cfg.topo.numLeaves,
+                   cfg.topo.numSpines);
+      return 1;
+    }
+  }
+
   if (!buildFlows(cfg, opt.workload, opt.load, opt.flows)) {
     std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
     return 1;
@@ -580,6 +618,17 @@ int main(int argc, char** argv) {
   t.addRow("long ooo ratio", {res.longOooRatioTotal()}, 4);
   t.addRow("fabric drops", {static_cast<double>(res.totalDrops)}, 0);
   t.addRow("ECN marks", {static_cast<double>(res.totalEcnMarks)}, 0);
+  if (!cfg.fault.empty()) {
+    t.addRow("fault events", {static_cast<double>(res.faultEventsApplied)},
+             0);
+    t.addRow("fault drops", {static_cast<double>(res.faultDrops)}, 0);
+    t.addRow("fault affected long",
+             {static_cast<double>(res.faultAffectedLongFlows)}, 0);
+    t.addRow("fault rerouted long",
+             {static_cast<double>(res.faultReroutedLongFlows)}, 0);
+    t.addRow("time to reroute ms", {res.faultMeanRerouteSec * 1e3}, 3);
+    t.addRow("goodput dip ratio", {res.faultGoodputDipRatio}, 3);
+  }
   if (res.auditChecks > 0) {
     t.addRow("audit checks", {static_cast<double>(res.auditChecks)}, 0);
     t.addRow("audit violations", {static_cast<double>(res.auditViolations)},

@@ -36,6 +36,15 @@ bench-direct-experiment
     hand-rolled loops silently lose all three. Benches not yet ported
     carry an explicit allow() marking them as pending migration.
 
+fault-mutation
+    Link fault state may only be mutated by the fault subsystem: calls to
+    faultDown()/faultUp()/faultSetRateFactor()/faultSetDelayFactor()/
+    faultSetDropProb() outside src/fault/ (and the Link definition itself)
+    bypass the FaultInjector, so the mutation is invisible to the
+    FaultMonitor's recovery metrics, the fault trace track, and the
+    declarative (seed-deterministic) FaultPlan. Route faults through an
+    ExperimentConfig's FaultPlan instead.
+
 Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line,
 or place it as a comment-only line directly above (for lines that would
 overflow the 80-column format limit otherwise).
@@ -63,6 +72,9 @@ SIMTIME_LITERAL_RE = re.compile(
 BYTES_LITERAL_RE = re.compile(r"\bBytes\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
 
 SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
+
+FAULT_MUTATION_RE = re.compile(
+    r"\bfault(Down|Up|SetRateFactor|SetDelayFactor|SetDropProb)\s*\(")
 
 DIRECT_EXPERIMENT_RE = re.compile(
     r"\b(runExperiment|summarizeExperiment)\s*\("
@@ -160,6 +172,11 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
     in_bench = rel.parts[0] == "bench"
     is_units = rel.as_posix() == "src/util/units.hpp"
     is_check = rel.as_posix() in ("src/util/check.hpp", "src/util/check.cpp")
+    # The fault subsystem and the Link definition itself are the only code
+    # allowed to flip link fault state.
+    is_fault_authority = (
+        rel.parts[:2] == ("src", "fault")
+        or rel.as_posix() in ("src/net/link.hpp", "src/net/link.cpp"))
     lines = text.splitlines()
 
     in_block_comment = False
@@ -219,6 +236,16 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                         rel, lineno, "raw-unit-literal",
                         f"Bytes from raw literal {m.group(1)}; spell the "
                         "magnitude (n * kKB / kMB / kKiB)"))
+
+        # --- fault-mutation -------------------------------------------
+        if not is_fault_authority:
+            m = FAULT_MUTATION_RE.search(code)
+            if m and not allowed(raw, "fault-mutation", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "fault-mutation",
+                    f"direct fault{m.group(1)}() call outside src/fault/; "
+                    "schedule it through a FaultPlan so the injector, "
+                    "monitor, and trace stay consistent"))
 
         # --- bench-direct-experiment ----------------------------------
         if in_bench:
