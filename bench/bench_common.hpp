@@ -25,6 +25,9 @@ struct BenchArgs {
   int jobs = 0;             ///< sweep worker threads; 0 = all cores
   std::uint64_t seed = 1;   ///< base seed (seed axes count up from it)
   std::string jsonPath;     ///< overrides the bench's default BENCH_*.json
+  /// When non-empty, sweep benches arm the per-run FlowProbe and write
+  /// every run's flow records here as NDJSON (analyze with tlbsim_flows).
+  std::string flowsJsonPath;
 };
 
 /// Parse the shared bench flags. Unknown flags and malformed values are
@@ -34,11 +37,14 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
   const auto usage = [&](std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--full] [--jobs N] [--seed N] [--json PATH]\n"
+                 "          [--flows-json PATH]\n"
                  "  --full       run at the paper's scale\n"
                  "  --jobs N     sweep worker threads (default: all cores)\n"
                  "  --seed N     base RNG seed (default 1)\n"
                  "  --json PATH  write results JSON here instead of the\n"
-                 "               bench's default BENCH_*.json\n",
+                 "               bench's default BENCH_*.json\n"
+                 "  --flows-json PATH  write per-flow telemetry NDJSON\n"
+                 "               (sweep benches; analyze with tlbsim_flows)\n",
                  argv[0]);
   };
   const auto next = [&](int* i, const char* flag) -> const char* {
@@ -67,6 +73,8 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
       args.seed = parseU64("--seed", next(&i, "--seed"));
     } else if (arg == "--json") {
       args.jsonPath = next(&i, "--json");
+    } else if (arg == "--flows-json") {
+      args.flowsJsonPath = next(&i, "--flows-json");
     } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       std::exit(0);

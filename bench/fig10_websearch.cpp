@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
 
   runner::RunnerOptions ropt;
   ropt.jobs = args.jobs;
+  ropt.flowsNdjsonPath = args.flowsJsonPath;
   ropt.onRunDone = [](const runner::SweepPoint& pt,
                       const harness::ExperimentResult& res) {
     std::fprintf(stderr, "  %s done (%.0f ms simulated)\n",
@@ -93,5 +94,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("sweep JSON written to %s\n", jsonPath.c_str());
+  if (!args.flowsJsonPath.empty()) {
+    std::printf("flows NDJSON written to %s\n", args.flowsJsonPath.c_str());
+  }
   return 0;
 }

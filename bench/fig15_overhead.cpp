@@ -21,6 +21,7 @@
 #include "harness/scheme.hpp"
 #include "lb/letflow.hpp"
 #include "lb/presto.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/trace.hpp"
@@ -136,12 +137,35 @@ void BM_TlbObsOn(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbObsOn);
 
+/// TLB decision with a FlowProbe installed on the selector, for comparison
+/// against BM_Tlb (probe uninstalled = one null-pointer branch per site).
+void BM_TlbFlowProbeOn(benchmark::State& state) {
+  core::TlbConfig cfg;
+  core::Tlb tlb(cfg, 15, 7);
+  obs::FlowProbe probe;
+  tlb.setFlowProbe(&probe);
+  for (FlowId f = 0; f < 64; ++f) {
+    // tlbsim-lint: allow(flowprobe-mutation)
+    probe.declareFlow(f, 0, 1, 1 * kMB, 0, /*isShort=*/false);
+  }
+  const auto view = makeView(15);
+  FlowId flow = 0;
+  for (auto _ : state) {
+    flow = (flow + 1) % 64;
+    benchmark::DoNotOptimize(tlb.selectUplink(dataPacket(flow), view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbFlowProbeOn);
+
 /// End-to-end measurement of the observability tax: the same basic-setup
-/// TLB experiment, run through the sweep engine with per-run metrics off
-/// vs on, compared in wall-clock nanoseconds per executed simulator event.
+/// TLB experiment, run through the sweep engine three ways — sinks off
+/// (null-pointer branches only), per-run metrics on, per-run FlowProbe
+/// on — compared in wall-clock nanoseconds per executed simulator event.
 /// The best-of-seeds value on each side damps frequency scaling and
 /// scheduling noise. Written to BENCH_obs_overhead.json so the cost is
-/// tracked over time.
+/// tracked over time; the flows row is the "no-probe run unchanged"
+/// acceptance check for the flow-telemetry subsystem.
 void writeObsOverheadJson(const bench::BenchArgs& args, const char* path) {
   runner::SweepSpec spec;
   spec.schemes = {harness::Scheme::kTlb};
@@ -157,19 +181,20 @@ void writeObsOverheadJson(const bench::BenchArgs& args, const char* path) {
     bench::addBasicMix(cfg, /*numShort=*/50, /*numLong=*/2);
   };
 
-  double offBest = 1e18;
-  double onBest = 1e18;
+  enum Mode { kOff = 0, kMetrics = 1, kFlows = 2 };
+  double best[3] = {1e18, 1e18, 1e18};
   std::uint64_t events = 0;
-  for (const bool obsOn : {false, true}) {
+  for (const Mode mode : {kOff, kMetrics, kFlows}) {
     runner::RunnerOptions ropt;
     ropt.jobs = 1;  // timing measurement: no co-running workers
-    ropt.collectMetrics = obsOn;
+    ropt.collectMetrics = mode == kMetrics;
+    ropt.collectFlows = mode == kFlows;
     const runner::SweepReport report = runner::runSweep(spec, scenario, ropt);
     for (const auto& run : report.runs) {
       if (run.result.executedEvents == 0) continue;
       const double ns = run.wallSeconds * 1e9 /
                         static_cast<double>(run.result.executedEvents);
-      (obsOn ? onBest : offBest) = std::min(obsOn ? onBest : offBest, ns);
+      best[mode] = std::min(best[mode], ns);
       events = run.result.executedEvents;
     }
   }
@@ -178,9 +203,13 @@ void writeObsOverheadJson(const bench::BenchArgs& args, const char* path) {
   run.setMeta("figure", "obs_overhead");
   run.setMeta("workload", "basic_setup_tlb_50short_2long");
   run.set("events_per_run", static_cast<double>(events));
-  run.set("ns_per_event_obs_off", offBest);
-  run.set("ns_per_event_obs_on", onBest);
-  run.set("overhead_pct", (onBest - offBest) / offBest * 100.0);
+  run.set("ns_per_event_obs_off", best[kOff]);
+  run.set("ns_per_event_obs_on", best[kMetrics]);
+  run.set("overhead_pct",
+          (best[kMetrics] - best[kOff]) / best[kOff] * 100.0);
+  run.set("ns_per_event_flows_on", best[kFlows]);
+  run.set("flows_overhead_pct",
+          (best[kFlows] - best[kOff]) / best[kOff] * 100.0);
   if (run.writeJsonFile(path)) {
     std::printf("\n== observability overhead ==\n%s", run.toJson().c_str());
     std::printf("written to %s\n", path);

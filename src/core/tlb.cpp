@@ -4,6 +4,7 @@
 
 #include "lb/selector_util.hpp"
 #include "net/switch.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -36,7 +37,10 @@ void Tlb::installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace,
     cLongReroute_ = &metrics->counter(p + "long.reroute");
     cReclassified_ = &metrics->counter(p + "reclassified_long");
     cTicks_ = &metrics->counter(p + "control_ticks");
-    qthSeries_ = &metrics->series(p + "qth_bytes");
+    // One point per control tick: capped so a pathologically long run (or
+    // a tiny updateInterval) cannot grow the series without bound.
+    constexpr std::size_t kQthSeriesMaxPoints = 1u << 18;
+    qthSeries_ = &metrics->series(p + "qth_bytes", kQthSeriesMaxPoints);
   }
   trace_ = trace;
   if (trace_ != nullptr) traceName_ = trace_->intern("tlb." + label);
@@ -125,9 +129,14 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
   FlowEntry& entry = table_.touch(pkt.flow, now);
   if (pkt.payload > 0) {
     if (!entry.isLong) loadEst_.onShortPayload(pkt.payload);
-    if (table_.recordPayload(entry, pkt.payload) &&
-        cReclassified_ != nullptr) {
-      cReclassified_->inc();
+    if (table_.recordPayload(entry, pkt.payload)) {
+      if (cReclassified_ != nullptr) cReclassified_->inc();
+      if (flowProbe_ != nullptr) {
+        flowProbe_->onDecision(
+            pkt.flow, now, obs::DecisionKind::kReclassifyLong,
+            static_cast<double>(calc_.qthBytes()),
+            static_cast<double>(lb::queueBytesOfPort(uplinks, entry.port)));
+      }
     }
     entry.bytesSinceSwitch += pkt.payload;
   }
@@ -207,10 +216,16 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
       }
     }
     if (next >= 0) {
+      const int prev = entry.port;
       entry.port = next;
       entry.bytesSinceSwitch = 0;
       ++longSwitches_;
       if (cLongReroute_ != nullptr) cLongReroute_->inc();
+      if (flowProbe_ != nullptr) {
+        flowProbe_->onDecision(pkt.flow, now, obs::DecisionKind::kLongReroute,
+                               static_cast<double>(prev),
+                               static_cast<double>(next));
+      }
       if (trace_ != nullptr) {
         trace_->instant("tlb", "long_reroute", now,
                         {{"flow", static_cast<double>(pkt.flow)},

@@ -4,6 +4,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "obs/flow_probe.hpp"
 
 namespace tlbsim::fault {
 
@@ -32,7 +33,13 @@ void FaultMonitor::onDequeue(int leaf, int spine, const net::Packet& pkt) {
   if (const auto it = pending_.find(pkt.flow); it != pending_.end()) {
     const Pending& p = it->second;
     if (leaf != p.leaf || spine != p.spine) {
-      rerouteTimes_.push_back(toSeconds(sim_.now() - p.faultAt));
+      const double delaySec = toSeconds(sim_.now() - p.faultAt);
+      rerouteTimes_.push_back(delaySec);
+      if (flowProbe_ != nullptr) {
+        flowProbe_->onDecision(pkt.flow, sim_.now(),
+                               obs::DecisionKind::kFaultReroute,
+                               static_cast<double>(spine), delaySec);
+      }
       pending_.erase(it);
     }
   }

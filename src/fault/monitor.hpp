@@ -31,6 +31,10 @@
 #include "util/flow_key.hpp"
 #include "util/units.hpp"
 
+namespace tlbsim::obs {
+class FlowProbe;
+}
+
 namespace tlbsim::fault {
 
 class FaultMonitor {
@@ -58,6 +62,12 @@ class FaultMonitor {
   void setGoodputProbe(std::function<Bytes()> ackedBytes) {
     probe_ = std::move(ackedBytes);
   }
+
+  /// Wire the per-flow decision probe: the moment an affected flow's
+  /// first data packet leaves a different uplink, a fault-reroute
+  /// decision event is recorded with the escaped spine and the reroute
+  /// delay. Nullable hot-path contract.
+  void setFlowProbe(obs::FlowProbe* probe) { flowProbe_ = probe; }
 
   /// Called by the injector just before each plan event is applied.
   void onFault(const FaultEvent& ev);
@@ -102,6 +112,7 @@ class FaultMonitor {
   std::vector<double> rerouteTimes_;  ///< seconds, in reroute order
   int affected_ = 0;
   SimTime firstDisruptiveAt_ = -1;
+  obs::FlowProbe* flowProbe_ = nullptr;  ///< null = disabled
 
   /// (time, probe()) samples in time order.
   std::vector<std::pair<SimTime, Bytes>> samples_;

@@ -10,6 +10,7 @@
 #include "core/tlb.hpp"
 #include "fault/injector.hpp"
 #include "fault/monitor.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -69,6 +70,14 @@ obs::EventTrace& Experiment::ownTrace(std::size_t maxEvents) {
     cfg_.sinks.trace = ownedTrace_.get();
   }
   return *ownedTrace_;
+}
+
+obs::FlowProbe& Experiment::ownFlows() {
+  if (ownedFlows_ == nullptr) {
+    ownedFlows_ = std::make_unique<obs::FlowProbe>();
+    cfg_.sinks.flows = ownedFlows_.get();
+  }
+  return *ownedFlows_;
 }
 
 ExperimentResult Experiment::run() const {
@@ -160,6 +169,21 @@ ExperimentResult Experiment::run() const {
       tlbs[i]->installObs(sinks.metrics, sinks.trace,
                           "leaf" + std::to_string(i));
     }
+    if (sinks.flows != nullptr) {
+      // Every workload flow is declared up front so each probe hook is a
+      // guaranteed record hit; leaf switches report uplink forwards and
+      // every selector reports its decisions.
+      for (const auto& f : cfg.flows) {
+        sinks.flows->declareFlow(f.id, f.src, f.dst, f.size, f.start,
+                                 f.size < cfg.shortThreshold);
+      }
+      for (int l = 0; l < topo.numLeaves(); ++l) {
+        topo.leaf(l).installFlowProbe(*sinks.flows, l);
+        if (topo.leaf(l).selector() != nullptr) {
+          topo.leaf(l).selector()->setFlowProbe(sinks.flows);
+        }
+      }
+    }
     if (sinks.metrics != nullptr && cfg.obsSampleInterval > 0 &&
         !depthGauges.empty()) {
       simr.every(
@@ -187,6 +211,7 @@ ExperimentResult Experiment::run() const {
     faultInj = std::make_unique<fault::FaultInjector>(cfg.fault, topo, simr,
                                                       cfg.seed);
     faultInj->setMonitor(faultMon.get());
+    if (sinks.flows != nullptr) faultMon->setFlowProbe(sinks.flows);
     if (sinks.any()) faultInj->installObs(sinks.metrics, sinks.trace);
     faultInj->install();
   }
@@ -226,6 +251,10 @@ ExperimentResult Experiment::run() const {
         [&completed](transport::TcpSender&) { ++completed; }));
     if (sinks.any()) {
       senders.back()->installObs(sinks.metrics, sinks.trace);
+      if (sinks.flows != nullptr) {
+        senders.back()->setFlowProbe(sinks.flows);
+        receivers.back()->setFlowProbe(sinks.flows);
+      }
     }
     if (auditor != nullptr) {
       auditor->watchFlow(*senders.back(), *receivers.back(), cfg.tcp.mss);
@@ -344,6 +373,14 @@ ExperimentResult Experiment::run() const {
     r.timeouts = senders[i]->timeouts();
     r.outOfOrderPackets = receivers[i]->outOfOrderPackets();
     r.dataPackets = receivers[i]->dataPacketsReceived();
+    if (sinks.flows != nullptr) {
+      sinks.flows->finishFlow(r.spec.id, r.completed, r.fct,
+                              senders[i]->missedDeadline(),
+                              senders[i]->bytesAcked(),
+                              senders[i]->dataPacketsSent(),
+                              senders[i]->fastRetransmits(),
+                              senders[i]->timeouts());
+    }
     res.ledger.add(std::move(r));
   }
 

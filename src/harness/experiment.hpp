@@ -156,10 +156,12 @@ class Experiment {
   /// runs keep passing external sinks through the config instead.
   obs::MetricsRegistry& ownMetrics();
   obs::EventTrace& ownTrace(std::size_t maxEvents = 500'000);
+  obs::FlowProbe& ownFlows();
 
   const ExperimentConfig& config() const { return cfg_; }
   obs::MetricsRegistry* metrics() const { return cfg_.sinks.metrics; }
   obs::EventTrace* trace() const { return cfg_.sinks.trace; }
+  obs::FlowProbe* flows() const { return cfg_.sinks.flows; }
 
   /// Build the network, run the flow list, and collect results.
   ExperimentResult run() const;
@@ -173,6 +175,7 @@ class Experiment {
   ExperimentConfig cfg_;
   std::unique_ptr<obs::MetricsRegistry> ownedMetrics_;
   std::unique_ptr<obs::EventTrace> ownedTrace_;
+  std::unique_ptr<obs::FlowProbe> ownedFlows_;
 };
 
 /// Convenience wrapper: Experiment(cfg).run().

@@ -16,6 +16,7 @@
 
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
+#include "obs/flow_probe.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
 #include "util/rng.hpp"
@@ -43,8 +44,14 @@ class Conga final : public net::UplinkSelector {
                             (now - st.lastSeen) > params_.flowletTimeout ||
                             !portUsable(uplinks, st.port);
     if (newFlowlet) {
+      const int prev = st.port;
       st.port = leastCongested(uplinks);
       ++flowlets_;
+      if (flowProbe_ != nullptr && prev >= 0 && prev != st.port) {
+        flowProbe_->onDecision(pkt.flow, now, obs::DecisionKind::kNewFlowlet,
+                               static_cast<double>(prev),
+                               static_cast<double>(st.port));
+      }
     }
     st.lastSeen = now;
     dre_[st.port] += static_cast<double>(pkt.size);

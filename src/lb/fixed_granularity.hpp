@@ -10,6 +10,7 @@
 
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
+#include "obs/flow_probe.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
 #include "util/rng.hpp"
@@ -31,14 +32,23 @@ class FixedGranularity final : public net::UplinkSelector {
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
     State& st = flows_[pkt.flow];
+    const bool granularityHit =
+        pkt.payload > 0 && k_ != kFlowLevel && st.sinceSwitch >= k_;
     const bool mustPick =
-        st.port < 0 || !portUsable(uplinks, st.port) ||
-        (pkt.payload > 0 && k_ != kFlowLevel && st.sinceSwitch >= k_);
+        st.port < 0 || !portUsable(uplinks, st.port) || granularityHit;
     if (mustPick) {
+      const int prev = st.port;
       st.port = target_ == Target::kRandom
                     ? uplinks[rng_.uniformInt(uplinks.size())].port
                     : uplinks[shortestQueueIndex(uplinks, rng_)].port;
       st.sinceSwitch = 0;
+      if (flowProbe_ != nullptr && granularityHit && prev >= 0 &&
+          prev != st.port) {
+        flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : 0,
+                               obs::DecisionKind::kGranularitySwitch,
+                               static_cast<double>(prev),
+                               static_cast<double>(st.port));
+      }
     }
     if (pkt.payload > 0) ++st.sinceSwitch;
     return st.port;
@@ -59,6 +69,7 @@ class FixedGranularity final : public net::UplinkSelector {
   Rng rng_;
   std::uint64_t k_;
   Target target_;
+  sim::Simulator* sim_ = nullptr;
   std::unordered_map<FlowId, State> flows_;
 };
 

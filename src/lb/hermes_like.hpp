@@ -14,6 +14,7 @@
 
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
+#include "obs/flow_probe.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
 #include "util/rng.hpp"
@@ -55,9 +56,16 @@ class HermesLike final : public net::UplinkSelector {
       const int candidate = pickGood(uplinks);
       if (candidate != st.port &&
           classify(candidate, uplinks) == Condition::kGood) {
+        const int prev = st.port;
         st.port = candidate;
         st.bytesSinceMove = 0;
         ++reroutes_;
+        if (flowProbe_ != nullptr) {
+          flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : 0,
+                                 obs::DecisionKind::kCautiousReroute,
+                                 static_cast<double>(prev),
+                                 static_cast<double>(candidate));
+        }
       }
     }
     return st.port;
@@ -117,6 +125,7 @@ class HermesLike final : public net::UplinkSelector {
   Rng rng_;
   Params params_;
   net::Switch* switch_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
   std::unordered_map<FlowId, State> flows_;
   std::unordered_map<int, double> condition_;  ///< smoothed wait per port
   std::uint64_t reroutes_ = 0;

@@ -10,6 +10,7 @@ namespace tlbsim::lb {
 
 void HermesLike::attach(net::Switch& sw, sim::Simulator& simr) {
   switch_ = &sw;
+  sim_ = &simr;
   // Periodic condition sensing: EWMA-smooth every uplink's expected wait.
   simr.every(params_.tick, [this] {
     for (const auto& view : switch_->uplinkView()) {
@@ -69,7 +70,7 @@ void Presto::attach(net::Switch& sw, sim::Simulator& simr) {
 
 void FixedGranularity::attach(net::Switch& sw, sim::Simulator& simr) {
   (void)sw;
-  (void)simr;
+  sim_ = &simr;
 }
 
 }  // namespace tlbsim::lb

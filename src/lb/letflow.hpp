@@ -8,6 +8,7 @@
 
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
+#include "obs/flow_probe.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
 #include "util/rng.hpp"
@@ -28,8 +29,14 @@ class LetFlow final : public net::UplinkSelector {
         st.port < 0 || (now - st.lastSeen) > timeout_ ||
         !portUsable(uplinks, st.port);
     if (newFlowlet) {
+      const int prev = st.port;
       st.port = uplinks[rng_.uniformInt(uplinks.size())].port;
       ++flowlets_;
+      if (flowProbe_ != nullptr && prev >= 0 && prev != st.port) {
+        flowProbe_->onDecision(pkt.flow, now, obs::DecisionKind::kNewFlowlet,
+                               static_cast<double>(prev),
+                               static_cast<double>(st.port));
+      }
     }
     st.lastSeen = now;
     return st.port;

@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -19,6 +20,16 @@ void Switch::routeViaUplinks(HostId dstHost) { setRoute(dstHost, kViaUplinks); }
 void Switch::installObs(obs::MetricsRegistry& metrics) {
   obsForwarded_ = &metrics.counter("switch." + name_ + ".forwarded");
   obsUnroutable_ = &metrics.counter("switch." + name_ + ".unroutable");
+}
+
+void Switch::installFlowProbe(obs::FlowProbe& probe, int leafIndex) {
+  flowProbe_ = &probe;
+  probeLeafIndex_ = leafIndex;
+  portToUplinkSlot_.assign(static_cast<std::size_t>(numPorts()), -1);
+  for (std::size_t slot = 0; slot < uplinks_.size(); ++slot) {
+    portToUplinkSlot_[static_cast<std::size_t>(uplinks_[slot])] =
+        static_cast<int>(slot);
+  }
 }
 
 void Switch::setSelector(std::unique_ptr<UplinkSelector> selector) {
@@ -74,6 +85,13 @@ void Switch::receive(Packet pkt, int inPort) {
   }
   ++forwarded_;
   if (obsForwarded_ != nullptr) obsForwarded_->inc();
+  if (flowProbe_ != nullptr) {
+    const int slot = portToUplinkSlot_[static_cast<std::size_t>(out)];
+    if (slot >= 0) {
+      flowProbe_->onUplinkForward(probeLeafIndex_, slot, pkt.flow, pkt.size,
+                                  pkt.payload, sim_.now());
+    }
+  }
   ports_[static_cast<std::size_t>(out)]->send(pkt);
 }
 

@@ -60,6 +60,13 @@ class Switch : public Node {
   /// per packet when not installed.
   void installObs(obs::MetricsRegistry& metrics);
 
+  /// Wire the per-flow decision probe: every packet this switch forwards
+  /// onto an uplink-group port is reported as (leafIndex, slot) where slot
+  /// is the port's index within the uplink group. Call after
+  /// setUplinkGroup(); one null-pointer branch per packet when not
+  /// installed.
+  void installFlowProbe(obs::FlowProbe& probe, int leafIndex);
+
  private:
   static constexpr int kNoRoute = -1;
   static constexpr int kViaUplinks = -2;
@@ -80,6 +87,9 @@ class Switch : public Node {
   std::uint64_t unroutable_ = 0;
   obs::Counter* obsForwarded_ = nullptr;
   obs::Counter* obsUnroutable_ = nullptr;
+  obs::FlowProbe* flowProbe_ = nullptr;
+  int probeLeafIndex_ = -1;
+  std::vector<int> portToUplinkSlot_;  ///< port -> group slot, -1 otherwise
 };
 
 }  // namespace tlbsim::net

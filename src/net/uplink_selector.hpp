@@ -17,6 +17,9 @@ namespace tlbsim {
 namespace sim {
 class Simulator;
 }
+namespace obs {
+class FlowProbe;
+}
 
 namespace net {
 
@@ -54,6 +57,15 @@ class UplinkSelector {
   }
 
   virtual const char* name() const = 0;
+
+  /// Install the per-flow decision probe (nullable hot-path contract:
+  /// stays nullptr unless observability is on). Schemes report their
+  /// path-change decisions — new flowlets, reroutes, granularity switches
+  /// — through it.
+  void setFlowProbe(obs::FlowProbe* probe) { flowProbe_ = probe; }
+
+ protected:
+  obs::FlowProbe* flowProbe_ = nullptr;
 };
 
 }  // namespace net

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "util/check.hpp"
 
 namespace tlbsim::obs {
 
@@ -58,13 +59,24 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+  }
+  // Disagreeing bounds would silently land one caller's samples in the
+  // other caller's buckets; empty bounds mean "whatever is registered".
+  // Constructing a throwaway Histogram normalizes (sorts, dedups) before
+  // comparing, so equivalent spellings of the same buckets agree.
+  TLBSIM_DCHECK(
+      bounds.empty() || Histogram(std::move(bounds)).bounds() == slot->bounds(),
+      "histogram '%s' re-registered with different bounds", name.c_str());
   return *slot;
 }
 
-Series& MetricsRegistry::series(const std::string& name) {
+Series& MetricsRegistry::series(const std::string& name,
+                                std::size_t maxPoints) {
   auto& slot = series_[name];
-  if (!slot) slot = std::make_unique<Series>();
+  if (!slot) slot = std::make_unique<Series>(maxPoints);
   return *slot;
 }
 

@@ -73,19 +73,37 @@ class Histogram {
 };
 
 /// Timestamped (t, value) series, e.g. the q_th trace sampled by TLB's
-/// control loop.
+/// control loop. Bounded: points past `maxPoints` are counted, not stored,
+/// mirroring EventTrace's maxEvents contract, so a long run cannot grow a
+/// series without bound.
 class Series {
  public:
-  void add(SimTime t, double v) { points_.emplace_back(t, v); }
+  static constexpr std::size_t kDefaultMaxPoints = 1'000'000;
+
+  explicit Series(std::size_t maxPoints = kDefaultMaxPoints)
+      : maxPoints_(maxPoints) {}
+
+  void add(SimTime t, double v) {
+    if (points_.size() >= maxPoints_) {
+      ++notStored_;
+      return;
+    }
+    points_.emplace_back(t, v);
+  }
 
   const std::vector<std::pair<SimTime, double>>& points() const {
     return points_;
   }
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
+  std::size_t maxPoints() const { return maxPoints_; }
+  /// Points dropped because the cap was reached.
+  std::uint64_t pointsNotStored() const { return notStored_; }
 
  private:
   std::vector<std::pair<SimTime, double>> points_;
+  std::size_t maxPoints_;
+  std::uint64_t notStored_ = 0;
 };
 
 /// Owns all metrics of a run, keyed by name. Lookup creates on first use
@@ -97,9 +115,14 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `bounds` is only consulted on first creation; later callers share the
-  /// existing histogram regardless of the bounds they pass.
+  /// existing histogram. A later caller passing non-empty bounds that
+  /// disagree (after normalization) with the first registration trips a
+  /// TLBSIM_DCHECK — empty bounds mean "whatever is registered".
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
-  Series& series(const std::string& name);
+  /// `maxPoints` is only consulted on first creation, like histogram
+  /// bounds; later callers share the existing series.
+  Series& series(const std::string& name,
+                 std::size_t maxPoints = Series::kDefaultMaxPoints);
 
   /// All counters as (name, value), sorted by name. Lets aggregators
   /// (e.g. the sweep runner's per-run summaries) fold counters without

@@ -1,0 +1,121 @@
+#include "obs/path_matrix.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace tlbsim::obs {
+
+void PathMatrix::record(int leaf, int uplink, Bytes wireBytes) {
+  if (leaf < 0 || uplink < 0 || wireBytes < 0) return;
+  const auto row = static_cast<std::size_t>(leaf);
+  const auto col = static_cast<std::size_t>(uplink);
+  if (row >= cells_.size()) cells_.resize(row + 1);
+  if (col >= cells_[row].size()) cells_[row].resize(col + 1);
+  Cell& cell = cells_[row][col];
+  ++cell.packets;
+  cell.bytes += static_cast<std::uint64_t>(wireBytes);
+}
+
+int PathMatrix::numUplinks(int leaf) const {
+  if (leaf < 0 || static_cast<std::size_t>(leaf) >= cells_.size()) return 0;
+  return static_cast<int>(cells_[static_cast<std::size_t>(leaf)].size());
+}
+
+std::uint64_t PathMatrix::packets(int leaf, int uplink) const {
+  if (leaf < 0 || uplink < 0) return 0;
+  const auto row = static_cast<std::size_t>(leaf);
+  const auto col = static_cast<std::size_t>(uplink);
+  if (row >= cells_.size() || col >= cells_[row].size()) return 0;
+  return cells_[row][col].packets;
+}
+
+Bytes PathMatrix::bytes(int leaf, int uplink) const {
+  if (leaf < 0 || uplink < 0) return 0;
+  const auto row = static_cast<std::size_t>(leaf);
+  const auto col = static_cast<std::size_t>(uplink);
+  if (row >= cells_.size() || col >= cells_[row].size()) return 0;
+  return static_cast<Bytes>(cells_[row][col].bytes);
+}
+
+std::uint64_t PathMatrix::totalPackets() const {
+  std::uint64_t total = 0;
+  for (const auto& row : cells_) {
+    for (const Cell& cell : row) total += cell.packets;
+  }
+  return total;
+}
+
+Bytes PathMatrix::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& row : cells_) {
+    for (const Cell& cell : row) total += cell.bytes;
+  }
+  return static_cast<Bytes>(total);
+}
+
+double PathMatrix::imbalance(int leaf) const {
+  if (leaf < 0 || static_cast<std::size_t>(leaf) >= cells_.size()) return 0.0;
+  const auto& row = cells_[static_cast<std::size_t>(leaf)];
+  if (row.empty()) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (const Cell& cell : row) {
+    total += cell.bytes;
+    max = std::max(max, cell.bytes);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(row.size());
+  return static_cast<double>(max) / mean;
+}
+
+double PathMatrix::maxImbalance() const {
+  double worst = 0.0;
+  for (int leaf = 0; leaf < numLeaves(); ++leaf) {
+    worst = std::max(worst, imbalance(leaf));
+  }
+  return worst;
+}
+
+double PathMatrix::meanImbalance() const {
+  double sum = 0.0;
+  int active = 0;
+  for (int leaf = 0; leaf < numLeaves(); ++leaf) {
+    const double r = imbalance(leaf);
+    if (r > 0.0) {
+      sum += r;
+      ++active;
+    }
+  }
+  return active > 0 ? sum / static_cast<double>(active) : 0.0;
+}
+
+std::string PathMatrix::toJson() const {
+  std::string out = "{\"leaves\": [";
+  bool firstLeaf = true;
+  for (int leaf = 0; leaf < numLeaves(); ++leaf) {
+    if (!firstLeaf) out += ", ";
+    firstLeaf = false;
+    out += "{\"leaf\": " + jsonNumber(leaf);
+    out += ", \"imbalance\": " + jsonNumber(imbalance(leaf));
+    out += ", \"uplinks\": [";
+    for (int slot = 0; slot < numUplinks(leaf); ++slot) {
+      if (slot > 0) out += ", ";
+      out += "[";
+      out += jsonNumber(slot);
+      out += ", ";
+      out += jsonNumber(static_cast<double>(packets(leaf, slot)));
+      out += ", ";
+      out += jsonNumber(static_cast<double>(bytes(leaf, slot)));
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "], \"max_imbalance\": " + jsonNumber(maxImbalance());
+  out += ", \"mean_imbalance\": " + jsonNumber(meanImbalance());
+  out += "}";
+  return out;
+}
+
+}  // namespace tlbsim::obs

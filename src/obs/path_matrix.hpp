@@ -1,0 +1,63 @@
+// Path-utilization heatmap: per-(leaf, uplink) byte/packet totals plus an
+// imbalance ratio per leaf, aggregated from every packet a leaf switch
+// forwards onto one of its uplinks. The matrix is the fabric-level
+// companion to FlowProbe's per-flow records: FlowProbe answers "what
+// happened to this flow", PathMatrix answers "how evenly did the scheme
+// spread load across equal-cost paths".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::obs {
+
+/// Dense (leaf, uplink) -> {packets, bytes} accumulator. Rows and columns
+/// grow on demand, so the matrix needs no topology up front; untouched
+/// cells read as zero.
+class PathMatrix {
+ public:
+  /// Account one forwarded packet of `wireBytes` on `leaf`'s uplink slot
+  /// `uplink`. Negative indices are ignored (defensive: callers pass
+  /// selector slots, which are always >= 0 on the forward path).
+  void record(int leaf, int uplink, Bytes wireBytes);
+
+  /// Number of leaf rows seen so far (max leaf index + 1).
+  int numLeaves() const { return static_cast<int>(cells_.size()); }
+  /// Number of uplink columns seen on `leaf` (max slot index + 1).
+  int numUplinks(int leaf) const;
+
+  std::uint64_t packets(int leaf, int uplink) const;
+  Bytes bytes(int leaf, int uplink) const;
+
+  std::uint64_t totalPackets() const;
+  Bytes totalBytes() const;
+
+  /// Max-over-mean bytes across a leaf's uplinks: 1.0 is a perfect
+  /// balance, N means the hottest uplink carried N times the average.
+  /// Returns 0 when the leaf forwarded nothing.
+  double imbalance(int leaf) const;
+  /// Worst (max) per-leaf imbalance across the fabric; 0 if idle.
+  double maxImbalance() const;
+  /// Mean per-leaf imbalance over leaves that carried traffic; 0 if idle.
+  double meanImbalance() const;
+
+  /// One JSON object:
+  ///   {"leaves": [{"leaf": 0, "imbalance": 1.2,
+  ///                "uplinks": [[slot, packets, bytes], ...]}, ...],
+  ///    "max_imbalance": ..., "mean_imbalance": ...}
+  /// Deterministic: rows ascend by leaf, columns by slot.
+  std::string toJson() const;
+
+ private:
+  struct Cell {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::vector<std::vector<Cell>> cells_;  ///< [leaf][uplink]
+};
+
+}  // namespace tlbsim::obs

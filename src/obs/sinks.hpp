@@ -14,6 +14,7 @@ namespace tlbsim::obs {
 
 class MetricsRegistry;
 class EventTrace;
+class FlowProbe;
 
 struct Sinks {
   /// When set, the run wires per-port drop/ECN/tx counters, TLB decision
@@ -26,7 +27,14 @@ struct Sinks {
   /// events.
   EventTrace* trace = nullptr;
 
-  bool any() const { return metrics != nullptr || trace != nullptr; }
+  /// When set, per-flow decision telemetry is recorded: one FlowRecord
+  /// per workload flow (retransmits, OOO attribution, uplink shares,
+  /// decision timeline) plus the (leaf, uplink) path-utilization matrix.
+  FlowProbe* flows = nullptr;
+
+  bool any() const {
+    return metrics != nullptr || trace != nullptr || flows != nullptr;
+  }
 };
 
 }  // namespace tlbsim::obs

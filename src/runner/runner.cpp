@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "harness/overrides.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
@@ -36,7 +37,7 @@ double elapsedSeconds(std::chrono::steady_clock::time_point t0) {
 /// derived seed -> workload, so overrides that reshape the topology are
 /// visible to the workload generator.
 RunOutcome runPoint(const SweepPoint& pt, const SweepScenario& scenario,
-                    bool collectMetrics) {
+                    const RunnerOptions& opt) {
   harness::ExperimentConfig cfg = scenario.base(pt);
   cfg.scheme.scheme = pt.scheme;
   std::string err;
@@ -49,8 +50,10 @@ RunOutcome runPoint(const SweepPoint& pt, const SweepScenario& scenario,
   cfg.sinks = obs::Sinks{};
   if (scenario.workload) scenario.workload(cfg, pt);
 
+  const bool collectFlows = opt.collectFlows || !opt.flowsNdjsonPath.empty();
   harness::Experiment exp(std::move(cfg));
-  if (collectMetrics) exp.ownMetrics();
+  if (opt.collectMetrics) exp.ownMetrics();
+  if (collectFlows) exp.ownFlows();
 
   RunOutcome out;
   out.point = pt;
@@ -66,9 +69,18 @@ RunOutcome runPoint(const SweepPoint& pt, const SweepScenario& scenario,
   out.summary.set("point_index", static_cast<double>(pt.index));
   out.summary.set("base_seed", static_cast<double>(pt.baseSeed));
   if (pt.hasLoad) out.summary.set("load", pt.load);
-  if (collectMetrics && exp.metrics() != nullptr) {
+  if (opt.collectMetrics && exp.metrics() != nullptr) {
     for (const auto& [name, value] : exp.metrics()->counterValues()) {
       out.summary.set("metric." + name, static_cast<double>(value));
+    }
+  }
+  if (collectFlows && exp.flows() != nullptr) {
+    exp.flows()->fold(out.summary);
+    if (!opt.flowsNdjsonPath.empty()) {
+      out.flowsNdjson = exp.flows()->toNdjson(
+          {{"point", pt.label()},
+           {"scheme", harness::schemeCliName(pt.scheme)},
+           {"seed", std::to_string(pt.runSeed)}});
     }
   }
   return out;
@@ -308,7 +320,7 @@ SweepReport runSweep(const SweepSpec& spec, const SweepScenario& scenario,
       const SweepPoint& pt = points[i];
       try {
         // The slot at index i belongs to this worker alone; no lock.
-        report.runs[i] = runPoint(pt, scenario, opt.collectMetrics);
+        report.runs[i] = runPoint(pt, scenario, opt);
       } catch (const std::exception& e) {
         const std::lock_guard<std::mutex> lock(mu);
         errors.push_back("sweep point '" + pt.label() + "': " + e.what());
@@ -338,6 +350,26 @@ SweepReport runSweep(const SweepSpec& spec, const SweepScenario& scenario,
                       " of " + std::to_string(points.size()) + " runs):";
     for (const std::string& e : errors) msg += "\n  " + e;
     throw std::runtime_error(msg);
+  }
+
+  if (!opt.flowsNdjsonPath.empty()) {
+    // Concatenate in point index order after the join, so the file is
+    // byte-identical for any worker count.
+    std::FILE* f = std::fopen(opt.flowsNdjsonPath.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot write flows NDJSON to " +
+                               opt.flowsNdjsonPath);
+    }
+    bool ok = true;
+    for (const RunOutcome& run : report.runs) {
+      ok = ok && std::fwrite(run.flowsNdjson.data(), 1,
+                             run.flowsNdjson.size(),
+                             f) == run.flowsNdjson.size();
+    }
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+      throw std::runtime_error("short write to " + opt.flowsNdjsonPath);
+    }
   }
 
   report.aggregates = aggregate(report.runs);

@@ -52,6 +52,15 @@ struct RunnerOptions {
   /// Give every run an Experiment-owned MetricsRegistry (the per-run
   /// counters are then folded into its RunSummary).
   bool collectMetrics = false;
+  /// Give every run an Experiment-owned FlowProbe; its bounded "flows.*"
+  /// summary (reorder rate, path churn, matrix imbalance, ...) is folded
+  /// into the RunSummary, so the per-flow records themselves never cross
+  /// the aggregation boundary.
+  bool collectFlows = false;
+  /// When non-empty, implies collectFlows and additionally writes every
+  /// run's per-flow records to this NDJSON file, concatenated in point
+  /// index order after the join — byte-identical for any worker count.
+  std::string flowsNdjsonPath;
   /// Progress hook, called after each run completes. Serialized by the
   /// engine's mutex, so it may print/aggregate without its own locking.
   /// Runs finish in scheduling order, not index order.
@@ -67,6 +76,10 @@ struct RunOutcome {
   /// Host wall-clock of this run. Kept out of the JSON report, which must
   /// stay byte-identical across job counts.
   double wallSeconds = 0.0;
+  /// This run's per-flow NDJSON block (only when flowsNdjsonPath is set).
+  /// Kept out of the report JSON; runSweep concatenates the blocks in
+  /// index order into the NDJSON file.
+  std::string flowsNdjson;
 };
 
 /// Seed-axis statistics of one sweep configuration (a groupKey).

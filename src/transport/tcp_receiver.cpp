@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flow_probe.hpp"
+
 namespace tlbsim::transport {
 
 TcpReceiver::TcpReceiver(sim::Simulator& simr, net::Host& localHost,
@@ -52,6 +54,7 @@ void TcpReceiver::acceptData(const net::Packet& pkt) {
   if (start > cumAck_) {
     // Hole before this segment: buffer it (merge overlapping ranges).
     ++outOfOrder_;
+    if (flowProbe_ != nullptr) flowProbe_->onOutOfOrder(flow_.id, sim_.now());
     auto [it, inserted] = segments_.try_emplace(start, end);
     if (!inserted) {
       it->second = std::max(it->second, end);

@@ -14,6 +14,10 @@
 #include "sim/simulator.hpp"
 #include "transport/tcp_params.hpp"
 
+namespace tlbsim::obs {
+class FlowProbe;
+}
+
 namespace tlbsim::transport {
 
 class TcpReceiver : public net::PacketHandler {
@@ -34,6 +38,11 @@ class TcpReceiver : public net::PacketHandler {
   bool finReceived() const { return finSeen_; }
 
   const FlowSpec& flow() const { return flow_; }
+
+  /// Wire the per-flow decision probe: each out-of-order data arrival is
+  /// reported for path-change vs. loss attribution. One null-pointer
+  /// branch per data segment when not installed.
+  void setFlowProbe(obs::FlowProbe* probe) { flowProbe_ = probe; }
 
  private:
   void acceptData(const net::Packet& pkt);
@@ -67,6 +76,8 @@ class TcpReceiver : public net::PacketHandler {
   bool pendingCe_ = false;       ///< CE bit of the pending run
   SimTime pendingEchoTs_ = 0;    ///< timestamp of the newest pending segment
   sim::EventId ackTimer_ = sim::kInvalidEvent;
+
+  obs::FlowProbe* flowProbe_ = nullptr;  ///< null = disabled
 };
 
 }  // namespace tlbsim::transport

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -252,6 +253,12 @@ void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
   pkt.ecnCapable = params_.enableEcn;
   pkt.sentAt = sim_.now();
   pkt.retransmit = isRetransmit;
+  // Wire-accurate resend detection, evaluated before the high-water mark
+  // moves: go-back-N resends after an RTO rewind re-cover already-sent
+  // bytes but arrive here with isRetransmit=false.
+  if (flowProbe_ != nullptr && (isRetransmit || seq < maxSent_)) {
+    flowProbe_->onRetransmit(flow_.id, sim_.now());
+  }
   ++dataPacketsSent_;
   maxSent_ = std::max(maxSent_, seq + static_cast<std::uint64_t>(payload));
   if (isRetransmit && cRetransmitted_ != nullptr) cRetransmitted_->inc();

@@ -24,6 +24,7 @@
 namespace tlbsim::obs {
 class Counter;
 class EventTrace;
+class FlowProbe;
 class MetricsRegistry;
 }  // namespace tlbsim::obs
 
@@ -71,6 +72,12 @@ class TcpSender : public net::PacketHandler {
   /// fires, fast retransmits and ECN cwnd cuts. Either sink may be null.
   /// One null-pointer branch per site when not installed.
   void installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace);
+
+  /// Wire the per-flow decision probe: every retransmission this sender
+  /// puts on the wire (fast retransmit, RTO head, AND go-back-N resends,
+  /// which carry retransmit=false on the packet) is reported. One
+  /// null-pointer branch per segment when not installed.
+  void setFlowProbe(obs::FlowProbe* probe) { flowProbe_ = probe; }
 
  private:
   void sendSyn();
@@ -149,6 +156,7 @@ class TcpSender : public net::PacketHandler {
   obs::Counter* cEcnCuts_ = nullptr;
   obs::Counter* cRetransmitted_ = nullptr;
   obs::EventTrace* trace_ = nullptr;
+  obs::FlowProbe* flowProbe_ = nullptr;
 };
 
 }  // namespace tlbsim::transport

@@ -1,0 +1,252 @@
+// Unit tests for the per-flow decision telemetry: PathMatrix aggregation
+// math, FlowProbe record accumulation (OOO attribution, caps, decision
+// timelines), the RunSummary fold, and the NDJSON export round-tripped
+// through the obs JSON parser.
+#include "obs/flow_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/path_matrix.hpp"
+#include "obs/run_summary.hpp"
+
+namespace tlbsim::obs {
+namespace {
+
+TEST(PathMatrix, AccumulatesPerLeafUplinkCells) {
+  PathMatrix m;
+  EXPECT_EQ(m.numLeaves(), 0);
+  m.record(0, 0, 1500);
+  m.record(0, 0, 1500);
+  m.record(0, 2, 40);
+  m.record(1, 1, 100);
+  EXPECT_EQ(m.numLeaves(), 2);
+  EXPECT_EQ(m.numUplinks(0), 3);
+  EXPECT_EQ(m.packets(0, 0), 2u);
+  EXPECT_EQ(m.bytes(0, 0), 3000);
+  EXPECT_EQ(m.packets(0, 1), 0u);
+  EXPECT_EQ(m.bytes(0, 2), 40);
+  EXPECT_EQ(m.totalPackets(), 4u);
+  EXPECT_EQ(m.totalBytes(), 3140);
+}
+
+TEST(PathMatrix, IgnoresNegativeIndices) {
+  PathMatrix m;
+  m.record(-1, 0, 100);
+  m.record(0, -1, 100);
+  EXPECT_EQ(m.totalPackets(), 0u);
+  EXPECT_EQ(m.numLeaves(), 0);
+}
+
+TEST(PathMatrix, ImbalanceIsMaxOverMeanBytes) {
+  PathMatrix m;
+  // Leaf 0: 3000 / 1000 bytes -> mean 2000, max 3000 -> 1.5.
+  m.record(0, 0, 3000);
+  m.record(0, 1, 1000);
+  EXPECT_DOUBLE_EQ(m.imbalance(0), 1.5);
+  // A perfectly balanced leaf scores 1.0.
+  m.record(1, 0, 500);
+  m.record(1, 1, 500);
+  EXPECT_DOUBLE_EQ(m.imbalance(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.maxImbalance(), 1.5);
+  EXPECT_DOUBLE_EQ(m.meanImbalance(), 1.25);
+  // An idle leaf contributes nothing (and scores 0 alone).
+  EXPECT_DOUBLE_EQ(m.imbalance(7), 0.0);
+}
+
+TEST(PathMatrix, JsonParsesAndCarriesCells) {
+  PathMatrix m;
+  m.record(0, 0, 3000);
+  m.record(0, 1, 1000);
+  const auto doc = JsonValue::parse(m.toJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* leaves = doc->find("leaves");
+  ASSERT_NE(leaves, nullptr);
+  ASSERT_EQ(leaves->items.size(), 1u);
+  const JsonValue& leaf = leaves->items[0];
+  EXPECT_EQ(leaf.find("leaf")->number, 0.0);
+  EXPECT_DOUBLE_EQ(leaf.find("imbalance")->number, 1.5);
+  ASSERT_EQ(leaf.find("uplinks")->items.size(), 2u);
+  // [slot, packets, bytes]
+  EXPECT_EQ(leaf.find("uplinks")->items[0].items[2].number, 3000.0);
+  EXPECT_DOUBLE_EQ(doc->find("max_imbalance")->number, 1.5);
+}
+
+TEST(FlowProbe, DeclareIsIdempotentAndCapped) {
+  FlowProbe::Config cfg;
+  cfg.maxFlows = 2;
+  FlowProbe probe(cfg);
+  probe.declareFlow(7, 0, 1, 1000, 0, true);
+  probe.declareFlow(7, 9, 9, 9999, 9, false);  // re-declare: no-op
+  probe.declareFlow(3, 2, 3, 2000, 0, false);
+  probe.declareFlow(5, 4, 5, 3000, 0, true);  // past the cap
+  EXPECT_EQ(probe.flowCount(), 2u);
+  EXPECT_EQ(probe.flowsNotTracked(), 1u);
+  ASSERT_NE(probe.find(7), nullptr);
+  EXPECT_EQ(probe.find(7)->src, 0);  // first declaration won
+  EXPECT_TRUE(probe.find(7)->isShort);
+  EXPECT_EQ(probe.find(5), nullptr);
+  // Export order is sorted by flow id regardless of declaration order.
+  const auto sorted = probe.sortedRecords();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0]->id, 3u);
+  EXPECT_EQ(sorted[1]->id, 7u);
+}
+
+TEST(FlowProbe, UplinkForwardTracksSharesAndPathChanges) {
+  FlowProbe probe;
+  probe.declareFlow(1, 0, 1, 1000, 0, true);
+  probe.onUplinkForward(0, 2, 1, 1500, 1460, 10);
+  probe.onUplinkForward(0, 2, 1, 1500, 1460, 20);
+  probe.onUplinkForward(0, 0, 1, 1500, 1460, 30);  // path change
+  // ACKs feed the matrix but not the per-flow share/path history.
+  probe.onUplinkForward(1, 5, 1, 40, 0, 40);
+  // Undeclared flows feed the matrix only.
+  probe.onUplinkForward(0, 1, 99, 1500, 1460, 50);
+
+  const FlowRecord* rec = probe.find(1);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->uplinks.size(), 3u);
+  EXPECT_EQ(rec->uplinks[2].packets, 2u);
+  EXPECT_EQ(rec->uplinks[2].bytes, 3000u);
+  EXPECT_EQ(rec->uplinks[0].packets, 1u);
+  EXPECT_EQ(rec->pathChanges, 1u);
+  EXPECT_EQ(rec->lastUplink, 0);
+  EXPECT_EQ(probe.pathMatrix().totalPackets(), 5u);
+}
+
+TEST(FlowProbe, OutOfOrderAttribution) {
+  FlowProbe probe;
+  probe.declareFlow(1, 0, 1, 1000, 0, true);
+
+  // No path change, no retransmit yet: unattributed.
+  probe.onOutOfOrder(1, 5);
+  // After a path change (and no retransmit): attributed to the path.
+  probe.onUplinkForward(0, 0, 1, 1500, 1460, 10);
+  probe.onUplinkForward(0, 1, 1, 1500, 1460, 20);
+  probe.onOutOfOrder(1, 25);
+  // A later retransmit takes over the attribution.
+  probe.onRetransmit(1, 30);
+  probe.onOutOfOrder(1, 35);
+  // A path change at-or-after the retransmit wins again.
+  probe.onUplinkForward(0, 2, 1, 1500, 1460, 40);
+  probe.onOutOfOrder(1, 45);
+
+  const FlowRecord* rec = probe.find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->outOfOrder, 4u);  // one of the four stays unattributed
+  EXPECT_EQ(rec->oooPathChange, 2u);
+  EXPECT_EQ(rec->oooLoss, 1u);
+  EXPECT_EQ(rec->retransmitsSent, 1u);
+}
+
+TEST(FlowProbe, DecisionTimelineIsBounded) {
+  FlowProbe::Config cfg;
+  cfg.maxDecisionsPerFlow = 2;
+  FlowProbe probe(cfg);
+  probe.declareFlow(1, 0, 1, 1000, 0, false);
+  probe.onDecision(1, 10, DecisionKind::kNewFlowlet, 0, 1);
+  probe.onDecision(1, 20, DecisionKind::kNewFlowlet, 1, 2);
+  probe.onDecision(1, 30, DecisionKind::kNewFlowlet, 2, 3);  // dropped
+  probe.onDecision(99, 40, DecisionKind::kNewFlowlet, 0, 1);  // undeclared
+  const FlowRecord* rec = probe.find(1);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->decisions.size(), 2u);
+  EXPECT_EQ(rec->decisions[1].t, 20);
+  EXPECT_EQ(rec->decisions[1].a1, 2.0);
+  EXPECT_EQ(rec->decisionsNotStored, 1u);
+}
+
+TEST(FlowProbe, FoldEmitsBoundedSummaryKeys) {
+  FlowProbe probe;
+  probe.declareFlow(1, 0, 1, 1000, 0, true);
+  probe.declareFlow(2, 1, 0, 2000, 0, false);
+  probe.onUplinkForward(0, 0, 1, 1500, 1460, 10);
+  probe.onUplinkForward(0, 1, 1, 1500, 1460, 20);  // path change
+  probe.onOutOfOrder(1, 25);
+  probe.onDecision(1, 30, DecisionKind::kReclassifyLong, 65536, 3000);
+  probe.finishFlow(1, true, 100, false, 1000, 10, 0, 0);
+  probe.finishFlow(2, true, 200, false, 2000, 30, 0, 0);
+
+  RunSummary summary;
+  probe.fold(summary);
+  ASSERT_NE(summary.value("flows.tracked"), nullptr);
+  EXPECT_EQ(*summary.value("flows.tracked"), 2.0);
+  EXPECT_EQ(*summary.value("flows.data_packets"), 40.0);
+  EXPECT_EQ(*summary.value("flows.ooo"), 1.0);
+  EXPECT_EQ(*summary.value("flows.ooo_path_change"), 1.0);
+  EXPECT_DOUBLE_EQ(*summary.value("flows.reorder_rate"), 1.0 / 40.0);
+  EXPECT_EQ(*summary.value("flows.path_changes"), 1.0);
+  EXPECT_DOUBLE_EQ(*summary.value("flows.path_churn"), 0.5);
+  EXPECT_EQ(*summary.value("flows.decisions"), 1.0);
+  ASSERT_NE(summary.value("flows.matrix_max_imbalance"), nullptr);
+}
+
+TEST(FlowProbe, NdjsonRoundTripsThroughJsonParser) {
+  FlowProbe probe;
+  probe.declareFlow(2, 1, 3, 50'000, microseconds(500), true);
+  probe.declareFlow(1, 0, 2, 5'000'000, 0, false);
+  probe.onUplinkForward(0, 1, 1, 1500, 1460, microseconds(600));
+  probe.onUplinkForward(0, 3, 1, 1500, 1460, microseconds(700));
+  probe.onDecision(1, microseconds(800), DecisionKind::kLongReroute, 1, 3);
+  probe.onRetransmit(2, microseconds(900));
+  probe.onOutOfOrder(2, microseconds(950));
+  probe.finishFlow(1, true, milliseconds(12), false, 5'000'000, 3425, 1, 0);
+  probe.finishFlow(2, false, 0, true, 20'000, 14, 0, 1);
+
+  const std::string text = probe.toNdjson({{"scheme", "tlb"}, {"seed", "7"}});
+  std::istringstream in(text);
+  std::string line;
+  std::vector<JsonValue> docs;
+  while (std::getline(in, line)) {
+    const auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    docs.push_back(*doc);
+  }
+  // meta + 2 flows (sorted by id) + path matrix.
+  ASSERT_EQ(docs.size(), 4u);
+  EXPECT_EQ(docs[0].find("type")->str, "meta");
+  EXPECT_EQ(docs[0].find("scheme")->str, "tlb");
+  ASSERT_NE(docs[0].find("decision_kinds"), nullptr);
+  EXPECT_EQ(docs[0].find("decision_kinds")->items.size(), 6u);
+  EXPECT_EQ(docs[0].find("decision_kinds")->items[1].str, "long_reroute");
+
+  const JsonValue& flow1 = docs[1];
+  EXPECT_EQ(flow1.find("id")->number, 1.0);
+  EXPECT_EQ(flow1.find("completed")->boolean, true);
+  EXPECT_DOUBLE_EQ(flow1.find("fct_s")->number, 0.012);
+  EXPECT_EQ(flow1.find("data_packets")->number, 3425.0);
+  EXPECT_EQ(flow1.find("path_changes")->number, 1.0);
+  // Sparse uplinks: slots 1 and 3 only.
+  ASSERT_EQ(flow1.find("uplinks")->items.size(), 2u);
+  EXPECT_EQ(flow1.find("uplinks")->items[1].items[0].number, 3.0);
+  ASSERT_EQ(flow1.find("decisions")->items.size(), 1u);
+  EXPECT_EQ(flow1.find("decisions")->items[0].items[0].number,
+            static_cast<double>(DecisionKind::kLongReroute));
+
+  const JsonValue& flow2 = docs[2];
+  EXPECT_EQ(flow2.find("id")->number, 2.0);
+  EXPECT_EQ(flow2.find("completed")->boolean, false);
+  EXPECT_EQ(flow2.find("missed_deadline")->boolean, true);
+  EXPECT_EQ(flow2.find("retransmits")->number, 1.0);
+  EXPECT_EQ(flow2.find("ooo_loss")->number, 1.0);
+
+  EXPECT_EQ(docs[3].find("type")->str, "path_matrix");
+  ASSERT_NE(docs[3].find("matrix"), nullptr);
+  EXPECT_EQ(docs[3].find("matrix")->find("leaves")->items.size(), 1u);
+}
+
+TEST(DecisionKind, NamesAreStable) {
+  EXPECT_STREQ(decisionKindName(DecisionKind::kReclassifyLong),
+               "reclassify_long");
+  EXPECT_STREQ(decisionKindName(DecisionKind::kFaultReroute),
+               "fault_reroute");
+  EXPECT_EQ(static_cast<int>(DecisionKind::kGranularitySwitch), 4);
+}
+
+}  // namespace
+}  // namespace tlbsim::obs

@@ -10,6 +10,7 @@
 
 #include "obs/json.hpp"
 #include "obs/run_summary.hpp"
+#include "util/check.hpp"
 #include "util/summary_stats.hpp"
 
 namespace tlbsim::obs {
@@ -68,6 +69,51 @@ TEST(Histogram, EmptyPercentileIsZero) {
   EXPECT_EQ(h.percentile(99.0), 0.0);
 }
 
+TEST(Histogram, PercentileRankInOverflowBucket) {
+  // When the target rank lands past the last finite bound, the estimate
+  // is the overflow bucket's lower edge (the last bound) — the best
+  // statement the histogram can make, never an invented larger value.
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);
+  for (int i = 0; i < 9; ++i) h.observe(1e6);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  // Rank 1 is still in the first finite bucket.
+  EXPECT_LE(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, AllSamplesInOverflowBucket) {
+  Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  for (double p : {0.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(Series, CapsStoredPointsAndCountsOverflow) {
+  Series s(/*maxPoints=*/2);
+  s.add(microseconds(1), 1.0);
+  s.add(microseconds(2), 2.0);
+  s.add(microseconds(3), 3.0);
+  s.add(microseconds(4), 4.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.points()[1].second, 2.0);  // first points kept, tail dropped
+  EXPECT_EQ(s.maxPoints(), 2u);
+  EXPECT_EQ(s.pointsNotStored(), 2u);
+}
+
+TEST(MetricsRegistry, SeriesCapConsultedOnFirstCreationOnly) {
+  MetricsRegistry reg;
+  Series& a = reg.series("qth", /*maxPoints=*/3);
+  Series& b = reg.series("qth");  // later callers inherit the cap
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.maxPoints(), 3u);
+  for (int i = 0; i < 5; ++i) reg.series("qth").add(microseconds(i), 1.0);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.pointsNotStored(), 2u);
+}
+
 TEST(Series, RecordsPointsInInsertionOrder) {
   Series s;
   EXPECT_TRUE(s.empty());
@@ -87,12 +133,34 @@ TEST(MetricsRegistry, SameNameReturnsSameObject) {
   EXPECT_EQ(b.value(), 3u);
   EXPECT_EQ(&reg.gauge("g"), &reg.gauge("g"));
   EXPECT_EQ(&reg.series("s"), &reg.series("s"));
-  // Histogram bounds are only consulted on first creation.
+  // Histogram bounds are only consulted on first creation; later callers
+  // either agree on them or pass {} ("don't care").
   Histogram& h1 = reg.histogram("h", {1.0, 2.0});
-  Histogram& h2 = reg.histogram("h", {99.0});
+  Histogram& h2 = reg.histogram("h", {1.0, 2.0});
   EXPECT_EQ(&h1, &h2);
-  EXPECT_EQ(h2.bounds().size(), 2u);
+  Histogram& h3 = reg.histogram("h", {});
+  EXPECT_EQ(&h1, &h3);
+  EXPECT_EQ(h3.bounds().size(), 2u);
 }
+
+#ifndef NDEBUG
+TEST(MetricsRegistry, HistogramBoundsMismatchTripsDcheck) {
+  // Two components registering the same histogram name with different
+  // bounds is a silent-aggregation bug (whoever runs second gets buckets
+  // they did not ask for); the registry DCHECKs it in Debug builds.
+  MetricsRegistry reg;
+  reg.histogram("fct_ms", {1.0, 2.0});
+  check::setFailureHandler(
+      [](const char*, int, const char*, const char*) {});
+  const long before = check::failureCount();
+  reg.histogram("fct_ms", {99.0});  // mismatched -> DCHECK fires
+  EXPECT_EQ(check::failureCount(), before + 1);
+  // Normalization makes permuted-but-equal bounds compatible.
+  reg.histogram("fct_ms", {2.0, 1.0});
+  EXPECT_EQ(check::failureCount(), before + 1);
+  check::setFailureHandler(nullptr);
+}
+#endif
 
 TEST(MetricsRegistry, FindDoesNotCreate) {
   MetricsRegistry reg;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
@@ -166,6 +167,65 @@ TEST(ObsHarness, ObsDoesNotChangeSimulationOutcome) {
   }
   EXPECT_EQ(plain.totalDrops, observed.totalDrops);
   EXPECT_EQ(plain.endTime, observed.endTime);
+}
+
+TEST(ObsHarness, FlowProbeDoesNotChangeSimulationOutcome) {
+  // The probe's nullable-pointer contract: arming it must not perturb the
+  // schedule, only observe it.
+  const auto plain = runExperiment(smallTlbConfig(3));
+  obs::FlowProbe flows;
+  auto cfg = smallTlbConfig(3);
+  cfg.sinks.flows = &flows;
+  const auto probed = runExperiment(cfg);
+  ASSERT_EQ(plain.ledger.size(), probed.ledger.size());
+  for (std::size_t i = 0; i < plain.ledger.size(); ++i) {
+    EXPECT_EQ(plain.ledger.flows()[i].fct, probed.ledger.flows()[i].fct);
+  }
+  EXPECT_EQ(plain.totalDrops, probed.totalDrops);
+  EXPECT_EQ(plain.endTime, probed.endTime);
+  EXPECT_EQ(plain.executedEvents, probed.executedEvents);
+}
+
+TEST(ObsHarness, FlowProbeRecordsMatchTheLedger) {
+  obs::FlowProbe flows;
+  auto cfg = smallTlbConfig(5);
+  cfg.sinks.flows = &flows;
+  const auto res = runExperiment(cfg);
+
+  // Every flow declared and finished; completion state mirrors the ledger.
+  ASSERT_EQ(flows.flowCount(), cfg.flows.size());
+  EXPECT_EQ(flows.flowsNotTracked(), 0u);
+  for (const auto& lf : res.ledger.flows()) {
+    const obs::FlowRecord* rec = flows.find(lf.spec.id);
+    ASSERT_NE(rec, nullptr) << "flow " << lf.spec.id;
+    EXPECT_EQ(rec->completed, lf.completed);
+    if (lf.completed) EXPECT_EQ(rec->fct, lf.fct);
+    EXPECT_EQ(rec->size, lf.spec.size);
+    EXPECT_EQ(rec->isShort, lf.spec.size < cfg.shortThreshold);
+  }
+
+  // The ledger's headline AFCT and p99 are reproducible from the probe's
+  // records alone — the tlbsim_flows analyzer relies on exactly this.
+  RunningStats shortMean;
+  SampleSet shortFct;
+  for (const obs::FlowRecord* rec : flows.sortedRecords()) {
+    if (!rec->isShort || !rec->completed) continue;
+    shortMean.add(toSeconds(rec->fct));
+    shortFct.add(toSeconds(rec->fct));
+  }
+  EXPECT_NEAR(shortMean.mean(), res.shortAfctSec(), 1e-12);
+  EXPECT_NEAR(shortFct.percentile(99.0), res.shortP99Sec(), 1e-12);
+
+  // Data packets went somewhere: the per-flow uplink shares and the path
+  // matrix both account for them.
+  std::uint64_t sharePackets = 0;
+  for (const obs::FlowRecord* rec : flows.sortedRecords()) {
+    for (const auto& share : rec->uplinks) sharePackets += share.packets;
+  }
+  EXPECT_GT(sharePackets, 0u);
+  // The matrix also counts ACK and undeclared traffic, so it dominates.
+  EXPECT_GE(flows.pathMatrix().totalPackets(), sharePackets);
+  EXPECT_GT(flows.pathMatrix().numLeaves(), 0);
 }
 
 TEST(ObsHarness, SummaryCarriesHeadlineNumbers) {

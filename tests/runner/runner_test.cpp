@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/json.hpp"
@@ -158,6 +161,70 @@ TEST(Runner, CollectMetricsFoldsCountersIntoSummaries) {
     if (key.rfind("metric.", 0) == 0) sawMetric = true;
   }
   EXPECT_TRUE(sawMetric);
+}
+
+TEST(Runner, CollectFlowsFoldsSummariesByteIdenticallyAcrossWorkers) {
+  const SweepScenario scenario = tinyScenario();
+  const SweepSpec spec = tinySpec();
+  RunnerOptions one;
+  one.jobs = 1;
+  one.collectFlows = true;
+  RunnerOptions four;
+  four.jobs = 4;
+  four.collectFlows = true;
+
+  const SweepReport r1 = runSweep(spec, scenario, one);
+  const SweepReport r4 = runSweep(spec, scenario, four);
+  EXPECT_EQ(r1.toJson(), r4.toJson());
+
+  ASSERT_FALSE(r1.runs.empty());
+  for (const auto& run : r1.runs) {
+    ASSERT_NE(run.summary.value("flows.tracked"), nullptr);
+    EXPECT_EQ(*run.summary.value("flows.tracked"), 6.0);
+    ASSERT_NE(run.summary.value("flows.reorder_rate"), nullptr);
+    ASSERT_NE(run.summary.value("flows.matrix_max_imbalance"), nullptr);
+    // No NDJSON requested: the per-run blocks stay empty.
+    EXPECT_TRUE(run.flowsNdjson.empty());
+  }
+}
+
+TEST(Runner, FlowsNdjsonIsByteIdenticalAcrossWorkerCounts) {
+  const SweepScenario scenario = tinyScenario();
+  const SweepSpec spec = tinySpec();
+  const std::string p1 = testing::TempDir() + "/runner_flows_j1.ndjson";
+  const std::string p4 = testing::TempDir() + "/runner_flows_j4.ndjson";
+  RunnerOptions one;
+  one.jobs = 1;
+  one.flowsNdjsonPath = p1;  // implies collectFlows
+  RunnerOptions four;
+  four.jobs = 4;
+  four.flowsNdjsonPath = p4;
+
+  runSweep(spec, scenario, one);
+  runSweep(spec, scenario, four);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string t1 = slurp(p1);
+  const std::string t4 = slurp(p4);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t4);
+
+  // The concatenation is one meta line per run, in point index order.
+  std::size_t metaLines = 0;
+  std::istringstream lines(t1);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::JsonValue::parse(line);
+    ASSERT_TRUE(doc.has_value());
+    if (doc->find("type")->str == "meta") ++metaLines;
+  }
+  EXPECT_EQ(metaLines, spec.size());
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
 }
 
 TEST(Runner, OnRunDoneFiresOncePerPoint) {

@@ -20,6 +20,7 @@
 #include "fault/plan.hpp"
 #include "harness/experiment.hpp"
 #include "harness/overrides.hpp"
+#include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_summary.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +51,7 @@ struct Options {
   std::string csvPath;
   std::string metricsJsonPath;
   std::string traceJsonPath;
+  std::string flowsJsonPath;
   std::string logLevel = "none";
   bool classicTcp = false;
   bool audit = false;
@@ -161,6 +163,7 @@ bool applyKey(Options* opt, const std::string& key,
   else if (key == "csv") opt->csvPath = value;
   else if (key == "metrics-json") opt->metricsJsonPath = value;
   else if (key == "trace-json") opt->traceJsonPath = value;
+  else if (key == "flows-json") opt->flowsJsonPath = value;
   else if (key == "log-level") {
     if (!parseLogLevel(value).has_value()) return false;
     opt->logLevel = value;
@@ -220,6 +223,9 @@ void usage() {
       "  --metrics-json PATH  write counters/gauges/histograms/series as JSON\n"
       "  --trace-json PATH    write a Chrome trace-event JSON (open in\n"
       "                       Perfetto / chrome://tracing)\n"
+      "  --flows-json PATH    write per-flow telemetry (FlowProbe records\n"
+      "                       and the path-utilization matrix) as NDJSON;\n"
+      "                       analyze with tlbsim_flows\n"
       "  --log-level LEVEL    stderr logging: error|warn|info|debug\n"
       "                       (default: none)\n"
       "  --fault SPEC         link-fault schedule, repeatable; SPEC is\n"
@@ -275,7 +281,7 @@ bool parse(int argc, char** argv, Options* opt) {
           "--leaves",  "--spines",         "--hosts-per-leaf",
           "--rate-gbps", "--rtt-us",       "--buffer",    "--ecn-k",
           "--seed",    "--csv",            "--metrics-json",
-          "--trace-json", "--log-level"};
+          "--trace-json", "--flows-json",  "--log-level"};
       bool known = false;
       for (const char* flag : kValueFlags) {
         if (arg == flag) {
@@ -310,6 +316,8 @@ struct SweepOptions {
   std::vector<std::string> sets;  // base-config overrides
   bool audit = false;
   bool collectMetrics = false;
+  bool collectFlows = false;
+  std::string flowsJsonPath;
 };
 
 void sweepUsage() {
@@ -326,6 +334,13 @@ void sweepUsage() {
       "  --flows N            flows per run (default 300)\n"
       "  --sweep-seed N       re-randomizes every derived run seed\n"
       "  --metrics            collect per-run obs counters into the report\n"
+      "  --flow-stats         fold per-run flow-telemetry summaries\n"
+      "                       (reorder rate, path churn, ...) into the\n"
+      "                       report\n"
+      "  --flows-json PATH    implies --flow-stats; additionally write\n"
+      "                       run's per-flow records to one NDJSON file\n"
+      "                       (point index order; analyze with\n"
+      "                       tlbsim_flows)\n"
       "  --audit              run the invariant audit in every run\n"
       "  --list-overrides     print --set keys and exit\n");
 }
@@ -362,6 +377,12 @@ bool parseSweepArgs(int argc, char** argv, SweepOptions* opt) {
       std::exit(0);
     } else if (arg == "--metrics") {
       opt->collectMetrics = true;
+    } else if (arg == "--flow-stats") {
+      opt->collectFlows = true;
+    } else if (arg == "--flows-json") {
+      const char* v = next("--flows-json");
+      if (v == nullptr) return false;
+      opt->flowsJsonPath = v;
     } else if (arg == "--audit") {
       opt->audit = true;
     } else if (arg == "--schemes") {
@@ -486,6 +507,8 @@ int sweepMain(int argc, char** argv) {
   runner::RunnerOptions ropt;
   ropt.jobs = opt.jobs;
   ropt.collectMetrics = opt.collectMetrics;
+  ropt.collectFlows = opt.collectFlows;
+  ropt.flowsNdjsonPath = opt.flowsJsonPath;
   ropt.onRunDone = [](const runner::SweepPoint& pt,
                       const harness::ExperimentResult& res) {
     std::printf("  done %-40s afct=%.3fms p99=%.3fms\n", pt.label().c_str(),
@@ -527,6 +550,9 @@ int sweepMain(int argc, char** argv) {
     }
     std::printf("sweep JSON written to %s\n", opt.jsonPath.c_str());
   }
+  if (!opt.flowsJsonPath.empty()) {
+    std::printf("flows NDJSON written to %s\n", opt.flowsJsonPath.c_str());
+  }
 
   bool auditFailed = false;
   for (const auto& run : report.runs) {
@@ -551,14 +577,17 @@ int main(int argc, char** argv) {
   if (!validate(opt)) return 1;
   Logger::setLevel(*parseLogLevel(opt.logLevel));
 
-  // Observability is pay-for-what-you-ask: the registry and trace only
-  // exist (and the hot paths only record) when an output path was given.
+  // Observability is pay-for-what-you-ask: the registry, trace, and flow
+  // probe only exist (and the hot paths only record) when an output path
+  // was given.
   obs::MetricsRegistry metrics;
   obs::EventTrace trace;
+  obs::FlowProbe flows;
 
   harness::ExperimentConfig cfg;
   if (!opt.metricsJsonPath.empty()) cfg.sinks.metrics = &metrics;
   if (!opt.traceJsonPath.empty()) cfg.sinks.trace = &trace;
+  if (!opt.flowsJsonPath.empty()) cfg.sinks.flows = &flows;
   cfg.topo.numLeaves = opt.leaves;
   cfg.topo.numSpines = opt.spines;
   cfg.topo.hostsPerLeaf = opt.hostsPerLeaf;
@@ -662,6 +691,23 @@ int main(int argc, char** argv) {
     if (trace.eventsNotStored() > 0) {
       std::printf("  note: %zu further trace events hit the cap\n",
                   trace.eventsNotStored());
+    }
+  }
+  if (!opt.flowsJsonPath.empty()) {
+    if (!flows.writeNdjsonFile(
+            opt.flowsJsonPath,
+            {{"scheme", harness::schemeCliName(opt.scheme)},
+             {"workload", opt.workload},
+             {"seed", std::to_string(opt.seed)}})) {
+      std::fprintf(stderr, "cannot write flows NDJSON '%s'\n",
+                   opt.flowsJsonPath.c_str());
+      return 1;
+    }
+    std::printf("flows NDJSON written to %s (%zu flows)\n",
+                opt.flowsJsonPath.c_str(), flows.flowCount());
+    if (flows.flowsNotTracked() > 0) {
+      std::printf("  note: %zu further flows hit the probe cap\n",
+                  flows.flowsNotTracked());
     }
   }
   if (res.auditViolations > 0) {

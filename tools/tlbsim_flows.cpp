@@ -1,0 +1,470 @@
+// tlbsim_flows: offline analyzer for the per-flow telemetry NDJSON that
+// tlbsim_cli --flows-json (and the bench binaries) emit. Works from the
+// file alone — no simulator state — and reproduces the ledger's headline
+// numbers (short/long AFCT, p50, p99) from the flow records, which is what
+// the CI flows-smoke job cross-checks.
+//
+//   $ tlbsim_cli --scheme tlb --flows 300 --flows-json flows.ndjson
+//   $ tlbsim_flows flows.ndjson
+//   $ tlbsim_flows --top 10 --json summary.json sweep_flows.ndjson
+//
+// The NDJSON is a sequence of groups: a {"type":"meta",...} line naming
+// the run (scheme, seed, sweep point), then one {"type":"flow",...} line
+// per flow, then a {"type":"path_matrix",...} line. A sweep file simply
+// concatenates groups in point index order.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flow_probe.hpp"
+#include "obs/json.hpp"
+#include "util/summary_stats.hpp"
+
+using namespace tlbsim;
+
+namespace {
+
+/// One flow line, reduced to what the reports need.
+struct Flow {
+  std::uint64_t id = 0;
+  std::int64_t size = 0;
+  bool isShort = false;
+  bool completed = false;
+  double fctSec = 0.0;
+  std::uint64_t dataPackets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t ooo = 0;
+  std::uint64_t oooPathChange = 0;
+  std::uint64_t oooLoss = 0;
+  std::uint64_t pathChanges = 0;
+  /// Decision timeline as [kind, t_s, a0, a1] rows, already in time order.
+  std::vector<std::array<double, 4>> decisions;
+  std::uint64_t decisionsNotStored = 0;
+};
+
+/// One meta..path_matrix block of the NDJSON file.
+struct Group {
+  std::vector<std::pair<std::string, std::string>> meta;  ///< sans schema keys
+  std::vector<std::string> decisionKinds;  ///< index -> stable name
+  std::uint64_t flowsNotTracked = 0;
+  std::vector<Flow> flows;
+  double matrixMaxImbalance = 0.0;
+  double matrixMeanImbalance = 0.0;
+  bool sawMatrix = false;
+
+  std::string label() const {
+    std::string out;
+    for (const auto& [k, v] : meta) {
+      if (!out.empty()) out += ' ';
+      out += k + "=" + v;
+    }
+    return out.empty() ? std::string("(unnamed run)") : out;
+  }
+};
+
+double num(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->isNumber() ? v->number : 0.0;
+}
+
+std::uint64_t u64(const obs::JsonValue& obj, const char* key) {
+  return static_cast<std::uint64_t>(num(obj, key));
+}
+
+bool boolean(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == obs::JsonValue::Type::kBool && v->boolean;
+}
+
+bool parseFlowLine(const obs::JsonValue& obj, Flow* f) {
+  f->id = u64(obj, "id");
+  f->size = static_cast<std::int64_t>(num(obj, "size"));
+  f->isShort = boolean(obj, "short");
+  f->completed = boolean(obj, "completed");
+  f->fctSec = num(obj, "fct_s");
+  f->dataPackets = u64(obj, "data_packets");
+  f->retransmits = u64(obj, "retransmits");
+  f->ooo = u64(obj, "ooo");
+  f->oooPathChange = u64(obj, "ooo_path_change");
+  f->oooLoss = u64(obj, "ooo_loss");
+  f->pathChanges = u64(obj, "path_changes");
+  f->decisionsNotStored = u64(obj, "decisions_not_stored");
+  if (const obs::JsonValue* d = obj.find("decisions");
+      d != nullptr && d->isArray()) {
+    for (const obs::JsonValue& row : d->items) {
+      if (!row.isArray() || row.items.size() != 4) return false;
+      std::array<double, 4> ev{};
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (!row.items[i].isNumber()) return false;
+        ev[i] = row.items[i].number;
+      }
+      f->decisions.push_back(ev);
+    }
+  }
+  return true;
+}
+
+bool parseFile(const std::string& path, std::vector<Group>* groups) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    const auto parsed = obs::JsonValue::parse(line);
+    if (!parsed.has_value() || !parsed->isObject()) {
+      std::fprintf(stderr, "%s:%zu: not a JSON object\n", path.c_str(),
+                   lineNo);
+      return false;
+    }
+    const obs::JsonValue* type = parsed->find("type");
+    const std::string kind = type != nullptr && type->isString() ? type->str
+                                                                 : "";
+    if (kind == "meta") {
+      Group g;
+      for (const auto& [key, value] : parsed->members) {
+        if (key == "type" || key == "decision_kinds" ||
+            key == "flows_not_tracked") {
+          continue;
+        }
+        if (value.isString()) g.meta.emplace_back(key, value.str);
+      }
+      if (const obs::JsonValue* kinds = parsed->find("decision_kinds");
+          kinds != nullptr && kinds->isArray()) {
+        for (const obs::JsonValue& name : kinds->items) {
+          if (name.isString()) g.decisionKinds.push_back(name.str);
+        }
+      }
+      g.flowsNotTracked = u64(*parsed, "flows_not_tracked");
+      groups->push_back(std::move(g));
+    } else if (kind == "flow") {
+      if (groups->empty()) groups->emplace_back();
+      Flow f;
+      if (!parseFlowLine(*parsed, &f)) {
+        std::fprintf(stderr, "%s:%zu: malformed flow record\n", path.c_str(),
+                     lineNo);
+        return false;
+      }
+      groups->back().flows.push_back(std::move(f));
+    } else if (kind == "path_matrix") {
+      if (groups->empty()) groups->emplace_back();
+      Group& g = groups->back();
+      if (const obs::JsonValue* m = parsed->find("matrix");
+          m != nullptr && m->isObject()) {
+        g.matrixMaxImbalance = num(*m, "max_imbalance");
+        g.matrixMeanImbalance = num(*m, "mean_imbalance");
+        g.sawMatrix = true;
+      }
+    } else {
+      std::fprintf(stderr, "%s:%zu: unknown record type '%s'\n", path.c_str(),
+                   lineNo, kind.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Completed-FCT stats of one flow class, mirroring FlowLedger's math
+/// (arithmetic mean; interpolated percentile over order statistics) so the
+/// analyzer reproduces the ledger's numbers bit-for-bit.
+struct ClassStats {
+  std::size_t count = 0;      ///< flows of the class, completed or not
+  std::size_t completed = 0;
+  double afctSec = 0.0;
+  double p50Sec = 0.0;
+  double p99Sec = 0.0;
+  double medianSec = 0.0;  ///< slowdown baseline for worst-flow ranking
+};
+
+ClassStats classStats(const std::vector<Flow>& flows, bool wantShort) {
+  ClassStats out;
+  RunningStats mean;
+  SampleSet fct;
+  for (const Flow& f : flows) {
+    if (f.isShort != wantShort) continue;
+    ++out.count;
+    if (!f.completed) continue;
+    ++out.completed;
+    mean.add(f.fctSec);
+    fct.add(f.fctSec);
+  }
+  out.afctSec = mean.mean();
+  out.p50Sec = fct.percentile(50.0);
+  out.p99Sec = fct.percentile(99.0);
+  out.medianSec = out.p50Sec;
+  return out;
+}
+
+const char* kindName(const Group& g, int kind) {
+  if (kind >= 0 && static_cast<std::size_t>(kind) < g.decisionKinds.size()) {
+    return g.decisionKinds[static_cast<std::size_t>(kind)].c_str();
+  }
+  // File written by a newer/older schema: fall back to this binary's table.
+  return obs::decisionKindName(static_cast<obs::DecisionKind>(kind));
+}
+
+void printTimeline(const Group& g, const Flow& f) {
+  for (const auto& ev : f.decisions) {
+    const int kind = static_cast<int>(ev[0]);
+    std::printf("      %9.3fms  %-18s ", ev[1] * 1e3, kindName(g, kind));
+    // The scalar pair is kind-specific; the numeric kinds are
+    // schema-stable (see obs::DecisionKind).
+    switch (kind) {
+      case 0:  // reclassify_long
+        std::printf("q_th=%gB queue=%gB\n", ev[2], ev[3]);
+        break;
+      case 1:  // long_reroute
+      case 2:  // new_flowlet
+      case 3:  // cautious_reroute
+      case 4:  // granularity_switch
+        std::printf("path %g->%g\n", ev[2], ev[3]);
+        break;
+      case 5:  // fault_reroute
+        std::printf("spine=%g delay=%gs\n", ev[2], ev[3]);
+        break;
+      default:  // newer schema than this binary: raw scalars
+        std::printf("a0=%g a1=%g\n", ev[2], ev[3]);
+        break;
+    }
+  }
+  if (f.decisionsNotStored > 0) {
+    std::printf("      ... %llu further decision(s) hit the per-flow cap\n",
+                static_cast<unsigned long long>(f.decisionsNotStored));
+  }
+}
+
+void printGroup(const Group& g, int topN) {
+  const ClassStats s = classStats(g.flows, /*wantShort=*/true);
+  const ClassStats l = classStats(g.flows, /*wantShort=*/false);
+
+  std::uint64_t dataPackets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t ooo = 0;
+  std::uint64_t oooPath = 0;
+  std::uint64_t oooLoss = 0;
+  std::uint64_t pathChanges = 0;
+  std::map<std::string, std::uint64_t> decisionCounts;
+  for (const Flow& f : g.flows) {
+    dataPackets += f.dataPackets;
+    retransmits += f.retransmits;
+    ooo += f.ooo;
+    oooPath += f.oooPathChange;
+    oooLoss += f.oooLoss;
+    pathChanges += f.pathChanges;
+    for (const auto& ev : f.decisions) {
+      ++decisionCounts[kindName(g, static_cast<int>(ev[0]))];
+    }
+  }
+  const double reorderRate =
+      dataPackets > 0 ? static_cast<double>(ooo) /
+                            static_cast<double>(dataPackets)
+                      : 0.0;
+  const double churn =
+      g.flows.empty() ? 0.0
+                      : static_cast<double>(pathChanges) /
+                            static_cast<double>(g.flows.size());
+
+  std::printf("== %s ==\n", g.label().c_str());
+  std::printf("  flows: %zu tracked", g.flows.size());
+  if (g.flowsNotTracked > 0) {
+    std::printf(" (+%llu untracked past the probe cap)",
+                static_cast<unsigned long long>(g.flowsNotTracked));
+  }
+  std::printf("\n");
+  std::printf("  short: %zu/%zu completed  afct=%.3fms  p50=%.3fms"
+              "  p99=%.3fms\n",
+              s.completed, s.count, s.afctSec * 1e3, s.p50Sec * 1e3,
+              s.p99Sec * 1e3);
+  std::printf("  long:  %zu/%zu completed  afct=%.3fms  p50=%.3fms"
+              "  p99=%.3fms\n",
+              l.completed, l.count, l.afctSec * 1e3, l.p50Sec * 1e3,
+              l.p99Sec * 1e3);
+  std::printf("  reorder rate: %.4f (%llu ooo / %llu data pkts;"
+              " %llu path-change, %llu loss)\n",
+              reorderRate, static_cast<unsigned long long>(ooo),
+              static_cast<unsigned long long>(dataPackets),
+              static_cast<unsigned long long>(oooPath),
+              static_cast<unsigned long long>(oooLoss));
+  std::printf("  path churn: %.2f changes/flow  retransmits: %llu\n", churn,
+              static_cast<unsigned long long>(retransmits));
+  if (!decisionCounts.empty()) {
+    std::printf("  decisions:");
+    for (const auto& [name, count] : decisionCounts) {
+      std::printf(" %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+  if (g.sawMatrix) {
+    std::printf("  path matrix imbalance: max=%.3f mean=%.3f\n",
+                g.matrixMaxImbalance, g.matrixMeanImbalance);
+  }
+
+  if (topN <= 0) return;
+  // Worst completed flows by slowdown relative to their class median, the
+  // shape Fig. 7's tail analysis cares about.
+  std::vector<const Flow*> completedFlows;
+  for (const Flow& f : g.flows) {
+    if (f.completed) completedFlows.push_back(&f);
+  }
+  const auto slowdown = [&](const Flow& f) {
+    const double base = f.isShort ? s.medianSec : l.medianSec;
+    return base > 0.0 ? f.fctSec / base : 0.0;
+  };
+  std::sort(completedFlows.begin(), completedFlows.end(),
+            [&](const Flow* a, const Flow* b) {
+              const double sa = slowdown(*a);
+              const double sb = slowdown(*b);
+              if (sa != sb) return sa > sb;
+              return a->id < b->id;  // deterministic tie-break
+            });
+  const std::size_t n =
+      std::min<std::size_t>(completedFlows.size(),
+                            static_cast<std::size_t>(topN));
+  if (n == 0) return;
+  std::printf("  worst %zu flow(s) by slowdown vs class median:\n", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Flow& f = *completedFlows[i];
+    std::printf("    #%llu %s size=%lld fct=%.3fms slowdown=%.2fx"
+                " ooo=%llu path_changes=%llu\n",
+                static_cast<unsigned long long>(f.id),
+                f.isShort ? "short" : "long",
+                static_cast<long long>(f.size), f.fctSec * 1e3, slowdown(f),
+                static_cast<unsigned long long>(f.ooo),
+                static_cast<unsigned long long>(f.pathChanges));
+    printTimeline(g, f);
+  }
+}
+
+/// Machine-readable per-group summary (the CI job diffs these numbers
+/// against the run's own summary JSON).
+std::string groupsJson(const std::vector<Group>& groups) {
+  std::string out = "{\"groups\": [";
+  bool firstGroup = true;
+  for (const Group& g : groups) {
+    if (!firstGroup) out += ", ";
+    firstGroup = false;
+    const ClassStats s = classStats(g.flows, /*wantShort=*/true);
+    const ClassStats l = classStats(g.flows, /*wantShort=*/false);
+    std::uint64_t dataPackets = 0;
+    std::uint64_t ooo = 0;
+    std::uint64_t pathChanges = 0;
+    for (const Flow& f : g.flows) {
+      dataPackets += f.dataPackets;
+      ooo += f.ooo;
+      pathChanges += f.pathChanges;
+    }
+    out += "{\"meta\": {";
+    bool firstMeta = true;
+    for (const auto& [k, v] : g.meta) {
+      if (!firstMeta) out += ", ";
+      firstMeta = false;
+      out += "\"" + obs::jsonEscape(k) + "\": \"" + obs::jsonEscape(v) + "\"";
+    }
+    out += "}, \"flows\": " + std::to_string(g.flows.size());
+    out += ", \"short_completed\": " + std::to_string(s.completed);
+    out += ", \"short_afct_ms\": " + obs::jsonNumber(s.afctSec * 1e3);
+    out += ", \"short_p99_ms\": " + obs::jsonNumber(s.p99Sec * 1e3);
+    out += ", \"long_completed\": " + std::to_string(l.completed);
+    out += ", \"long_afct_ms\": " + obs::jsonNumber(l.afctSec * 1e3);
+    out += ", \"reorder_rate\": " +
+           obs::jsonNumber(dataPackets > 0
+                               ? static_cast<double>(ooo) /
+                                     static_cast<double>(dataPackets)
+                               : 0.0);
+    out += ", \"path_churn\": " +
+           obs::jsonNumber(g.flows.empty()
+                               ? 0.0
+                               : static_cast<double>(pathChanges) /
+                                     static_cast<double>(g.flows.size()));
+    out += ", \"matrix_max_imbalance\": " +
+           obs::jsonNumber(g.matrixMaxImbalance);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage: tlbsim_flows [options] FILE [FILE...]\n"
+      "analyze per-flow telemetry NDJSON written by tlbsim_cli"
+      " --flows-json\n"
+      "  --top N      worst-flow decision timelines per run (default 5,\n"
+      "               0 disables)\n"
+      "  --json PATH  also write a machine-readable per-run summary JSON\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int topN = 5;
+  std::string jsonPath;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --top\n");
+        return 1;
+      }
+      char* end = nullptr;
+      topN = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == nullptr || *end != '\0' || topN < 0) {
+        std::fprintf(stderr, "bad value '%s' for --top\n", argv[i]);
+        return 1;
+      }
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --json\n");
+        return 1;
+      }
+      jsonPath = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no input files\n");
+    usage();
+    return 1;
+  }
+
+  std::vector<Group> groups;
+  for (const std::string& path : files) {
+    if (!parseFile(path, &groups)) return 1;
+  }
+  for (const Group& g : groups) printGroup(g, topN);
+
+  if (!jsonPath.empty()) {
+    const std::string json = groupsJson(groups);
+    std::FILE* f = std::fopen(jsonPath.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("summary JSON written to %s\n", jsonPath.c_str());
+  }
+  return 0;
+}

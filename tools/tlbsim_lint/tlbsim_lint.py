@@ -45,6 +45,15 @@ fault-mutation
     declarative (seed-deterministic) FaultPlan. Route faults through an
     ExperimentConfig's FaultPlan instead.
 
+flowprobe-mutation
+    FlowProbe state may only be mutated at the instrumented decision
+    sites: declareFlow()/finishFlow() belong to the harness's flow
+    lifecycle, onUplinkForward() to the leaf switch, onRetransmit()/
+    onOutOfOrder() to the transport, and onDecision() to the
+    load-balancer decision points (TLB core, lb/ selectors, fault
+    monitor). A mutation anywhere else would fabricate telemetry the
+    tlbsim_flows analyzer then reports as a real decision.
+
 Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line,
 or place it as a comment-only line directly above (for lines that would
 overflow the 80-column format limit otherwise).
@@ -75,6 +84,22 @@ SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
 
 FAULT_MUTATION_RE = re.compile(
     r"\bfault(Down|Up|SetRateFactor|SetDelayFactor|SetDropProb)\s*\(")
+
+FLOWPROBE_MUTATION_RE = re.compile(
+    r"\b(declareFlow|finishFlow|onUplinkForward|onRetransmit"
+    r"|onOutOfOrder|onDecision)\s*\(")
+
+# The instrumented decision sites: the only code allowed to feed the
+# FlowProbe (plus the probe's own implementation).
+FLOWPROBE_AUTHORITY_DIRS = (("src", "obs"), ("src", "lb"),
+                            ("src", "harness"))
+FLOWPROBE_AUTHORITY_FILES = (
+    "src/core/tlb.cpp",
+    "src/net/switch.cpp",
+    "src/transport/tcp_sender.cpp",
+    "src/transport/tcp_receiver.cpp",
+    "src/fault/monitor.cpp",
+)
 
 DIRECT_EXPERIMENT_RE = re.compile(
     r"\b(runExperiment|summarizeExperiment)\s*\("
@@ -177,6 +202,9 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
     is_fault_authority = (
         rel.parts[:2] == ("src", "fault")
         or rel.as_posix() in ("src/net/link.hpp", "src/net/link.cpp"))
+    is_flowprobe_authority = (
+        rel.parts[:2] in FLOWPROBE_AUTHORITY_DIRS
+        or rel.as_posix() in FLOWPROBE_AUTHORITY_FILES)
     lines = text.splitlines()
 
     in_block_comment = False
@@ -246,6 +274,16 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                     f"direct fault{m.group(1)}() call outside src/fault/; "
                     "schedule it through a FaultPlan so the injector, "
                     "monitor, and trace stay consistent"))
+
+        # --- flowprobe-mutation ---------------------------------------
+        if not is_flowprobe_authority:
+            m = FLOWPROBE_MUTATION_RE.search(code)
+            if m and not allowed(raw, "flowprobe-mutation", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "flowprobe-mutation",
+                    f"{m.group(1)}() call outside the instrumented "
+                    "decision sites; FlowProbe telemetry must come from "
+                    "the switch/transport/LB hooks it describes"))
 
         # --- bench-direct-experiment ----------------------------------
         if in_bench:
