@@ -16,23 +16,23 @@ int main(int argc, char** argv) {
   std::printf("Ablation: short/long classification threshold\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(30 * kMB);
-  const std::vector<Bytes> thresholds =
-      args.full ? std::vector<Bytes>{25 * kKB, 50 * kKB, 100 * kKB, 200 * kKB,
+  const std::vector<ByteCount> thresholds =
+      args.full ? std::vector<ByteCount>{25 * kKB, 50 * kKB, 100 * kKB, 200 * kKB,
                                      400 * kKB, 1 * kMB}
-                : std::vector<Bytes>{50 * kKB, 100 * kKB, 400 * kKB};
+                : std::vector<ByteCount>{50 * kKB, 100 * kKB, 400 * kKB};
 
   runner::SweepSpec spec;
   spec.schemes = {harness::Scheme::kTlb};
   spec.loads = {0.6};
   spec.seeds = bench::seedAxis(args.seed, 3);
   spec.sweepSeed = args.seed;
-  for (const Bytes th : thresholds) {
+  for (const ByteCount th : thresholds) {
     runner::Variant v;
-    v.label = stats::fmt(static_cast<double>(th) / 1e3, 0) + "KB";
+    v.label = stats::fmt(static_cast<double>(th.bytes()) / 1e3, 0) + "KB";
     // Reporting classes stay at the paper's 100 KB for comparability; the
     // override only moves TLB's internal reclassification point.
     v.overrides = {"tlb.short-threshold-bytes=" +
-                   std::to_string(static_cast<long long>(th))};
+                   std::to_string(static_cast<long long>(th.bytes()))};
     spec.variants.push_back(std::move(v));
   }
 
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     const runner::PointAggregate* agg =
         report.find(harness::Scheme::kTlb, spec.variants[i].label);
     if (agg == nullptr) continue;
-    t.addRow(stats::fmt(static_cast<double>(thresholds[i]) / 1e3, 0),
+    t.addRow(stats::fmt(static_cast<double>(thresholds[i].bytes()) / 1e3, 0),
              {agg->mean("short_afct_ms"), agg->mean("short_p99_ms"),
               agg->mean("deadline_miss_ratio") * 100.0,
               agg->mean("long_goodput_gbps") * 1e3},

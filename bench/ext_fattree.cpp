@@ -33,7 +33,7 @@ harness::FatTreeExperimentConfig makeConfig(harness::Scheme scheme,
     f.size = 5 * kMB;
     cfg.flows.push_back(f);
   }
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < (full ? 400 : 80); ++i) {
     t += microseconds(rng.uniform(30, 250));
     transport::FlowSpec f;
@@ -44,7 +44,8 @@ harness::FatTreeExperimentConfig makeConfig(harness::Scheme scheme,
       f.dst = static_cast<net::HostId>(rng.uniformInt(
           static_cast<std::uint64_t>(hosts)));
     } while (f.dst / hostsPerPod == f.src / hostsPerPod);
-    f.size = rng.uniformInt(10 * kKB, 95 * kKB);
+    f.size = ByteCount::fromBytes(
+        rng.uniformInt((10 * kKB).bytes(), (95 * kKB).bytes()));
     f.start = t;
     f.deadline = milliseconds(25);
     cfg.flows.push_back(f);

@@ -60,7 +60,7 @@ model::ModelParams modelParams(const Point& pt) {
 /// grow to the threshold being searched (with DCTCP marking at K=65 the
 /// queue never exceeds ~65 packets and larger thresholds would never
 /// trigger).
-double shortAfctAt(const Point& pt, Bytes qth) {
+double shortAfctAt(const Point& pt, ByteCount qth) {
   auto cfg = bench::basicSetup(harness::Scheme::kTlb, /*buffer=*/512);
   cfg.topo.numSpines = pt.n;
   cfg.topo.ecnThresholdPackets = 0;
@@ -94,25 +94,25 @@ double shortAfctAt(const Point& pt, Bytes qth) {
   return res.shortAfctSec();
 }
 
-bool meetsDeadline(const Point& pt, Bytes qth) {
+bool meetsDeadline(const Point& pt, ByteCount qth) {
   return shortAfctAt(pt, qth) <= toSeconds(pt.deadline);
 }
 
 /// Binary-search the minimal deadline-meeting threshold (1500 B packets).
 double simulatedQthPackets(const Point& pt) {
-  const Bytes cap = 512 * 1500;
-  if (!meetsDeadline(pt, cap)) return static_cast<double>(cap) / 1500.0;
-  Bytes lo = 0, hi = cap;
-  if (meetsDeadline(pt, 0)) return 0.0;
-  while (hi - lo > 15000) {  // ~10-packet resolution
-    const Bytes mid = (lo + hi) / 2;
+  const ByteCount cap = 512 * 1500_B;
+  if (!meetsDeadline(pt, cap)) return static_cast<double>(cap.bytes()) / 1500.0;
+  ByteCount lo = 0_B, hi = cap;
+  if (meetsDeadline(pt, 0_B)) return 0.0;
+  while (hi - lo > 15000_B) {  // ~10-packet resolution
+    const ByteCount mid = (lo + hi) / 2;
     if (meetsDeadline(pt, mid)) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
-  return static_cast<double>(hi) / 1500.0;
+  return static_cast<double>(hi.bytes()) / 1500.0;
 }
 
 double modelQthPackets(const Point& pt) {
@@ -128,8 +128,8 @@ void sweep(const char* title, const char* xlabel,
   for (const auto& [x, pt] : points) {
     const double modelQ = modelQthPackets(pt);
     const double afctModel =
-        shortAfctAt(pt, static_cast<Bytes>(modelQ * 1500.0)) * 1e3;
-    const double afct0 = shortAfctAt(pt, 0) * 1e3;
+        shortAfctAt(pt, ByteCount::fromBytes(modelQ * 1500.0)) * 1e3;
+    const double afct0 = shortAfctAt(pt, 0_B) * 1e3;
     const double D = toMilliseconds(pt.deadline);
     std::vector<std::string> row{
         stats::fmt(x, 1),           stats::fmt(modelQ, 1),

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   std::printf("Figure 10: web-search workload, load sweep\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(
-      args.full ? 0 : 30 * kMB);
+      args.full ? 0_B : 30 * kMB);
   const int flowCount = args.full ? 2000 : 240;
 
   runner::SweepSpec spec;

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   std::printf("Figure 12: deadline-agnostic TLB (web search)\n");
 
   const auto dist = workload::FlowSizeDistribution::webSearch(
-      full ? 0 : 30 * kMB);
+      full ? 0_B : 30 * kMB);
   const std::vector<double> loads =
       full ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
            : std::vector<double>{0.2, 0.4, 0.6, 0.8};

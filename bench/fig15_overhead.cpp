@@ -34,7 +34,7 @@ namespace {
 net::UplinkView makeView(int n) {
   net::UplinkView v;
   for (int i = 0; i < n; ++i) {
-    v.push_back(net::PortView{i, i % 7, static_cast<Bytes>(i % 7) * 1500});
+    v.push_back(net::PortView{i, i % 7, ByteCount::fromBytes(i % 7) * 1500});
   }
   return v;
 }
@@ -43,8 +43,8 @@ net::Packet dataPacket(FlowId flow) {
   net::Packet p;
   p.flow = flow;
   p.type = net::PacketType::kData;
-  p.payload = 1460;
-  p.size = 1500;
+  p.payload = 1460_B;
+  p.size = 1500_B;
   return p;
 }
 
@@ -101,7 +101,7 @@ void BM_TlbControlTick(benchmark::State& state) {
   for (FlowId f = 0; f < 200; ++f) {
     net::Packet syn = dataPacket(f);
     syn.type = net::PacketType::kSyn;
-    syn.payload = 0;
+    syn.payload = 0_B;
     tlb.selectUplink(syn, view);
   }
   for (auto _ : state) {
@@ -146,7 +146,7 @@ void BM_TlbFlowProbeOn(benchmark::State& state) {
   tlb.setFlowProbe(&probe);
   for (FlowId f = 0; f < 64; ++f) {
     // tlbsim-lint: allow(flowprobe-mutation)
-    probe.declareFlow(f, 0, 1, 1 * kMB, 0, /*isShort=*/false);
+    probe.declareFlow(f, 0, 1, 1 * kMB, 0_ns, /*isShort=*/false);
   }
   const auto view = makeView(15);
   FlowId flow = 0;
@@ -225,7 +225,7 @@ void printStateFootprint() {
   std::printf("%-10s %-40s\n", "RPS", "RNG state only (32 B)");
   std::printf("%-10s %-40s\n", "DRILL", "RNG + 1 remembered port (~40 B)");
   std::printf("%-10s bytes/flow=%zu (byte counter + cell index)\n", "Presto",
-              sizeof(Bytes) * 2 + sizeof(FlowId));
+              sizeof(ByteCount) * 2 + sizeof(FlowId));
   std::printf("%-10s bytes/flow=%zu (port + last-seen timestamp)\n",
               "LetFlow", sizeof(int) + sizeof(SimTime) + sizeof(FlowId));
   std::printf("%-10s bytes/flow=%zu (FlowEntry) + calculator constants\n",

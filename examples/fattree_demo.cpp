@@ -62,10 +62,10 @@ RunResult run(harness::Scheme scheme, std::uint64_t seed) {
     f.src = static_cast<net::HostId>(i);            // pod 0
     f.dst = static_cast<net::HostId>(8 + i);        // pod 2
     f.size = 5 * kMB;
-    f.start = 0;
+    f.start = 0_ns;
     flows.push_back(f);
   }
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < 40; ++i) {
     t += microseconds(rng.uniform(50, 350));
     transport::FlowSpec f;
@@ -110,7 +110,7 @@ RunResult run(harness::Scheme scheme, std::uint64_t seed) {
       shortSum += toMilliseconds(s->fct());
       ++shortN;
     } else {
-      longSum += static_cast<double>(s->flow().size) * 8.0 /
+      longSum += static_cast<double>(s->flow().size.bytes()) * 8.0 /
                  toSeconds(s->fct()) / 1e6;
       ++longN;
     }

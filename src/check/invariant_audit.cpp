@@ -26,13 +26,13 @@ void InvariantAuditor::watchSwitch(const net::Switch& sw) {
   switches_.push_back(&sw);
 }
 
-void InvariantAuditor::watchTlb(const core::Tlb& tlb, Bytes qthCapBytes) {
+void InvariantAuditor::watchTlb(const core::Tlb& tlb, ByteCount qthCapBytes) {
   tlbs_.push_back(WatchedTlb{&tlb, qthCapBytes});
 }
 
 void InvariantAuditor::watchFlow(const transport::TcpSender& sender,
                                  const transport::TcpReceiver& receiver,
-                                 Bytes mss) {
+                                 ByteCount mss) {
   flows_.push_back(WatchedFlow{&sender, &receiver, mss});
 }
 
@@ -80,7 +80,7 @@ void InvariantAuditor::report(SimTime now, const char* fmt, ...) {
   }
   if (cfg_.assertOnViolation) {
     fail(__FILE__, __LINE__, "invariant audit", "t=%lldns %s",
-         static_cast<long long>(now), buf);
+         static_cast<long long>(now.ns()), buf);
   }
 }
 
@@ -90,8 +90,8 @@ void InvariantAuditor::auditNow(SimTime now) {
   ++checksRun_;
   if (now < lastAuditTime_) {
     report(now, "time regressed: audit at %lld after one at %lld",
-           static_cast<long long>(now),
-           static_cast<long long>(lastAuditTime_));
+           static_cast<long long>(now.ns()),
+           static_cast<long long>(lastAuditTime_.ns()));
   }
   lastAuditTime_ = now;
 
@@ -109,15 +109,15 @@ void InvariantAuditor::auditLinks(SimTime now) {
 
     // Byte accounting: the incremental depth counter must equal a
     // from-scratch sum over the stored packets.
-    const Bytes recomputed = link.queue().recomputeBytes();
+    const ByteCount recomputed = link.queue().recomputeBytes();
     if (link.queueBytes() != recomputed) {
       report(now, "port %s: queue byte counter %lld != recomputed %lld",
-             w.label.c_str(), static_cast<long long>(link.queueBytes()),
-             static_cast<long long>(recomputed));
+             w.label.c_str(), static_cast<long long>(link.queueBytes().bytes()),
+             static_cast<long long>(recomputed.bytes()));
     }
-    if (link.queueBytes() < 0) {
+    if (link.queueBytes() < 0_B) {
       report(now, "port %s: negative queue depth %lld bytes",
-             w.label.c_str(), static_cast<long long>(link.queueBytes()));
+             w.label.c_str(), static_cast<long long>(link.queueBytes().bytes()));
     }
     if (link.queuePackets() > link.queue().config().capacityPackets) {
       report(now, "port %s: %d packets queued above capacity %d",
@@ -169,15 +169,15 @@ void InvariantAuditor::auditSwitches(SimTime now) {
 void InvariantAuditor::auditTlbs(SimTime now) {
   for (const auto& w : tlbs_) {
     ++checksRun_;
-    const Bytes qth = w.tlb->qthBytes();
-    if (qth < 0) {
+    const ByteCount qth = w.tlb->qthBytes();
+    if (qth < 0_B) {
       report(now, "tlb: q_th negative (%lld bytes)",
-             static_cast<long long>(qth));
+             static_cast<long long>(qth.bytes()));
     }
-    if (w.qthCapBytes > 0 && qth > w.qthCapBytes) {
+    if (w.qthCapBytes > 0_B && qth > w.qthCapBytes) {
       report(now, "tlb: q_th %lld bytes above admissible cap %lld",
-             static_cast<long long>(qth),
-             static_cast<long long>(w.qthCapBytes));
+             static_cast<long long>(qth.bytes()),
+             static_cast<long long>(w.qthCapBytes.bytes()));
     }
   }
 }
@@ -188,29 +188,29 @@ void InvariantAuditor::auditFlows(SimTime now) {
     const transport::TcpSender& snd = *w.sender;
     const transport::TcpReceiver& rcv = *w.receiver;
     const auto flowId = static_cast<unsigned long long>(snd.flow().id);
-    const Bytes size = snd.flow().size;
+    const ByteCount size = snd.flow().size;
 
     if (snd.bytesAcked() > snd.bytesSent()) {
       report(now, "flow %llu: snd_una %lld beyond snd_nxt %lld", flowId,
-             static_cast<long long>(snd.bytesAcked()),
-             static_cast<long long>(snd.bytesSent()));
+             static_cast<long long>(snd.bytesAcked().bytes()),
+             static_cast<long long>(snd.bytesSent().bytes()));
     }
     if (snd.bytesSent() > size) {
       report(now, "flow %llu: snd_nxt %lld beyond flow size %lld", flowId,
-             static_cast<long long>(snd.bytesSent()),
-             static_cast<long long>(size));
+             static_cast<long long>(snd.bytesSent().bytes()),
+             static_cast<long long>(size.bytes()));
     }
     // ACK information only flows from the receiver back, so the sender's
     // cumulative ack can lag the receiver's but never lead it.
-    if (static_cast<std::uint64_t>(snd.bytesAcked()) > rcv.cumulativeAck()) {
+    if (static_cast<std::uint64_t>(snd.bytesAcked().bytes()) > rcv.cumulativeAck()) {
       report(now, "flow %llu: sender acked %lld ahead of receiver's %llu",
-             flowId, static_cast<long long>(snd.bytesAcked()),
+             flowId, static_cast<long long>(snd.bytesAcked().bytes()),
              static_cast<unsigned long long>(rcv.cumulativeAck()));
     }
-    if (rcv.cumulativeAck() > static_cast<std::uint64_t>(size)) {
+    if (rcv.cumulativeAck() > static_cast<std::uint64_t>(size.bytes())) {
       report(now, "flow %llu: receiver ack %llu beyond flow size %lld",
              flowId, static_cast<unsigned long long>(rcv.cumulativeAck()),
-             static_cast<long long>(size));
+             static_cast<long long>(size.bytes()));
     }
     if (rcv.outOfOrderPackets() > rcv.dataPacketsReceived()) {
       report(now, "flow %llu: %llu out-of-order among %llu data packets",
@@ -220,14 +220,14 @@ void InvariantAuditor::auditFlows(SimTime now) {
     }
     if (snd.completed() && snd.bytesAcked() < size) {
       report(now, "flow %llu: completed with %lld of %lld bytes acked",
-             flowId, static_cast<long long>(snd.bytesAcked()),
-             static_cast<long long>(size));
+             flowId, static_cast<long long>(snd.bytesAcked().bytes()),
+             static_cast<long long>(size.bytes()));
     }
     const double cwnd = snd.cwndBytes();
-    if (size > 0 &&
-        (cwnd < static_cast<double>(w.mss) || cwnd > 1e15 || cwnd != cwnd)) {
+    if (size > 0_B &&
+        (cwnd < static_cast<double>(w.mss.bytes()) || cwnd > 1e15 || cwnd != cwnd)) {
       report(now, "flow %llu: cwnd %.1f outside [1 MSS=%lld, finite)",
-             flowId, cwnd, static_cast<long long>(w.mss));
+             flowId, cwnd, static_cast<long long>(w.mss.bytes()));
     }
   }
 }

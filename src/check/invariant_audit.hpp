@@ -55,7 +55,7 @@ class Simulator;
 namespace tlbsim::check {
 
 struct AuditViolation {
-  SimTime time = 0;
+  SimTime time;
   std::string what;
 };
 
@@ -82,11 +82,11 @@ class InvariantAuditor {
   void watchSwitch(const net::Switch& sw);
   /// `qthCapBytes` is the admissible upper bound for q_th (buffer depth,
   /// tightened by the ECN cap when one is configured).
-  void watchTlb(const core::Tlb& tlb, Bytes qthCapBytes);
+  void watchTlb(const core::Tlb& tlb, ByteCount qthCapBytes);
   /// Sender/receiver of one flow, as a pair so the end-to-end conservation
   /// sum stays closed.
   void watchFlow(const transport::TcpSender& sender,
-                 const transport::TcpReceiver& receiver, Bytes mss);
+                 const transport::TcpReceiver& receiver, ByteCount mss);
   /// Every host access link, fabric link, and switch of a leaf-spine
   /// topology in one call.
   void watchTopology(net::LeafSpineTopology& topo);
@@ -113,12 +113,12 @@ class InvariantAuditor {
   };
   struct WatchedTlb {
     const core::Tlb* tlb;
-    Bytes qthCapBytes;
+    ByteCount qthCapBytes;
   };
   struct WatchedFlow {
     const transport::TcpSender* sender;
     const transport::TcpReceiver* receiver;
-    Bytes mss;
+    ByteCount mss;
   };
 
   /// Records (and possibly asserts on) one violation. `fmt` is
@@ -143,7 +143,7 @@ class InvariantAuditor {
   /// gates the end-to-end conservation check (partial link coverage would
   /// mis-attribute packets queued on unwatched links).
   bool topologyComplete_ = false;
-  SimTime lastAuditTime_ = -1;
+  SimTime lastAuditTime_ = -1_ns;
   std::uint64_t ticks_ = 0;
   std::uint64_t checksRun_ = 0;
   std::uint64_t violationCount_ = 0;

@@ -26,7 +26,7 @@ class DeadlineTracker {
 
   /// Record one observed flow deadline (relative FCT budget).
   void observe(SimTime deadline) {
-    if (deadline <= 0) return;
+    if (deadline <= 0_ns) return;
     ++observed_;
     if (samples_.size() < capacity_) {
       samples_.push_back(deadline);

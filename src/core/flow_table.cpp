@@ -22,7 +22,7 @@ FlowEntry& FlowTable::touch(FlowId id, SimTime now) {
   return it->second;
 }
 
-bool FlowTable::recordPayload(FlowEntry& entry, Bytes payload) {
+bool FlowTable::recordPayload(FlowEntry& entry, ByteCount payload) {
   entry.bytesSeen += payload;
   if (!entry.isLong && entry.bytesSeen > cfg_.shortFlowThreshold) {
     entry.isLong = true;
@@ -51,9 +51,9 @@ void FlowTable::retire(FlowEntry& entry) {
     --shortCount_;
     // A retired short flow is a completed transfer: fold its size into the
     // X estimate (zero-byte entries are pure-ACK reverse flows; skip them).
-    if (entry.bytesSeen > 0) {
+    if (entry.bytesSeen > 0_B) {
       meanShortSize_ = (1.0 - cfg_.shortSizeGain) * meanShortSize_ +
-                       cfg_.shortSizeGain * static_cast<double>(entry.bytesSeen);
+                       cfg_.shortSizeGain * static_cast<double>(entry.bytesSeen.bytes());
     }
   }
 }

@@ -16,23 +16,23 @@
 namespace tlbsim::core {
 
 struct FlowEntry {
-  Bytes bytesSeen = 0;   ///< payload bytes observed (data direction)
+  ByteCount bytesSeen;   ///< payload bytes observed (data direction)
   int port = -1;         ///< current uplink assignment
-  SimTime lastSeen = 0;  ///< last packet of any kind
+  SimTime lastSeen;  ///< last packet of any kind
   bool isLong = false;
   /// Payload since the flow last changed uplink. A long flow is only
   /// eligible to switch again after sending q_th more bytes — that is the
   /// "switching granularity" of the paper's Fig. 2(d): rerouting happens
   /// per q_th of data, not per packet observing a full queue (which would
   /// thrash and cut cwnd via spurious fast retransmits on every arrival).
-  Bytes bytesSinceSwitch = 0;
+  ByteCount bytesSinceSwitch;
 };
 
 class FlowTable {
  public:
   explicit FlowTable(const TlbConfig& cfg)
       : cfg_(cfg),
-        meanShortSize_(static_cast<double>(cfg.defaultShortFlowSize)) {}
+        meanShortSize_(static_cast<double>(cfg.defaultShortFlowSize.bytes())) {}
 
   /// SYN (or SYN-ACK on the reverse path): a new flow appears, short.
   void onFlowStart(FlowId id, SimTime now);
@@ -45,7 +45,7 @@ class FlowTable {
 
   /// Account payload bytes; reclassifies short -> long across the
   /// threshold. Returns true if the flow just became long.
-  bool recordPayload(FlowEntry& entry, Bytes payload);
+  bool recordPayload(FlowEntry& entry, ByteCount payload);
 
   /// Drop entries idle longer than cfg.idleTimeout (paper's sampling sweep).
   void purgeIdle(SimTime now);
@@ -56,8 +56,8 @@ class FlowTable {
   bool contains(FlowId id) const { return flows_.contains(id); }
 
   /// Running EWMA of completed short-flow sizes (the model's X).
-  Bytes meanShortFlowSize() const {
-    return static_cast<Bytes>(meanShortSize_);
+  ByteCount meanShortFlowSize() const {
+    return ByteCount::fromBytes(meanShortSize_);
   }
 
  private:

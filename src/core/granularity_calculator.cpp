@@ -5,14 +5,14 @@
 
 namespace tlbsim::core {
 
-Bytes GranularityCalculator::update(int shortFlows, int longFlows,
-                                    Bytes meanShortSize) {
+ByteCount GranularityCalculator::update(int shortFlows, int longFlows,
+                                    ByteCount meanShortSize) {
   return update(shortFlows, longFlows, meanShortSize, cfg_.deadline);
 }
 
-Bytes GranularityCalculator::update(int shortFlows, int longFlows,
-                                    Bytes meanShortSize, SimTime deadline) {
-  if (cfg_.qthOverrideBytes >= 0) {
+ByteCount GranularityCalculator::update(int shortFlows, int longFlows,
+                                    ByteCount meanShortSize, SimTime deadline) {
+  if (cfg_.qthOverrideBytes >= 0_B) {
     qthBytes_ = cfg_.qthOverrideBytes;
     return qthBytes_;
   }
@@ -21,8 +21,8 @@ Bytes GranularityCalculator::update(int shortFlows, int longFlows,
   p.n = numPaths_;
   p.mS = shortFlows;
   p.mL = longFlows;
-  p.X = static_cast<double>(std::max<Bytes>(meanShortSize, cfg_.mss));
-  p.WL = static_cast<double>(cfg_.longFlowWindow);
+  p.X = static_cast<double>(std::max<ByteCount>(meanShortSize, cfg_.mss).bytes());
+  p.WL = static_cast<double>(cfg_.longFlowWindow.bytes());
   p.C = cfg_.linkCapacity.bytesPerSecond();
   // Effective round-trip of a saturated W_L-window flow: a long flow
   // cannot send faster than the line rate, so the model's per-interval
@@ -32,19 +32,19 @@ Bytes GranularityCalculator::update(int shortFlows, int longFlows,
   p.rtt = std::max(toSeconds(cfg_.rtt), p.WL / p.C);
   p.t = toSeconds(cfg_.updateInterval);
   p.D = toSeconds(deadline);
-  p.mss = static_cast<double>(cfg_.mss);
+  p.mss = static_cast<double>(cfg_.mss.bytes());
 
   lastShortPaths_ = model::shortFlowPaths(p);
   const double qth = model::switchingThresholdBytes(p);
-  double cap = static_cast<double>(cfg_.bufferBytes());
+  double cap = static_cast<double>(cfg_.bufferBytes().bytes());
   if (cfg_.qthCapPackets > 0) {
     cap = std::min(cap, static_cast<double>(cfg_.qthCapPackets) *
-                            static_cast<double>(cfg_.packetWireSize));
+                            static_cast<double>(cfg_.packetWireSize.bytes()));
   }
   // +inf (shorts need every path) clamps to the cap: long flows then
   // switch as rarely as the queue dynamics allow, the most protective
   // setting possible.
-  qthBytes_ = static_cast<Bytes>(std::clamp(qth, 0.0, cap));
+  qthBytes_ = ByteCount::fromBytes(std::clamp(qth, 0.0, cap));
   return qthBytes_;
 }
 

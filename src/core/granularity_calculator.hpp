@@ -13,20 +13,20 @@ class GranularityCalculator {
   GranularityCalculator(const TlbConfig& cfg, int numPaths)
       : cfg_(cfg), numPaths_(numPaths) {
     // Until the first update, let long flows switch freely (no shorts yet).
-    qthBytes_ = cfg.qthOverrideBytes >= 0 ? cfg.qthOverrideBytes : 0;
+    qthBytes_ = cfg.qthOverrideBytes >= 0_B ? cfg.qthOverrideBytes : 0_B;
   }
 
   /// Recompute q_th from the current flow counts and mean short size X,
   /// using the configured deadline D.
   /// Returns the new threshold in bytes (clamped to the buffer depth).
-  Bytes update(int shortFlows, int longFlows, Bytes meanShortSize);
+  ByteCount update(int shortFlows, int longFlows, ByteCount meanShortSize);
 
   /// Same, with an explicit deadline (deadline-agnostic mode, where D is
   /// re-estimated from observed statistics each interval).
-  Bytes update(int shortFlows, int longFlows, Bytes meanShortSize,
+  ByteCount update(int shortFlows, int longFlows, ByteCount meanShortSize,
                SimTime deadline);
 
-  Bytes qthBytes() const { return qthBytes_; }
+  ByteCount qthBytes() const { return qthBytes_; }
 
   /// The model's path split at the last update (for diagnostics/tests).
   double lastShortPaths() const { return lastShortPaths_; }
@@ -34,7 +34,7 @@ class GranularityCalculator {
  private:
   TlbConfig cfg_;
   int numPaths_;
-  Bytes qthBytes_;
+  ByteCount qthBytes_;
   double lastShortPaths_ = 0.0;
 };
 

@@ -20,16 +20,16 @@ class ShortLoadEstimator {
       : capacityBps_(capacity.bytesPerSecond()), gain_(gain) {}
 
   /// Account payload bytes of a short-flow data packet.
-  void onShortPayload(Bytes payload) { intervalBytes_ += payload; }
+  void onShortPayload(ByteCount payload) { intervalBytes_ += payload; }
 
   /// Close the current interval of length `interval` and fold it into the
   /// EWMA rate estimate.
   void rollInterval(SimTime interval) {
-    if (interval <= 0) return;
+    if (interval <= 0_ns) return;
     const double rate =
-        static_cast<double>(intervalBytes_) / toSeconds(interval);
+        static_cast<double>(intervalBytes_.bytes()) / toSeconds(interval);
     ewmaRate_ = (1.0 - gain_) * ewmaRate_ + gain_ * rate;
-    intervalBytes_ = 0;
+    intervalBytes_ = 0_B;
   }
 
   /// Smoothed short-flow arrival rate lambda, bytes/sec.
@@ -43,7 +43,7 @@ class ShortLoadEstimator {
  private:
   double capacityBps_;
   double gain_;
-  Bytes intervalBytes_ = 0;
+  ByteCount intervalBytes_;
   double ewmaRate_ = 0.0;
 };
 

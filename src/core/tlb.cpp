@@ -47,7 +47,7 @@ void Tlb::installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace,
 }
 
 void Tlb::controlTick() {
-  const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+  const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
   table_.purgeIdle(now);
   loadEst_.rollInterval(cfg_.updateInterval);
   if (cfg_.autoDeadline) {
@@ -58,19 +58,19 @@ void Tlb::controlTick() {
                table_.meanShortFlowSize(), effectiveDeadline_);
   if (cTicks_ != nullptr) cTicks_->inc();
   if (qthSeries_ != nullptr) {
-    qthSeries_->add(now, static_cast<double>(calc_.qthBytes()));
+    qthSeries_->add(now, static_cast<double>(calc_.qthBytes().bytes()));
   }
   if (trace_ != nullptr) {
     trace_->counter(
         "tlb", traceName_, now,
-        {{"qth_bytes", static_cast<double>(calc_.qthBytes())},
+        {{"qth_bytes", static_cast<double>(calc_.qthBytes().bytes())},
          {"short_flows", static_cast<double>(table_.shortCount())},
          {"long_flows", static_cast<double>(table_.longCount())}});
   }
   if (Logger::enabled(LogLevel::kDebug)) {
     TLBSIM_LOG_DEBUG("tlb tick t=%.3fms q_th=%lld B short=%d long=%d",
                      toMilliseconds(now),
-                     static_cast<long long>(calc_.qthBytes()),
+                     static_cast<long long>(calc_.qthBytes().bytes()),
                      table_.shortCount(), table_.longCount());
   }
   // Smooth the uplink waits (the long-flow escape signal) over a few
@@ -87,12 +87,12 @@ void Tlb::controlTick() {
 
 double Tlb::instantWait(const net::PortView& u) const {
   const double rate =
-      u.rateBps > 0.0 ? u.rateBps : cfg_.linkCapacity.bitsPerSecond;
+      u.rateBps > 0.0 ? u.rateBps : cfg_.linkCapacity.bitsPerSecond();
   // Include one packet's serialization and the cable's propagation delay
   // so an empty degraded link (slow or long) is still recognized as a
   // worse choice than an empty healthy one.
-  return static_cast<double>(u.queueBytes + cfg_.packetWireSize) * 8.0 /
-             rate +
+  return static_cast<double>((u.queueBytes + cfg_.packetWireSize).bytes()) *
+             8.0 / rate +
          u.linkDelaySec;
 }
 
@@ -104,7 +104,7 @@ double Tlb::smoothedWait(int port, double fallback) const {
 }
 
 int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
-  const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+  const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
 
   // Flow accounting from SYN/FIN snooping (paper §5). SYN-ACK/FIN-ACK make
   // the reverse (ACK-only) direction of each flow visible at its own leaf.
@@ -127,15 +127,15 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
   }
 
   FlowEntry& entry = table_.touch(pkt.flow, now);
-  if (pkt.payload > 0) {
+  if (pkt.payload > 0_B) {
     if (!entry.isLong) loadEst_.onShortPayload(pkt.payload);
     if (table_.recordPayload(entry, pkt.payload)) {
       if (cReclassified_ != nullptr) cReclassified_->inc();
       if (flowProbe_ != nullptr) {
         flowProbe_->onDecision(
             pkt.flow, now, obs::DecisionKind::kReclassifyLong,
-            static_cast<double>(calc_.qthBytes()),
-            static_cast<double>(lb::queueBytesOfPort(uplinks, entry.port)));
+            static_cast<double>(calc_.qthBytes().bytes()),
+            static_cast<double>(lb::queueBytesOfPort(uplinks, entry.port).bytes()));
       }
     }
     entry.bytesSinceSwitch += pkt.payload;
@@ -148,11 +148,11 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
     // reorder the in-flight burst (dup-ACKs, spurious fast retransmits),
     // so stay. This is the "similar queueing delay between the shortest
     // queues" observation of Section 6.1 made explicit.
-    if (cfg_.sprayStickiness > 0) {
-      const Bytes cur = lb::queueBytesOfPort(uplinks, entry.port);
+    if (cfg_.sprayStickiness > 0_B) {
+      const ByteCount cur = lb::queueBytesOfPort(uplinks, entry.port);
       const int best = shortest(uplinks);
-      const Bytes bestBytes = lb::queueBytesOfPort(uplinks, best);
-      if (cur >= 0 && cur <= bestBytes + cfg_.sprayStickiness) {
+      const ByteCount bestBytes = lb::queueBytesOfPort(uplinks, best);
+      if (cur >= 0_B && cur <= bestBytes + cfg_.sprayStickiness) {
         if (cShortSticky_ != nullptr) cShortSticky_->inc();
         return entry.port;  // ablation mode: sticky spraying
       }
@@ -174,21 +174,21 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
     // First long packet, or the current uplink left the usable view (it
     // went down, or the group changed): place on shortest queue.
     entry.port = shortest(uplinks);
-    entry.bytesSinceSwitch = 0;
+    entry.bytesSinceSwitch = 0_B;
     return entry.port;
   }
   const net::PortView* curView = nullptr;
   for (const auto& u : uplinks) {
     if (u.port == entry.port) curView = &u;
   }
-  const Bytes qth = calc_.qthBytes();
-  const double qthWait = static_cast<double>(qth) * 8.0 /
-                         cfg_.linkCapacity.bitsPerSecond;
+  const ByteCount qth = calc_.qthBytes();
+  const double qthWait = static_cast<double>(qth.bytes()) * 8.0 /
+                         cfg_.linkCapacity.bitsPerSecond();
   const double curWait = instantWait(*curView);
   // Granularity floor: a window-limited flow cannot benefit from moving
   // more than once per window — anything finer only reorders the same
   // in-flight data again before the previous move's effect is visible.
-  const Bytes granularity = std::max(qth, cfg_.longFlowWindow);
+  const ByteCount granularity = std::max(qth, cfg_.longFlowWindow);
   if (curWait >= qthWait && entry.bytesSinceSwitch >= granularity) {
     // Moving reorders the in-flight window (one spurious fast retransmit,
     // ~half the cwnd), so only pay that to escape a genuinely less loaded
@@ -201,8 +201,8 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
     //    every eligible flow jumped to the single least-loaded port they
     //    would re-collide there and flap in lockstep forever.
     const double curSmoothed = smoothedWait(entry.port, curWait);
-    const double wireTime = static_cast<double>(cfg_.packetWireSize) * 8.0 /
-                            cfg_.linkCapacity.bitsPerSecond;
+    const double wireTime = static_cast<double>(cfg_.packetWireSize.bytes()) *
+                            8.0 / cfg_.linkCapacity.bitsPerSecond();
     int next = -1;
     int qualifying = 0;
     for (const auto& u : uplinks) {
@@ -218,7 +218,7 @@ int Tlb::selectUplink(const net::Packet& pkt, const net::UplinkView& uplinks) {
     if (next >= 0) {
       const int prev = entry.port;
       entry.port = next;
-      entry.bytesSinceSwitch = 0;
+      entry.bytesSinceSwitch = 0_B;
       ++longSwitches_;
       if (cLongReroute_ != nullptr) cLongReroute_->inc();
       if (flowProbe_ != nullptr) {

@@ -52,7 +52,7 @@ class Tlb final : public net::UplinkSelector {
   const DeadlineTracker& deadlineTracker() const { return deadlines_; }
   /// The D used by the last control tick (config or auto-estimated).
   SimTime effectiveDeadline() const { return effectiveDeadline_; }
-  Bytes qthBytes() const { return calc_.qthBytes(); }
+  ByteCount qthBytes() const { return calc_.qthBytes(); }
   std::uint64_t longFlowSwitches() const { return longSwitches_; }
 
   /// Run one control-loop tick explicitly (normally timer-driven).

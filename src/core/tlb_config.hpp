@@ -8,7 +8,7 @@ namespace tlbsim::core {
 struct TlbConfig {
   /// Flows are treated as short until this many payload bytes have been
   /// seen (paper §5: 100 KB).
-  Bytes shortFlowThreshold = 100 * kKB;
+  ByteCount shortFlowThreshold = 100 * kKB;
 
   /// Granularity-update and flow-table sampling interval t (paper: 500 µs).
   SimTime updateInterval = microseconds(500);
@@ -19,7 +19,7 @@ struct TlbConfig {
   SimTime idleTimeout = microseconds(1500);
 
   /// Long-flow maximum window W_L (64 KB Linux receive buffer default).
-  Bytes longFlowWindow = 64 * kKiB;
+  ByteCount longFlowWindow = 64 * kKiB;
 
   /// Round-trip propagation delay estimate (model input).
   SimTime rtt = microseconds(100);
@@ -28,7 +28,7 @@ struct TlbConfig {
   LinkRate linkCapacity = gbps(1);
 
   /// TCP segment payload size (model input, Eq. (3)).
-  Bytes mss = 1460;
+  ByteCount mss = 1460_B;
 
   /// Short-flow deadline D. With deadline knowledge this is the 25th
   /// percentile of the deadline distribution (paper §4.2/§6.3). Also the
@@ -42,7 +42,7 @@ struct TlbConfig {
   double deadlinePercentile = 25.0;
 
   /// Prior for the mean short-flow size X before any flow completes.
-  Bytes defaultShortFlowSize = 70 * kKB;
+  ByteCount defaultShortFlowSize = 70 * kKB;
 
   /// EWMA gain for the running estimate of X.
   double shortSizeGain = 1.0 / 8.0;
@@ -51,17 +51,17 @@ struct TlbConfig {
   /// buffer could never trigger).
   int bufferPackets = 256;
   /// Wire size used to convert the buffer clamp to bytes.
-  Bytes packetWireSize = 1500;
+  ByteCount packetWireSize = 1500_B;
 
   /// When >= 0, bypass the model and use this fixed threshold (bytes).
   /// Used by the Fig. 7 verification harness and ablations.
-  Bytes qthOverrideBytes = -1;
+  ByteCount qthOverrideBytes = -1_B;
 
   /// Ablation knob: when > 0, a short flow leaves its current uplink only
   /// when another queue is shorter by more than this many bytes. The
   /// default 0 is the paper's rule (pure per-packet shortest queue); the
   /// bench/ablation_spray_policy study quantifies the tradeoff.
-  Bytes sprayStickiness = 0;
+  ByteCount sprayStickiness;
 
   /// Upper clamp on q_th in packets, beyond the buffer clamp. With DCTCP
   /// marking at K packets a queue practically never exceeds K, so a
@@ -69,9 +69,7 @@ struct TlbConfig {
   /// control live. 0 = no extra cap (clamp at the buffer only).
   int qthCapPackets = 0;
 
-  Bytes bufferBytes() const {
-    return static_cast<Bytes>(bufferPackets) * packetWireSize;
-  }
+  ByteCount bufferBytes() const { return packetWireSize * bufferPackets; }
 };
 
 }  // namespace tlbsim::core

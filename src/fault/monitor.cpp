@@ -29,7 +29,7 @@ FaultMonitor::FaultMonitor(net::LeafSpineTopology& topo,
 }
 
 void FaultMonitor::onDequeue(int leaf, int spine, const net::Packet& pkt) {
-  if (pkt.payload <= 0 || !isLong_(pkt.flow)) return;
+  if (pkt.payload <= 0_B || !isLong_(pkt.flow)) return;
   if (const auto it = pending_.find(pkt.flow); it != pending_.end()) {
     const Pending& p = it->second;
     if (leaf != p.leaf || spine != p.spine) {
@@ -49,7 +49,7 @@ void FaultMonitor::onDequeue(int leaf, int spine, const net::Packet& pkt) {
 void FaultMonitor::onFault(const FaultEvent& ev) {
   if (!ev.disruptive()) return;
   const SimTime now = sim_.now();
-  if (firstDisruptiveAt_ < 0) firstDisruptiveAt_ = now;
+  if (firstDisruptiveAt_ < 0_ns) firstDisruptiveAt_ = now;
   // Snapshot which long flows currently ride the faulted uplink; order of
   // iteration only feeds per-flow map inserts and a count, so the result
   // is independent of the hash order.
@@ -75,7 +75,7 @@ double FaultMonitor::maxRerouteSec() const {
 }
 
 double FaultMonitor::goodputDipRatio() const {
-  if (firstDisruptiveAt_ < 0 || samples_.size() < 2) return 1.0;
+  if (firstDisruptiveAt_ < 0_ns || samples_.size() < 2) return 1.0;
   // Per-interval byte deltas on either side of the first disruptive
   // fault: mean of the last dipWindow intervals before vs the minimum of
   // the first dipWindow intervals after.
@@ -85,7 +85,7 @@ double FaultMonitor::goodputDipRatio() const {
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const auto& [t, bytes] = samples_[i];
     const double delta =
-        static_cast<double>(bytes - samples_[i - 1].second);
+        static_cast<double>((bytes - samples_[i - 1].second).bytes());
     if (t <= firstDisruptiveAt_) {
       pre.push_back(delta);
     } else if (postCount < cfg_.dipWindow) {

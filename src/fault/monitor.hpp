@@ -59,7 +59,7 @@ class FaultMonitor {
   /// Acked-bytes probe for the goodput samples (typically the sum of
   /// bytesAcked over all long-flow senders). Optional; without it the dip
   /// ratio stays 1.0.
-  void setGoodputProbe(std::function<Bytes()> ackedBytes) {
+  void setGoodputProbe(std::function<ByteCount()> ackedBytes) {
     probe_ = std::move(ackedBytes);
   }
 
@@ -92,7 +92,7 @@ class FaultMonitor {
 
  private:
   struct Pending {
-    SimTime faultAt = 0;
+    SimTime faultAt;
     int leaf = 0;
     int spine = 0;
   };
@@ -103,7 +103,7 @@ class FaultMonitor {
   sim::Simulator& sim_;
   std::function<bool(FlowId)> isLong_;
   Config cfg_;
-  std::function<Bytes()> probe_;
+  std::function<ByteCount()> probe_;
 
   /// Last leaf uplink each tracked long flow sent data on.
   std::unordered_map<FlowId, std::pair<int, int>> currentUplink_;
@@ -111,11 +111,11 @@ class FaultMonitor {
   std::unordered_map<FlowId, Pending> pending_;
   std::vector<double> rerouteTimes_;  ///< seconds, in reroute order
   int affected_ = 0;
-  SimTime firstDisruptiveAt_ = -1;
+  SimTime firstDisruptiveAt_ = -1_ns;
   obs::FlowProbe* flowProbe_ = nullptr;  ///< null = disabled
 
   /// (time, probe()) samples in time order.
-  std::vector<std::pair<SimTime, Bytes>> samples_;
+  std::vector<std::pair<SimTime, ByteCount>> samples_;
 };
 
 }  // namespace tlbsim::fault

@@ -55,23 +55,23 @@ bool parseTime(const std::string& s, SimTime* out) {
   double scale = 0.0;
   std::string num;
   if (s.size() > 2 && s.compare(s.size() - 2, 2, "ms") == 0) {
-    scale = static_cast<double>(kMillisecond);
+    scale = static_cast<double>(kMillisecond.ns());
     num = s.substr(0, s.size() - 2);
   } else if (s.size() > 2 && s.compare(s.size() - 2, 2, "us") == 0) {
-    scale = static_cast<double>(kMicrosecond);
+    scale = static_cast<double>(kMicrosecond.ns());
     num = s.substr(0, s.size() - 2);
   } else if (s.size() > 2 && s.compare(s.size() - 2, 2, "ns") == 0) {
     scale = 1.0;
     num = s.substr(0, s.size() - 2);
   } else if (s.size() > 1 && s.back() == 's') {
-    scale = static_cast<double>(kSecond);
+    scale = static_cast<double>(kSecond.ns());
     num = s.substr(0, s.size() - 1);
   } else {
     return false;
   }
   double v = 0.0;
   if (!parseDouble(num, &v) || v < 0.0) return false;
-  *out = static_cast<SimTime>(v * scale);
+  *out = SimTime::fromNs(v * scale);
   return true;
 }
 
@@ -98,7 +98,7 @@ bool parseAction(const std::string& tok, int leaf, int spine,
     explain(error, "action '" + tok + "' is missing its @time");
     return false;
   }
-  SimTime when = 0;
+  SimTime when;
   if (!parseTime(tok.substr(at + 1), &when)) {
     explain(error, "bad time '" + tok.substr(at + 1) +
                        "' (want e.g. 0.1s, 30ms, 250us)");
@@ -154,17 +154,17 @@ bool parseAction(const std::string& tok, int leaf, int spine,
 /// Largest unit that represents `t` exactly, as "<int><suffix>".
 std::string formatTime(SimTime t) {
   char buf[32];
-  if (t % kSecond == 0) {
+  if (t % kSecond == 0_ns) {
     std::snprintf(buf, sizeof(buf), "%llds",
                   static_cast<long long>(t / kSecond));
-  } else if (t % kMillisecond == 0) {
+  } else if (t % kMillisecond == 0_ns) {
     std::snprintf(buf, sizeof(buf), "%lldms",
                   static_cast<long long>(t / kMillisecond));
-  } else if (t % kMicrosecond == 0) {
+  } else if (t % kMicrosecond == 0_ns) {
     std::snprintf(buf, sizeof(buf), "%lldus",
                   static_cast<long long>(t / kMicrosecond));
   } else {
-    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t.ns()));
   }
   return buf;
 }
@@ -214,9 +214,9 @@ bool FaultEvent::disruptive() const {
 }
 
 SimTime FaultPlan::firstDisruptiveAt() const {
-  SimTime first = -1;
+  SimTime first = -1_ns;
   for (const auto& ev : events) {
-    if (ev.disruptive() && (first < 0 || ev.at < first)) first = ev.at;
+    if (ev.disruptive() && (first < 0_ns || ev.at < first)) first = ev.at;
   }
   return first;
 }

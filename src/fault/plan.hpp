@@ -42,7 +42,7 @@ struct FaultEvent {
 
   int leaf = 0;
   int spine = 0;
-  SimTime at = 0;       ///< absolute simulation time
+  SimTime at;       ///< absolute simulation time
   Kind kind = Kind::kDown;
   double value = 0.0;   ///< factor / probability; unused for down/up
 

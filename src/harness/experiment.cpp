@@ -27,8 +27,8 @@ namespace {
 struct Totals {
   std::uint64_t shortDup = 0, shortAcks = 0;
   std::uint64_t longOoo = 0, longData = 0;
-  Bytes longAcked = 0;
-  SimTime fabricBusy = 0;
+  ByteCount longAcked;
+  SimTime fabricBusy;
 };
 
 /// Resolves the audit mode: kAuto follows the build type, so every Debug
@@ -184,7 +184,7 @@ ExperimentResult Experiment::run() const {
         }
       }
     }
-    if (sinks.metrics != nullptr && cfg.obsSampleInterval > 0 &&
+    if (sinks.metrics != nullptr && cfg.obsSampleInterval > 0_ns &&
         !depthGauges.empty()) {
       simr.every(
           cfg.obsSampleInterval,
@@ -204,7 +204,7 @@ ExperimentResult Experiment::run() const {
   std::unique_ptr<fault::FaultInjector> faultInj;
   if (!cfg.fault.empty()) {
     fault::FaultMonitor::Config mcfg;
-    if (cfg.obsSampleInterval > 0) mcfg.sampleInterval = cfg.obsSampleInterval;
+    if (cfg.obsSampleInterval > 0_ns) mcfg.sampleInterval = cfg.obsSampleInterval;
     faultMon = std::make_unique<fault::FaultMonitor>(
         topo, simr,
         [&shortFlows](FlowId id) { return !shortFlows.contains(id); }, mcfg);
@@ -226,11 +226,10 @@ ExperimentResult Experiment::run() const {
     auditor->watchTopology(topo);
     // Admissible q_th range: [0, buffer depth], tightened by the ECN cap,
     // widened by an explicit override (the Fig. 7 harness pins q_th).
-    Bytes qthCap = cfg.scheme.tlb.bufferBytes();
+    ByteCount qthCap = cfg.scheme.tlb.bufferBytes();
     if (cfg.scheme.tlb.qthCapPackets > 0) {
-      qthCap = std::min(qthCap,
-                        static_cast<Bytes>(cfg.scheme.tlb.qthCapPackets) *
-                            cfg.scheme.tlb.packetWireSize);
+      qthCap = std::min(qthCap, cfg.scheme.tlb.packetWireSize *
+                                    cfg.scheme.tlb.qthCapPackets);
     }
     qthCap = std::max(qthCap, cfg.scheme.tlb.qthOverrideBytes);
     for (const auto* tlb : tlbs) auditor->watchTlb(*tlb, qthCap);
@@ -268,7 +267,7 @@ ExperimentResult Experiment::run() const {
     // Goodput = acked bytes summed over the long-flow senders, in flow
     // order (a fixed iteration order keeps the sum byte-stable).
     faultMon->setGoodputProbe([&cfg, &senders, &shortFlows] {
-      Bytes acked = 0;
+      ByteCount acked;
       for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
         if (!shortFlows.contains(cfg.flows[i].id)) {
           acked += senders[i]->bytesAcked();
@@ -280,7 +279,7 @@ ExperimentResult Experiment::run() const {
 
   // Periodic sampling for the time-series figures.
   Totals prev;
-  if (cfg.sampleInterval > 0) {
+  if (cfg.sampleInterval > 0_ns) {
     simr.every(cfg.sampleInterval, [&] {
       Totals now;
       for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
@@ -308,16 +307,16 @@ ExperimentResult Experiment::run() const {
                                     now.longData - prev.longData));
       if (numLong > 0) {
         res.longThroughputGbps.add(
-            t, static_cast<double>(now.longAcked - prev.longAcked) * 8.0 /
-                   dt / 1e9 / static_cast<double>(numLong));
+            t, static_cast<double>((now.longAcked - prev.longAcked).bytes()) *
+                   8.0 / dt / 1e9 / static_cast<double>(numLong));
       }
       qmon.rollInterval(t);
 
       // Fabric utilization: interval delta of the busiest leaf's uplink
       // busy time, normalized by the group width (Fig. 4(a) proxy).
-      SimTime busyNow = 0;
+      SimTime busyNow;
       for (int l = 0; l < topo.numLeaves(); ++l) {
-        SimTime busy = 0;
+        SimTime busy;
         for (int s = 0; s < topo.numSpines(); ++s) {
           busy += topo.leafUplink(l, s).busyTime();
         }
@@ -331,11 +330,11 @@ ExperimentResult Experiment::run() const {
       if (!tlbs.empty()) {
         double qth = 0.0;
         for (const auto* tlb : tlbs) {
-          qth += static_cast<double>(tlb->qthBytes());
+          qth += static_cast<double>(tlb->qthBytes().bytes());
         }
         res.tlbQthPackets.add(
             t, qth / static_cast<double>(tlbs.size()) /
-                   static_cast<double>(cfg.tcp.maxSegmentWireSize()));
+                   static_cast<double>(cfg.tcp.maxSegmentWireSize().bytes()));
       }
       prev = now;
     }, /*start=*/cfg.sampleInterval);
@@ -366,7 +365,7 @@ ExperimentResult Experiment::run() const {
     stats::FlowResult r;
     r.spec = senders[i]->flow();
     r.completed = senders[i]->completed();
-    r.fct = r.completed ? senders[i]->fct() : 0;
+    r.fct = r.completed ? senders[i]->fct() : 0_ns;
     r.dupAcks = senders[i]->dupAcksReceived();
     r.acks = senders[i]->acksReceived();
     r.fastRetransmits = senders[i]->fastRetransmits();
@@ -392,7 +391,7 @@ ExperimentResult Experiment::run() const {
 
   for (const auto* tlb : tlbs) res.tlbLongSwitches += tlb->longFlowSwitches();
 
-  SimTime fabricBusy = 0;
+  SimTime fabricBusy;
   int fabricLinks = 0;
   topo.forEachFabricLink([&](net::Link& link) {
     res.totalDrops += link.drops();
@@ -401,7 +400,7 @@ ExperimentResult Experiment::run() const {
     fabricBusy += link.busyTime();
     ++fabricLinks;
   });
-  if (res.endTime > 0 && fabricLinks > 0) {
+  if (res.endTime > 0_ns && fabricLinks > 0) {
     res.meanFabricUtilization = toSeconds(fabricBusy) /
                                 toSeconds(res.endTime) /
                                 static_cast<double>(fabricLinks);
@@ -417,7 +416,7 @@ ExperimentResult Experiment::run() const {
     res.faultGoodputDipRatio = faultMon->goodputDipRatio();
     // FCT inflation: completed short flows in flight when the first
     // disruptive fault hit vs the rest of the completed short population.
-    if (res.firstFaultAt >= 0) {
+    if (res.firstFaultAt >= 0_ns) {
       double inFlightSum = 0.0, otherSum = 0.0;
       std::size_t inFlightN = 0, otherN = 0;
       for (const auto& r : res.ledger.flows()) {
@@ -485,7 +484,7 @@ obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
     s.set("fault.events", static_cast<double>(res.faultEventsApplied));
     s.set("fault.drops", static_cast<double>(res.faultDrops));
     s.set("fault.first_at_ms",
-          res.firstFaultAt >= 0 ? toMilliseconds(res.firstFaultAt) : -1.0);
+          res.firstFaultAt >= 0_ns ? toMilliseconds(res.firstFaultAt) : -1.0);
     s.set("fault.affected_long_flows",
           static_cast<double>(res.faultAffectedLongFlows));
     s.set("fault.rerouted_long_flows",

@@ -36,10 +36,10 @@ struct ExperimentConfig {
   SimTime maxDuration = seconds(10);
 
   /// Time-series sampling period; 0 disables sampling.
-  SimTime sampleInterval = 0;
+  SimTime sampleInterval;
 
   /// Classification boundary for reporting (matches TLB's table).
-  Bytes shortThreshold = 100 * kKB;
+  ByteCount shortThreshold = 100 * kKB;
 
   std::uint64_t seed = 1;
 
@@ -93,7 +93,7 @@ struct ExperimentResult {
   std::uint64_t totalDrops = 0;
   std::uint64_t totalEcnMarks = 0;
   std::uint64_t tlbLongSwitches = 0;  ///< sum over leaves (TLB runs only)
-  SimTime endTime = 0;
+  SimTime endTime;
   double meanFabricUtilization = 0.0;
   std::uint64_t executedEvents = 0;  ///< discrete events the run processed
 
@@ -105,7 +105,7 @@ struct ExperimentResult {
   // Fault-injection outcome (defaults when cfg.fault was empty).
   std::uint64_t faultEventsApplied = 0;
   std::uint64_t faultDrops = 0;  ///< sum over links, all fault-loss classes
-  SimTime firstFaultAt = -1;     ///< first *disruptive* event, -1 if none
+  SimTime firstFaultAt = -1_ns;     ///< first *disruptive* event, -1 if none
   int faultAffectedLongFlows = 0;
   int faultReroutedLongFlows = 0;
   double faultMeanRerouteSec = 0.0;

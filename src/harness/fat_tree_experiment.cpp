@@ -63,7 +63,7 @@ ExperimentResult runFatTreeExperiment(const FatTreeExperimentConfig& cfgIn) {
     stats::FlowResult r;
     r.spec = senders[i]->flow();
     r.completed = senders[i]->completed();
-    r.fct = r.completed ? senders[i]->fct() : 0;
+    r.fct = r.completed ? senders[i]->fct() : 0_ns;
     r.dupAcks = senders[i]->dupAcksReceived();
     r.acks = senders[i]->acksReceived();
     r.fastRetransmits = senders[i]->fastRetransmits();

@@ -28,10 +28,10 @@ bool setInt(const KeyValueConfig& kv, const std::string& key, int* out) {
   return true;
 }
 
-bool setBytes(const KeyValueConfig& kv, const std::string& key, Bytes* out) {
+bool setBytes(const KeyValueConfig& kv, const std::string& key, ByteCount* out) {
   const auto v = kv.getIntStrict(key);
   if (!v.has_value()) return false;
-  *out = static_cast<Bytes>(*v);
+  *out = ByteCount::fromBytes(*v);
   return true;
 }
 

@@ -69,7 +69,7 @@ class UnknownSchemeError : public std::invalid_argument {
 struct SchemeConfig {
   Scheme scheme = Scheme::kTlb;
   SimTime flowletTimeout = microseconds(150);  ///< LetFlow (paper: 150 µs)
-  Bytes prestoCellBytes = 64 * kKiB;           ///< Presto flowcell
+  ByteCount prestoCellBytes = 64 * kKiB;           ///< Presto flowcell
   std::uint64_t fixedK = 64;                   ///< FixedGranularity packets
   lb::FixedGranularity::Target fixedTarget =
       lb::FixedGranularity::Target::kRandom;

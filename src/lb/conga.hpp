@@ -38,7 +38,7 @@ class Conga final : public net::UplinkSelector {
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
-    const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+    const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
     State& st = flows_[pkt.flow];
     const bool newFlowlet = st.port < 0 ||
                             (now - st.lastSeen) > params_.flowletTimeout ||
@@ -54,7 +54,7 @@ class Conga final : public net::UplinkSelector {
       }
     }
     st.lastSeen = now;
-    dre_[st.port] += static_cast<double>(pkt.size);
+    dre_[st.port] += static_cast<double>(pkt.size.bytes());
     return st.port;
   }
 
@@ -82,7 +82,7 @@ class Conga final : public net::UplinkSelector {
       const double dreNorm = dreOf(u.port) / cap;
       const double queueNorm =
           u.rateBps > 0
-              ? static_cast<double>(u.queueBytes) * 8.0 / u.rateBps /
+              ? static_cast<double>(u.queueBytes.bytes()) * 8.0 / u.rateBps /
                     toSeconds(params_.flowletTimeout)
               : 0.0;
       const double metric = std::max(dreNorm, queueNorm) + u.linkDelaySec;
@@ -102,7 +102,7 @@ class Conga final : public net::UplinkSelector {
 
   struct State {
     int port = -1;
-    SimTime lastSeen = 0;
+    SimTime lastSeen;
   };
 
   Rng rng_;

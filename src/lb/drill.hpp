@@ -18,11 +18,11 @@ class Drill final : public net::UplinkSelector {
                    const net::UplinkView& uplinks) override {
     (void)pkt;
     int bestPort = -1;
-    Bytes bestBytes = 0;
+    ByteCount bestBytes;
     // Previously-remembered best, if still in the group.
     if (memoryPort_ >= 0) {
-      const Bytes b = queueBytesOfPort(uplinks, memoryPort_);
-      if (b >= 0) {
+      const ByteCount b = queueBytesOfPort(uplinks, memoryPort_);
+      if (b >= 0_B) {
         bestPort = memoryPort_;
         bestBytes = b;
       }

@@ -33,7 +33,7 @@ class FixedGranularity final : public net::UplinkSelector {
                    const net::UplinkView& uplinks) override {
     State& st = flows_[pkt.flow];
     const bool granularityHit =
-        pkt.payload > 0 && k_ != kFlowLevel && st.sinceSwitch >= k_;
+        pkt.payload > 0_B && k_ != kFlowLevel && st.sinceSwitch >= k_;
     const bool mustPick =
         st.port < 0 || !portUsable(uplinks, st.port) || granularityHit;
     if (mustPick) {
@@ -44,13 +44,13 @@ class FixedGranularity final : public net::UplinkSelector {
       st.sinceSwitch = 0;
       if (flowProbe_ != nullptr && granularityHit && prev >= 0 &&
           prev != st.port) {
-        flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : 0,
+        flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : SimTime{},
                                obs::DecisionKind::kGranularitySwitch,
                                static_cast<double>(prev),
                                static_cast<double>(st.port));
       }
     }
-    if (pkt.payload > 0) ++st.sinceSwitch;
+    if (pkt.payload > 0_B) ++st.sinceSwitch;
     return st.port;
   }
 

@@ -26,7 +26,7 @@ class HermesLike final : public net::UplinkSelector {
  public:
   struct Params {
     /// Minimum bytes a flow must send between reroutes (original: ~100KB).
-    Bytes rerouteThreshold = 100 * kKB;
+    ByteCount rerouteThreshold = 100 * kKB;
     /// A path is "good" if its smoothed wait is below this, "gray"
     /// in between, "bad" above 3x (Hermes' three-way classification).
     SimTime goodWait = microseconds(100);
@@ -42,11 +42,11 @@ class HermesLike final : public net::UplinkSelector {
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
     State& st = flows_[pkt.flow];
-    if (pkt.payload > 0) st.bytesSinceMove += pkt.payload;
+    if (pkt.payload > 0_B) st.bytesSinceMove += pkt.payload;
 
     if (st.port < 0 || !portUsable(uplinks, st.port)) {
       st.port = pickGood(uplinks);
-      st.bytesSinceMove = 0;
+      st.bytesSinceMove = 0_B;
       return st.port;
     }
     // Cautious rerouting: only consider moving when enough has been sent,
@@ -58,10 +58,10 @@ class HermesLike final : public net::UplinkSelector {
           classify(candidate, uplinks) == Condition::kGood) {
         const int prev = st.port;
         st.port = candidate;
-        st.bytesSinceMove = 0;
+        st.bytesSinceMove = 0_B;
         ++reroutes_;
         if (flowProbe_ != nullptr) {
-          flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : 0,
+          flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : SimTime{},
                                  obs::DecisionKind::kCautiousReroute,
                                  static_cast<double>(prev),
                                  static_cast<double>(candidate));
@@ -119,7 +119,7 @@ class HermesLike final : public net::UplinkSelector {
 
   struct State {
     int port = -1;
-    Bytes bytesSinceMove = 0;
+    ByteCount bytesSinceMove;
   };
 
   Rng rng_;

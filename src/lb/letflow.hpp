@@ -23,7 +23,7 @@ class LetFlow final : public net::UplinkSelector {
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
-    const SimTime now = sim_ != nullptr ? sim_->now() : 0;
+    const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
     State& st = flows_[pkt.flow];
     const bool newFlowlet =
         st.port < 0 || (now - st.lastSeen) > timeout_ ||
@@ -53,7 +53,7 @@ class LetFlow final : public net::UplinkSelector {
  private:
   struct State {
     int port = -1;
-    SimTime lastSeen = 0;
+    SimTime lastSeen;
   };
 
   Rng rng_;

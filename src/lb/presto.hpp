@@ -15,7 +15,7 @@ namespace tlbsim::lb {
 
 class Presto final : public net::UplinkSelector {
  public:
-  explicit Presto(std::uint64_t salt, Bytes flowcellBytes = 64 * kKiB)
+  explicit Presto(std::uint64_t salt, ByteCount flowcellBytes = 64 * kKiB)
       : salt_(salt), cellBytes_(flowcellBytes) {}
 
   int selectUplink(const net::Packet& pkt,
@@ -23,7 +23,7 @@ class Presto final : public net::UplinkSelector {
     State& st = flows_[pkt.flow];
     // Cell index advances with payload bytes; control/ACK packets ride the
     // flow's current cell.
-    if (pkt.payload > 0) {
+    if (pkt.payload > 0_B) {
       st.bytes += pkt.payload;
       st.cell = st.bytes / cellBytes_;
     }
@@ -37,17 +37,17 @@ class Presto final : public net::UplinkSelector {
 
   const char* name() const override { return "Presto"; }
 
-  Bytes flowcellBytes() const { return cellBytes_; }
+  ByteCount flowcellBytes() const { return cellBytes_; }
   std::size_t trackedFlows() const { return flows_.size(); }
 
  private:
   struct State {
-    Bytes bytes = 0;
-    Bytes cell = 0;
+    ByteCount bytes;
+    std::int64_t cell = 0;
   };
 
   std::uint64_t salt_;
-  Bytes cellBytes_;
+  ByteCount cellBytes_;
   std::unordered_map<FlowId, State> flows_;
 };
 

@@ -17,10 +17,11 @@ namespace tlbsim::lb {
 /// carries no rate information (then the +1500 shifts all ports equally).
 inline double drainTime(const net::PortView& u) {
   if (u.rateBps > 0.0) {
-    return static_cast<double>(u.queueBytes + 1500) * 8.0 / u.rateBps +
+    return static_cast<double>((u.queueBytes + 1500_B).bytes()) * 8.0 /
+               u.rateBps +
            u.linkDelaySec;
   }
-  return static_cast<double>(u.queueBytes);
+  return static_cast<double>(u.queueBytes.bytes());
 }
 
 /// Index (into `uplinks`) of the port with the least expected wait;
@@ -65,11 +66,11 @@ inline bool portUsable(const net::UplinkView& uplinks, int port) {
 }
 
 /// Queue length in bytes of `port` within the group, or -1 if absent.
-inline Bytes queueBytesOfPort(const net::UplinkView& uplinks, int port) {
+inline ByteCount queueBytesOfPort(const net::UplinkView& uplinks, int port) {
   for (const auto& u : uplinks) {
     if (u.port == port) return u.queueBytes;
   }
-  return -1;
+  return -1_B;
 }
 
 /// Expected wait (seconds) behind `port`'s queue, or -1 if absent.

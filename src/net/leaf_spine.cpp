@@ -13,9 +13,8 @@ void applyOverride(const LeafSpineConfig& cfg, int leafIdx, int spineIdx,
                    LinkRate* rate, SimTime* delay) {
   for (const auto& ov : cfg.overrides) {
     if (ov.leaf == leafIdx && ov.spine == spineIdx) {
-      rate->bitsPerSecond *= ov.rateFactor;
-      *delay = static_cast<SimTime>(static_cast<double>(*delay) *
-                                    ov.delayFactor);
+      *rate = rate->scaled(ov.rateFactor);
+      *delay = *delay * ov.delayFactor;
     }
   }
 }

@@ -25,7 +25,7 @@ void Link::noteFaultDrop(const Packet& pkt) {
     trace_->instant("net", "fault_drop", sim_.now(),
                     {{"flow", static_cast<double>(pkt.flow)},
                      {"seq", static_cast<double>(pkt.seq)},
-                     {"size", static_cast<double>(pkt.size)}},
+                     {"size", static_cast<double>(pkt.size.bytes())}},
                     traceTid_);
   }
   for (const auto& hook : faultDropHooks_) hook(pkt);
@@ -41,7 +41,7 @@ void Link::faultDown(bool drainInFlight) {
   // The queue behind a dead port empties — those packets are fault losses,
   // not queue-overflow drops, and observers that meter dequeues (stats,
   // load estimators) must not see them leave.
-  SimTime queueDelay = 0;
+  SimTime queueDelay;
   while (!queue_.empty()) {
     const Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
     ++faultFlushedPackets_;
@@ -86,7 +86,7 @@ void Link::send(Packet pkt) {
       trace_->instant("net", "drop", sim_.now(),
                       {{"flow", static_cast<double>(pkt.flow)},
                        {"seq", static_cast<double>(pkt.seq)},
-                       {"size", static_cast<double>(pkt.size)}},
+                       {"size", static_cast<double>(pkt.size.bytes())}},
                       traceTid_);
     }
     for (const auto& hook : dropHooks_) hook(pkt);
@@ -111,7 +111,7 @@ void Link::send(Packet pkt) {
 
 void Link::startTransmission() {
   TLBSIM_DCHECK(!queue_.empty(), "transmission started on an empty queue");
-  SimTime queueDelay = 0;
+  SimTime queueDelay;
   Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
   for (const auto& hook : dequeueHooks_) hook(pkt, queueDelay);
   transmitting_ = true;

@@ -52,7 +52,7 @@ class Link {
 
   // --- queue state (what a load balancer sees) -------------------------
   int queuePackets() const { return queue_.packets(); }
-  Bytes queueBytes() const { return queue_.bytes(); }
+  ByteCount queueBytes() const { return queue_.bytes(); }
   const DropTailQueue& queue() const { return queue_; }
 
   // --- configuration ----------------------------------------------------
@@ -68,13 +68,9 @@ class Link {
   // flows through one declarative, seed-deterministic plan.
   bool up() const { return up_; }
   /// Serialization rate after degradation (== rate() while healthy).
-  LinkRate effectiveRate() const {
-    return LinkRate{rate_.bitsPerSecond * rateFactor_};
-  }
+  LinkRate effectiveRate() const { return rate_.scaled(rateFactor_); }
   /// Propagation delay after inflation (== propagationDelay() healthy).
-  SimTime effectiveDelay() const {
-    return static_cast<SimTime>(static_cast<double>(delay_) * delayFactor_);
-  }
+  SimTime effectiveDelay() const { return delay_ * delayFactor_; }
   double faultRateFactor() const { return rateFactor_; }
   double faultDelayFactor() const { return delayFactor_; }
   /// Gray-failure drop probability applied at transmit completion.
@@ -97,12 +93,12 @@ class Link {
 
   // --- statistics ---------------------------------------------------------
   std::uint64_t txPackets() const { return txPackets_; }
-  Bytes txBytes() const { return txBytes_; }
+  ByteCount txBytes() const { return txBytes_; }
   std::uint64_t drops() const { return queue_.drops(); }
   /// Packets accepted into the queue since construction (audit support:
   /// enqueued == tx + queued + serializing must hold at all times).
   std::uint64_t enqueuedPackets() const { return enqueuedPackets_; }
-  Bytes enqueuedBytes() const { return enqueuedBytes_; }
+  ByteCount enqueuedBytes() const { return enqueuedBytes_; }
   /// Packets handed to the peer after propagation; tx - delivered is the
   /// number currently in flight on the wire.
   std::uint64_t deliveredPackets() const { return deliveredPackets_; }
@@ -170,11 +166,11 @@ class Link {
   std::uint64_t faultWireDrops_ = 0;
 
   std::uint64_t txPackets_ = 0;
-  Bytes txBytes_ = 0;
+  ByteCount txBytes_;
   std::uint64_t enqueuedPackets_ = 0;
-  Bytes enqueuedBytes_ = 0;
+  ByteCount enqueuedBytes_;
   std::uint64_t deliveredPackets_ = 0;
-  SimTime busyTime_ = 0;
+  SimTime busyTime_;
   std::vector<DequeueHook> dequeueHooks_;
   std::vector<DropHook> dropHooks_;
   std::vector<MarkHook> markHooks_;

@@ -38,8 +38,8 @@ struct Packet {
   HostId src = -1;
   HostId dst = -1;
 
-  Bytes size = 0;     ///< total wire size (payload + headers)
-  Bytes payload = 0;  ///< TCP payload bytes (0 for pure control/ack)
+  ByteCount size;     ///< total wire size (payload + headers)
+  ByteCount payload;  ///< TCP payload bytes (0 for pure control/ack)
 
   std::uint64_t seq = 0;  ///< first payload byte offset (data segments)
   std::uint64_t ack = 0;  ///< cumulative ack (ack segments)
@@ -48,15 +48,15 @@ struct Packet {
   bool ce = false;          ///< congestion-experienced mark (set by queues)
   bool ece = false;         ///< CE echo on the ACK path
 
-  SimTime sentAt = 0;    ///< transport send timestamp (TCP-timestamp option)
+  SimTime sentAt;    ///< transport send timestamp (TCP-timestamp option)
   /// Echoed sentAt on ACKs, for RTT estimation. -1 = no echo present
   /// (0 is a valid timestamp: flows can start at simulated time zero).
-  SimTime echoTs = -1;
+  SimTime echoTs = -1_ns;
   bool retransmit = false;
 
   /// Application deadline tag, carried on the SYN (paper §5: deadline-aware
   /// apps expose their budget; switches may collect statistics). 0 = none.
-  SimTime deadline = 0;
+  SimTime deadline;
 
   bool isControl() const {
     return type == PacketType::kSyn || type == PacketType::kSynAck ||

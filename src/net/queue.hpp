@@ -72,10 +72,10 @@ class DropTailQueue {
 
   bool empty() const { return items_.empty(); }
   int packets() const { return static_cast<int>(items_.size()); }
-  Bytes bytes() const { return bytes_; }
+  ByteCount bytes() const { return bytes_; }
 
   std::uint64_t drops() const { return drops_; }
-  Bytes droppedBytes() const { return droppedBytes_; }
+  ByteCount droppedBytes() const { return droppedBytes_; }
   std::uint64_t ecnMarks() const { return ecnMarks_; }
 
   const QueueConfig& config() const { return cfg_; }
@@ -86,8 +86,8 @@ class DropTailQueue {
 
   /// Recomputes the byte depth from the stored packets. O(n); used by the
   /// invariant audit to cross-check the incremental `bytes_` counter.
-  Bytes recomputeBytes() const {
-    Bytes total = 0;
+  ByteCount recomputeBytes() const {
+    ByteCount total;
     for (const auto& item : items_) total += item.pkt.size;
     return total;
   }
@@ -116,10 +116,10 @@ class DropTailQueue {
   QueueConfig cfg_;
   Rng redRng_;
   std::deque<Item> items_;
-  Bytes bytes_ = 0;
+  ByteCount bytes_;
   double avgQueue_ = 0.0;
   std::uint64_t drops_ = 0;
-  Bytes droppedBytes_ = 0;
+  ByteCount droppedBytes_;
   std::uint64_t ecnMarks_ = 0;
 };
 

@@ -47,7 +47,7 @@ UplinkView Switch::uplinkView() const {
     // delay reflect active degradation faults.
     if (!link.up()) continue;
     view.push_back(PortView{p, link.queuePackets(), link.queueBytes(),
-                            link.effectiveRate().bitsPerSecond,
+                            link.effectiveRate().bitsPerSecond(),
                             toSeconds(link.effectiveDelay())});
   }
   return view;

@@ -11,14 +11,14 @@ void PacketTracer::attach(Link& link, std::string label) {
     record(Kind::kDequeue, label, pkt, clock->now(), queueDelay);
   });
   link.addDropHook([this, label, clock](const Packet& pkt) {
-    record(Kind::kDrop, label, pkt, clock->now(), 0);
+    record(Kind::kDrop, label, pkt, clock->now(), 0_ns);
   });
   link.addMarkHook([this, label, clock](const Packet& pkt) {
-    record(Kind::kMark, label, pkt, clock->now(), 0);
+    record(Kind::kMark, label, pkt, clock->now(), 0_ns);
   });
   link.addFaultDropHook(
       [this, label = std::move(label), clock](const Packet& pkt) {
-        record(Kind::kFaultDrop, label, pkt, clock->now(), 0);
+        record(Kind::kFaultDrop, label, pkt, clock->now(), 0_ns);
       });
 }
 
@@ -56,7 +56,7 @@ std::string PacketTracer::format(const Event& e) {
                 static_cast<unsigned long long>(e.pkt.flow),
                 static_cast<unsigned long long>(e.pkt.seq),
                 static_cast<unsigned long long>(e.pkt.ack),
-                static_cast<long long>(e.pkt.size),
+                static_cast<long long>(e.pkt.size.bytes()),
                 toMicroseconds(e.queueDelay), e.pkt.ce ? " CE" : "",
                 e.pkt.retransmit ? " RTX" : "");
   return buf;

@@ -33,8 +33,8 @@ class PacketTracer {
 
   struct Event {
     Kind kind = Kind::kDequeue;
-    SimTime time = 0;       ///< event time (dequeue: start of serialization)
-    SimTime queueDelay = 0; ///< time spent queued (dequeue events only)
+    SimTime time;       ///< event time (dequeue: start of serialization)
+    SimTime queueDelay; ///< time spent queued (dequeue events only)
     std::string link;
     Packet pkt;
   };

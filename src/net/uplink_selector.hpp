@@ -32,7 +32,7 @@ class Switch;
 struct PortView {
   int port = -1;
   int queuePackets = 0;
-  Bytes queueBytes = 0;
+  ByteCount queueBytes;
   double rateBps = 0.0;      ///< link speed (weighting by capacity)
   double linkDelaySec = 0.0; ///< one-way propagation of this cable
 };

@@ -53,7 +53,7 @@ const FlowRecord* FlowProbe::find(FlowId id) const {
 }
 
 void FlowProbe::declareFlow(FlowId id, std::int32_t src, std::int32_t dst,
-                            Bytes size, SimTime start, bool isShort) {
+                            ByteCount size, SimTime start, bool isShort) {
   const auto it = std::lower_bound(
       index_.begin(), index_.end(), id,
       [](const std::pair<FlowId, std::size_t>& e, FlowId key) {
@@ -76,16 +76,16 @@ void FlowProbe::declareFlow(FlowId id, std::int32_t src, std::int32_t dst,
 }
 
 void FlowProbe::onUplinkForward(int leaf, int uplink, FlowId flow,
-                                Bytes wireBytes, Bytes payload, SimTime now) {
+                                ByteCount wireBytes, ByteCount payload, SimTime now) {
   matrix_.record(leaf, uplink, wireBytes);
-  if (payload <= 0) return;  // ACKs traverse the reverse leaf's uplinks
+  if (payload <= 0_B) return;  // ACKs traverse the reverse leaf's uplinks
   FlowRecord* rec = liveRecord(flow);
   if (rec == nullptr) return;
   if (uplink >= 0) {
     const auto slot = static_cast<std::size_t>(uplink);
     if (slot >= rec->uplinks.size()) rec->uplinks.resize(slot + 1);
     ++rec->uplinks[slot].packets;
-    rec->uplinks[slot].bytes += static_cast<std::uint64_t>(wireBytes);
+    rec->uplinks[slot].bytes += static_cast<std::uint64_t>(wireBytes.bytes());
   }
   if (rec->lastUplink >= 0 && rec->lastUplink != uplink) {
     ++rec->pathChanges;
@@ -109,10 +109,10 @@ void FlowProbe::onOutOfOrder(FlowId flow, SimTime now) {
   // Attribution: a path change at-or-after the last retransmission is the
   // likelier cause (reordering across unequal paths); otherwise a
   // retransmission filling earlier holes explains the gap.
-  if (rec->lastPathChangeAt >= 0 &&
+  if (rec->lastPathChangeAt >= 0_ns &&
       rec->lastPathChangeAt >= rec->lastRetransmitAt) {
     ++rec->oooPathChange;
-  } else if (rec->lastRetransmitAt >= 0) {
+  } else if (rec->lastRetransmitAt >= 0_ns) {
     ++rec->oooLoss;
   }
 }
@@ -134,7 +134,7 @@ void FlowProbe::onDecision(FlowId flow, SimTime now, DecisionKind kind,
 }
 
 void FlowProbe::finishFlow(FlowId id, bool completed, SimTime fct,
-                           bool missedDeadline, Bytes bytesAcked,
+                           bool missedDeadline, ByteCount bytesAcked,
                            std::uint64_t dataPacketsSent,
                            std::uint64_t fastRetransmits,
                            std::uint64_t timeouts) {
@@ -221,7 +221,7 @@ std::string FlowProbe::toNdjson(
            jsonNumber(static_cast<double>(rec->id));
     out += ", \"src\": " + jsonNumber(rec->src);
     out += ", \"dst\": " + jsonNumber(rec->dst);
-    out += ", \"size\": " + jsonNumber(static_cast<double>(rec->size));
+    out += ", \"size\": " + jsonNumber(static_cast<double>(rec->size.bytes()));
     out += ", \"start_s\": " + jsonNumber(toSeconds(rec->start));
     out += ", \"short\": ";
     out += rec->isShort ? "true" : "false";
@@ -231,7 +231,7 @@ std::string FlowProbe::toNdjson(
     out += ", \"missed_deadline\": ";
     out += rec->missedDeadline ? "true" : "false";
     out += ", \"bytes_acked\": " +
-           jsonNumber(static_cast<double>(rec->bytesAcked));
+           jsonNumber(static_cast<double>(rec->bytesAcked.bytes()));
     out += ", \"data_packets\": " +
            jsonNumber(static_cast<double>(rec->dataPacketsSent));
     out += ", \"fast_retransmits\": " +

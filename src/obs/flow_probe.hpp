@@ -48,7 +48,7 @@ const char* decisionKindName(DecisionKind kind);
 /// One load-balancing decision that touched a flow. `a0`/`a1` carry
 /// kind-specific context (see DecisionKind).
 struct DecisionEvent {
-  SimTime t = 0;
+  SimTime t;
   DecisionKind kind = DecisionKind::kReclassifyLong;
   double a0 = 0.0;
   double a1 = 0.0;
@@ -67,15 +67,15 @@ struct FlowRecord {
   FlowId id = kInvalidFlow;
   std::int32_t src = -1;
   std::int32_t dst = -1;
-  Bytes size = 0;
-  SimTime start = 0;
+  ByteCount size;
+  SimTime start;
   bool isShort = false;
 
   // Filled by finishFlow().
   bool completed = false;
-  SimTime fct = 0;
+  SimTime fct;
   bool missedDeadline = false;
-  Bytes bytesAcked = 0;
+  ByteCount bytesAcked;
   std::uint64_t dataPacketsSent = 0;
   std::uint64_t fastRetransmits = 0;
   std::uint64_t timeouts = 0;
@@ -92,8 +92,8 @@ struct FlowRecord {
 
   // Attribution state (not serialized).
   int lastUplink = -1;
-  SimTime lastPathChangeAt = -1;
-  SimTime lastRetransmitAt = -1;
+  SimTime lastPathChangeAt = -1_ns;
+  SimTime lastRetransmitAt = -1_ns;
 };
 
 /// Accumulates FlowRecords plus a fabric-wide PathMatrix. All mutation
@@ -116,7 +116,7 @@ class FlowProbe {
   /// Register a flow before its first packet. Calls past maxFlows are
   /// dropped (flowsNotTracked() counts them); re-declaring an id is a
   /// no-op.
-  void declareFlow(FlowId id, std::int32_t src, std::int32_t dst, Bytes size,
+  void declareFlow(FlowId id, std::int32_t src, std::int32_t dst, ByteCount size,
                    SimTime start, bool isShort);
 
   /// A leaf switch forwarded a packet of the flow onto uplink slot
@@ -124,8 +124,8 @@ class FlowProbe {
   /// shares and path-change detection only consider declared flows' data
   /// packets (payload > 0), so ACKs crossing the reverse direction do not
   /// pollute the forward path history.
-  void onUplinkForward(int leaf, int uplink, FlowId flow, Bytes wireBytes,
-                       Bytes payload, SimTime now);
+  void onUplinkForward(int leaf, int uplink, FlowId flow, ByteCount wireBytes,
+                       ByteCount payload, SimTime now);
 
   /// The sender put a retransmission (fast, RTO, or go-back-N resend) on
   /// the wire.
@@ -142,7 +142,7 @@ class FlowProbe {
 
   /// Copy the transport's final state into the record at harvest time.
   void finishFlow(FlowId id, bool completed, SimTime fct, bool missedDeadline,
-                  Bytes bytesAcked, std::uint64_t dataPacketsSent,
+                  ByteCount bytesAcked, std::uint64_t dataPacketsSent,
                   std::uint64_t fastRetransmits, std::uint64_t timeouts);
 
   const PathMatrix& pathMatrix() const { return matrix_; }

@@ -6,15 +6,15 @@
 
 namespace tlbsim::obs {
 
-void PathMatrix::record(int leaf, int uplink, Bytes wireBytes) {
-  if (leaf < 0 || uplink < 0 || wireBytes < 0) return;
+void PathMatrix::record(int leaf, int uplink, ByteCount wireBytes) {
+  if (leaf < 0 || uplink < 0 || wireBytes < 0_B) return;
   const auto row = static_cast<std::size_t>(leaf);
   const auto col = static_cast<std::size_t>(uplink);
   if (row >= cells_.size()) cells_.resize(row + 1);
   if (col >= cells_[row].size()) cells_[row].resize(col + 1);
   Cell& cell = cells_[row][col];
   ++cell.packets;
-  cell.bytes += static_cast<std::uint64_t>(wireBytes);
+  cell.bytes += static_cast<std::uint64_t>(wireBytes.bytes());
 }
 
 int PathMatrix::numUplinks(int leaf) const {
@@ -30,12 +30,13 @@ std::uint64_t PathMatrix::packets(int leaf, int uplink) const {
   return cells_[row][col].packets;
 }
 
-Bytes PathMatrix::bytes(int leaf, int uplink) const {
-  if (leaf < 0 || uplink < 0) return 0;
+ByteCount PathMatrix::bytes(int leaf, int uplink) const {
+  if (leaf < 0 || uplink < 0) return {};
   const auto row = static_cast<std::size_t>(leaf);
   const auto col = static_cast<std::size_t>(uplink);
-  if (row >= cells_.size() || col >= cells_[row].size()) return 0;
-  return static_cast<Bytes>(cells_[row][col].bytes);
+  if (row >= cells_.size() || col >= cells_[row].size()) return {};
+  return ByteCount::fromBytes(
+      static_cast<std::int64_t>(cells_[row][col].bytes));
 }
 
 std::uint64_t PathMatrix::totalPackets() const {
@@ -46,12 +47,12 @@ std::uint64_t PathMatrix::totalPackets() const {
   return total;
 }
 
-Bytes PathMatrix::totalBytes() const {
+ByteCount PathMatrix::totalBytes() const {
   std::uint64_t total = 0;
   for (const auto& row : cells_) {
     for (const Cell& cell : row) total += cell.bytes;
   }
-  return static_cast<Bytes>(total);
+  return ByteCount::fromBytes(static_cast<std::int64_t>(total));
 }
 
 double PathMatrix::imbalance(int leaf) const {
@@ -107,7 +108,7 @@ std::string PathMatrix::toJson() const {
       out += ", ";
       out += jsonNumber(static_cast<double>(packets(leaf, slot)));
       out += ", ";
-      out += jsonNumber(static_cast<double>(bytes(leaf, slot)));
+      out += jsonNumber(static_cast<double>(bytes(leaf, slot).bytes()));
       out += "]";
     }
     out += "]}";

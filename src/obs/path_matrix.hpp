@@ -22,7 +22,7 @@ class PathMatrix {
   /// Account one forwarded packet of `wireBytes` on `leaf`'s uplink slot
   /// `uplink`. Negative indices are ignored (defensive: callers pass
   /// selector slots, which are always >= 0 on the forward path).
-  void record(int leaf, int uplink, Bytes wireBytes);
+  void record(int leaf, int uplink, ByteCount wireBytes);
 
   /// Number of leaf rows seen so far (max leaf index + 1).
   int numLeaves() const { return static_cast<int>(cells_.size()); }
@@ -30,10 +30,10 @@ class PathMatrix {
   int numUplinks(int leaf) const;
 
   std::uint64_t packets(int leaf, int uplink) const;
-  Bytes bytes(int leaf, int uplink) const;
+  ByteCount bytes(int leaf, int uplink) const;
 
   std::uint64_t totalPackets() const;
-  Bytes totalBytes() const;
+  ByteCount totalBytes() const;
 
   /// Max-over-mean bytes across a leaf's uplinks: 1.0 is a perfect
   /// balance, N means the hottest uplink carried N times the average.

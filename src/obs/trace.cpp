@@ -37,7 +37,7 @@ void EventTrace::record(char ph, const char* cat, const char* name, SimTime t,
 
 void EventTrace::instant(const char* cat, const char* name, SimTime t,
                          std::initializer_list<Arg> args, int tid) {
-  record('i', cat, name, t, 0, args, tid);
+  record('i', cat, name, t, 0_ns, args, tid);
 }
 
 void EventTrace::complete(const char* cat, const char* name, SimTime start,
@@ -48,7 +48,7 @@ void EventTrace::complete(const char* cat, const char* name, SimTime start,
 
 void EventTrace::counter(const char* cat, const char* name, SimTime t,
                          std::initializer_list<Arg> args, int tid) {
-  record('C', cat, name, t, 0, args, tid);
+  record('C', cat, name, t, 0_ns, args, tid);
 }
 
 std::string EventTrace::toJson() const {

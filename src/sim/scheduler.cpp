@@ -30,8 +30,8 @@ bool Scheduler::step(SimTime limit) {
     if (live_.erase(e.id) == 0) continue;  // cancelled; skip
     TLBSIM_DCHECK(e.time >= now_,
                   "event time regressed: %lld < now %lld (heap corruption?)",
-                  static_cast<long long>(e.time),
-                  static_cast<long long>(now_));
+                  static_cast<long long>(e.time.ns()),
+                  static_cast<long long>(now_.ns()));
     now_ = e.time;
     ++executed_;
     e.fn();

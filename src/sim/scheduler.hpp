@@ -30,9 +30,9 @@ class Scheduler {
   /// A negative delay is always a unit bug upstream (time never flows
   /// backwards in the simulation), so Debug builds reject it.
   EventId schedule(SimTime delay, Callback fn) {
-    TLBSIM_DCHECK(delay >= 0, "negative delay %lld ns at t=%lld",
-                  static_cast<long long>(delay),
-                  static_cast<long long>(now_));
+    TLBSIM_DCHECK(delay >= 0_ns, "negative delay %lld ns at t=%lld",
+                  static_cast<long long>(delay.ns()),
+                  static_cast<long long>(now_.ns()));
     return scheduleAt(now_ + delay, std::move(fn));
   }
 
@@ -57,7 +57,7 @@ class Scheduler {
   std::size_t pendingEvents() const { return live_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
 
-  static constexpr SimTime kMaxTime = INT64_MAX;
+  static constexpr SimTime kMaxTime = SimTime::max();
 
  private:
   struct Entry {
@@ -74,7 +74,7 @@ class Scheduler {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> live_;
-  SimTime now_ = 0;
+  SimTime now_;
   EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
 };

@@ -43,7 +43,7 @@ class Simulator {
   /// `name` (a string literal or other pointer outliving the simulator)
   /// labels the timer's ticks in the event trace when observability is
   /// installed; nullptr keeps the timer anonymous.
-  void every(SimTime period, Scheduler::Callback fn, SimTime start = 0,
+  void every(SimTime period, Scheduler::Callback fn, SimTime start = {},
              const char* name = nullptr);
 
   /// Run until `limit` (absolute time) or event exhaustion.
@@ -59,7 +59,7 @@ class Simulator {
   struct PeriodicTimer {
     SimTime period;
     Scheduler::Callback fn;
-    SimTime nextDue = 0;
+    SimTime nextDue;
     bool armed = false;
     const char* name = nullptr;
   };

@@ -21,10 +21,10 @@ void writeFlowsCsv(const std::string& path, const FlowLedger& ledger) {
         f,
         "%llu,%d,%d,%lld,%lld,%lld,%d,%lld,%llu,%llu,%llu,%llu,%llu,%llu\n",
         static_cast<unsigned long long>(r.spec.id), r.spec.src, r.spec.dst,
-        static_cast<long long>(r.spec.size),
-        static_cast<long long>(r.spec.start),
-        static_cast<long long>(r.spec.deadline), r.completed ? 1 : 0,
-        static_cast<long long>(r.fct),
+        static_cast<long long>(r.spec.size.bytes()),
+        static_cast<long long>(r.spec.start.ns()),
+        static_cast<long long>(r.spec.deadline.ns()), r.completed ? 1 : 0,
+        static_cast<long long>(r.fct.ns()),
         static_cast<unsigned long long>(r.dupAcks),
         static_cast<unsigned long long>(r.acks),
         static_cast<unsigned long long>(r.outOfOrderPackets),
@@ -44,7 +44,7 @@ void writeSeriesCsv(const std::string& path, const std::string& name,
   }
   std::fprintf(f, "time_ns,%s\n", name.c_str());
   for (const auto& [t, v] : series.points()) {
-    std::fprintf(f, "%lld,%.9g\n", static_cast<long long>(t), v);
+    std::fprintf(f, "%lld,%.9g\n", static_cast<long long>(t.ns()), v);
   }
   std::fclose(f);
 }

@@ -42,7 +42,7 @@ double FlowLedger::deadlineMissRatio(const Predicate& pred) const {
   std::size_t withDeadline = 0;
   std::size_t missed = 0;
   for (const auto& f : flows_) {
-    if (f.spec.deadline > 0 && pred(f)) {
+    if (f.spec.deadline > 0_ns && pred(f)) {
       ++withDeadline;
       if (f.missedDeadline()) ++missed;
     }

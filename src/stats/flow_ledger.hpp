@@ -15,7 +15,7 @@ namespace tlbsim::stats {
 struct FlowResult {
   transport::FlowSpec spec;
   bool completed = false;
-  SimTime fct = 0;
+  SimTime fct;
   std::uint64_t dupAcks = 0;          ///< dup-ACKs the sender received
   std::uint64_t acks = 0;             ///< total ACKs the sender received
   std::uint64_t outOfOrderPackets = 0;  ///< receiver-side reordered arrivals
@@ -24,12 +24,12 @@ struct FlowResult {
   std::uint64_t timeouts = 0;
 
   bool missedDeadline() const {
-    return spec.deadline > 0 && (!completed || fct > spec.deadline);
+    return spec.deadline > 0_ns && (!completed || fct > spec.deadline);
   }
   /// Application goodput over the flow's lifetime, bits/sec.
   double goodputBps() const {
-    return completed && fct > 0
-               ? static_cast<double>(spec.size) * 8.0 / toSeconds(fct)
+    return completed && fct > 0_ns
+               ? static_cast<double>(spec.size.bytes()) * 8.0 / toSeconds(fct)
                : 0.0;
   }
 };

@@ -8,12 +8,12 @@
 namespace tlbsim::transport {
 
 struct TcpParams {
-  Bytes mss = 1460;        ///< payload bytes per full segment
-  Bytes headerBytes = 40;  ///< TCP/IP header overhead per packet
+  ByteCount mss = 1460_B;        ///< payload bytes per full segment
+  ByteCount headerBytes = 40_B;  ///< TCP/IP header overhead per packet
 
   int initialCwndSegments = 2;  ///< paper Eq. (3): slow start sends 2,4,8,...
   /// Receiver-window cap; the paper's W_L (64 KB default in Linux).
-  Bytes receiverWindow = 64 * kKiB;
+  ByteCount receiverWindow = 64 * kKiB;
 
   int dupAckThreshold = 3;
 
@@ -44,7 +44,7 @@ struct TcpParams {
   /// to reproduce its much harsher reordering penalties.
   bool holeRetransmitGuard = true;
 
-  Bytes maxSegmentWireSize() const { return mss + headerBytes; }
+  ByteCount maxSegmentWireSize() const { return mss + headerBytes; }
 };
 
 /// A flow to be transferred: the unit of workload generation.
@@ -52,9 +52,9 @@ struct FlowSpec {
   FlowId id = kInvalidFlow;
   net::HostId src = -1;
   net::HostId dst = -1;
-  Bytes size = 0;        ///< application bytes to deliver
-  SimTime start = 0;     ///< absolute start time
-  SimTime deadline = 0;  ///< FCT budget (relative); 0 = no deadline
+  ByteCount size;        ///< application bytes to deliver
+  SimTime start;     ///< absolute start time
+  SimTime deadline;  ///< FCT budget (relative); 0 = no deadline
 };
 
 }  // namespace tlbsim::transport

@@ -48,7 +48,7 @@ void TcpReceiver::onPacket(const net::Packet& pkt) {
 void TcpReceiver::acceptData(const net::Packet& pkt) {
   ++dataPackets_;
   const std::uint64_t start = pkt.seq;
-  const std::uint64_t end = pkt.seq + static_cast<std::uint64_t>(pkt.payload);
+  const std::uint64_t end = pkt.seq + static_cast<std::uint64_t>(pkt.payload.bytes());
   bool inOrder = false;
 
   if (start > cumAck_) {

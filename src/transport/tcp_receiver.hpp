@@ -74,7 +74,7 @@ class TcpReceiver : public net::PacketHandler {
   // --- delayed-ACK state -------------------------------------------------
   int pendingSegments_ = 0;      ///< in-order segments not yet acked
   bool pendingCe_ = false;       ///< CE bit of the pending run
-  SimTime pendingEchoTs_ = 0;    ///< timestamp of the newest pending segment
+  SimTime pendingEchoTs_;    ///< timestamp of the newest pending segment
   sim::EventId ackTimer_ = sim::kInvalidEvent;
 
   obs::FlowProbe* flowProbe_ = nullptr;  ///< null = disabled

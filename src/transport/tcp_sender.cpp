@@ -35,8 +35,8 @@ TcpSender::TcpSender(sim::Simulator& simr, net::Host& localHost,
       flow_(flow),
       params_(params),
       onComplete_(std::move(onComplete)) {
-  cwnd_ = static_cast<double>(params_.initialCwndSegments * params_.mss);
-  ssthresh_ = static_cast<double>(params_.receiverWindow);
+  cwnd_ = static_cast<double>(params_.initialCwndSegments * params_.mss.bytes());
+  ssthresh_ = static_cast<double>(params_.receiverWindow.bytes());
   host_.bind(flow_.id, this);
 }
 
@@ -70,8 +70,8 @@ void TcpSender::establish(const net::Packet& synAck) {
   established_ = true;
   sim_.cancel(rtoEvent_);
   rtoEvent_ = sim::kInvalidEvent;
-  if (synAck.echoTs >= 0) updateRtt(sim_.now() - synAck.echoTs);
-  if (flow_.size == 0) {
+  if (synAck.echoTs >= 0_ns) updateRtt(sim_.now() - synAck.echoTs);
+  if (flow_.size == 0_B) {
     complete();
     return;
   }
@@ -94,7 +94,7 @@ void TcpSender::onPacket(const net::Packet& pkt) {
 }
 
 double TcpSender::windowLimit() const {
-  return std::min(cwnd_, static_cast<double>(params_.receiverWindow));
+  return std::min(cwnd_, static_cast<double>(params_.receiverWindow.bytes()));
 }
 
 void TcpSender::handleAck(const net::Packet& ack) {
@@ -102,7 +102,7 @@ void TcpSender::handleAck(const net::Packet& ack) {
   const std::uint64_t ackNo = ack.ack;
   if (ackNo > sndUna_) {
     onNewAck(ackNo, ack);
-  } else if (ackNo == sndUna_ && inFlight() > 0) {
+  } else if (ackNo == sndUna_ && inFlight() > 0_B) {
     ++dupAcksReceived_;
     // DCTCP still accounts marks carried on dup-ACKs.
     updateDctcp(0, ack.ece);
@@ -125,11 +125,11 @@ void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
   // rewound snd_nxt; without this resync inFlight() would go negative and
   // the already-acked prefix would be retransmitted.
   if (sndNxt_ < sndUna_) sndNxt_ = sndUna_;
-  if (ack.echoTs >= 0 && !ack.ece) updateRtt(sim_.now() - ack.echoTs);
+  if (ack.echoTs >= 0_ns && !ack.ece) updateRtt(sim_.now() - ack.echoTs);
   rtoBackoff_ = 1;
   updateDctcp(newlyAcked, ack.ece);
 
-  const auto mss = static_cast<double>(params_.mss);
+  const auto mss = static_cast<double>(params_.mss.bytes());
   if (inRecovery_) {
     if (ackNo >= recoverPoint_) {
       // Full ack: leave recovery, deflate to ssthresh.
@@ -141,7 +141,7 @@ void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
       // and stay in recovery, deflating by the amount acked. At most one
       // hole retransmission per SRTT (see lastHoleRetransmit_).
       cwnd_ = std::max(mss, cwnd_ - static_cast<double>(newlyAcked) + mss);
-      if (!params_.holeRetransmitGuard || lastHoleRetransmit_ < 0 ||
+      if (!params_.holeRetransmitGuard || lastHoleRetransmit_ < 0_ns ||
           sim_.now() - lastHoleRetransmit_ >= srtt_) {
         retransmitHead();
         lastHoleRetransmit_ = sim_.now();
@@ -156,7 +156,7 @@ void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
     }
   }
 
-  if (sndUna_ >= static_cast<std::uint64_t>(flow_.size)) {
+  if (sndUna_ >= static_cast<std::uint64_t>(flow_.size.bytes())) {
     complete();
     return;
   }
@@ -166,7 +166,7 @@ void TcpSender::onNewAck(std::uint64_t ackNo, const net::Packet& ack) {
 void TcpSender::onDupAck() {
   if (inRecovery_) {
     // Window inflation keeps the pipe full during recovery.
-    cwnd_ += static_cast<double>(params_.mss);
+    cwnd_ += static_cast<double>(params_.mss.bytes());
     return;
   }
   ++dupAckCount_;
@@ -180,7 +180,7 @@ void TcpSender::onDupAck() {
     }
     inRecovery_ = true;
     recoverPoint_ = sndNxt_;
-    const auto mss = static_cast<double>(params_.mss);
+    const auto mss = static_cast<double>(params_.mss.bytes());
     ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss);
     cwnd_ = ssthresh_ + 3.0 * mss;
     retransmitHead();
@@ -207,7 +207,7 @@ void TcpSender::updateDctcp(std::uint64_t newlyAcked, bool ece) {
 
   // Multiplicative decrease, at most once per window of data.
   if (ece && sndUna_ > ecnCutPoint_ && !inRecovery_) {
-    cwnd_ = std::max(static_cast<double>(params_.mss),
+    cwnd_ = std::max(static_cast<double>(params_.mss.bytes()),
                      cwnd_ * (1.0 - alpha_ / 2.0));
     ssthresh_ = cwnd_;
     ecnCutPoint_ = sndNxt_;
@@ -223,25 +223,25 @@ void TcpSender::updateDctcp(std::uint64_t newlyAcked, bool ece) {
 
 void TcpSender::trySend() {
   if (!established_ || completed_) return;
-  const auto size = static_cast<std::uint64_t>(flow_.size);
+  const auto size = static_cast<std::uint64_t>(flow_.size.bytes());
   while (sndNxt_ < size &&
-         static_cast<double>(inFlight()) + static_cast<double>(params_.mss) <=
+         static_cast<double>(inFlight().bytes()) + static_cast<double>(params_.mss.bytes()) <=
              windowLimit() + 0.5) {
     sendSegment(sndNxt_, /*isRetransmit=*/false);
-    sndNxt_ = std::min(size, sndNxt_ + static_cast<std::uint64_t>(params_.mss));
+    sndNxt_ = std::min(size, sndNxt_ + static_cast<std::uint64_t>(params_.mss.bytes()));
   }
-  if (inFlight() > 0 && rtoEvent_ == sim::kInvalidEvent) armRto();
+  if (inFlight() > 0_B && rtoEvent_ == sim::kInvalidEvent) armRto();
 }
 
 void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
-  const auto size = static_cast<std::uint64_t>(flow_.size);
+  const auto size = static_cast<std::uint64_t>(flow_.size.bytes());
   TLBSIM_DCHECK(seq < size, "flow %llu segment starts past flow end (%llu >= %llu)",
                 static_cast<unsigned long long>(flow_.id),
                 static_cast<unsigned long long>(seq),
                 static_cast<unsigned long long>(size));
-  const Bytes payload = static_cast<Bytes>(
-      std::min<std::uint64_t>(static_cast<std::uint64_t>(params_.mss),
-                              size - seq));
+  const ByteCount payload = ByteCount::fromBytes(static_cast<std::int64_t>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(params_.mss.bytes()),
+                              size - seq)));
   net::Packet pkt;
   pkt.flow = flow_.id;
   pkt.type = net::PacketType::kData;
@@ -260,7 +260,7 @@ void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
     flowProbe_->onRetransmit(flow_.id, sim_.now());
   }
   ++dataPacketsSent_;
-  maxSent_ = std::max(maxSent_, seq + static_cast<std::uint64_t>(payload));
+  maxSent_ = std::max(maxSent_, seq + static_cast<std::uint64_t>(payload.bytes()));
   if (isRetransmit && cRetransmitted_ != nullptr) cRetransmitted_->inc();
   host_.send(pkt);
 }
@@ -268,7 +268,7 @@ void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
 void TcpSender::retransmitHead() { sendSegment(sndUna_, /*isRetransmit=*/true); }
 
 void TcpSender::updateRtt(SimTime sample) {
-  if (sample <= 0) return;
+  if (sample <= 0_ns) return;
   if (!haveRttSample_) {
     srtt_ = sample;
     rttvar_ = sample / 2;
@@ -290,7 +290,7 @@ void TcpSender::armRto() {
 
 void TcpSender::onRto() {
   rtoEvent_ = sim::kInvalidEvent;
-  if (completed_ || inFlight() <= 0) return;
+  if (completed_ || inFlight() <= 0_B) return;
   ++timeouts_;
   if (cTimeouts_ != nullptr) cTimeouts_->inc();
   if (trace_ != nullptr) {
@@ -299,8 +299,8 @@ void TcpSender::onRto() {
                      {"snd_una", static_cast<double>(sndUna_)}});
   }
   // Go-back-N: rewind and re-enter slow start.
-  const auto mss = static_cast<double>(params_.mss);
-  ssthresh_ = std::max(static_cast<double>(inFlight()) / 2.0, 2.0 * mss);
+  const auto mss = static_cast<double>(params_.mss.bytes());
+  ssthresh_ = std::max(static_cast<double>(inFlight().bytes()) / 2.0, 2.0 * mss);
   cwnd_ = mss;
   sndNxt_ = sndUna_;
   inRecovery_ = false;

@@ -50,12 +50,12 @@ class TcpSender : public net::PacketHandler {
   SimTime fct() const { return completionTime_ - flow_.start; }
   SimTime completionTime() const { return completionTime_; }
   bool missedDeadline() const {
-    return flow_.deadline > 0 && (!completed_ || fct() > flow_.deadline);
+    return flow_.deadline > 0_ns && (!completed_ || fct() > flow_.deadline);
   }
 
-  Bytes bytesAcked() const { return static_cast<Bytes>(sndUna_); }
+  ByteCount bytesAcked() const { return ByteCount::fromBytes(sndUna_); }
   /// Highest byte handed to the network so far (snd_nxt).
-  Bytes bytesSent() const { return static_cast<Bytes>(sndNxt_); }
+  ByteCount bytesSent() const { return ByteCount::fromBytes(sndNxt_); }
   std::uint64_t dupAcksReceived() const { return dupAcksReceived_; }
   std::uint64_t fastRetransmits() const { return fastRetransmits_; }
   std::uint64_t timeouts() const { return timeouts_; }
@@ -94,8 +94,8 @@ class TcpSender : public net::PacketHandler {
   void updateRtt(SimTime sample);
   void complete();
 
-  Bytes inFlight() const {
-    return static_cast<Bytes>(sndNxt_ - sndUna_);
+  ByteCount inFlight() const {
+    return ByteCount::fromBytes(sndNxt_ - sndUna_);
   }
   double windowLimit() const;
 
@@ -108,7 +108,7 @@ class TcpSender : public net::PacketHandler {
   // --- connection state --------------------------------------------------
   bool established_ = false;
   bool completed_ = false;
-  SimTime completionTime_ = 0;
+  SimTime completionTime_;
 
   std::uint64_t sndUna_ = 0;  ///< lowest unacked byte
   std::uint64_t sndNxt_ = 0;  ///< next byte to send
@@ -126,12 +126,12 @@ class TcpSender : public net::PacketHandler {
   /// retransmissions to one per SRTT changes nothing for real loss but
   /// breaks the self-sustaining storm a *spurious* fast retransmit would
   /// otherwise ignite (every unneeded retransmit elicits another dup-ACK).
-  SimTime lastHoleRetransmit_ = -1;
+  SimTime lastHoleRetransmit_ = -1_ns;
 
   // --- RTO ------------------------------------------------------------------
   sim::EventId rtoEvent_ = sim::kInvalidEvent;
-  SimTime srtt_ = 0;
-  SimTime rttvar_ = 0;
+  SimTime srtt_;
+  SimTime rttvar_;
   bool haveRttSample_ = false;
   int rtoBackoff_ = 1;
   int synRetries_ = 0;

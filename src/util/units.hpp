@@ -1,69 +1,415 @@
-// Core unit types and conversions used across tlbsim.
+// Core unit types used across tlbsim: strong, dimension-checked wrappers.
 //
 // Conventions:
 //   * time is integer nanoseconds (SimTime),
-//   * data sizes are integer bytes (Bytes),
-//   * link rates are double bytes-per-second (RateBps is *bits* per second
-//     at the API surface since network gear is specified in bits).
+//   * data sizes are integer bytes (ByteCount),
+//   * link rates are double bits-per-second (LinkRate; network gear is
+//     specified in bits even though the simulator accounts in bytes).
+//
+// The wrappers are opaque: there is no implicit conversion to or from the
+// underlying integer, and only dimensionally valid arithmetic compiles —
+//   time  ± time   -> time        bytes ± bytes  -> bytes
+//   time  * scalar -> time        bytes * scalar -> bytes
+//   time  / time   -> int64       bytes / bytes  -> int64   (ratios)
+//   bytes / rate   -> time        rate  * time   -> bytes
+// Mixing dimensions (SimTime + ByteCount, passing a raw int64_t where a
+// unit is expected, silently narrowing a unit into an int) is a compile
+// error; tests/units_negative keeps that guarantee under test.
+//
+// Values are constructed from user-defined literals (10_us, 1500_B,
+// 10_Gbps), the spelled-out helpers (microseconds(12.5), gbps(40)), or the
+// named factories (SimTime::fromNs, ByteCount::fromBytes) at parsing /
+// deserialization boundaries. The only way back out is the explicit escape
+// hatches .ns() / .bytes() / .bitsPerSecond(), reserved for serialization
+// and for interop with dimensionless code (RNG seeds, sequence numbers).
+//
+// Debug builds TLBSIM_DCHECK additive overflow; Release builds wrap like
+// the raw int64_t arithmetic they replace.
 #pragma once
 
+#include <compare>
 #include <cstdint>
+#include <type_traits>
+
+#include "util/check.hpp"
 
 namespace tlbsim {
 
+namespace unit_detail {
+constexpr bool addOverflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_add_overflow(a, b, &out);
+}
+constexpr bool subOverflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_sub_overflow(a, b, &out);
+}
+// Two's-complement wrapping add/sub: same result as the raw int64
+// arithmetic the unit types replaced, but defined behavior on overflow
+// (signed overflow is UB and would trip the UBSan gate).
+constexpr std::int64_t wrappingAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t wrappingSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+}  // namespace unit_detail
+
 /// Simulation timestamp / duration in integer nanoseconds.
-using SimTime = std::int64_t;
+///
+/// A single type covers both instants and durations (like a raw ns count
+/// would): the scheduler's "now" and a flowlet gap subtract and compare
+/// freely. Negative values are representable — they encode sentinels
+/// (e.g. "no timestamp echo") and subtraction results the caller checks.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
 
-/// Data size in bytes.
-using Bytes = std::int64_t;
+  /// Deserialization boundary: a raw int64 known to be nanoseconds.
+  static constexpr SimTime fromNs(std::int64_t ns) { return SimTime(ns); }
 
-inline constexpr SimTime kNanosecond = 1;
-inline constexpr SimTime kMicrosecond = 1'000;
-inline constexpr SimTime kMillisecond = 1'000'000;
-inline constexpr SimTime kSecond = 1'000'000'000;
+  /// Escape hatch for serialization and interop; the name carries the unit.
+  constexpr std::int64_t ns() const { return ns_; }
 
-constexpr SimTime nanoseconds(double n) { return static_cast<SimTime>(n); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr SimTime& operator+=(SimTime o) {
+    TLBSIM_DCHECK(!unit_detail::addOverflows(ns_, o.ns_),
+                  "SimTime overflow: %lld + %lld",
+                  static_cast<long long>(ns_), static_cast<long long>(o.ns_));
+    ns_ = unit_detail::wrappingAdd(ns_, o.ns_);
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    TLBSIM_DCHECK(!unit_detail::subOverflows(ns_, o.ns_),
+                  "SimTime overflow: %lld - %lld",
+                  static_cast<long long>(ns_), static_cast<long long>(o.ns_));
+    ns_ = unit_detail::wrappingSub(ns_, o.ns_);
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return a += b; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return a -= b; }
+  friend constexpr SimTime operator-(SimTime t) { return SimTime(-t.ns_); }
+
+  /// Scaling by a dimensionless factor. Integral factors stay in exact
+  /// integer arithmetic; floating factors go through double and truncate
+  /// toward zero (same as the static_cast chains they replace).
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr SimTime operator*(SimTime t, T k) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return SimTime(
+          static_cast<std::int64_t>(static_cast<double>(t.ns_) * k));
+    } else {
+      return SimTime(t.ns_ * static_cast<std::int64_t>(k));
+    }
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr SimTime operator*(T k, SimTime t) {
+    return t * k;
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr SimTime operator/(SimTime t, T k) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return SimTime(
+          static_cast<std::int64_t>(static_cast<double>(t.ns_) / k));
+    } else {
+      return SimTime(t.ns_ / static_cast<std::int64_t>(k));
+    }
+  }
+
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  constexpr SimTime& operator*=(T k) {
+    return *this = *this * k;
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  constexpr SimTime& operator/=(T k) {
+    return *this = *this / k;
+  }
+
+  /// Dimensionless ratio; integer division truncating toward zero.
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) {
+    return SimTime(a.ns_ % b.ns_);
+  }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  std::int64_t ns_ = 0;
+};
+
+/// Data size in integer bytes (negative values encode "unset" sentinels).
+class ByteCount {
+ public:
+  constexpr ByteCount() = default;
+
+  /// Deserialization boundary: a raw int64 known to be bytes.
+  static constexpr ByteCount fromBytes(std::int64_t b) {
+    return ByteCount(b);
+  }
+
+  /// Escape hatch for serialization and interop; the name carries the unit.
+  constexpr std::int64_t bytes() const { return bytes_; }
+
+  constexpr ByteCount& operator+=(ByteCount o) {
+    TLBSIM_DCHECK(!unit_detail::addOverflows(bytes_, o.bytes_),
+                  "ByteCount overflow: %lld + %lld",
+                  static_cast<long long>(bytes_),
+                  static_cast<long long>(o.bytes_));
+    bytes_ = unit_detail::wrappingAdd(bytes_, o.bytes_);
+    return *this;
+  }
+  constexpr ByteCount& operator-=(ByteCount o) {
+    TLBSIM_DCHECK(!unit_detail::subOverflows(bytes_, o.bytes_),
+                  "ByteCount overflow: %lld - %lld",
+                  static_cast<long long>(bytes_),
+                  static_cast<long long>(o.bytes_));
+    bytes_ = unit_detail::wrappingSub(bytes_, o.bytes_);
+    return *this;
+  }
+
+  friend constexpr ByteCount operator+(ByteCount a, ByteCount b) {
+    return a += b;
+  }
+  friend constexpr ByteCount operator-(ByteCount a, ByteCount b) {
+    return a -= b;
+  }
+  friend constexpr ByteCount operator-(ByteCount b) {
+    return ByteCount(-b.bytes_);
+  }
+
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr ByteCount operator*(ByteCount b, T k) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return ByteCount(
+          static_cast<std::int64_t>(static_cast<double>(b.bytes_) * k));
+    } else {
+      return ByteCount(b.bytes_ * static_cast<std::int64_t>(k));
+    }
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr ByteCount operator*(T k, ByteCount b) {
+    return b * k;
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  friend constexpr ByteCount operator/(ByteCount b, T k) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return ByteCount(
+          static_cast<std::int64_t>(static_cast<double>(b.bytes_) / k));
+    } else {
+      return ByteCount(b.bytes_ / static_cast<std::int64_t>(k));
+    }
+  }
+
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  constexpr ByteCount& operator*=(T k) {
+    return *this = *this * k;
+  }
+  template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  constexpr ByteCount& operator/=(T k) {
+    return *this = *this / k;
+  }
+
+  /// Dimensionless ratio; integer division truncating toward zero.
+  friend constexpr std::int64_t operator/(ByteCount a, ByteCount b) {
+    return a.bytes_ / b.bytes_;
+  }
+  friend constexpr ByteCount operator%(ByteCount a, ByteCount b) {
+    return ByteCount(a.bytes_ % b.bytes_);
+  }
+
+  friend constexpr bool operator==(ByteCount, ByteCount) = default;
+  friend constexpr auto operator<=>(ByteCount, ByteCount) = default;
+
+ private:
+  constexpr explicit ByteCount(std::int64_t b) : bytes_(b) {}
+
+  std::int64_t bytes_ = 0;
+};
+
+inline constexpr SimTime kNanosecond = SimTime::fromNs(1);
+inline constexpr SimTime kMicrosecond = SimTime::fromNs(1'000);
+inline constexpr SimTime kMillisecond = SimTime::fromNs(1'000'000);
+inline constexpr SimTime kSecond = SimTime::fromNs(1'000'000'000);
+
+constexpr SimTime nanoseconds(double n) {
+  return SimTime::fromNs(static_cast<std::int64_t>(n));
+}
 constexpr SimTime microseconds(double us) {
-  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+  return SimTime::fromNs(static_cast<std::int64_t>(
+      us * static_cast<double>(kMicrosecond.ns())));
 }
 constexpr SimTime milliseconds(double ms) {
-  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+  return SimTime::fromNs(static_cast<std::int64_t>(
+      ms * static_cast<double>(kMillisecond.ns())));
 }
 constexpr SimTime seconds(double s) {
-  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+  return SimTime::fromNs(
+      static_cast<std::int64_t>(s * static_cast<double>(kSecond.ns())));
 }
 
 /// Converts a SimTime to floating-point seconds (for reporting only).
 constexpr double toSeconds(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kSecond);
+  return static_cast<double>(t.ns()) / static_cast<double>(kSecond.ns());
 }
 constexpr double toMilliseconds(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+  return static_cast<double>(t.ns()) /
+         static_cast<double>(kMillisecond.ns());
 }
 constexpr double toMicroseconds(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+  return static_cast<double>(t.ns()) /
+         static_cast<double>(kMicrosecond.ns());
 }
 
-inline constexpr Bytes kKB = 1'000;
-inline constexpr Bytes kMB = 1'000'000;
-inline constexpr Bytes kKiB = 1'024;
-inline constexpr Bytes kMiB = 1'024 * 1'024;
+inline constexpr ByteCount kKB = ByteCount::fromBytes(1'000);
+inline constexpr ByteCount kMB = ByteCount::fromBytes(1'000'000);
+inline constexpr ByteCount kKiB = ByteCount::fromBytes(1'024);
+inline constexpr ByteCount kMiB = ByteCount::fromBytes(1'024 * 1'024);
 
 /// Link rate in bits per second (how network links are specified).
-struct LinkRate {
-  double bitsPerSecond = 0.0;
+class LinkRate {
+ public:
+  constexpr LinkRate() = default;
 
-  constexpr double bytesPerSecond() const { return bitsPerSecond / 8.0; }
-
-  /// Serialization time of `size` bytes on this link.
-  constexpr SimTime transmissionTime(Bytes size) const {
-    return static_cast<SimTime>(static_cast<double>(size) * 8.0 /
-                                bitsPerSecond * static_cast<double>(kSecond));
+  static constexpr LinkRate fromBitsPerSecond(double bps) {
+    return LinkRate(bps);
   }
+
+  /// Escape hatch for serialization; the name carries the unit.
+  constexpr double bitsPerSecond() const { return bitsPerSecond_; }
+  constexpr double bytesPerSecond() const { return bitsPerSecond_ / 8.0; }
+
+  /// Rate degraded (factor < 1) or restored (factor == 1) by a fault.
+  constexpr LinkRate scaled(double factor) const {
+    return LinkRate(bitsPerSecond_ * factor);
+  }
+
+  /// Serialization time of `size` bytes on this link: bytes / rate -> time.
+  ///
+  /// The result truncates toward zero to whole nanoseconds; a transfer
+  /// faster than 1 ns (a handful of bytes on a multi-hundred-Gbps link)
+  /// serializes in 0 ns. Debug builds reject negative sizes, zero rates,
+  /// and results that do not fit in int64 nanoseconds.
+  constexpr SimTime transmissionTime(ByteCount size) const {
+    TLBSIM_DCHECK(size.bytes() >= 0, "transmissionTime of %lld bytes",
+                  static_cast<long long>(size.bytes()));
+    TLBSIM_DCHECK(bitsPerSecond_ > 0.0,
+                  "transmissionTime on a %g bps link", bitsPerSecond_);
+    const double ns = static_cast<double>(size.bytes()) * 8.0 /
+                      bitsPerSecond_ * static_cast<double>(kSecond.ns());
+    TLBSIM_DCHECK(ns < 9.223372036854775e18,
+                  "transmissionTime overflows int64 ns: %g", ns);
+    return SimTime::fromNs(static_cast<std::int64_t>(ns));
+  }
+
+  /// ByteCount serialized in `t` at this rate: rate * time -> bytes
+  /// (truncating toward zero, like transmissionTime).
+  constexpr ByteCount bytesIn(SimTime t) const {
+    return ByteCount::fromBytes(static_cast<std::int64_t>(
+        static_cast<double>(t.ns()) * 1e-9 * bytesPerSecond()));
+  }
+
+  friend constexpr bool operator==(LinkRate, LinkRate) = default;
+  friend constexpr auto operator<=>(LinkRate, LinkRate) = default;
+
+ private:
+  constexpr explicit LinkRate(double bps) : bitsPerSecond_(bps) {}
+
+  double bitsPerSecond_ = 0.0;
 };
 
-constexpr LinkRate gbps(double g) { return LinkRate{g * 1e9}; }
-constexpr LinkRate mbps(double m) { return LinkRate{m * 1e6}; }
-constexpr LinkRate kbps(double k) { return LinkRate{k * 1e3}; }
+/// bytes / rate -> time (alias for LinkRate::transmissionTime).
+constexpr SimTime operator/(ByteCount size, LinkRate rate) {
+  return rate.transmissionTime(size);
+}
+/// rate * time -> bytes (alias for LinkRate::bytesIn).
+constexpr ByteCount operator*(LinkRate rate, SimTime t) {
+  return rate.bytesIn(t);
+}
+constexpr ByteCount operator*(SimTime t, LinkRate rate) {
+  return rate.bytesIn(t);
+}
+
+constexpr LinkRate gbps(double g) {
+  return LinkRate::fromBitsPerSecond(g * 1e9);
+}
+constexpr LinkRate mbps(double m) {
+  return LinkRate::fromBitsPerSecond(m * 1e6);
+}
+constexpr LinkRate kbps(double k) {
+  return LinkRate::fromBitsPerSecond(k * 1e3);
+}
+
+/// User-defined literals: 10_us, 1500_B, 40_Gbps. In scope everywhere
+/// inside namespace tlbsim; external code pulls them in with
+/// `using namespace tlbsim::unit_literals;`.
+inline namespace unit_literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::fromNs(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kMicrosecond;
+}
+constexpr SimTime operator""_us(long double v) {
+  return microseconds(static_cast<double>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kMillisecond;
+}
+constexpr SimTime operator""_ms(long double v) {
+  return milliseconds(static_cast<double>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kSecond;
+}
+constexpr SimTime operator""_s(long double v) {
+  return seconds(static_cast<double>(v));
+}
+
+constexpr ByteCount operator""_B(unsigned long long v) {
+  return ByteCount::fromBytes(static_cast<std::int64_t>(v));
+}
+constexpr ByteCount operator""_KB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kKB;
+}
+constexpr ByteCount operator""_MB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kMB;
+}
+constexpr ByteCount operator""_KiB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kKiB;
+}
+constexpr ByteCount operator""_MiB(unsigned long long v) {
+  return static_cast<std::int64_t>(v) * kMiB;
+}
+
+constexpr LinkRate operator""_Gbps(unsigned long long v) {
+  return gbps(static_cast<double>(v));
+}
+constexpr LinkRate operator""_Gbps(long double v) {
+  return gbps(static_cast<double>(v));
+}
+constexpr LinkRate operator""_Mbps(unsigned long long v) {
+  return mbps(static_cast<double>(v));
+}
+constexpr LinkRate operator""_Mbps(long double v) {
+  return mbps(static_cast<double>(v));
+}
+constexpr LinkRate operator""_Kbps(unsigned long long v) {
+  return kbps(static_cast<double>(v));
+}
+constexpr LinkRate operator""_Kbps(long double v) {
+  return kbps(static_cast<double>(v));
+}
+
+}  // namespace unit_literals
 
 }  // namespace tlbsim

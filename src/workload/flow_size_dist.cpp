@@ -9,24 +9,24 @@ namespace tlbsim::workload {
 namespace {
 
 /// pFabric-style tables in units of 1460-byte packets.
-constexpr Bytes kPkt = 1460;
+constexpr ByteCount kPkt = 1460_B;
 
 FlowSizeDistribution::Table scaleToBytes(
     std::vector<std::pair<double, double>> pkts) {
   FlowSizeDistribution::Table out;
   out.reserve(pkts.size());
   for (const auto& [p, c] : pkts) {
-    out.emplace_back(static_cast<Bytes>(p * static_cast<double>(kPkt)), c);
+    out.emplace_back(ByteCount::fromBytes(p * static_cast<double>(kPkt.bytes())), c);
   }
   return out;
 }
 
 }  // namespace
 
-FlowSizeDistribution::FlowSizeDistribution(Table table, Bytes capBytes)
+FlowSizeDistribution::FlowSizeDistribution(Table table, ByteCount capBytes)
     : table_(std::move(table)) {
   TLBSIM_ASSERT(!table_.empty(), "flow-size CDF table is empty");
-  if (capBytes > 0) {
+  if (capBytes > 0_B) {
     // Truncate the tail at capBytes: renormalize by folding the residual
     // probability onto the cap. Keeps small-flow shape identical while
     // bounding the simulated per-flow cost.
@@ -43,18 +43,18 @@ FlowSizeDistribution::FlowSizeDistribution(Table table, Bytes capBytes)
                 table_.back().second);
 
   // Piecewise-uniform mean.
-  double mean = static_cast<double>(table_.front().first) *
+  double mean = static_cast<double>(table_.front().first.bytes()) *
                 table_.front().second;
   for (std::size_t i = 1; i < table_.size(); ++i) {
     const double p = table_[i].second - table_[i - 1].second;
-    const double mid = 0.5 * (static_cast<double>(table_[i].first) +
-                              static_cast<double>(table_[i - 1].first));
+    const double mid = 0.5 * (static_cast<double>(table_[i].first.bytes()) +
+                              static_cast<double>(table_[i - 1].first.bytes()));
     mean += p * mid;
   }
   mean_ = mean;
 }
 
-FlowSizeDistribution FlowSizeDistribution::webSearch(Bytes capBytes) {
+FlowSizeDistribution FlowSizeDistribution::webSearch(ByteCount capBytes) {
   // DCTCP web-search CDF (sizes in packets): ~50 % of flows under 50 KB,
   // ~30 % above 1 MB, mean ~1.6 MB.
   return FlowSizeDistribution(scaleToBytes({{1, 0.0},
@@ -72,7 +72,7 @@ FlowSizeDistribution FlowSizeDistribution::webSearch(Bytes capBytes) {
                               capBytes);
 }
 
-FlowSizeDistribution FlowSizeDistribution::dataMining(Bytes capBytes) {
+FlowSizeDistribution FlowSizeDistribution::dataMining(ByteCount capBytes) {
   // VL2 data-mining CDF (sizes in packets): 80 % of flows under 10 KB,
   // under 5 % above 35 MB, a very long tail.
   return FlowSizeDistribution(scaleToBytes({{1, 0.5},
@@ -86,17 +86,17 @@ FlowSizeDistribution FlowSizeDistribution::dataMining(Bytes capBytes) {
                               capBytes);
 }
 
-FlowSizeDistribution FlowSizeDistribution::uniform(Bytes lo, Bytes hi) {
+FlowSizeDistribution FlowSizeDistribution::uniform(ByteCount lo, ByteCount hi) {
   TLBSIM_ASSERT(lo <= hi, "uniform flow-size bounds inverted (%lld > %lld)",
-                static_cast<long long>(lo), static_cast<long long>(hi));
+                static_cast<long long>(lo.bytes()), static_cast<long long>(hi.bytes()));
   return FlowSizeDistribution(Table{{lo, 0.0}, {hi, 1.0}});
 }
 
-FlowSizeDistribution FlowSizeDistribution::fixed(Bytes size) {
+FlowSizeDistribution FlowSizeDistribution::fixed(ByteCount size) {
   return FlowSizeDistribution(Table{{size, 1.0}});
 }
 
-Bytes FlowSizeDistribution::sample(Rng& rng) const {
+ByteCount FlowSizeDistribution::sample(Rng& rng) const {
   const double u = rng.uniform();
   if (u <= table_.front().second) return table_.front().first;
   for (std::size_t i = 1; i < table_.size(); ++i) {
@@ -104,23 +104,23 @@ Bytes FlowSizeDistribution::sample(Rng& rng) const {
       const double c0 = table_[i - 1].second;
       const double c1 = table_[i].second;
       const double frac = c1 > c0 ? (u - c0) / (c1 - c0) : 1.0;
-      const double s0 = static_cast<double>(table_[i - 1].first);
-      const double s1 = static_cast<double>(table_[i].first);
-      return static_cast<Bytes>(s0 + frac * (s1 - s0));
+      const double s0 = static_cast<double>(table_[i - 1].first.bytes());
+      const double s1 = static_cast<double>(table_[i].first.bytes());
+      return ByteCount::fromBytes(s0 + frac * (s1 - s0));
     }
   }
   return table_.back().first;
 }
 
-double FlowSizeDistribution::cdf(Bytes x) const {
+double FlowSizeDistribution::cdf(ByteCount x) const {
   if (x <= table_.front().first) {
     return x < table_.front().first ? 0.0 : table_.front().second;
   }
   for (std::size_t i = 1; i < table_.size(); ++i) {
     if (x <= table_[i].first) {
-      const double s0 = static_cast<double>(table_[i - 1].first);
-      const double s1 = static_cast<double>(table_[i].first);
-      const double frac = s1 > s0 ? (static_cast<double>(x) - s0) / (s1 - s0)
+      const double s0 = static_cast<double>(table_[i - 1].first.bytes());
+      const double s1 = static_cast<double>(table_[i].first.bytes());
+      const double frac = s1 > s0 ? (static_cast<double>(x.bytes()) - s0) / (s1 - s0)
                                   : 1.0;
       return table_[i - 1].second +
              frac * (table_[i].second - table_[i - 1].second);

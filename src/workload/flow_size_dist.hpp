@@ -21,26 +21,26 @@ class FlowSizeDistribution {
   /// (size in bytes, cumulative probability) knots; probabilities must be
   /// non-decreasing and end at 1. Sampling interpolates linearly in size
   /// within each segment.
-  using Table = std::vector<std::pair<Bytes, double>>;
+  using Table = std::vector<std::pair<ByteCount, double>>;
 
-  explicit FlowSizeDistribution(Table table, Bytes capBytes = 0);
+  explicit FlowSizeDistribution(Table table, ByteCount capBytes = 0_B);
 
   /// DCTCP web-search workload (~30 % of flows above 1 MB).
-  static FlowSizeDistribution webSearch(Bytes capBytes = 0);
+  static FlowSizeDistribution webSearch(ByteCount capBytes = 0_B);
   /// VL2 data-mining workload (~95 % of flows tiny, tail to hundreds of MB).
-  static FlowSizeDistribution dataMining(Bytes capBytes = 0);
+  static FlowSizeDistribution dataMining(ByteCount capBytes = 0_B);
   /// Uniform sizes in [lo, hi] (the paper's "<100 KB random" short flows).
-  static FlowSizeDistribution uniform(Bytes lo, Bytes hi);
+  static FlowSizeDistribution uniform(ByteCount lo, ByteCount hi);
   /// Degenerate distribution (all flows the same size).
-  static FlowSizeDistribution fixed(Bytes size);
+  static FlowSizeDistribution fixed(ByteCount size);
 
-  Bytes sample(Rng& rng) const;
+  ByteCount sample(Rng& rng) const;
 
   /// Analytic mean of the piecewise-linear distribution (after capping).
   double meanBytes() const { return mean_; }
 
   /// P(size <= x).
-  double cdf(Bytes x) const;
+  double cdf(ByteCount x) const;
 
   const Table& table() const { return table_; }
 

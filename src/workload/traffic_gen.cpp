@@ -41,8 +41,9 @@ std::vector<transport::FlowSpec> poissonWorkload(
                   leafOf(f.src, cfg.hostsPerLeaf)));
     f.size = dist.sample(rng);
     f.start = t;
-    if (f.size < cfg.shortThreshold && cfg.deadlineMax > 0) {
-      f.deadline = rng.uniformInt(cfg.deadlineMin, cfg.deadlineMax);
+    if (f.size < cfg.shortThreshold && cfg.deadlineMax > 0_ns) {
+      f.deadline =
+          SimTime::fromNs(rng.uniformInt(cfg.deadlineMin.ns(), cfg.deadlineMax.ns()));
     }
     flows.push_back(f);
   }
@@ -67,13 +68,13 @@ std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
     f.src = static_cast<net::HostId>(i % cfg.hostsPerLeaf);
     f.dst = static_cast<net::HostId>(cfg.hostsPerLeaf + i % cfg.hostsPerLeaf);
     f.size = cfg.longSize;
-    f.start = 0;
+    f.start = 0_ns;
     flows.push_back(f);
   }
 
   // Short flows: Poisson arrivals from random leaf-0 senders to random
   // leaf-1 receivers.
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < cfg.numShort; ++i) {
     t += seconds(
         rng.exponential(toSeconds(cfg.shortInterArrival)));
@@ -85,9 +86,11 @@ std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
         cfg.hostsPerLeaf +
         static_cast<int>(
             rng.uniformInt(static_cast<std::uint64_t>(cfg.hostsPerLeaf))));
-    f.size = rng.uniformInt(cfg.shortMin, cfg.shortMax);
+    f.size = ByteCount::fromBytes(
+        rng.uniformInt(cfg.shortMin.bytes(), cfg.shortMax.bytes()));
     f.start = t;
-    f.deadline = rng.uniformInt(cfg.deadlineMin, cfg.deadlineMax);
+    f.deadline =
+        SimTime::fromNs(rng.uniformInt(cfg.deadlineMin.ns(), cfg.deadlineMax.ns()));
     flows.push_back(f);
   }
   return flows;
@@ -111,10 +114,10 @@ std::vector<transport::FlowSpec> incastWorkload(const IncastConfig& cfg,
     f.dst = cfg.aggregator;
     f.size = cfg.responseBytes;
     f.start =
-        cfg.start + (cfg.jitter > 0
-                         ? rng.uniformInt(static_cast<std::int64_t>(0),
-                                          static_cast<std::int64_t>(cfg.jitter))
-                         : 0);
+        cfg.start + (cfg.jitter > 0_ns
+                         ? SimTime::fromNs(rng.uniformInt(
+                               std::int64_t{0}, cfg.jitter.ns()))
+                         : 0_ns);
     f.deadline = cfg.deadline;
     flows.push_back(f);
     sender = (sender + 1) % cfg.numHosts;

@@ -26,10 +26,10 @@ struct PoissonConfig {
   /// (unreachable) edge sum.
   double offeredCapacityBps = 0.0;
   bool crossLeafOnly = true;  ///< only generate fabric-crossing flows
-  SimTime startTime = 0;
+  SimTime startTime;
   /// Deadlines assigned to flows below `shortThreshold`, uniform in
   /// [deadlineMin, deadlineMax] (paper: [5 ms, 25 ms]); 0/0 disables.
-  Bytes shortThreshold = 100 * kKB;
+  ByteCount shortThreshold = 100 * kKB;
   SimTime deadlineMin = milliseconds(5);
   SimTime deadlineMax = milliseconds(25);
 };
@@ -44,9 +44,9 @@ std::vector<transport::FlowSpec> poissonWorkload(
 struct BasicMixConfig {
   int numShort = 100;
   int numLong = 5;
-  Bytes shortMin = 40 * kKB;   ///< uniform short sizes, mean 70 KB
-  Bytes shortMax = 100 * kKB;
-  Bytes longSize = 10 * kMB;
+  ByteCount shortMin = 40 * kKB;   ///< uniform short sizes, mean 70 KB
+  ByteCount shortMax = 100 * kKB;
+  ByteCount longSize = 10 * kMB;
   int numHosts = 32;           ///< split half senders / half receivers
   int hostsPerLeaf = 16;
   /// Mean inter-arrival gap of the short flows.
@@ -66,11 +66,11 @@ std::vector<transport::FlowSpec> basicMixWorkload(const BasicMixConfig& cfg,
 struct IncastConfig {
   int fanIn = 16;
   net::HostId aggregator = 0;
-  Bytes responseBytes = 64 * kKB;
-  SimTime start = 0;
-  SimTime jitter = 0;
+  ByteCount responseBytes = 64 * kKB;
+  SimTime start;
+  SimTime jitter;
   int numHosts = 32;
-  SimTime deadline = 0;  ///< per-response deadline; 0 = none
+  SimTime deadline;  ///< per-response deadline; 0 = none
 };
 
 std::vector<transport::FlowSpec> incastWorkload(const IncastConfig& cfg,

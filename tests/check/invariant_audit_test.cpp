@@ -69,8 +69,8 @@ TEST(InvariantAuditor, WatchedLinkStaysConsistentThroughTraffic) {
 
   net::Packet pkt;
   pkt.flow = 1;
-  pkt.size = 1500;
-  pkt.payload = 1500;
+  pkt.size = 1500_B;
+  pkt.payload = 1500_B;
   for (int i = 0; i < 4; ++i) link.send(pkt);
   auditor.auditNow(simr.now());  // mid-flight: queued + serializing
   simr.run();

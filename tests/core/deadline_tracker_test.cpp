@@ -18,8 +18,8 @@ TEST(DeadlineTracker, EmptyReturnsFallback) {
 
 TEST(DeadlineTracker, IgnoresNonPositiveDeadlines) {
   DeadlineTracker t;
-  t.observe(0);
-  t.observe(-5);
+  t.observe(0_ns);
+  t.observe(-5_ns);
   EXPECT_EQ(t.sampleCount(), 0u);
   EXPECT_EQ(t.observedCount(), 0u);
 }
@@ -29,12 +29,13 @@ TEST(DeadlineTracker, PercentilesOfUniformDistribution) {
   Rng rng(2);
   // Uniform [5 ms, 25 ms], as in the paper's evaluation.
   for (int i = 0; i < 4000; ++i) {
-    t.observe(rng.uniformInt(milliseconds(5), milliseconds(25)));
+    t.observe(SimTime::fromNs(
+        rng.uniformInt(milliseconds(5).ns(), milliseconds(25).ns())));
   }
   // 25th percentile ~ 10 ms, 50th ~ 15 ms, 75th ~ 20 ms.
-  EXPECT_NEAR(toMilliseconds(t.percentile(25, 0)), 10.0, 1.0);
-  EXPECT_NEAR(toMilliseconds(t.percentile(50, 0)), 15.0, 1.0);
-  EXPECT_NEAR(toMilliseconds(t.percentile(75, 0)), 20.0, 1.0);
+  EXPECT_NEAR(toMilliseconds(t.percentile(25, 0_ns)), 10.0, 1.0);
+  EXPECT_NEAR(toMilliseconds(t.percentile(50, 0_ns)), 15.0, 1.0);
+  EXPECT_NEAR(toMilliseconds(t.percentile(75, 0_ns)), 20.0, 1.0);
 }
 
 TEST(DeadlineTracker, ExtremePercentilesClamp) {
@@ -42,10 +43,10 @@ TEST(DeadlineTracker, ExtremePercentilesClamp) {
   t.observe(milliseconds(5));
   t.observe(milliseconds(10));
   t.observe(milliseconds(15));
-  EXPECT_EQ(t.percentile(0, 0), milliseconds(5));
-  EXPECT_EQ(t.percentile(100, 0), milliseconds(15));
-  EXPECT_EQ(t.percentile(-3, 0), milliseconds(5));
-  EXPECT_EQ(t.percentile(250, 0), milliseconds(15));
+  EXPECT_EQ(t.percentile(0, 0_ns), milliseconds(5));
+  EXPECT_EQ(t.percentile(100, 0_ns), milliseconds(15));
+  EXPECT_EQ(t.percentile(-3, 0_ns), milliseconds(5));
+  EXPECT_EQ(t.percentile(250, 0_ns), milliseconds(15));
 }
 
 TEST(DeadlineTracker, ReservoirStaysBounded) {
@@ -54,8 +55,8 @@ TEST(DeadlineTracker, ReservoirStaysBounded) {
   EXPECT_EQ(t.sampleCount(), 64u);
   EXPECT_EQ(t.observedCount(), 10000u);
   // The sample still represents the distribution roughly.
-  EXPECT_GT(t.percentile(50, 0), milliseconds(4));
-  EXPECT_LT(t.percentile(50, 0), milliseconds(17));
+  EXPECT_GT(t.percentile(50, 0_ns), milliseconds(4));
+  EXPECT_LT(t.percentile(50, 0_ns), milliseconds(17));
 }
 
 // ------------------------------------- integration with TLB ------------
@@ -63,7 +64,7 @@ TEST(DeadlineTracker, ReservoirStaysBounded) {
 net::UplinkView makeView(int n) {
   net::UplinkView v;
   for (int i = 0; i < n; ++i) {
-    v.push_back(net::PortView{i, 0, 0, 1e9, 0.0});
+    v.push_back(net::PortView{i, 0, 0_B, 1e9, 0.0});
   }
   return v;
 }
@@ -84,8 +85,9 @@ TEST(TlbAutoDeadline, EffectiveDeadlineTracksSynTags) {
     net::Packet syn;
     syn.flow = f;
     syn.type = net::PacketType::kSyn;
-    syn.size = 40;
-    syn.deadline = rng.uniformInt(milliseconds(5), milliseconds(25));
+    syn.size = 40_B;
+    syn.deadline = SimTime::fromNs(
+        rng.uniformInt(milliseconds(5).ns(), milliseconds(25).ns()));
     tlb.selectUplink(syn, view);
   }
   tlb.controlTick();

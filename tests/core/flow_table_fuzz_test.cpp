@@ -23,10 +23,11 @@ TEST_P(FlowTableFuzz, CountersAlwaysConsistent) {
   // Shadow model: what each live flow's class should be.
   std::unordered_map<FlowId, bool> shadowLong;
   std::unordered_map<FlowId, SimTime> shadowSeen;
-  SimTime now = 0;
+  SimTime now;
 
   for (int op = 0; op < 5000; ++op) {
-    now += rng.uniformInt(0, static_cast<std::int64_t>(microseconds(40)));
+    now += SimTime::fromNs(rng.uniformInt(
+        std::int64_t{0}, microseconds(40).ns()));
     const FlowId id = rng.uniformInt(24);
     const double action = rng.uniform();
     if (action < 0.2) {
@@ -41,7 +42,7 @@ TEST_P(FlowTableFuzz, CountersAlwaysConsistent) {
       auto& e = table.touch(id, now);
       shadowLong.try_emplace(id, false);
       shadowSeen[id] = now;
-      const Bytes payload = rng.uniformInt(1, 4000);
+      const ByteCount payload = ByteCount::fromBytes(rng.uniformInt(1, 4000));
       table.recordPayload(e, payload);
       if (e.bytesSeen > cfg.shortFlowThreshold) shadowLong[id] = true;
     } else {

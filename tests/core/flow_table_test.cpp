@@ -15,8 +15,8 @@ TlbConfig config() {
 
 TEST(FlowTable, SynFinCounting) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
-  t.onFlowStart(2, 0);
+  t.onFlowStart(1, 0_ns);
+  t.onFlowStart(2, 0_ns);
   EXPECT_EQ(t.shortCount(), 2);
   EXPECT_EQ(t.longCount(), 0);
   t.onFlowEnd(1);
@@ -26,8 +26,8 @@ TEST(FlowTable, SynFinCounting) {
 
 TEST(FlowTable, DuplicateSynDoesNotDoubleCount) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
-  t.onFlowStart(1, 10);
+  t.onFlowStart(1, 0_ns);
+  t.onFlowStart(1, 10_ns);
   EXPECT_EQ(t.shortCount(), 1);
 }
 
@@ -40,19 +40,19 @@ TEST(FlowTable, FinForUnknownFlowIsNoop) {
 
 TEST(FlowTable, TouchCreatesWhenSynMissed) {
   FlowTable t(config());
-  auto& e = t.touch(5, 100);
+  auto& e = t.touch(5, 100_ns);
   EXPECT_EQ(t.shortCount(), 1);
-  EXPECT_EQ(e.lastSeen, 100);
+  EXPECT_EQ(e.lastSeen, 100_ns);
   EXPECT_FALSE(e.isLong);
 }
 
 TEST(FlowTable, ReclassifiesAtThreshold) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
-  auto& e = t.touch(1, 0);
+  t.onFlowStart(1, 0_ns);
+  auto& e = t.touch(1, 0_ns);
   EXPECT_FALSE(t.recordPayload(e, 100 * kKB));  // exactly at threshold: short
   EXPECT_EQ(t.shortCount(), 1);
-  EXPECT_TRUE(t.recordPayload(e, 1));  // crosses
+  EXPECT_TRUE(t.recordPayload(e, 1_B));  // crosses
   EXPECT_TRUE(e.isLong);
   EXPECT_EQ(t.shortCount(), 0);
   EXPECT_EQ(t.longCount(), 1);
@@ -63,8 +63,8 @@ TEST(FlowTable, ReclassifiesAtThreshold) {
 
 TEST(FlowTable, LongFlowFinDecrementsLongCount) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
-  auto& e = t.touch(1, 0);
+  t.onFlowStart(1, 0_ns);
+  auto& e = t.touch(1, 0_ns);
   t.recordPayload(e, 200 * kKB);
   EXPECT_EQ(t.longCount(), 1);
   t.onFlowEnd(1);
@@ -74,7 +74,7 @@ TEST(FlowTable, LongFlowFinDecrementsLongCount) {
 
 TEST(FlowTable, IdlePurgeRemovesStaleFlows) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
+  t.onFlowStart(1, 0_ns);
   t.onFlowStart(2, microseconds(400));
   t.purgeIdle(microseconds(600));  // flow 1 idle 600 us > 500 us
   EXPECT_FALSE(t.contains(1));
@@ -84,7 +84,7 @@ TEST(FlowTable, IdlePurgeRemovesStaleFlows) {
 
 TEST(FlowTable, TouchRefreshesIdleClock) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
+  t.onFlowStart(1, 0_ns);
   t.touch(1, microseconds(400));
   t.purgeIdle(microseconds(700));  // idle only 300 us
   EXPECT_TRUE(t.contains(1));
@@ -92,10 +92,10 @@ TEST(FlowTable, TouchRefreshesIdleClock) {
 
 TEST(FlowTable, PurgeDecrementsCorrectClass) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);
-  auto& e = t.touch(1, 0);
+  t.onFlowStart(1, 0_ns);
+  auto& e = t.touch(1, 0_ns);
   t.recordPayload(e, 200 * kKB);  // now long
-  t.onFlowStart(2, 0);
+  t.onFlowStart(2, 0_ns);
   t.purgeIdle(microseconds(1000));
   EXPECT_EQ(t.shortCount(), 0);
   EXPECT_EQ(t.longCount(), 0);
@@ -111,8 +111,8 @@ TEST(FlowTable, MeanShortSizeTracksCompletedShortFlows) {
   auto cfg = config();
   cfg.shortSizeGain = 1.0;  // follow the last sample exactly
   FlowTable t(cfg);
-  t.onFlowStart(1, 0);
-  auto& e = t.touch(1, 0);
+  t.onFlowStart(1, 0_ns);
+  auto& e = t.touch(1, 0_ns);
   t.recordPayload(e, 30 * kKB);
   t.onFlowEnd(1);
   EXPECT_EQ(t.meanShortFlowSize(), 30 * kKB);
@@ -120,7 +120,7 @@ TEST(FlowTable, MeanShortSizeTracksCompletedShortFlows) {
 
 TEST(FlowTable, MeanShortSizeIgnoresPureAckFlows) {
   FlowTable t(config());
-  t.onFlowStart(1, 0);  // reverse-path entry: no payload ever
+  t.onFlowStart(1, 0_ns);  // reverse-path entry: no payload ever
   t.onFlowEnd(1);
   EXPECT_EQ(t.meanShortFlowSize(), 70 * kKB);
 }
@@ -129,8 +129,8 @@ TEST(FlowTable, MeanShortSizeIgnoresLongFlows) {
   auto cfg = config();
   cfg.shortSizeGain = 1.0;
   FlowTable t(cfg);
-  t.onFlowStart(1, 0);
-  auto& e = t.touch(1, 0);
+  t.onFlowStart(1, 0_ns);
+  auto& e = t.touch(1, 0_ns);
   t.recordPayload(e, 10 * kMB);
   t.onFlowEnd(1);
   EXPECT_EQ(t.meanShortFlowSize(), 70 * kKB);  // unchanged

@@ -15,28 +15,28 @@ TlbConfig paperConfig() {
   cfg.longFlowWindow = 64 * kKiB;
   cfg.rtt = microseconds(100);
   cfg.linkCapacity = gbps(1);
-  cfg.mss = 1460;
+  cfg.mss = 1460_B;
   cfg.deadline = milliseconds(10);
   cfg.bufferPackets = 512;
-  cfg.packetWireSize = 1500;
+  cfg.packetWireSize = 1500_B;
   return cfg;
 }
 
 model::ModelParams modelOf(const TlbConfig& cfg, int n, int mS, int mL,
-                           Bytes X) {
+                           ByteCount X) {
   model::ModelParams p;
   p.n = n;
   p.mS = mS;
   p.mL = mL;
-  p.X = static_cast<double>(X);
-  p.WL = static_cast<double>(cfg.longFlowWindow);
+  p.X = static_cast<double>(X.bytes());
+  p.WL = static_cast<double>(cfg.longFlowWindow.bytes());
   p.C = cfg.linkCapacity.bytesPerSecond();
   // The calculator evaluates the model at the *effective* RTT of a
   // saturated W_L-window flow (a long flow cannot exceed line rate).
   p.rtt = std::max(toSeconds(cfg.rtt), p.WL / p.C);
   p.t = toSeconds(cfg.updateInterval);
   p.D = toSeconds(cfg.deadline);
-  p.mss = static_cast<double>(cfg.mss);
+  p.mss = static_cast<double>(cfg.mss.bytes());
   return p;
 }
 
@@ -44,41 +44,41 @@ TEST(GranularityCalculator, MatchesClosedForm) {
   // Contended point: more long flows than the paths left over for them.
   const auto cfg = paperConfig();
   GranularityCalculator calc(cfg, 15);
-  const Bytes qth = calc.update(100, 24, 70 * kKB);
+  const ByteCount qth = calc.update(100, 24, 70 * kKB);
   const double expected =
       model::switchingThresholdBytes(modelOf(cfg, 15, 100, 24, 70 * kKB));
-  EXPECT_GT(qth, 0);
-  EXPECT_NEAR(static_cast<double>(qth), expected, 1.0);
+  EXPECT_GT(qth, 0_B);
+  EXPECT_NEAR(static_cast<double>(qth.bytes()), expected, 1.0);
 }
 
 TEST(GranularityCalculator, ZeroLongFlowsGivesZeroThreshold) {
   GranularityCalculator calc(paperConfig(), 15);
-  EXPECT_EQ(calc.update(50, 0, 70 * kKB), 0);
+  EXPECT_EQ(calc.update(50, 0, 70 * kKB), 0_B);
 }
 
 TEST(GranularityCalculator, NoShortFlowsGivesSmallThreshold) {
   // With m_S = 0 long flows may switch at fine granularity; q_th should be
   // small (a few packets at most for the paper's parameters).
   GranularityCalculator calc(paperConfig(), 15);
-  const Bytes qth = calc.update(0, 3, 70 * kKB);
-  EXPECT_LT(qth, 10 * 1500);
+  const ByteCount qth = calc.update(0, 3, 70 * kKB);
+  EXPECT_LT(qth, 10 * 1500_B);
 }
 
 TEST(GranularityCalculator, MoreShortFlowsRaisesThreshold) {
   // Contended regime (long flows outnumber spare paths) so the threshold
   // is interior rather than clamped at 0.
   GranularityCalculator calc(paperConfig(), 15);
-  const Bytes q50 = calc.update(50, 24, 70 * kKB);
-  const Bytes q150 = calc.update(150, 24, 70 * kKB);
+  const ByteCount q50 = calc.update(50, 24, 70 * kKB);
+  const ByteCount q150 = calc.update(150, 24, 70 * kKB);
   EXPECT_GT(q150, q50);
 }
 
 TEST(GranularityCalculator, MoreLongFlowsRaisesThreshold) {
   GranularityCalculator calc(paperConfig(), 15);
-  const Bytes q16 = calc.update(100, 16, 70 * kKB);
-  const Bytes q24 = calc.update(100, 24, 70 * kKB);
+  const ByteCount q16 = calc.update(100, 16, 70 * kKB);
+  const ByteCount q24 = calc.update(100, 24, 70 * kKB);
   EXPECT_GT(q24, q16);
-  EXPECT_GT(q16, 0);
+  EXPECT_GT(q16, 0_B);
 }
 
 TEST(GranularityCalculator, ClampedToBuffer) {
@@ -86,27 +86,27 @@ TEST(GranularityCalculator, ClampedToBuffer) {
   cfg.bufferPackets = 64;
   GranularityCalculator calc(cfg, 15);
   // Overwhelming short load: the model wants an enormous threshold.
-  const Bytes qth = calc.update(5000, 10, 70 * kKB);
+  const ByteCount qth = calc.update(5000, 10, 70 * kKB);
   EXPECT_EQ(qth, cfg.bufferBytes());
 }
 
 TEST(GranularityCalculator, NeverNegative) {
   GranularityCalculator calc(paperConfig(), 64);
   // Many paths, tiny long-flow demand: raw Eq. (9) would go negative.
-  EXPECT_GE(calc.update(1, 1, 10 * kKB), 0);
+  EXPECT_GE(calc.update(1, 1, 10 * kKB), 0_B);
 }
 
 TEST(GranularityCalculator, OverrideBypassesModel) {
   auto cfg = paperConfig();
-  cfg.qthOverrideBytes = 12345;
+  cfg.qthOverrideBytes = 12345_B;
   GranularityCalculator calc(cfg, 15);
-  EXPECT_EQ(calc.qthBytes(), 12345);
-  EXPECT_EQ(calc.update(100, 3, 70 * kKB), 12345);
+  EXPECT_EQ(calc.qthBytes(), 12345_B);
+  EXPECT_EQ(calc.update(100, 3, 70 * kKB), 12345_B);
 }
 
 TEST(GranularityCalculator, InitialThresholdIsZero) {
   GranularityCalculator calc(paperConfig(), 15);
-  EXPECT_EQ(calc.qthBytes(), 0);
+  EXPECT_EQ(calc.qthBytes(), 0_B);
 }
 
 TEST(GranularityCalculator, ShortPathsDiagnosticExposed) {

@@ -32,7 +32,7 @@ class SinkNode : public Node {
   sim::Simulator& sim_;
 };
 
-Packet makePacket(FlowId flow, Bytes size) {
+Packet makePacket(FlowId flow, ByteCount size) {
   Packet p;
   p.flow = flow;
   p.size = size;
@@ -46,7 +46,7 @@ TEST(LinkFault, SendWhileDownIsRejectedNotEnqueued) {
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
   link.faultDown(/*drainInFlight=*/false);
-  link.send(makePacket(1, 1500));
+  link.send(makePacket(1, 1500_B));
   simr.run();
   EXPECT_TRUE(sink.arrivals.empty());
   EXPECT_EQ(link.faultRejectedPackets(), 1u);
@@ -63,7 +63,7 @@ TEST(LinkFault, DownFlushesQueueWithoutDequeueHooks) {
   int dequeues = 0;
   link.addDequeueHook([&](const Packet&, SimTime) { ++dequeues; });
   // First packet serializes immediately; three more wait in the queue.
-  for (FlowId f = 1; f <= 4; ++f) link.send(makePacket(f, 1500));
+  for (FlowId f = 1; f <= 4; ++f) link.send(makePacket(f, 1500_B));
   ASSERT_EQ(link.queuePackets(), 3);
   ASSERT_EQ(dequeues, 1);
   link.faultDown(/*drainInFlight=*/false);
@@ -83,8 +83,8 @@ TEST(LinkFault, DropModeKillsSerializingAndInFlightPackets) {
   // 1500 B @ 1 Gbps = 12 us serialization; 10 us propagation.
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
-  link.send(makePacket(1, 1500));  // tx completes at 12 us, delivery at 22 us
-  link.send(makePacket(2, 1500));  // tx completes at 24 us, delivery at 34 us
+  link.send(makePacket(1, 1500_B));  // tx completes at 12 us, delivery at 22 us
+  link.send(makePacket(2, 1500_B));  // tx completes at 24 us, delivery at 34 us
   // Fail at 15 us: packet 1 is on the wire, packet 2 is serializing.
   simr.schedule(microseconds(15), [&] { link.faultDown(false); });
   simr.run();
@@ -99,8 +99,8 @@ TEST(LinkFault, DrainModeDeliversInFlightPackets) {
   SinkNode sink(simr);
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
-  link.send(makePacket(1, 1500));
-  link.send(makePacket(2, 1500));
+  link.send(makePacket(1, 1500_B));
+  link.send(makePacket(2, 1500_B));
   simr.schedule(microseconds(15), [&] { link.faultDown(true); });
   simr.run();
   // Both had left the queue by 15 us (packet 2 was serializing), so both
@@ -115,10 +115,10 @@ TEST(LinkFault, UpRestoresServiceAndRestartsQueue) {
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
   link.faultDown(false);
-  link.send(makePacket(1, 1500));  // rejected
+  link.send(makePacket(1, 1500_B));  // rejected
   link.faultUp();
   EXPECT_TRUE(link.up());
-  link.send(makePacket(2, 1500));  // accepted
+  link.send(makePacket(2, 1500_B));  // accepted
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 1u);
   EXPECT_EQ(sink.arrivals[0].pkt.flow, 2u);
@@ -135,7 +135,7 @@ TEST(LinkFault, GrayFailureDropsAreDeterministicAndAccounted) {
     tracer.attach(link, "gray");
     link.faultSetDropProb(0.3, seed);
     const int n = 200;
-    for (int i = 0; i < n; ++i) link.send(makePacket(1, 1000));
+    for (int i = 0; i < n; ++i) link.send(makePacket(1, 1000_B));
     simr.run();
     // Every transmitted packet is either delivered or gray-dropped.
     EXPECT_EQ(link.txPackets(), static_cast<std::uint64_t>(n));
@@ -162,13 +162,13 @@ TEST(LinkFault, RateFactorSlowsSerialization) {
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
   link.faultSetRateFactor(0.5);  // 1 Gbps -> 500 Mbps
-  link.send(makePacket(1, 1500));
+  link.send(makePacket(1, 1500_B));
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 1u);
   // 24 us serialization (doubled) + 10 us propagation.
   EXPECT_EQ(sink.arrivals[0].at, microseconds(34));
   link.faultSetRateFactor(1.0);
-  EXPECT_EQ(link.effectiveRate().bitsPerSecond, gbps(1).bitsPerSecond);
+  EXPECT_EQ(link.effectiveRate().bitsPerSecond(), gbps(1).bitsPerSecond());
 }
 
 TEST(LinkFault, DelayFactorInflatesPropagation) {
@@ -177,7 +177,7 @@ TEST(LinkFault, DelayFactorInflatesPropagation) {
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
   link.faultSetDelayFactor(3.0);  // 10 us -> 30 us
-  link.send(makePacket(1, 1500));
+  link.send(makePacket(1, 1500_B));
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 1u);
   EXPECT_EQ(sink.arrivals[0].at, microseconds(12) + microseconds(30));
@@ -206,8 +206,8 @@ struct SwitchRig {
     Packet p;
     p.flow = 7;
     p.dst = dst;
-    p.size = 100;
-    p.payload = 100;
+    p.size = 100_B;
+    p.payload = 100_B;
     return p;
   }
 };
@@ -229,9 +229,9 @@ TEST(SwitchFault, UplinkViewReflectsDegradation) {
   rig.sw->port(0).faultSetRateFactor(0.25);
   rig.sw->port(0).faultSetDelayFactor(2.0);
   const UplinkView view = rig.sw->uplinkView();
-  EXPECT_DOUBLE_EQ(view[0].rateBps, gbps(1).bitsPerSecond * 0.25);
+  EXPECT_DOUBLE_EQ(view[0].rateBps, gbps(1).bitsPerSecond() * 0.25);
   EXPECT_DOUBLE_EQ(view[0].linkDelaySec, toSeconds(microseconds(2)));
-  EXPECT_DOUBLE_EQ(view[1].rateBps, gbps(1).bitsPerSecond);
+  EXPECT_DOUBLE_EQ(view[1].rateBps, gbps(1).bitsPerSecond());
 }
 
 TEST(SwitchFault, AllUplinksDownStillAccountsEveryPacket) {

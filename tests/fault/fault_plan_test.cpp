@@ -33,7 +33,7 @@ TEST(FaultPlanParse, AllKindsAndTimeUnits) {
   EXPECT_EQ(plan.events[1].kind, Kind::kDelayFactor);
   EXPECT_EQ(plan.events[1].at, microseconds(250));
   EXPECT_EQ(plan.events[2].kind, Kind::kDropProb);
-  EXPECT_EQ(plan.events[2].at, 1500);
+  EXPECT_EQ(plan.events[2].at, 1500_ns);
   EXPECT_EQ(plan.events[3].kind, Kind::kUp);
   EXPECT_EQ(plan.events[3].at, seconds(1));
   for (const auto& ev : plan.events) {
@@ -115,19 +115,19 @@ TEST(FaultPlanToString, UsesLargestExactUnit) {
 }
 
 TEST(FaultPlan, DisruptiveClassification) {
-  EXPECT_TRUE((FaultEvent{0, 0, 0, Kind::kDown, 0.0}).disruptive());
-  EXPECT_FALSE((FaultEvent{0, 0, 0, Kind::kUp, 0.0}).disruptive());
-  EXPECT_TRUE((FaultEvent{0, 0, 0, Kind::kRateFactor, 0.5}).disruptive());
-  EXPECT_FALSE((FaultEvent{0, 0, 0, Kind::kRateFactor, 1.0}).disruptive());
-  EXPECT_TRUE((FaultEvent{0, 0, 0, Kind::kDelayFactor, 2.0}).disruptive());
-  EXPECT_FALSE((FaultEvent{0, 0, 0, Kind::kDelayFactor, 1.0}).disruptive());
-  EXPECT_TRUE((FaultEvent{0, 0, 0, Kind::kDropProb, 0.01}).disruptive());
-  EXPECT_FALSE((FaultEvent{0, 0, 0, Kind::kDropProb, 0.0}).disruptive());
+  EXPECT_TRUE((FaultEvent{0, 0, 0_ns, Kind::kDown, 0.0}).disruptive());
+  EXPECT_FALSE((FaultEvent{0, 0, 0_ns, Kind::kUp, 0.0}).disruptive());
+  EXPECT_TRUE((FaultEvent{0, 0, 0_ns, Kind::kRateFactor, 0.5}).disruptive());
+  EXPECT_FALSE((FaultEvent{0, 0, 0_ns, Kind::kRateFactor, 1.0}).disruptive());
+  EXPECT_TRUE((FaultEvent{0, 0, 0_ns, Kind::kDelayFactor, 2.0}).disruptive());
+  EXPECT_FALSE((FaultEvent{0, 0, 0_ns, Kind::kDelayFactor, 1.0}).disruptive());
+  EXPECT_TRUE((FaultEvent{0, 0, 0_ns, Kind::kDropProb, 0.01}).disruptive());
+  EXPECT_FALSE((FaultEvent{0, 0, 0_ns, Kind::kDropProb, 0.0}).disruptive());
 }
 
 TEST(FaultPlan, FirstDisruptiveAt) {
   FaultPlan plan;
-  EXPECT_EQ(plan.firstDisruptiveAt(), -1);
+  EXPECT_EQ(plan.firstDisruptiveAt(), -1_ns);
   ASSERT_TRUE(parseLinkFaults(
       "leaf0-spine0,up@1ms,rate=1@2ms,down@5ms,down@3ms", &plan));
   EXPECT_EQ(plan.firstDisruptiveAt(), milliseconds(3));

@@ -116,7 +116,7 @@ TEST(FaultRecovery, NoFaultRunsReportDefaults) {
   const auto res = harness::runExperiment(recoveryConfig(Scheme::kEcmp));
   EXPECT_EQ(res.faultEventsApplied, 0u);
   EXPECT_EQ(res.faultDrops, 0u);
-  EXPECT_EQ(res.firstFaultAt, -1);
+  EXPECT_EQ(res.firstFaultAt, -1_ns);
   EXPECT_EQ(res.faultAffectedLongFlows, 0);
   EXPECT_DOUBLE_EQ(res.faultGoodputDipRatio, 1.0);
 }

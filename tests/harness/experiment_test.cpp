@@ -37,14 +37,14 @@ TEST(Experiment, AllFlowsCompleteUnderTlb) {
   const auto res = runExperiment(smallConfig(Scheme::kTlb));
   EXPECT_EQ(res.ledger.completedCount([](const auto&) { return true; }),
             res.ledger.size());
-  EXPECT_GT(res.endTime, 0);
+  EXPECT_GT(res.endTime, 0_ns);
 }
 
 TEST(Experiment, FctsArePositiveAndBounded) {
   const auto res = runExperiment(smallConfig(Scheme::kTlb));
   for (const auto& f : res.ledger.flows()) {
     ASSERT_TRUE(f.completed);
-    EXPECT_GT(f.fct, 0);
+    EXPECT_GT(f.fct, 0_ns);
     EXPECT_LT(f.fct, seconds(5));
   }
 }

@@ -31,7 +31,8 @@ FatTreeExperimentConfig smallConfig(Scheme scheme, std::uint64_t seed = 1) {
     f.id = id++;
     f.src = static_cast<net::HostId>(rng.uniformInt(8));       // pods 0-1
     f.dst = static_cast<net::HostId>(8 + rng.uniformInt(8));   // pods 2-3
-    f.size = rng.uniformInt(10 * kKB, 90 * kKB);
+    f.size = ByteCount::fromBytes(
+        rng.uniformInt((10 * kKB).bytes(), (90 * kKB).bytes()));
     f.start = microseconds(rng.uniformInt(0, 2000));
     f.deadline = milliseconds(20);
     cfg.flows.push_back(f);

@@ -65,7 +65,7 @@ TEST(SchemeRegistry, TlbConfigPlumbsThrough) {
   SchemeConfig cfg;
   cfg.scheme = Scheme::kTlb;
   cfg.numPaths = 15;
-  cfg.tlb.qthOverrideBytes = 4242;
+  cfg.tlb.qthOverrideBytes = 4242_B;
   auto sel = makeSelector(cfg, 1);
   EXPECT_STREQ(sel->name(), "TLB");
 }

@@ -10,13 +10,13 @@
 namespace tlbsim::lb {
 namespace {
 
-net::UplinkView makeView(std::vector<Bytes> queueBytes,
+net::UplinkView makeView(std::vector<ByteCount> queueBytes,
                          std::vector<double> ratesBps = {}) {
   net::UplinkView v;
   for (std::size_t i = 0; i < queueBytes.size(); ++i) {
     const double rate = i < ratesBps.size() ? ratesBps[i] : 1e9;
     v.push_back(net::PortView{static_cast<int>(i),
-                              static_cast<int>(queueBytes[i] / 1500),
+                              static_cast<int>(queueBytes[i] / 1500_B),
                               queueBytes[i], rate, 0.0});
   }
   return v;
@@ -26,8 +26,8 @@ net::Packet dataPacket(FlowId flow) {
   net::Packet p;
   p.flow = flow;
   p.type = net::PacketType::kData;
-  p.payload = 1460;
-  p.size = 1500;
+  p.payload = 1460_B;
+  p.size = 1500_B;
   return p;
 }
 
@@ -35,7 +35,7 @@ net::Packet dataPacket(FlowId flow) {
 
 TEST(Conga, FlowletSticksWithoutGap) {
   Conga conga(1);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   const int first = conga.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(conga.selectUplink(dataPacket(1), v), first);
@@ -50,7 +50,7 @@ TEST(Conga, NewFlowletAvoidsLoadedUplink) {
   conga.attach(sw, simr);
 
   // Saturate port 0's DRE with another flow's traffic.
-  const auto empty = makeView({0, 0, 0});
+  const auto empty = makeView({0_B, 0_B, 0_B});
   for (int i = 0; i < 200; ++i) {
     // Flow 9 keeps hitting whatever port CONGA gives it; force its state
     // toward port 0 by presenting port 0 as least congested initially.
@@ -67,7 +67,7 @@ TEST(Conga, DreAgesOut) {
   net::Switch sw(simr, "sw");
   Conga conga(3);
   conga.attach(sw, simr);
-  const auto v = makeView({0, 0});
+  const auto v = makeView({0_B, 0_B});
   const int port = conga.selectUplink(dataPacket(1), v);
   EXPECT_GT(conga.dreOf(port), 0.0);
   simr.run(milliseconds(20));  // many aging intervals
@@ -82,11 +82,11 @@ TEST(Conga, GapStartsNewFlowletOnLeastCongested) {
   Conga conga(4, params);
   conga.attach(sw, simr);
 
-  conga.selectUplink(dataPacket(1), makeView({0, 0, 0}));
+  conga.selectUplink(dataPacket(1), makeView({0_B, 0_B, 0_B}));
   simr.run(milliseconds(50));  // flowlet gap + DRE fully aged
   // Port 1 is clearly least congested by queue now.
   const int next =
-      conga.selectUplink(dataPacket(1), makeView({50000, 0, 50000}));
+      conga.selectUplink(dataPacket(1), makeView({50000_B, 0_B, 50000_B}));
   EXPECT_EQ(next, 1);
   EXPECT_EQ(conga.flowletsStarted(), 2u);
 }
@@ -95,7 +95,7 @@ TEST(Conga, GapStartsNewFlowletOnLeastCongested) {
 
 TEST(Wcmp, DeterministicPerFlow) {
   Wcmp wcmp(7);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   const int first = wcmp.selectUplink(dataPacket(3), v);
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(wcmp.selectUplink(dataPacket(3), v), first);
@@ -104,7 +104,7 @@ TEST(Wcmp, DeterministicPerFlow) {
 
 TEST(Wcmp, EqualRatesSpreadLikeEcmp) {
   Wcmp wcmp(8);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   std::set<int> ports;
   for (FlowId f = 1; f <= 200; ++f) {
     ports.insert(wcmp.selectUplink(dataPacket(f), v));
@@ -115,7 +115,7 @@ TEST(Wcmp, EqualRatesSpreadLikeEcmp) {
 TEST(Wcmp, WeightsFollowCapacity) {
   Wcmp wcmp(9);
   // Port 0 at 9 Gbps, port 1 at 1 Gbps: ~90 % of flows should hash to 0.
-  const auto v = makeView({0, 0}, {9e9, 1e9});
+  const auto v = makeView({0_B, 0_B}, {9e9, 1e9});
   int onFast = 0;
   const int flows = 4000;
   for (FlowId f = 1; f <= flows; ++f) {
@@ -126,7 +126,7 @@ TEST(Wcmp, WeightsFollowCapacity) {
 
 TEST(Wcmp, ZeroRateFallsBackToUniform) {
   Wcmp wcmp(10);
-  const auto v = makeView({0, 0, 0}, {0.0, 0.0, 0.0});
+  const auto v = makeView({0_B, 0_B, 0_B}, {0.0, 0.0, 0.0});
   std::set<int> ports;
   for (FlowId f = 1; f <= 100; ++f) {
     ports.insert(wcmp.selectUplink(dataPacket(f), v));

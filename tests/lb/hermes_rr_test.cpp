@@ -10,22 +10,22 @@
 namespace tlbsim::lb {
 namespace {
 
-net::UplinkView makeView(std::vector<Bytes> queueBytes) {
+net::UplinkView makeView(std::vector<ByteCount> queueBytes) {
   net::UplinkView v;
   for (std::size_t i = 0; i < queueBytes.size(); ++i) {
     v.push_back(net::PortView{static_cast<int>(i),
-                              static_cast<int>(queueBytes[i] / 1500),
+                              static_cast<int>(queueBytes[i] / 1500_B),
                               queueBytes[i], 1e9, 0.0});
   }
   return v;
 }
 
-net::Packet dataPacket(FlowId flow, Bytes payload = 1460) {
+net::Packet dataPacket(FlowId flow, ByteCount payload = 1460_B) {
   net::Packet p;
   p.flow = flow;
   p.type = net::PacketType::kData;
   p.payload = payload;
-  p.size = payload + 40;
+  p.size = payload + 40_B;
   return p;
 }
 
@@ -33,7 +33,7 @@ net::Packet dataPacket(FlowId flow, Bytes payload = 1460) {
 
 TEST(RoundRobin, CyclesThroughAllPorts) {
   RoundRobin rr;
-  const auto v = makeView({0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B});
   std::vector<int> seen;
   for (int i = 0; i < 9; ++i) seen.push_back(rr.selectUplink(dataPacket(1), v));
   for (int i = 3; i < 9; ++i) EXPECT_EQ(seen[i], seen[i - 3]);
@@ -42,7 +42,7 @@ TEST(RoundRobin, CyclesThroughAllPorts) {
 
 TEST(RoundRobin, PerfectlyBalancedByPacketCount) {
   RoundRobin rr;
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 400; ++i) {
     ++counts[static_cast<std::size_t>(rr.selectUplink(dataPacket(1), v))];
@@ -52,8 +52,8 @@ TEST(RoundRobin, PerfectlyBalancedByPacketCount) {
 
 TEST(RoundRobin, ObliviousToQueueState) {
   RoundRobin rr;
-  const int p1 = rr.selectUplink(dataPacket(1), makeView({900000, 0}));
-  const int p2 = rr.selectUplink(dataPacket(1), makeView({900000, 0}));
+  const int p1 = rr.selectUplink(dataPacket(1), makeView({900000_B, 0_B}));
+  const int p2 = rr.selectUplink(dataPacket(1), makeView({900000_B, 0_B}));
   EXPECT_NE(p1, p2);  // alternates regardless of queue depths
 }
 
@@ -61,11 +61,11 @@ TEST(RoundRobin, ObliviousToQueueState) {
 
 TEST(HermesLike, FlowSticksBelowRerouteThreshold) {
   HermesLike h(1);
-  const auto v = makeView({0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B});
   const int first = h.selectUplink(dataPacket(1), v);
   // Even on a now-terrible path, no reroute before 100 KB have been sent.
-  std::vector<Bytes> q = {0, 0, 0};
-  q[static_cast<std::size_t>(first)] = 500000;
+  std::vector<ByteCount> q = {0_B, 0_B, 0_B};
+  q[static_cast<std::size_t>(first)] = 500000_B;
   for (int i = 0; i < 30; ++i) {  // 30 * 1460 B << 100 KB
     EXPECT_EQ(h.selectUplink(dataPacket(1), makeView(q)), first);
   }
@@ -77,11 +77,11 @@ TEST(HermesLike, ReroutesWhenEligibleAndCurrentPathBad) {
   net::Switch sw(simr, "sw");
   HermesLike h(2);
   h.attach(sw, simr);
-  const auto clean = makeView({0, 0, 0});
+  const auto clean = makeView({0_B, 0_B, 0_B});
   const int first = h.selectUplink(dataPacket(1), clean);
   // Send past the threshold on a path that then turns bad.
-  std::vector<Bytes> q = {0, 0, 0};
-  q[static_cast<std::size_t>(first)] = 500000;  // ~4 ms wait: "bad"
+  std::vector<ByteCount> q = {0_B, 0_B, 0_B};
+  q[static_cast<std::size_t>(first)] = 500000_B;  // ~4 ms wait: "bad"
   int port = first;
   for (int i = 0; i < 90; ++i) {  // > 100 KB
     port = h.selectUplink(dataPacket(1), makeView(q));
@@ -92,7 +92,7 @@ TEST(HermesLike, ReroutesWhenEligibleAndCurrentPathBad) {
 
 TEST(HermesLike, NoRerouteWhenCurrentPathGood) {
   HermesLike h(3);
-  const auto v = makeView({0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B});
   const int first = h.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 200; ++i) {  // far past the byte threshold
     EXPECT_EQ(h.selectUplink(dataPacket(1), v), first);
@@ -103,7 +103,7 @@ TEST(HermesLike, NoRerouteWhenCurrentPathGood) {
 TEST(HermesLike, CautionPreventsGrayToGrayMoves) {
   // All paths equally mediocre ("gray"): moving buys nothing; stay.
   HermesLike h(4);
-  const auto v = makeView({30000, 30000, 30000});  // ~240 us: gray
+  const auto v = makeView({30000_B, 30000_B, 30000_B});  // ~240 us: gray
   const int first = h.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(h.selectUplink(dataPacket(1), v), first);

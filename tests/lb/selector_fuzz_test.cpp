@@ -41,8 +41,8 @@ TEST_P(SelectorFuzz, AlwaysReturnsPortFromGroup) {
       net::PortView u;
       u.port = port;
       port += static_cast<int>(rng.uniformInt(1, 3));
-      u.queueBytes = rng.uniformInt(0, 400000);
-      u.queuePackets = static_cast<int>(u.queueBytes / 1500);
+      u.queueBytes = ByteCount::fromBytes(rng.uniformInt(0, 400000));
+      u.queuePackets = static_cast<int>(u.queueBytes / 1500_B);
       u.rateBps = rng.uniform() < 0.2 ? 0.0 : rng.uniform(1e8, 1e10);
       u.linkDelaySec = rng.uniform() < 0.5 ? 0.0 : rng.uniform(0.0, 1e-2);
       view.push_back(u);
@@ -53,17 +53,17 @@ TEST_P(SelectorFuzz, AlwaysReturnsPortFromGroup) {
     const double typeDraw = rng.uniform();
     if (typeDraw < 0.05) {
       pkt.type = net::PacketType::kSyn;
-      pkt.size = 40;
+      pkt.size = 40_B;
     } else if (typeDraw < 0.10) {
       pkt.type = net::PacketType::kFin;
-      pkt.size = 40;
+      pkt.size = 40_B;
     } else if (typeDraw < 0.25) {
       pkt.type = net::PacketType::kAck;
-      pkt.size = 40;
+      pkt.size = 40_B;
     } else {
       pkt.type = net::PacketType::kData;
-      pkt.payload = rng.uniformInt(1, 1460);
-      pkt.size = pkt.payload + 40;
+      pkt.payload = ByteCount::fromBytes(rng.uniformInt(1, 1460));
+      pkt.size = pkt.payload + 40_B;
     }
 
     const int chosen = sel->selectUplink(pkt, view);

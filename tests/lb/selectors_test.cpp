@@ -14,22 +14,22 @@
 namespace tlbsim::lb {
 namespace {
 
-net::UplinkView makeView(std::vector<Bytes> queueBytes, int firstPort = 0) {
+net::UplinkView makeView(std::vector<ByteCount> queueBytes, int firstPort = 0) {
   net::UplinkView v;
   for (std::size_t i = 0; i < queueBytes.size(); ++i) {
     v.push_back(net::PortView{firstPort + static_cast<int>(i),
-                              static_cast<int>(queueBytes[i] / 1500),
+                              static_cast<int>(queueBytes[i] / 1500_B),
                               queueBytes[i]});
   }
   return v;
 }
 
-net::Packet dataPacket(FlowId flow, Bytes payload = 1460) {
+net::Packet dataPacket(FlowId flow, ByteCount payload = 1460_B) {
   net::Packet p;
   p.flow = flow;
   p.type = net::PacketType::kData;
   p.payload = payload;
-  p.size = payload + 40;
+  p.size = payload + 40_B;
   return p;
 }
 
@@ -37,31 +37,31 @@ net::Packet dataPacket(FlowId flow, Bytes payload = 1460) {
 
 TEST(SelectorUtil, ShortestQueuePicksMinimum) {
   Rng rng(1);
-  const auto v = makeView({500, 100, 900});
+  const auto v = makeView({500_B, 100_B, 900_B});
   EXPECT_EQ(shortestQueueIndex(v, rng), 1u);
 }
 
 TEST(SelectorUtil, TiesBrokenAcrossAllMinima) {
   Rng rng(2);
-  const auto v = makeView({100, 100, 900, 100});
+  const auto v = makeView({100_B, 100_B, 900_B, 100_B});
   std::set<std::size_t> chosen;
   for (int i = 0; i < 200; ++i) chosen.insert(shortestQueueIndex(v, rng));
   EXPECT_EQ(chosen, (std::set<std::size_t>{0, 1, 3}));
 }
 
 TEST(SelectorUtil, ContainsAndLookupByPort) {
-  const auto v = makeView({10, 20, 30}, /*firstPort=*/5);
+  const auto v = makeView({10_B, 20_B, 30_B}, /*firstPort=*/5);
   EXPECT_TRUE(containsPort(v, 6));
   EXPECT_FALSE(containsPort(v, 2));
-  EXPECT_EQ(queueBytesOfPort(v, 7), 30);
-  EXPECT_EQ(queueBytesOfPort(v, 99), -1);
+  EXPECT_EQ(queueBytesOfPort(v, 7), 30_B);
+  EXPECT_EQ(queueBytesOfPort(v, 99), -1_B);
 }
 
 // ---------------------------------------------------------------- ECMP --
 
 TEST(Ecmp, DeterministicPerFlow) {
   Ecmp ecmp(42);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   const int first = ecmp.selectUplink(dataPacket(7), v);
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(ecmp.selectUplink(dataPacket(7), v), first);
@@ -70,7 +70,7 @@ TEST(Ecmp, DeterministicPerFlow) {
 
 TEST(Ecmp, SpreadsAcrossFlows) {
   Ecmp ecmp(42);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   std::set<int> ports;
   for (FlowId f = 1; f <= 100; ++f) {
     ports.insert(ecmp.selectUplink(dataPacket(f), v));
@@ -81,7 +81,7 @@ TEST(Ecmp, SpreadsAcrossFlows) {
 TEST(Ecmp, SaltChangesMapping) {
   Ecmp a(1);
   Ecmp b(2);
-  const auto v = makeView(std::vector<Bytes>(16, 0));
+  const auto v = makeView(std::vector<ByteCount>(16, 0_B));
   int differs = 0;
   for (FlowId f = 1; f <= 64; ++f) {
     if (a.selectUplink(dataPacket(f), v) != b.selectUplink(dataPacket(f), v)) {
@@ -93,8 +93,8 @@ TEST(Ecmp, SaltChangesMapping) {
 
 TEST(Ecmp, ObliviousToQueueState) {
   Ecmp ecmp(42);
-  const int p1 = ecmp.selectUplink(dataPacket(7), makeView({0, 0, 0}));
-  const int p2 = ecmp.selectUplink(dataPacket(7), makeView({9000, 9000, 0}));
+  const int p1 = ecmp.selectUplink(dataPacket(7), makeView({0_B, 0_B, 0_B}));
+  const int p2 = ecmp.selectUplink(dataPacket(7), makeView({9000_B, 9000_B, 0_B}));
   EXPECT_EQ(p1, p2);
 }
 
@@ -102,7 +102,7 @@ TEST(Ecmp, ObliviousToQueueState) {
 
 TEST(Rps, CoversAllPorts) {
   Rps rps(3);
-  const auto v = makeView({0, 0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B, 0_B});
   std::set<int> ports;
   for (int i = 0; i < 500; ++i) ports.insert(rps.selectUplink(dataPacket(1), v));
   EXPECT_EQ(ports.size(), 5u);
@@ -110,7 +110,7 @@ TEST(Rps, CoversAllPorts) {
 
 TEST(Rps, RoughlyUniform) {
   Rps rps(4);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 8000; ++i) {
     ++counts[static_cast<std::size_t>(rps.selectUplink(dataPacket(1), v))];
@@ -122,7 +122,7 @@ TEST(Rps, RoughlyUniform) {
 
 TEST(Drill, AlwaysReturnsValidPort) {
   Drill drill(5);
-  const auto v = makeView({100, 200, 300}, /*firstPort=*/10);
+  const auto v = makeView({100_B, 200_B, 300_B}, /*firstPort=*/10);
   for (int i = 0; i < 100; ++i) {
     const int p = drill.selectUplink(dataPacket(1), v);
     EXPECT_GE(p, 10);
@@ -132,7 +132,7 @@ TEST(Drill, AlwaysReturnsValidPort) {
 
 TEST(Drill, PrefersShortQueuesOnAverage) {
   Drill drill(6);
-  const auto v = makeView({0, 100000, 100000, 100000});
+  const auto v = makeView({0_B, 100000_B, 100000_B, 100000_B});
   int hits = 0;
   for (int i = 0; i < 1000; ++i) {
     if (drill.selectUplink(dataPacket(1), v) == 0) ++hits;
@@ -144,16 +144,16 @@ TEST(Drill, PrefersShortQueuesOnAverage) {
 
 TEST(Drill, MemorySurvivesGroupChanges) {
   Drill drill(7);
-  drill.selectUplink(dataPacket(1), makeView({0, 100}, /*firstPort=*/0));
+  drill.selectUplink(dataPacket(1), makeView({0_B, 100_B}, /*firstPort=*/0));
   // New group without the remembered port: must still return a valid one.
-  const auto v2 = makeView({50, 60}, /*firstPort=*/10);
+  const auto v2 = makeView({50_B, 60_B}, /*firstPort=*/10);
   const int p = drill.selectUplink(dataPacket(1), v2);
   EXPECT_TRUE(p == 10 || p == 11);
 }
 
 TEST(ShortestQueue, AlwaysPicksGlobalMinimum) {
   ShortestQueue sq(8);
-  const auto v = makeView({500, 100, 900, 200});
+  const auto v = makeView({500_B, 100_B, 900_B, 200_B});
   for (int i = 0; i < 20; ++i) {
     EXPECT_EQ(sq.selectUplink(dataPacket(1), v), 1);
   }
@@ -163,7 +163,7 @@ TEST(ShortestQueue, AlwaysPicksGlobalMinimum) {
 
 TEST(Presto, SameCellSamePort) {
   Presto presto(9, 64 * kKiB);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   // First 44 full segments stay within the first 64 KB flowcell.
   const int first = presto.selectUplink(dataPacket(1), v);
   for (int i = 1; i < 44; ++i) {
@@ -173,7 +173,7 @@ TEST(Presto, SameCellSamePort) {
 
 TEST(Presto, AdvancesRoundRobinPerFlowcell) {
   Presto presto(9, 64 * kKiB);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   std::vector<int> cellPorts;
   int last = -1;
   for (int i = 0; i < 200; ++i) {  // ~4.5 flowcells of payload
@@ -191,7 +191,7 @@ TEST(Presto, AdvancesRoundRobinPerFlowcell) {
 
 TEST(Presto, IndependentPerFlowState) {
   Presto presto(9, 64 * kKiB);
-  const auto v = makeView({0, 0, 0, 0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B, 0_B, 0_B, 0_B});
   const int a = presto.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 100; ++i) presto.selectUplink(dataPacket(2), v);
   // Flow 1 has sent < 64 KB: still in its first cell.
@@ -201,12 +201,12 @@ TEST(Presto, IndependentPerFlowState) {
 
 TEST(Presto, ControlPacketsDoNotAdvanceCells) {
   Presto presto(9, 64 * kKiB);
-  const auto v = makeView({0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B});
   const int first = presto.selectUplink(dataPacket(1), v);
   net::Packet ack;
   ack.flow = 1;
   ack.type = net::PacketType::kAck;
-  ack.size = 40;
+  ack.size = 40_B;
   for (int i = 0; i < 500; ++i) {
     EXPECT_EQ(presto.selectUplink(ack, v), first);
   }
@@ -217,7 +217,7 @@ TEST(Presto, ControlPacketsDoNotAdvanceCells) {
 TEST(LetFlow, SticksWithinTimeout) {
   // Without attach() the selector treats time as 0: always same flowlet.
   LetFlow lf(10, microseconds(150));
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   const int first = lf.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(lf.selectUplink(dataPacket(1), v), first);
@@ -230,7 +230,7 @@ TEST(LetFlow, GapStartsNewFlowlet) {
   net::Switch sw(simr, "sw");
   LetFlow lf(11, microseconds(150));
   lf.attach(sw, simr);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
 
   lf.selectUplink(dataPacket(1), v);
   // Advance time beyond the flowlet timeout. (Bounded run: attach()
@@ -245,11 +245,11 @@ TEST(LetFlow, NoGapNoSwitchAcrossManyPackets) {
   net::Switch sw(simr, "sw");
   LetFlow lf(12, microseconds(150));
   lf.attach(sw, simr);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   // Packets every 10 us: well inside the 150 us timeout.
   int switches = 0;
   int last = -1;
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < 50; ++i) {
     const int p = lf.selectUplink(dataPacket(1), v);
     if (last >= 0 && p != last) ++switches;
@@ -265,7 +265,7 @@ TEST(LetFlow, NoGapNoSwitchAcrossManyPackets) {
 TEST(FixedGranularity, SwitchesEveryKPackets) {
   FixedGranularity fg(13, /*K=*/5, FixedGranularity::Target::kShortestQueue);
   // Distinct queue lengths force deterministic shortest-queue choices.
-  const auto v = makeView({0, 10, 20, 30});
+  const auto v = makeView({0_B, 10_B, 20_B, 30_B});
   std::vector<int> ports;
   for (int i = 0; i < 20; ++i) {
     ports.push_back(fg.selectUplink(dataPacket(1), v));
@@ -278,7 +278,7 @@ TEST(FixedGranularity, SwitchesEveryKPackets) {
 
 TEST(FixedGranularity, FlowLevelNeverSwitches) {
   FixedGranularity fg(14, FixedGranularity::kFlowLevel);
-  const auto v = makeView({0, 0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
   const int first = fg.selectUplink(dataPacket(1), v);
   for (int i = 0; i < 10000; ++i) {
     EXPECT_EQ(fg.selectUplink(dataPacket(1), v), first);
@@ -287,12 +287,12 @@ TEST(FixedGranularity, FlowLevelNeverSwitches) {
 
 TEST(FixedGranularity, ControlPacketsDoNotCountTowardK) {
   FixedGranularity fg(15, /*K=*/2);
-  const auto v = makeView({0, 0, 0});
+  const auto v = makeView({0_B, 0_B, 0_B});
   const int first = fg.selectUplink(dataPacket(1), v);
   net::Packet ack;
   ack.flow = 1;
   ack.type = net::PacketType::kAck;
-  ack.size = 40;
+  ack.size = 40_B;
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(fg.selectUplink(ack, v), first);
   }
@@ -300,7 +300,7 @@ TEST(FixedGranularity, ControlPacketsDoNotCountTowardK) {
 
 TEST(FixedGranularity, PerFlowCounters) {
   FixedGranularity fg(16, /*K=*/3);
-  const auto v = makeView({0, 0});
+  const auto v = makeView({0_B, 0_B});
   // Interleave two flows; each should hold its port for 3 of ITS packets.
   const int p1 = fg.selectUplink(dataPacket(1), v);
   const int p2 = fg.selectUplink(dataPacket(2), v);

@@ -73,7 +73,7 @@ TEST(FatTree, EveryHostPairIsReachable) {
       p.flow = flow++;
       p.src = static_cast<HostId>(a);
       p.dst = static_cast<HostId>(b);
-      p.size = 100;
+      p.size = 100_B;
       topo.host(a).send(p);
       captures.push_back(std::move(cap));
       ++expected;
@@ -97,7 +97,7 @@ TEST(FatTree, IntraPodTrafficAvoidsCore) {
   p.flow = 42;
   p.src = 0;
   p.dst = 2;
-  p.size = 100;
+  p.size = 100_B;
   topo.host(0).send(p);
   simr.run();
   ASSERT_EQ(cap.packets.size(), 1u);
@@ -115,12 +115,12 @@ TEST(FatTree, SameEdgeTrafficStaysLocal) {
   p.flow = 43;
   p.src = 0;
   p.dst = 1;
-  p.size = 100;
+  p.size = 100_B;
   topo.host(0).send(p);
   simr.run();
   ASSERT_EQ(cap.packets.size(), 1u);
   // host->edge->host: exactly 2 links of 10 us + 2 serializations.
-  EXPECT_EQ(simr.now(), microseconds(20) + 2 * gbps(1).transmissionTime(100));
+  EXPECT_EQ(simr.now(), microseconds(20) + 2 * gbps(1).transmissionTime(100_B));
 }
 
 TEST(FatTree, CrossPodPathLengthIsSixHops) {
@@ -132,13 +132,13 @@ TEST(FatTree, CrossPodPathLengthIsSixHops) {
   p.flow = 44;
   p.src = 0;  // pod 0
   p.dst = 15;
-  p.size = 100;
+  p.size = 100_B;
   topo.host(0).send(p);
   simr.run();
   ASSERT_EQ(cap.packets.size(), 1u);
   // host-edge-agg-core-agg-edge-host = 6 links.
   EXPECT_EQ(simr.now(),
-            6 * microseconds(10) + 6 * gbps(1).transmissionTime(100));
+            6 * microseconds(10) + 6 * gbps(1).transmissionTime(100_B));
 }
 
 TEST(FatTree, RpsTrafficSpreadsOverCores) {
@@ -153,7 +153,7 @@ TEST(FatTree, RpsTrafficSpreadsOverCores) {
     p.flow = 50;
     p.src = 0;
     p.dst = 12;
-    p.size = 100;
+    p.size = 100_B;
     topo.host(0).send(p);
   }
   simr.run();

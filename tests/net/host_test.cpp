@@ -26,7 +26,7 @@ class LoopbackNode : public Node {
 Packet packetFor(FlowId flow) {
   Packet p;
   p.flow = flow;
-  p.size = 100;
+  p.size = 100_B;
   return p;
 }
 

@@ -64,7 +64,7 @@ TEST(LeafSpine, CrossLeafDelivery) {
   p.flow = 11;
   p.src = 0;
   p.dst = 4;
-  p.size = 1500;
+  p.size = 1500_B;
   topo.host(0).send(p);
   simr.run();
 
@@ -85,7 +85,7 @@ TEST(LeafSpine, SameLeafDeliveryAvoidsFabric) {
   p.flow = 12;
   p.src = 0;
   p.dst = 1;
-  p.size = 1500;
+  p.size = 1500_B;
   topo.host(0).send(p);
   simr.run();
 
@@ -112,7 +112,7 @@ TEST(LeafSpine, EveryHostPairIsReachable) {
       p.flow = flow;
       p.src = static_cast<HostId>(a);
       p.dst = static_cast<HostId>(b);
-      p.size = 100;
+      p.size = 100_B;
       topo.host(a).send(p);
       captures.push_back(std::move(cap));
       ++flow;
@@ -146,9 +146,9 @@ TEST(LeafSpine, AsymmetryOverrideScalesRate) {
   cfg.overrides.push_back({.leaf = 1, .spine = 0, .rateFactor = 0.5,
                            .delayFactor = 1.0});
   LeafSpineTopology topo(simr, cfg, ecmpFactory());
-  EXPECT_DOUBLE_EQ(topo.leafUplink(1, 0).rate().bitsPerSecond, 0.5e9);
-  EXPECT_DOUBLE_EQ(topo.spineDownlink(0, 1).rate().bitsPerSecond, 0.5e9);
-  EXPECT_DOUBLE_EQ(topo.leafUplink(0, 0).rate().bitsPerSecond, 1e9);
+  EXPECT_DOUBLE_EQ(topo.leafUplink(1, 0).rate().bitsPerSecond(), 0.5e9);
+  EXPECT_DOUBLE_EQ(topo.spineDownlink(0, 1).rate().bitsPerSecond(), 0.5e9);
+  EXPECT_DOUBLE_EQ(topo.leafUplink(0, 0).rate().bitsPerSecond(), 1e9);
 }
 
 TEST(LeafSpine, ForEachFabricLinkVisitsAll) {
@@ -171,7 +171,7 @@ TEST(LeafSpine, NullSelectorFactoryStillRoutesSingleUplinkGroups) {
   p.flow = 21;
   p.src = 0;
   p.dst = 3;
-  p.size = 100;
+  p.size = 100_B;
   topo.host(0).send(p);
   simr.run();
   EXPECT_EQ(capture.packets.size(), 1u);

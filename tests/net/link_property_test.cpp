@@ -20,7 +20,7 @@ class CountingSink : public Node {
   }
   std::string name() const override { return "sink"; }
 
-  Bytes bytes = 0;
+  ByteCount bytes;
   int packets = 0;
   std::vector<std::uint64_t> seqs;
 };
@@ -34,7 +34,7 @@ TEST_P(LinkConservation, BytesInEqualsDeliveredPlusDropped) {
   link.connect(&sink, 0);
 
   Rng rng(GetParam());
-  Bytes offered = 0;
+  ByteCount offered;
   int offeredPkts = 0;
   // Bursty arrivals over simulated time: sometimes overrun the queue.
   for (int burst = 0; burst < 50; ++burst) {
@@ -43,7 +43,7 @@ TEST_P(LinkConservation, BytesInEqualsDeliveredPlusDropped) {
       Packet p;
       p.flow = 1;
       p.seq = static_cast<std::uint64_t>(offeredPkts);
-      p.size = rng.uniformInt(40, 1500);
+      p.size = ByteCount::fromBytes(rng.uniformInt(40, 1500));
       offered += p.size;
       ++offeredPkts;
       link.send(p);
@@ -66,7 +66,7 @@ TEST_P(LinkConservation, DeliveryOrderIsFifo) {
   for (int i = 0; i < 500; ++i) {
     Packet p;
     p.seq = static_cast<std::uint64_t>(i);
-    p.size = rng.uniformInt(40, 1500);
+    p.size = ByteCount::fromBytes(rng.uniformInt(40, 1500));
     link.send(p);
     if (rng.uniform() < 0.3) {
       simr.run(simr.now() + microseconds(rng.uniformInt(0, 5)));
@@ -90,7 +90,7 @@ TEST(LinkThroughput, SaturatedLinkRunsAtLineRate) {
   const int n = 10000;
   for (int i = 0; i < n; ++i) {
     Packet p;
-    p.size = 1500;
+    p.size = 1500_B;
     link.send(p);
   }
   simr.run();

@@ -29,7 +29,7 @@ class SinkNode : public Node {
   sim::Simulator& sim_;
 };
 
-Packet makePacket(FlowId flow, Bytes size) {
+Packet makePacket(FlowId flow, ByteCount size) {
   Packet p;
   p.flow = flow;
   p.size = size;
@@ -42,7 +42,7 @@ TEST(Link, SingleTransmissionTiming) {
   SinkNode sink(simr);
   Link link(simr, gbps(1), /*delay=*/microseconds(10), {16, 0});
   link.connect(&sink, 3);
-  link.send(makePacket(1, 1500));
+  link.send(makePacket(1, 1500_B));
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 1u);
   // 1500B @ 1Gbps = 12 us serialize + 10 us propagate.
@@ -55,8 +55,8 @@ TEST(Link, BackToBackPipelining) {
   SinkNode sink(simr);
   Link link(simr, gbps(1), microseconds(10), {16, 0});
   link.connect(&sink, 0);
-  link.send(makePacket(1, 1500));
-  link.send(makePacket(2, 1500));
+  link.send(makePacket(1, 1500_B));
+  link.send(makePacket(2, 1500_B));
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 2u);
   // Second packet serializes right after the first: arrives 12 us later
@@ -69,7 +69,7 @@ TEST(Link, DeliveryPreservesFifoPerLink) {
   SinkNode sink(simr);
   Link link(simr, gbps(10), microseconds(1), {64, 0});
   link.connect(&sink, 0);
-  for (FlowId f = 1; f <= 20; ++f) link.send(makePacket(f, 500));
+  for (FlowId f = 1; f <= 20; ++f) link.send(makePacket(f, 500_B));
   simr.run();
   ASSERT_EQ(sink.arrivals.size(), 20u);
   for (FlowId f = 1; f <= 20; ++f) {
@@ -84,7 +84,7 @@ TEST(Link, DropWhenQueueFull) {
   link.connect(&sink, 0);
   // First packet starts transmitting immediately (leaves the queue); the
   // next two fill the queue; the fourth drops.
-  for (int i = 0; i < 4; ++i) link.send(makePacket(1, 1000));
+  for (int i = 0; i < 4; ++i) link.send(makePacket(1, 1000_B));
   EXPECT_EQ(link.drops(), 1u);
 }
 
@@ -93,11 +93,11 @@ TEST(Link, TxCountersAndBusyTime) {
   SinkNode sink(simr);
   Link link(simr, gbps(1), microseconds(5), {16, 0});
   link.connect(&sink, 0);
-  link.send(makePacket(1, 1500));
-  link.send(makePacket(2, 750));
+  link.send(makePacket(1, 1500_B));
+  link.send(makePacket(2, 750_B));
   simr.run();
   EXPECT_EQ(link.txPackets(), 2u);
-  EXPECT_EQ(link.txBytes(), 2250);
+  EXPECT_EQ(link.txBytes(), 2250_B);
   EXPECT_EQ(link.busyTime(), microseconds(12) + microseconds(6));
 }
 
@@ -109,11 +109,11 @@ TEST(Link, DequeueHookReportsQueueDelay) {
   std::vector<SimTime> delays;
   link.addDequeueHook(
       [&](const Packet&, SimTime d) { delays.push_back(d); });
-  link.send(makePacket(1, 1500));
-  link.send(makePacket(2, 1500));
+  link.send(makePacket(1, 1500_B));
+  link.send(makePacket(2, 1500_B));
   simr.run();
   ASSERT_EQ(delays.size(), 2u);
-  EXPECT_EQ(delays[0], 0);                 // went straight to the wire
+  EXPECT_EQ(delays[0], 0_ns);                 // went straight to the wire
   EXPECT_EQ(delays[1], microseconds(12));  // waited one serialization
 }
 
@@ -122,12 +122,12 @@ TEST(Link, QueueStateVisibleToObservers) {
   SinkNode sink(simr);
   Link link(simr, gbps(1), microseconds(1), {16, 0});
   link.connect(&sink, 0);
-  link.send(makePacket(1, 1500));
-  link.send(makePacket(2, 1000));
-  link.send(makePacket(3, 500));
+  link.send(makePacket(1, 1500_B));
+  link.send(makePacket(2, 1000_B));
+  link.send(makePacket(3, 500_B));
   // First packet is on the wire; two wait in the queue.
   EXPECT_EQ(link.queuePackets(), 2);
-  EXPECT_EQ(link.queueBytes(), 1500);
+  EXPECT_EQ(link.queueBytes(), 1500_B);
   simr.run();
   EXPECT_EQ(link.queuePackets(), 0);
 }

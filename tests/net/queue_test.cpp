@@ -5,12 +5,12 @@
 namespace tlbsim::net {
 namespace {
 
-Packet makeData(FlowId flow, Bytes size, bool ecnCapable = false) {
+Packet makeData(FlowId flow, ByteCount size, bool ecnCapable = false) {
   Packet p;
   p.flow = flow;
   p.type = PacketType::kData;
   p.size = size;
-  p.payload = size - 40;
+  p.payload = size - 40_B;
   p.ecnCapable = ecnCapable;
   return p;
 }
@@ -18,69 +18,69 @@ Packet makeData(FlowId flow, Bytes size, bool ecnCapable = false) {
 TEST(DropTailQueue, FifoOrder) {
   DropTailQueue q({4, 0});
   for (FlowId f = 1; f <= 4; ++f) {
-    EXPECT_TRUE(q.enqueue(makeData(f, 100), 0));
+    EXPECT_TRUE(q.enqueue(makeData(f, 100_B), 0_ns));
   }
   for (FlowId f = 1; f <= 4; ++f) {
-    EXPECT_EQ(q.dequeue(0).flow, f);
+    EXPECT_EQ(q.dequeue(0_ns).flow, f);
   }
   EXPECT_TRUE(q.empty());
 }
 
 TEST(DropTailQueue, DropsWhenFull) {
   DropTailQueue q({2, 0});
-  EXPECT_TRUE(q.enqueue(makeData(1, 100), 0));
-  EXPECT_TRUE(q.enqueue(makeData(2, 100), 0));
-  EXPECT_FALSE(q.enqueue(makeData(3, 100), 0));
+  EXPECT_TRUE(q.enqueue(makeData(1, 100_B), 0_ns));
+  EXPECT_TRUE(q.enqueue(makeData(2, 100_B), 0_ns));
+  EXPECT_FALSE(q.enqueue(makeData(3, 100_B), 0_ns));
   EXPECT_EQ(q.drops(), 1u);
-  EXPECT_EQ(q.droppedBytes(), 100);
+  EXPECT_EQ(q.droppedBytes(), 100_B);
   EXPECT_EQ(q.packets(), 2);
 }
 
 TEST(DropTailQueue, ByteAccounting) {
   DropTailQueue q({10, 0});
-  q.enqueue(makeData(1, 100), 0);
-  q.enqueue(makeData(2, 250), 0);
-  EXPECT_EQ(q.bytes(), 350);
-  q.dequeue(0);
-  EXPECT_EQ(q.bytes(), 250);
-  q.dequeue(0);
-  EXPECT_EQ(q.bytes(), 0);
+  q.enqueue(makeData(1, 100_B), 0_ns);
+  q.enqueue(makeData(2, 250_B), 0_ns);
+  EXPECT_EQ(q.bytes(), 350_B);
+  q.dequeue(0_ns);
+  EXPECT_EQ(q.bytes(), 250_B);
+  q.dequeue(0_ns);
+  EXPECT_EQ(q.bytes(), 0_B);
 }
 
 TEST(DropTailQueue, QueueDelayMeasured) {
   DropTailQueue q({10, 0});
-  q.enqueue(makeData(1, 100), /*now=*/1000);
-  SimTime delay = -1;
-  q.dequeue(/*now=*/2500, &delay);
-  EXPECT_EQ(delay, 1500);
+  q.enqueue(makeData(1, 100_B), /*now=*/1000_ns);
+  SimTime delay = -1_ns;
+  q.dequeue(/*now=*/2500_ns, &delay);
+  EXPECT_EQ(delay, 1500_ns);
 }
 
 TEST(DropTailQueue, EcnMarksAboveThreshold) {
   DropTailQueue q({10, /*ecnThreshold=*/2});
   // Occupancy at enqueue time: 0, 1 -> unmarked; 2, 3 -> marked.
-  q.enqueue(makeData(1, 100, true), 0);
-  q.enqueue(makeData(2, 100, true), 0);
-  q.enqueue(makeData(3, 100, true), 0);
-  q.enqueue(makeData(4, 100, true), 0);
-  EXPECT_FALSE(q.dequeue(0).ce);
-  EXPECT_FALSE(q.dequeue(0).ce);
-  EXPECT_TRUE(q.dequeue(0).ce);
-  EXPECT_TRUE(q.dequeue(0).ce);
+  q.enqueue(makeData(1, 100_B, true), 0_ns);
+  q.enqueue(makeData(2, 100_B, true), 0_ns);
+  q.enqueue(makeData(3, 100_B, true), 0_ns);
+  q.enqueue(makeData(4, 100_B, true), 0_ns);
+  EXPECT_FALSE(q.dequeue(0_ns).ce);
+  EXPECT_FALSE(q.dequeue(0_ns).ce);
+  EXPECT_TRUE(q.dequeue(0_ns).ce);
+  EXPECT_TRUE(q.dequeue(0_ns).ce);
   EXPECT_EQ(q.ecnMarks(), 2u);
 }
 
 TEST(DropTailQueue, EcnIgnoresNonCapablePackets) {
   DropTailQueue q({10, 1});
-  q.enqueue(makeData(1, 100, false), 0);
-  q.enqueue(makeData(2, 100, false), 0);
-  EXPECT_FALSE(q.dequeue(0).ce);
-  EXPECT_FALSE(q.dequeue(0).ce);
+  q.enqueue(makeData(1, 100_B, false), 0_ns);
+  q.enqueue(makeData(2, 100_B, false), 0_ns);
+  EXPECT_FALSE(q.dequeue(0_ns).ce);
+  EXPECT_FALSE(q.dequeue(0_ns).ce);
   EXPECT_EQ(q.ecnMarks(), 0u);
 }
 
 TEST(DropTailQueue, EcnDisabledByZeroThreshold) {
   DropTailQueue q({10, 0});
-  for (int i = 0; i < 10; ++i) q.enqueue(makeData(1, 100, true), 0);
+  for (int i = 0; i < 10; ++i) q.enqueue(makeData(1, 100_B, true), 0_ns);
   EXPECT_EQ(q.ecnMarks(), 0u);
 }
 

@@ -6,11 +6,11 @@
 namespace tlbsim::net {
 namespace {
 
-Packet ectPacket(Bytes size = 1500) {
+Packet ectPacket(ByteCount size = 1500_B) {
   Packet p;
   p.type = PacketType::kData;
   p.size = size;
-  p.payload = size - 40;
+  p.payload = size - 40_B;
   p.ecnCapable = true;
   return p;
 }
@@ -29,8 +29,8 @@ TEST(RedQueue, NoMarksWhileAverageBelowMinTh) {
   DropTailQueue q(redConfig(10));
   // Keep the instantaneous queue at <= 2: average stays tiny.
   for (int i = 0; i < 200; ++i) {
-    q.enqueue(ectPacket(), 0);
-    if (q.packets() > 1) q.dequeue(0);
+    q.enqueue(ectPacket(), 0_ns);
+    if (q.packets() > 1) q.dequeue(0_ns);
   }
   EXPECT_EQ(q.ecnMarks(), 0u);
   EXPECT_LT(q.averagedQueuePackets(), 10.0);
@@ -39,14 +39,14 @@ TEST(RedQueue, NoMarksWhileAverageBelowMinTh) {
 TEST(RedQueue, MarksProbabilisticallyBetweenThresholds) {
   DropTailQueue q(redConfig(10));
   // Hold occupancy near 15 packets (between minTh=10 and maxTh=30).
-  for (int i = 0; i < 15; ++i) q.enqueue(ectPacket(), 0);
+  for (int i = 0; i < 15; ++i) q.enqueue(ectPacket(), 0_ns);
   int marked = 0;
   const int trials = 2000;
   for (int i = 0; i < trials; ++i) {
-    q.enqueue(ectPacket(), 0);
+    q.enqueue(ectPacket(), 0_ns);
     Packet tail = {};
     // Drain one to keep occupancy stable; count marks via the counter.
-    q.dequeue(0, nullptr);
+    q.dequeue(0_ns, nullptr);
     (void)tail;
   }
   marked = static_cast<int>(q.ecnMarks());
@@ -57,11 +57,11 @@ TEST(RedQueue, MarksProbabilisticallyBetweenThresholds) {
 
 TEST(RedQueue, AlwaysMarksAboveMaxTh) {
   DropTailQueue q(redConfig(5));  // maxTh = 15
-  for (int i = 0; i < 60; ++i) q.enqueue(ectPacket(), 0);
+  for (int i = 0; i < 60; ++i) q.enqueue(ectPacket(), 0_ns);
   // Average has converged far above maxTh (weight 0.2, 60 arrivals).
   ASSERT_GT(q.averagedQueuePackets(), 15.0);
   const auto before = q.ecnMarks();
-  q.enqueue(ectPacket(), 0);
+  q.enqueue(ectPacket(), 0_ns);
   EXPECT_EQ(q.ecnMarks(), before + 1);
 }
 
@@ -70,7 +70,7 @@ TEST(RedQueue, NonEctPacketsNeverMarked) {
   for (int i = 0; i < 100; ++i) {
     Packet p = ectPacket();
     p.ecnCapable = false;
-    q.enqueue(p, 0);
+    q.enqueue(p, 0_ns);
   }
   EXPECT_EQ(q.ecnMarks(), 0u);
 }
@@ -79,19 +79,19 @@ TEST(RedQueue, InstantaneousModeKeepsAverageAtZero) {
   QueueConfig cfg;
   cfg.ecnThresholdPackets = 5;
   DropTailQueue q(cfg);
-  for (int i = 0; i < 50; ++i) q.enqueue(ectPacket(), 0);
+  for (int i = 0; i < 50; ++i) q.enqueue(ectPacket(), 0_ns);
   EXPECT_DOUBLE_EQ(q.averagedQueuePackets(), 0.0);
   EXPECT_GT(q.ecnMarks(), 0u);  // instantaneous marking still active
 }
 
 TEST(RedQueue, AverageFollowsOccupancyDown) {
   DropTailQueue q(redConfig(10));
-  for (int i = 0; i < 40; ++i) q.enqueue(ectPacket(), 0);
+  for (int i = 0; i < 40; ++i) q.enqueue(ectPacket(), 0_ns);
   const double high = q.averagedQueuePackets();
-  while (!q.empty()) q.dequeue(0);
+  while (!q.empty()) q.dequeue(0_ns);
   for (int i = 0; i < 50; ++i) {
-    q.enqueue(ectPacket(), 0);
-    q.dequeue(0);
+    q.enqueue(ectPacket(), 0_ns);
+    q.dequeue(0_ns);
   }
   EXPECT_LT(q.averagedQueuePackets(), high);
 }

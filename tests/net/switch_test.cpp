@@ -56,7 +56,7 @@ struct Rig {
     Packet p;
     p.flow = 7;
     p.dst = dst;
-    p.size = 100;
+    p.size = 100_B;
     return p;
   }
 };
@@ -118,7 +118,7 @@ TEST(Switch, UplinkViewReflectsQueueState) {
   const auto view = rig.sw->uplinkView();
   ASSERT_EQ(view.size(), 2u);
   EXPECT_EQ(view[0].queuePackets, 2);
-  EXPECT_EQ(view[0].queueBytes, 200);
+  EXPECT_EQ(view[0].queueBytes, 200_B);
   EXPECT_EQ(view[1].queuePackets, 0);
 }
 

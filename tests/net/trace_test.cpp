@@ -13,11 +13,11 @@ class NullSink : public Node {
   std::string name() const override { return "null"; }
 };
 
-Packet makePacket(FlowId flow, Bytes size = 1500) {
+Packet makePacket(FlowId flow, ByteCount size = 1500_B) {
   Packet p;
   p.flow = flow;
   p.size = size;
-  p.payload = size - 40;
+  p.payload = size - 40_B;
   return p;
 }
 
@@ -46,7 +46,7 @@ TEST(PacketTracer, RecordsEveryDequeueInTimeOrder) {
     }
   }
   // Queue delays grow by one 12 us serialization per predecessor.
-  EXPECT_EQ(tracer.events()[0].queueDelay, 0);
+  EXPECT_EQ(tracer.events()[0].queueDelay, 0_ns);
   EXPECT_EQ(tracer.events()[1].queueDelay, microseconds(12));
   EXPECT_EQ(tracer.events()[4].queueDelay, microseconds(48));
 }

@@ -20,24 +20,24 @@ namespace {
 TEST(PathMatrix, AccumulatesPerLeafUplinkCells) {
   PathMatrix m;
   EXPECT_EQ(m.numLeaves(), 0);
-  m.record(0, 0, 1500);
-  m.record(0, 0, 1500);
-  m.record(0, 2, 40);
-  m.record(1, 1, 100);
+  m.record(0, 0, 1500_B);
+  m.record(0, 0, 1500_B);
+  m.record(0, 2, 40_B);
+  m.record(1, 1, 100_B);
   EXPECT_EQ(m.numLeaves(), 2);
   EXPECT_EQ(m.numUplinks(0), 3);
   EXPECT_EQ(m.packets(0, 0), 2u);
-  EXPECT_EQ(m.bytes(0, 0), 3000);
+  EXPECT_EQ(m.bytes(0, 0), 3000_B);
   EXPECT_EQ(m.packets(0, 1), 0u);
-  EXPECT_EQ(m.bytes(0, 2), 40);
+  EXPECT_EQ(m.bytes(0, 2), 40_B);
   EXPECT_EQ(m.totalPackets(), 4u);
-  EXPECT_EQ(m.totalBytes(), 3140);
+  EXPECT_EQ(m.totalBytes(), 3140_B);
 }
 
 TEST(PathMatrix, IgnoresNegativeIndices) {
   PathMatrix m;
-  m.record(-1, 0, 100);
-  m.record(0, -1, 100);
+  m.record(-1, 0, 100_B);
+  m.record(0, -1, 100_B);
   EXPECT_EQ(m.totalPackets(), 0u);
   EXPECT_EQ(m.numLeaves(), 0);
 }
@@ -45,12 +45,12 @@ TEST(PathMatrix, IgnoresNegativeIndices) {
 TEST(PathMatrix, ImbalanceIsMaxOverMeanBytes) {
   PathMatrix m;
   // Leaf 0: 3000 / 1000 bytes -> mean 2000, max 3000 -> 1.5.
-  m.record(0, 0, 3000);
-  m.record(0, 1, 1000);
+  m.record(0, 0, 3000_B);
+  m.record(0, 1, 1000_B);
   EXPECT_DOUBLE_EQ(m.imbalance(0), 1.5);
   // A perfectly balanced leaf scores 1.0.
-  m.record(1, 0, 500);
-  m.record(1, 1, 500);
+  m.record(1, 0, 500_B);
+  m.record(1, 1, 500_B);
   EXPECT_DOUBLE_EQ(m.imbalance(1), 1.0);
   EXPECT_DOUBLE_EQ(m.maxImbalance(), 1.5);
   EXPECT_DOUBLE_EQ(m.meanImbalance(), 1.25);
@@ -60,8 +60,8 @@ TEST(PathMatrix, ImbalanceIsMaxOverMeanBytes) {
 
 TEST(PathMatrix, JsonParsesAndCarriesCells) {
   PathMatrix m;
-  m.record(0, 0, 3000);
-  m.record(0, 1, 1000);
+  m.record(0, 0, 3000_B);
+  m.record(0, 1, 1000_B);
   const auto doc = JsonValue::parse(m.toJson());
   ASSERT_TRUE(doc.has_value());
   const JsonValue* leaves = doc->find("leaves");
@@ -80,10 +80,10 @@ TEST(FlowProbe, DeclareIsIdempotentAndCapped) {
   FlowProbe::Config cfg;
   cfg.maxFlows = 2;
   FlowProbe probe(cfg);
-  probe.declareFlow(7, 0, 1, 1000, 0, true);
-  probe.declareFlow(7, 9, 9, 9999, 9, false);  // re-declare: no-op
-  probe.declareFlow(3, 2, 3, 2000, 0, false);
-  probe.declareFlow(5, 4, 5, 3000, 0, true);  // past the cap
+  probe.declareFlow(7, 0, 1, 1000_B, 0_ns, true);
+  probe.declareFlow(7, 9, 9, 9999_B, 9_ns, false);  // re-declare: no-op
+  probe.declareFlow(3, 2, 3, 2000_B, 0_ns, false);
+  probe.declareFlow(5, 4, 5, 3000_B, 0_ns, true);  // past the cap
   EXPECT_EQ(probe.flowCount(), 2u);
   EXPECT_EQ(probe.flowsNotTracked(), 1u);
   ASSERT_NE(probe.find(7), nullptr);
@@ -99,14 +99,14 @@ TEST(FlowProbe, DeclareIsIdempotentAndCapped) {
 
 TEST(FlowProbe, UplinkForwardTracksSharesAndPathChanges) {
   FlowProbe probe;
-  probe.declareFlow(1, 0, 1, 1000, 0, true);
-  probe.onUplinkForward(0, 2, 1, 1500, 1460, 10);
-  probe.onUplinkForward(0, 2, 1, 1500, 1460, 20);
-  probe.onUplinkForward(0, 0, 1, 1500, 1460, 30);  // path change
+  probe.declareFlow(1, 0, 1, 1000_B, 0_ns, true);
+  probe.onUplinkForward(0, 2, 1, 1500_B, 1460_B, 10_ns);
+  probe.onUplinkForward(0, 2, 1, 1500_B, 1460_B, 20_ns);
+  probe.onUplinkForward(0, 0, 1, 1500_B, 1460_B, 30_ns);  // path change
   // ACKs feed the matrix but not the per-flow share/path history.
-  probe.onUplinkForward(1, 5, 1, 40, 0, 40);
+  probe.onUplinkForward(1, 5, 1, 40_B, 0_B, 40_ns);
   // Undeclared flows feed the matrix only.
-  probe.onUplinkForward(0, 1, 99, 1500, 1460, 50);
+  probe.onUplinkForward(0, 1, 99, 1500_B, 1460_B, 50_ns);
 
   const FlowRecord* rec = probe.find(1);
   ASSERT_NE(rec, nullptr);
@@ -121,20 +121,20 @@ TEST(FlowProbe, UplinkForwardTracksSharesAndPathChanges) {
 
 TEST(FlowProbe, OutOfOrderAttribution) {
   FlowProbe probe;
-  probe.declareFlow(1, 0, 1, 1000, 0, true);
+  probe.declareFlow(1, 0, 1, 1000_B, 0_ns, true);
 
   // No path change, no retransmit yet: unattributed.
-  probe.onOutOfOrder(1, 5);
+  probe.onOutOfOrder(1, 5_ns);
   // After a path change (and no retransmit): attributed to the path.
-  probe.onUplinkForward(0, 0, 1, 1500, 1460, 10);
-  probe.onUplinkForward(0, 1, 1, 1500, 1460, 20);
-  probe.onOutOfOrder(1, 25);
+  probe.onUplinkForward(0, 0, 1, 1500_B, 1460_B, 10_ns);
+  probe.onUplinkForward(0, 1, 1, 1500_B, 1460_B, 20_ns);
+  probe.onOutOfOrder(1, 25_ns);
   // A later retransmit takes over the attribution.
-  probe.onRetransmit(1, 30);
-  probe.onOutOfOrder(1, 35);
+  probe.onRetransmit(1, 30_ns);
+  probe.onOutOfOrder(1, 35_ns);
   // A path change at-or-after the retransmit wins again.
-  probe.onUplinkForward(0, 2, 1, 1500, 1460, 40);
-  probe.onOutOfOrder(1, 45);
+  probe.onUplinkForward(0, 2, 1, 1500_B, 1460_B, 40_ns);
+  probe.onOutOfOrder(1, 45_ns);
 
   const FlowRecord* rec = probe.find(1);
   ASSERT_NE(rec, nullptr);
@@ -148,29 +148,29 @@ TEST(FlowProbe, DecisionTimelineIsBounded) {
   FlowProbe::Config cfg;
   cfg.maxDecisionsPerFlow = 2;
   FlowProbe probe(cfg);
-  probe.declareFlow(1, 0, 1, 1000, 0, false);
-  probe.onDecision(1, 10, DecisionKind::kNewFlowlet, 0, 1);
-  probe.onDecision(1, 20, DecisionKind::kNewFlowlet, 1, 2);
-  probe.onDecision(1, 30, DecisionKind::kNewFlowlet, 2, 3);  // dropped
-  probe.onDecision(99, 40, DecisionKind::kNewFlowlet, 0, 1);  // undeclared
+  probe.declareFlow(1, 0, 1, 1000_B, 0_ns, false);
+  probe.onDecision(1, 10_ns, DecisionKind::kNewFlowlet, 0, 1);
+  probe.onDecision(1, 20_ns, DecisionKind::kNewFlowlet, 1, 2);
+  probe.onDecision(1, 30_ns, DecisionKind::kNewFlowlet, 2, 3);  // dropped
+  probe.onDecision(99, 40_ns, DecisionKind::kNewFlowlet, 0, 1);  // undeclared
   const FlowRecord* rec = probe.find(1);
   ASSERT_NE(rec, nullptr);
   ASSERT_EQ(rec->decisions.size(), 2u);
-  EXPECT_EQ(rec->decisions[1].t, 20);
+  EXPECT_EQ(rec->decisions[1].t, 20_ns);
   EXPECT_EQ(rec->decisions[1].a1, 2.0);
   EXPECT_EQ(rec->decisionsNotStored, 1u);
 }
 
 TEST(FlowProbe, FoldEmitsBoundedSummaryKeys) {
   FlowProbe probe;
-  probe.declareFlow(1, 0, 1, 1000, 0, true);
-  probe.declareFlow(2, 1, 0, 2000, 0, false);
-  probe.onUplinkForward(0, 0, 1, 1500, 1460, 10);
-  probe.onUplinkForward(0, 1, 1, 1500, 1460, 20);  // path change
-  probe.onOutOfOrder(1, 25);
-  probe.onDecision(1, 30, DecisionKind::kReclassifyLong, 65536, 3000);
-  probe.finishFlow(1, true, 100, false, 1000, 10, 0, 0);
-  probe.finishFlow(2, true, 200, false, 2000, 30, 0, 0);
+  probe.declareFlow(1, 0, 1, 1000_B, 0_ns, true);
+  probe.declareFlow(2, 1, 0, 2000_B, 0_ns, false);
+  probe.onUplinkForward(0, 0, 1, 1500_B, 1460_B, 10_ns);
+  probe.onUplinkForward(0, 1, 1, 1500_B, 1460_B, 20_ns);  // path change
+  probe.onOutOfOrder(1, 25_ns);
+  probe.onDecision(1, 30_ns, DecisionKind::kReclassifyLong, 65536, 3000);
+  probe.finishFlow(1, true, 100_ns, false, 1000_B, 10, 0, 0);
+  probe.finishFlow(2, true, 200_ns, false, 2000_B, 30, 0, 0);
 
   RunSummary summary;
   probe.fold(summary);
@@ -188,15 +188,15 @@ TEST(FlowProbe, FoldEmitsBoundedSummaryKeys) {
 
 TEST(FlowProbe, NdjsonRoundTripsThroughJsonParser) {
   FlowProbe probe;
-  probe.declareFlow(2, 1, 3, 50'000, microseconds(500), true);
-  probe.declareFlow(1, 0, 2, 5'000'000, 0, false);
-  probe.onUplinkForward(0, 1, 1, 1500, 1460, microseconds(600));
-  probe.onUplinkForward(0, 3, 1, 1500, 1460, microseconds(700));
+  probe.declareFlow(2, 1, 3, 50'000_B, microseconds(500), true);
+  probe.declareFlow(1, 0, 2, 5'000'000_B, 0_ns, false);
+  probe.onUplinkForward(0, 1, 1, 1500_B, 1460_B, microseconds(600));
+  probe.onUplinkForward(0, 3, 1, 1500_B, 1460_B, microseconds(700));
   probe.onDecision(1, microseconds(800), DecisionKind::kLongReroute, 1, 3);
   probe.onRetransmit(2, microseconds(900));
   probe.onOutOfOrder(2, microseconds(950));
-  probe.finishFlow(1, true, milliseconds(12), false, 5'000'000, 3425, 1, 0);
-  probe.finishFlow(2, false, 0, true, 20'000, 14, 0, 1);
+  probe.finishFlow(1, true, milliseconds(12), false, 5'000'000_B, 3425, 1, 0);
+  probe.finishFlow(2, false, 0_ns, true, 20'000_B, 14, 0, 1);
 
   const std::string text = probe.toNdjson({{"scheme", "tlb"}, {"seed", "7"}});
   std::istringstream in(text);

@@ -40,7 +40,7 @@ TEST(ObsHarness, QthSeriesSampledAtControlInterval) {
   auto cfg = smallTlbConfig();
   cfg.sinks.metrics = &metrics;
   const auto res = runExperiment(cfg);
-  ASSERT_GT(res.endTime, 0);
+  ASSERT_GT(res.endTime, 0_ns);
 
   // One q_th snapshot per TLB control tick, at the configured cadence
   // (500 us by default), starting one interval in.
@@ -51,7 +51,7 @@ TEST(ObsHarness, QthSeriesSampledAtControlInterval) {
   EXPECT_EQ(interval, microseconds(500));
   for (std::size_t i = 0; i < qth->size(); ++i) {
     EXPECT_EQ(qth->points()[i].first,
-              static_cast<SimTime>(i + 1) * interval)
+              (i + 1) * interval)
         << "snapshot " << i << " off-cadence";
     EXPECT_GE(qth->points()[i].second, 0.0);
   }

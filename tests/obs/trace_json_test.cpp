@@ -109,7 +109,7 @@ TEST(EventTrace, DistinctTracksGetDistinctTids) {
 
 TEST(EventTrace, ArgsBeyondKMaxArgsAreDropped) {
   EventTrace trace;
-  trace.instant("x", "crowded", 0,
+  trace.instant("x", "crowded", 0_ns,
                 {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
   const auto doc = JsonValue::parse(trace.toJson());
   ASSERT_TRUE(doc.has_value());

@@ -37,7 +37,7 @@ SweepScenario tinyScenario() {
       f.id = i;
       f.src = static_cast<net::HostId>(rng.uniformInt(0, 3));
       f.dst = static_cast<net::HostId>(4 + rng.uniformInt(0, 3));
-      f.size = 20 * kKB + static_cast<Bytes>(rng.uniformInt(0, 40)) * kKB;
+      f.size = 20 * kKB + rng.uniformInt(0, 40) * kKB;
       f.start = microseconds(static_cast<double>(rng.uniformInt(0, 200)));
       cfg.flows.push_back(f);
     }

@@ -19,12 +19,12 @@ TEST_P(SchedulerFuzz, AccountingStaysExact) {
   std::uint64_t scheduled = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t fired = 0;
-  SimTime lastNow = 0;
+  SimTime lastNow;
 
   for (int op = 0; op < 8000; ++op) {
     const double action = rng.uniform();
     if (action < 0.5) {
-      const SimTime delay = rng.uniformInt(0, 1000);
+      const SimTime delay = SimTime::fromNs(rng.uniformInt(0, 1000));
       live.push_back(sched.schedule(delay, [&fired] { ++fired; }));
       ++scheduled;
     } else if (action < 0.7 && !live.empty()) {
@@ -52,8 +52,8 @@ TEST(SchedulerFuzz, CancelDuringCallbackIsSafe) {
   Scheduler sched;
   EventId second = kInvalidEvent;
   bool secondFired = false;
-  sched.schedule(10, [&] { sched.cancel(second); });
-  second = sched.schedule(20, [&] { secondFired = true; });
+  sched.schedule(10_ns, [&] { sched.cancel(second); });
+  second = sched.schedule(20_ns, [&] { secondFired = true; });
   sched.run();
   EXPECT_FALSE(secondFired);
   EXPECT_EQ(sched.pendingEvents(), 0u);
@@ -63,9 +63,9 @@ TEST(SchedulerFuzz, ScheduleDuringCallbackRuns) {
   Scheduler sched;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 100) sched.schedule(1, chain);
+    if (++depth < 100) sched.schedule(1_ns, chain);
   };
-  sched.schedule(0, chain);
+  sched.schedule(0_ns, chain);
   sched.run();
   EXPECT_EQ(depth, 100);
 }

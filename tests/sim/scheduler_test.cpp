@@ -12,19 +12,19 @@ namespace {
 TEST(Scheduler, ExecutesInTimeOrder) {
   Scheduler s;
   std::vector<int> order;
-  s.schedule(30, [&] { order.push_back(3); });
-  s.schedule(10, [&] { order.push_back(1); });
-  s.schedule(20, [&] { order.push_back(2); });
+  s.schedule(30_ns, [&] { order.push_back(3); });
+  s.schedule(10_ns, [&] { order.push_back(1); });
+  s.schedule(20_ns, [&] { order.push_back(2); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.now(), 30_ns);
 }
 
 TEST(Scheduler, EqualTimestampsFireInSchedulingOrder) {
   Scheduler s;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    s.schedule(5, [&order, i] { order.push_back(i); });
+    s.schedule(5_ns, [&order, i] { order.push_back(i); });
   }
   s.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -32,9 +32,9 @@ TEST(Scheduler, EqualTimestampsFireInSchedulingOrder) {
 
 TEST(Scheduler, NowAdvancesMonotonically) {
   Scheduler s;
-  SimTime last = -1;
+  SimTime last = -1_ns;
   for (int i = 0; i < 50; ++i) {
-    s.schedule(i * 7 % 13, [&s, &last] {
+    s.schedule(SimTime::fromNs(i * 7 % 13), [&s, &last] {
       EXPECT_GE(s.now(), last);
       last = s.now();
     });
@@ -44,19 +44,19 @@ TEST(Scheduler, NowAdvancesMonotonically) {
 
 TEST(Scheduler, PastTimesClampToNow) {
   Scheduler s;
-  s.schedule(100, [] {});
+  s.schedule(100_ns, [] {});
   s.run();
   bool fired = false;
-  s.scheduleAt(50, [&] { fired = true; });  // in the past
+  s.scheduleAt(50_ns, [&] { fired = true; });  // in the past
   s.run();
   EXPECT_TRUE(fired);
-  EXPECT_EQ(s.now(), 100);  // did not go backwards
+  EXPECT_EQ(s.now(), 100_ns);  // did not go backwards
 }
 
 TEST(Scheduler, CancelPendingEvent) {
   Scheduler s;
   bool fired = false;
-  const EventId id = s.schedule(10, [&] { fired = true; });
+  const EventId id = s.schedule(10_ns, [&] { fired = true; });
   EXPECT_TRUE(s.pending(id));
   EXPECT_TRUE(s.cancel(id));
   EXPECT_FALSE(s.pending(id));
@@ -66,7 +66,7 @@ TEST(Scheduler, CancelPendingEvent) {
 
 TEST(Scheduler, CancelFiredEventIsNoop) {
   Scheduler s;
-  const EventId id = s.schedule(10, [] {});
+  const EventId id = s.schedule(10_ns, [] {});
   s.run();
   EXPECT_FALSE(s.cancel(id));
   EXPECT_EQ(s.pendingEvents(), 0u);
@@ -80,7 +80,7 @@ TEST(Scheduler, CancelInvalidIdIsNoop) {
 
 TEST(Scheduler, DoubleCancelIsNoop) {
   Scheduler s;
-  const EventId id = s.schedule(10, [] {});
+  const EventId id = s.schedule(10_ns, [] {});
   EXPECT_TRUE(s.cancel(id));
   EXPECT_FALSE(s.cancel(id));
   EXPECT_TRUE(s.empty());
@@ -88,8 +88,8 @@ TEST(Scheduler, DoubleCancelIsNoop) {
 
 TEST(Scheduler, PendingCountTracksLiveEvents) {
   Scheduler s;
-  const EventId a = s.schedule(1, [] {});
-  s.schedule(2, [] {});
+  const EventId a = s.schedule(1_ns, [] {});
+  s.schedule(2_ns, [] {});
   EXPECT_EQ(s.pendingEvents(), 2u);
   s.cancel(a);
   EXPECT_EQ(s.pendingEvents(), 1u);
@@ -102,12 +102,12 @@ TEST(Scheduler, RunLimitStopsBeforeLaterEvents) {
   Scheduler s;
   bool early = false;
   bool late = false;
-  s.schedule(10, [&] { early = true; });
-  s.schedule(100, [&] { late = true; });
-  s.run(50);
+  s.schedule(10_ns, [&] { early = true; });
+  s.schedule(100_ns, [&] { late = true; });
+  s.run(50_ns);
   EXPECT_TRUE(early);
   EXPECT_FALSE(late);
-  EXPECT_EQ(s.now(), 50);  // clock advances to the limit
+  EXPECT_EQ(s.now(), 50_ns);  // clock advances to the limit
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
   EXPECT_TRUE(late);
@@ -117,19 +117,19 @@ TEST(Scheduler, EventsScheduledDuringRunExecute) {
   Scheduler s;
   int depth = 0;
   std::function<void()> recurse = [&] {
-    if (++depth < 5) s.schedule(10, recurse);
+    if (++depth < 5) s.schedule(10_ns, recurse);
   };
-  s.schedule(0, recurse);
+  s.schedule(0_ns, recurse);
   s.run();
   EXPECT_EQ(depth, 5);
-  EXPECT_EQ(s.now(), 40);
+  EXPECT_EQ(s.now(), 40_ns);
 }
 
 TEST(Scheduler, StepExecutesExactlyOne) {
   Scheduler s;
   int count = 0;
-  s.schedule(1, [&] { ++count; });
-  s.schedule(2, [&] { ++count; });
+  s.schedule(1_ns, [&] { ++count; });
+  s.schedule(2_ns, [&] { ++count; });
   EXPECT_TRUE(s.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(s.step());
@@ -140,16 +140,16 @@ TEST(Scheduler, StepExecutesExactlyOne) {
 TEST(Simulator, PeriodicTimerFiresRepeatedly) {
   Simulator sim;
   int ticks = 0;
-  sim.every(100, [&] { ++ticks; }, /*start=*/100);
-  sim.run(1000);
+  sim.every(100_ns, [&] { ++ticks; }, /*start=*/100_ns);
+  sim.run(1000_ns);
   EXPECT_EQ(ticks, 10);  // t = 100, 200, ..., 1000
 }
 
 TEST(Simulator, PeriodicTimerStopsAtRunLimit) {
   Simulator sim;
   int ticks = 0;
-  sim.every(100, [&] { ++ticks; }, /*start=*/100);
-  sim.run(350);
+  sim.every(100_ns, [&] { ++ticks; }, /*start=*/100_ns);
+  sim.run(350_ns);
   // After the limited run the queue should not grow unboundedly; re-running
   // with a longer limit resumes ticking.
   EXPECT_EQ(ticks, 3);
@@ -158,11 +158,11 @@ TEST(Simulator, PeriodicTimerStopsAtRunLimit) {
 TEST(Simulator, ScheduleAndCancelThroughFacade) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.schedule(10, [&] { fired = true; });
+  const EventId id = sim.schedule(10_ns, [&] { fired = true; });
   EXPECT_TRUE(sim.cancel(id));
-  sim.run(100);
+  sim.run(100_ns);
   EXPECT_FALSE(fired);
-  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.now(), 100_ns);
 }
 
 }  // namespace

@@ -25,11 +25,11 @@ TEST(Csv, FlowsRoundTrip) {
   r.spec.id = 7;
   r.spec.src = 1;
   r.spec.dst = 2;
-  r.spec.size = 12345;
-  r.spec.start = 1000;
-  r.spec.deadline = 5000000;
+  r.spec.size = 12345_B;
+  r.spec.start = 1000_ns;
+  r.spec.deadline = 5000000_ns;
   r.completed = true;
-  r.fct = 2500000;
+  r.fct = 2500000_ns;
   r.dupAcks = 3;
   r.acks = 10;
   r.outOfOrderPackets = 1;
@@ -57,8 +57,8 @@ TEST(Csv, EmptyLedgerWritesHeaderOnly) {
 
 TEST(Csv, SeriesRoundTrip) {
   TimeSeries ts;
-  ts.add(1000, 0.5);
-  ts.add(2000, 1.25);
+  ts.add(1000_ns, 0.5);
+  ts.add(2000_ns, 1.25);
   const std::string path = ::testing::TempDir() + "/series_test.csv";
   writeSeriesCsv(path, "metric", ts);
   const auto lines = readLines(path);

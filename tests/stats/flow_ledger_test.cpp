@@ -5,8 +5,8 @@
 namespace tlbsim::stats {
 namespace {
 
-FlowResult makeResult(FlowId id, Bytes size, SimTime fct, bool completed = true,
-                      SimTime deadline = 0) {
+FlowResult makeResult(FlowId id, ByteCount size, SimTime fct, bool completed = true,
+                      SimTime deadline = 0_ns) {
   FlowResult r;
   r.spec.id = id;
   r.spec.size = size;
@@ -22,22 +22,22 @@ TEST(FlowResult, DeadlineMissLogic) {
   EXPECT_TRUE(makeResult(1, kKB, milliseconds(7), true, milliseconds(5))
                   .missedDeadline());
   // Incomplete flow with a deadline counts as missed.
-  EXPECT_TRUE(makeResult(1, kKB, 0, false, milliseconds(5)).missedDeadline());
+  EXPECT_TRUE(makeResult(1, kKB, 0_ns, false, milliseconds(5)).missedDeadline());
   // No deadline: never a miss.
-  EXPECT_FALSE(makeResult(1, kKB, milliseconds(100), true, 0).missedDeadline());
+  EXPECT_FALSE(makeResult(1, kKB, milliseconds(100), true, 0_ns).missedDeadline());
 }
 
 TEST(FlowResult, GoodputComputation) {
   // 1 MB in 10 ms = 800 Mbps.
   const auto r = makeResult(1, kMB, milliseconds(10));
   EXPECT_NEAR(r.goodputBps(), 8e8, 1.0);
-  EXPECT_DOUBLE_EQ(makeResult(1, kMB, 0, false).goodputBps(), 0.0);
+  EXPECT_DOUBLE_EQ(makeResult(1, kMB, 0_ns, false).goodputBps(), 0.0);
 }
 
 TEST(FlowLedger, ClassPredicates) {
-  EXPECT_TRUE(FlowLedger::isShort(makeResult(1, 99 * kKB, 1)));
-  EXPECT_FALSE(FlowLedger::isShort(makeResult(1, 100 * kKB, 1)));
-  EXPECT_TRUE(FlowLedger::isLong(makeResult(1, 10 * kMB, 1)));
+  EXPECT_TRUE(FlowLedger::isShort(makeResult(1, 99 * kKB, 1_ns)));
+  EXPECT_FALSE(FlowLedger::isShort(makeResult(1, 100 * kKB, 1_ns)));
+  EXPECT_TRUE(FlowLedger::isLong(makeResult(1, 10 * kMB, 1_ns)));
 }
 
 class LedgerFixture : public ::testing::Test {
@@ -49,7 +49,7 @@ class LedgerFixture : public ::testing::Test {
     ledger.add(makeResult(3, 70 * kKB, milliseconds(30), true, milliseconds(40)));
     // 2 long flows, one incomplete.
     ledger.add(makeResult(4, 10 * kMB, milliseconds(100), true));
-    ledger.add(makeResult(5, 10 * kMB, 0, false));
+    ledger.add(makeResult(5, 10 * kMB, 0_ns, false));
   }
   FlowLedger ledger;
 };
@@ -86,12 +86,12 @@ TEST_F(LedgerFixture, MeanGoodput) {
 
 TEST(FlowLedger, DupAckAndOooRatios) {
   FlowLedger ledger;
-  auto a = makeResult(1, 10 * kKB, 1);
+  auto a = makeResult(1, 10 * kKB, 1_ns);
   a.dupAcks = 5;
   a.acks = 50;
   a.outOfOrderPackets = 2;
   a.dataPackets = 20;
-  auto b = makeResult(2, 10 * kKB, 1);
+  auto b = makeResult(2, 10 * kKB, 1_ns);
   b.dupAcks = 0;
   b.acks = 50;
   b.outOfOrderPackets = 0;

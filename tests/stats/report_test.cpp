@@ -28,9 +28,9 @@ TEST(Table, ShortRowsTolerated) {
 
 TEST(TimeSeries, MeanAndMax) {
   TimeSeries ts;
-  ts.add(0, 1.0);
-  ts.add(1, 3.0);
-  ts.add(2, 2.0);
+  ts.add(0_ns, 1.0);
+  ts.add(1_ns, 3.0);
+  ts.add(2_ns, 2.0);
   EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
   EXPECT_DOUBLE_EQ(ts.max(), 3.0);
   EXPECT_EQ(ts.size(), 3u);
@@ -45,7 +45,7 @@ TEST(TimeSeries, EmptyIsSafe) {
 
 TEST(TimeSeries, DownsampleKeepsOrder) {
   TimeSeries ts;
-  for (int i = 0; i < 100; ++i) ts.add(i, i);
+  for (int i = 0; i < 100; ++i) ts.add(SimTime::fromNs(i), i);
   const auto ds = ts.downsample(10);
   EXPECT_LE(ds.size(), 12u);
   EXPECT_GE(ds.size(), 9u);
@@ -56,8 +56,8 @@ TEST(TimeSeries, DownsampleKeepsOrder) {
 
 TEST(TimeSeries, DownsampleSmallSeriesUnchanged) {
   TimeSeries ts;
-  ts.add(0, 1.0);
-  ts.add(1, 2.0);
+  ts.add(0_ns, 1.0);
+  ts.add(1_ns, 2.0);
   EXPECT_EQ(ts.downsample(10).size(), 2u);
 }
 

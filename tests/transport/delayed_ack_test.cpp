@@ -26,7 +26,7 @@ TEST(DelayedAck, FlowCompletesExactly) {
 }
 
 TEST(DelayedAck, RoughlyHalvesAckCount) {
-  const Bytes size = 300 * kKB;
+  const ByteCount size = 300 * kKB;
 
   TcpRig perPacket;
   auto f1 = perPacket.makeFlow(size);
@@ -48,7 +48,7 @@ TEST(DelayedAck, TimeoutFlushesOddSegment) {
   // A 1-segment flow never reaches the 2-segment coalescing threshold;
   // the timer must flush the ACK and the flow must not need an RTO.
   TcpRig rig;
-  auto f = rig.makeFlow(1000, delayedParams());
+  auto f = rig.makeFlow(1000_B, delayedParams());
   f.sender->start();
   rig.simr.run(seconds(5));
   ASSERT_TRUE(f.sender->completed());

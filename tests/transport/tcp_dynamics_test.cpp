@@ -45,7 +45,7 @@ TEST(TcpDynamics, RoundsToCompleteMatchEquationThree) {
   TcpRig rig(gbps(10), milliseconds(2.5));  // RTT 10 ms
   TcpParams params;
   params.receiverWindow = 4 * kMB;
-  const Bytes X = 64 * kKB;  // 44.8 segments -> r = 6 (2+4+8+16+32 >= 45)
+  const ByteCount X = 64 * kKB;  // 44.8 segments -> r = 6 (2+4+8+16+32 >= 45)
   auto f = rig.makeFlow(X, params);
   f.sender->start();
   rig.simr.run(seconds(2));

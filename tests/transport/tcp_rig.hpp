@@ -83,13 +83,13 @@ struct TcpRig {
     std::unique_ptr<TcpSender> sender;
   };
 
-  Flow makeFlow(Bytes size, const TcpParams& params = {}, FlowId id = 1) {
+  Flow makeFlow(ByteCount size, const TcpParams& params = {}, FlowId id = 1) {
     Flow f;
     f.spec.id = id;
     f.spec.src = 0;
     f.spec.dst = 1;
     f.spec.size = size;
-    f.spec.start = 0;
+    f.spec.start = 0_ns;
     f.receiver = std::make_unique<TcpReceiver>(simr, hostB, f.spec, params);
     f.sender = std::make_unique<TcpSender>(simr, hostA, f.spec, params);
     return f;

@@ -10,18 +10,18 @@ using testing::TcpRig;
 
 TEST(Tcp, SmallFlowCompletes) {
   TcpRig rig;
-  auto f = rig.makeFlow(1000);
+  auto f = rig.makeFlow(1000_B);
   f.sender->start();
   rig.simr.run(seconds(1));
   EXPECT_TRUE(f.sender->completed());
-  EXPECT_EQ(f.sender->bytesAcked(), 1000);
+  EXPECT_EQ(f.sender->bytesAcked(), 1000_B);
   EXPECT_EQ(f.receiver->cumulativeAck(), 1000u);
   EXPECT_TRUE(f.receiver->finReceived());
 }
 
 TEST(Tcp, FctIsAboutTwoRttsForOneSegment) {
   TcpRig rig;  // base RTT = 4 * 25 us = 100 us
-  auto f = rig.makeFlow(1000);
+  auto f = rig.makeFlow(1000_B);
   f.sender->start();
   rig.simr.run(seconds(1));
   ASSERT_TRUE(f.sender->completed());
@@ -32,11 +32,11 @@ TEST(Tcp, FctIsAboutTwoRttsForOneSegment) {
 
 TEST(Tcp, ZeroByteFlowCompletesAtHandshake) {
   TcpRig rig;
-  auto f = rig.makeFlow(0);
+  auto f = rig.makeFlow(0_B);
   f.sender->start();
   rig.simr.run(seconds(1));
   EXPECT_TRUE(f.sender->completed());
-  EXPECT_GT(f.sender->fct(), 0);
+  EXPECT_GT(f.sender->fct(), 0_ns);
 }
 
 TEST(Tcp, CleanPathHasNoRetransmissions) {
@@ -95,7 +95,7 @@ TEST(Tcp, TimeoutRecoversTailLoss) {
   // Drop the last segment (no later packets -> no dup ACKs -> RTO).
   bool armed = true;
   rig.abFilter.setHook([&](net::Packet& p) {
-    if (armed && p.isData() && p.seq + static_cast<std::uint64_t>(p.payload) ==
+    if (armed && p.isData() && p.seq + static_cast<std::uint64_t>(p.payload.bytes()) ==
                                    20 * 1000u &&
         !p.retransmit) {
       armed = false;
@@ -172,7 +172,7 @@ TEST(Tcp, DctcpAlphaTracksMarkingRate) {
 
 TEST(Tcp, EcnMarkingSlowsTheFlowDown) {
   TcpParams params;
-  const Bytes size = 300 * kKB;
+  const ByteCount size = 300 * kKB;
 
   TcpRig clean;
   auto f1 = clean.makeFlow(size, params);
@@ -221,7 +221,7 @@ TEST(Tcp, RttEstimateIsReasonable) {
 }
 
 // Flow sizes crossing every segmentation boundary must complete exactly.
-class TcpSizeSweep : public ::testing::TestWithParam<Bytes> {};
+class TcpSizeSweep : public ::testing::TestWithParam<ByteCount> {};
 
 TEST_P(TcpSizeSweep, CompletesExactly) {
   TcpRig rig;
@@ -231,12 +231,13 @@ TEST_P(TcpSizeSweep, CompletesExactly) {
   ASSERT_TRUE(f.sender->completed());
   EXPECT_EQ(f.sender->bytesAcked(), GetParam());
   EXPECT_EQ(f.receiver->cumulativeAck(),
-            static_cast<std::uint64_t>(GetParam()));
+            static_cast<std::uint64_t>(GetParam().bytes()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Boundaries, TcpSizeSweep,
-                         ::testing::Values(1, 1459, 1460, 1461, 2920, 2921,
-                                           10000, 65536, 100000, 1000000));
+                         ::testing::Values(1_B, 1459_B, 1460_B, 1461_B,
+                                           2920_B, 2921_B, 10000_B, 65536_B,
+                                           100000_B, 1000000_B));
 
 // Random loss at several rates: the flow must still complete.
 class TcpLossSweep : public ::testing::TestWithParam<int> {};
@@ -256,7 +257,7 @@ TEST_P(TcpLossSweep, CompletesUnderRandomLoss) {
   f.sender->start();
   rig.simr.run(seconds(30));
   EXPECT_TRUE(f.sender->completed())
-      << "stalled at " << f.sender->bytesAcked() << " bytes";
+      << "stalled at " << f.sender->bytesAcked().bytes() << " bytes";
   EXPECT_EQ(f.receiver->cumulativeAck(), 200 * 1000u);
 }
 

@@ -1,0 +1,19 @@
+// Negative-compilation case: adding a duration to a data size mixes
+// dimensions. The scaffolding below must compile without TLBSIM_NEGATIVE;
+// the guarded expression must not compile with it (tests/units_negative/
+// run_case.cmake checks both directions).
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+tlbsim::SimTime scaffolding() { return 5_us + 3_ns; }
+
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return 5_us + 1500_B; }
+#else
+auto bad() { return scaffolding(); }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

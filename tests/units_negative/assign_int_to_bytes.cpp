@@ -1,0 +1,19 @@
+// Negative-compilation case: assigning a raw integer to a ByteCount —
+// the unit must be spelled (1500_B, ByteCount::fromBytes(x)).
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+tlbsim::ByteCount bad() {
+  tlbsim::ByteCount b;
+  b = 1500;
+  return b;
+}
+#else
+tlbsim::ByteCount bad() { return 1500_B; }
+#endif
+}  // namespace
+
+int main() { return bad().bytes() == 0; }

@@ -1,0 +1,16 @@
+// Negative-compilation case: bytes / time (a rate) is not provided —
+// rates are constructed in bits-per-second via LinkRate, never derived
+// by division, so a misplaced operand cannot silently make one.
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return 1500_B / 12_us; }
+#else
+auto bad() { return 1500_B / tlbsim::gbps(1); }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

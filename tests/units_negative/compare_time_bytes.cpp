@@ -1,0 +1,15 @@
+// Negative-compilation case: ordering a duration against a data size is
+// dimensionally meaningless.
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+bool bad() { return 5_us < 1500_B; }
+#else
+bool bad() { return 5_us < 6_us && 1400_B < 1500_B; }
+#endif
+}  // namespace
+
+int main() { return bad() ? 0 : 1; }

@@ -1,0 +1,17 @@
+// Negative-compilation case: a raw integer is not a SimTime — callers
+// must say which unit they mean (5_us, SimTime::fromNs(x)).
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+tlbsim::SimTime schedule(tlbsim::SimTime delay) { return delay + 1_ns; }
+
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return schedule(5000); }
+#else
+auto bad() { return schedule(5_us); }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

@@ -1,0 +1,20 @@
+// Negative-compilation case: a SimTime does not silently decay to an
+// integer — serialization goes through the explicit .ns() escape hatch.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+std::int64_t bad() {
+  std::int64_t raw = 5_us;
+  return raw;
+}
+#else
+std::int64_t bad() { return (5_us).ns(); }
+#endif
+}  // namespace
+
+int main() { return bad() == 0; }

@@ -1,0 +1,18 @@
+// Negative-compilation case: a bare double is not a LinkRate — the unit
+// enters through gbps()/mbps()/kbps() or LinkRate::fromBitsPerSecond.
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+tlbsim::LinkRate bad() {
+  tlbsim::LinkRate r = 1e9;
+  return r;
+}
+#else
+tlbsim::LinkRate bad() { return tlbsim::gbps(1); }
+#endif
+}  // namespace
+
+int main() { return bad().bitsPerSecond() > 0 ? 0 : 1; }

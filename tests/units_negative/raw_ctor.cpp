@@ -1,0 +1,16 @@
+// Negative-compilation case: the value constructors are private — a unit
+// cannot be conjured from a bare number without naming the unit through
+// a factory (SimTime::fromNs) or a literal (5_us).
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return tlbsim::SimTime(5000); }
+#else
+auto bad() { return tlbsim::SimTime::fromNs(5000); }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

@@ -1,0 +1,41 @@
+# Negative-compilation driver for the strong unit types.
+#
+# Each case file is valid C++ on its own and carries the dimensionally
+# invalid expression under #ifdef TLBSIM_NEGATIVE. The case is compiled
+# twice with -fsyntax-only:
+#   1. without the define  -> must COMPILE (proves the scaffolding and
+#      include paths are sound, so a pass cannot come from a broken setup),
+#   2. with -DTLBSIM_NEGATIVE -> must FAIL (the type-level guarantee).
+#
+# Usage:
+#   cmake -DCOMPILER=<c++> -DCASE=<file.cpp> -DINCLUDE_DIR=<src>
+#         -P run_case.cmake
+foreach(var COMPILER CASE INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(base_cmd "${COMPILER}" -std=c++20 -fsyntax-only
+    "-I${INCLUDE_DIR}" "${CASE}")
+
+execute_process(COMMAND ${base_cmd}
+                RESULT_VARIABLE positive_rc
+                ERROR_VARIABLE positive_err)
+if(NOT positive_rc EQUAL 0)
+  message(FATAL_ERROR
+          "scaffolding for ${CASE} does not compile without "
+          "TLBSIM_NEGATIVE — the negative result would be meaningless:\n"
+          "${positive_err}")
+endif()
+
+execute_process(COMMAND ${base_cmd} -DTLBSIM_NEGATIVE
+                RESULT_VARIABLE negative_rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(negative_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${CASE} COMPILED with TLBSIM_NEGATIVE defined — the unit types "
+          "accepted a dimensionally invalid expression")
+endif()
+
+message(STATUS "${CASE}: rejected as expected")

@@ -1,0 +1,15 @@
+// Negative-compilation case: adding a unitless integer to a SimTime —
+// the "+ 1" must say what unit it is (1_ns? 1_us?).
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return 5_us + 1; }
+#else
+auto bad() { return 5_us + 1_ns; }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

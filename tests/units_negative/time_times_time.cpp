@@ -1,0 +1,16 @@
+// Negative-compilation case: time * time would be seconds-squared, which
+// nothing in the simulator means. Only time * scalar and the ratio
+// time / time exist.
+#include "util/units.hpp"
+
+using namespace tlbsim::unit_literals;
+
+namespace {
+#ifdef TLBSIM_NEGATIVE
+auto bad() { return 5_us * 3_us; }
+#else
+auto bad() { return 5_us * 3; }
+#endif
+}  // namespace
+
+int main() { return bad().ns() == 0; }

@@ -2,39 +2,207 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "util/check.hpp"
+
 namespace tlbsim {
 namespace {
 
+// ---------------------------------------------------------------------------
+// User-defined literals are constexpr: every assertion here is evaluated at
+// compile time, so the literals are usable in constant expressions (array
+// bounds, template arguments, switch cases) anywhere in the simulator.
+static_assert(1_ns == SimTime::fromNs(1));
+static_assert(10_us == 10'000_ns);
+static_assert(3_ms == 3'000'000_ns);
+static_assert(2_s == 2'000'000'000_ns);
+static_assert(1.5_us == 1'500_ns);
+static_assert(0.5_ms == 500'000_ns);
+static_assert(1500_B == ByteCount::fromBytes(1500));
+static_assert(2_KB == 2'000_B);
+static_assert(3_MB == 3'000'000_B);
+static_assert(2_KiB == 2'048_B);
+static_assert(1_MiB == 1'048'576_B);
+static_assert((10_Gbps).bitsPerSecond() == 1e10);
+static_assert((100_Mbps).bitsPerSecond() == 1e8);
+static_assert((64_Kbps).bitsPerSecond() == 6.4e4);
+static_assert((2.5_Gbps).bitsPerSecond() == 2.5e9);
+
+// Dimensional arithmetic is constexpr too.
+static_assert(1_us + 500_ns == 1'500_ns);
+static_assert(1_us - 500_ns == 500_ns);
+static_assert(10_us / 1_us == 10);
+static_assert(7_us % 3_us == 1_us);
+static_assert(3_KB - 1_KB == 2_KB);
+static_assert(6_KB / 2_KB == 3);
+static_assert((1_Gbps).transmissionTime(1500_B) == 12_us);
+
 TEST(Units, TimeConversions) {
-  EXPECT_EQ(microseconds(1), 1000);
-  EXPECT_EQ(milliseconds(1), 1000000);
-  EXPECT_EQ(seconds(1), 1000000000);
-  EXPECT_EQ(microseconds(12.5), 12500);
+  EXPECT_EQ(microseconds(1), 1000_ns);
+  EXPECT_EQ(milliseconds(1), 1'000'000_ns);
+  EXPECT_EQ(seconds(1), 1'000'000'000_ns);
+  EXPECT_EQ(microseconds(12.5), 12'500_ns);
   EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
   EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(2.5)), 2.5);
   EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(7)), 7.0);
+}
+
+TEST(Units, EscapeHatchesRoundTrip) {
+  EXPECT_EQ((1234_us).ns(), 1'234'000);
+  EXPECT_EQ(SimTime::fromNs((1234_us).ns()), 1234_us);
+  EXPECT_EQ((9000_B).bytes(), 9000);
+  EXPECT_EQ(ByteCount::fromBytes((9000_B).bytes()), 9000_B);
+}
+
+// seconds(double) goes through a double multiply and truncates toward
+// zero: fractional nanoseconds are dropped, and inputs beyond 2^53 ns
+// (~104 days) silently lose integer-ns precision. Pin both behaviors so
+// a change to the conversion chain is a visible test failure, not a
+// silent drift in every config that uses fractional-second values.
+TEST(Units, SecondsDoublePrecisionLoss) {
+  // Truncation toward zero of fractional nanoseconds.
+  EXPECT_EQ(nanoseconds(0.9), 0_ns);
+  EXPECT_EQ(nanoseconds(-0.9), 0_ns);
+  EXPECT_EQ(nanoseconds(2.5), 2_ns);
+  EXPECT_EQ(seconds(2.5e-9), 2_ns);
+  EXPECT_EQ(microseconds(0.0004), 0_ns);
+  // 0.1 is not representable in binary; the nearest double is slightly
+  // above, and after the multiply the product still truncates to 100 ns.
+  EXPECT_EQ(microseconds(0.1), 100_ns);
+  // Beyond 2^53 ns a double cannot hold every integer: 2^53 + 1 ns is
+  // not expressible as seconds(double), so the round-trip snaps to the
+  // nearest representable value instead of returning the input.
+  const std::int64_t big = (std::int64_t{1} << 53) + 1;
+  const SimTime t = SimTime::fromNs(big);
+  EXPECT_NE(seconds(toSeconds(t)), t);
+  EXPECT_NEAR(static_cast<double>(seconds(toSeconds(t)).ns()),
+              static_cast<double>(big), 2.0);
+}
+
+TEST(Units, ToSecondsRoundTrips) {
+  // Values whose double representation is exact round-trip exactly.
+  for (const SimTime t : {0_ns, 1_ns, 512_ns, 1_us, 250_us, 1_ms, 1_s,
+                          SimTime::fromNs(std::int64_t{1} << 52)}) {
+    EXPECT_EQ(seconds(toSeconds(t)), t) << t.ns();
+    EXPECT_EQ(milliseconds(toMilliseconds(t)), t) << t.ns();
+    EXPECT_EQ(microseconds(toMicroseconds(t)), t) << t.ns();
+  }
+}
+
+TEST(Units, NegativeDurations) {
+  // Negative SimTime encodes sentinels and raw subtraction results.
+  EXPECT_EQ((-5_us).ns() * -1, 5000);
+  EXPECT_EQ(1_us - 5_us, -(4_us));
+  EXPECT_LT(-1_ns, 0_ns);
+  EXPECT_GT(0_ns, SimTime::fromNs(-100));
+  EXPECT_EQ(-(3_us) * 2, SimTime::fromNs(-6000));
+  EXPECT_EQ(toMicroseconds(-(3_us)), -3.0);
+  // Same for ByteCount (negative = "unset").
+  EXPECT_EQ(ByteCount::fromBytes(-1).bytes(), -1);
+  EXPECT_LT(ByteCount::fromBytes(-1), 0_B);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_EQ(3_us * 2, 6_us);
+  EXPECT_EQ(2 * 3_us, 6_us);
+  // Floating factors truncate toward zero after the double multiply.
+  EXPECT_EQ(3_us * 2.5, 7'500_ns);
+  EXPECT_EQ(10_ns * 0.99, 9_ns);
+  EXPECT_EQ(10_ns / 3.0, 3_ns);
+  EXPECT_EQ(10_ns / 3, 3_ns);
+  SimTime rto = 200_ms;
+  rto *= 2;
+  EXPECT_EQ(rto, 400_ms);
+  rto /= 4;
+  EXPECT_EQ(rto, 100_ms);
+  ByteCount window = 8_KB;
+  window *= 1.5;
+  EXPECT_EQ(window, 12_KB);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(SimTime{}, 0_ns);
+  EXPECT_EQ(ByteCount{}, 0_B);
+  EXPECT_EQ(LinkRate{}.bitsPerSecond(), 0.0);
 }
 
 TEST(Units, LinkRateBytesPerSecond) {
   EXPECT_DOUBLE_EQ(gbps(1).bytesPerSecond(), 1.25e8);
   EXPECT_DOUBLE_EQ(mbps(20).bytesPerSecond(), 2.5e6);
   EXPECT_DOUBLE_EQ(kbps(8).bytesPerSecond(), 1e3);
+  EXPECT_DOUBLE_EQ(gbps(40).scaled(0.5).bitsPerSecond(), 2e10);
 }
 
 TEST(Units, TransmissionTime) {
   // 1500 bytes at 1 Gbps = 12 microseconds.
-  EXPECT_EQ(gbps(1).transmissionTime(1500), 12000);
+  EXPECT_EQ(gbps(1).transmissionTime(1500_B), 12_us);
   // 1500 bytes at 20 Mbps = 600 microseconds.
-  EXPECT_EQ(mbps(20).transmissionTime(1500), 600000);
-  EXPECT_EQ(gbps(1).transmissionTime(0), 0);
+  EXPECT_EQ(mbps(20).transmissionTime(1500_B), 600_us);
+  EXPECT_EQ(gbps(1).transmissionTime(0_B), 0_ns);
+  // The free-operator spelling is the same computation.
+  EXPECT_EQ(1500_B / gbps(1), 12_us);
+}
+
+// transmissionTime truncates toward zero to whole nanoseconds: transfers
+// faster than 1 ns serialize in 0 ns. On a 100 Gbps link one bit lasts
+// 0.01 ns, so anything under 12.5 bytes rounds down to nothing.
+TEST(Units, TransmissionTimeSubNanosecondTruncation) {
+  EXPECT_EQ((100_Gbps).transmissionTime(1_B), 0_ns);
+  EXPECT_EQ((100_Gbps).transmissionTime(12_B), 0_ns);   // 0.96 ns
+  EXPECT_EQ((100_Gbps).transmissionTime(13_B), 1_ns);   // 1.04 ns
+  EXPECT_EQ((100_Gbps).transmissionTime(125_B), 10_ns);  // exact
+  // Truncation, not rounding: 1499 bytes at 1 Gbps is 11.992 us.
+  EXPECT_EQ(gbps(1).transmissionTime(1499_B), 11'992_ns);
+}
+
+TEST(Units, TransmissionTimeLargeSizes) {
+  // 10^18 bytes at 1 Gbps = 8e18 ns: near the int64 ceiling (9.22e18)
+  // but every intermediate double is exact, so the result is too.
+  const ByteCount huge = ByteCount::fromBytes(1'000'000'000'000'000'000);
+  EXPECT_EQ(gbps(1).transmissionTime(huge).ns(), 8'000'000'000'000'000'000);
+  // A slow link stretches small payloads without precision loss.
+  EXPECT_EQ(kbps(1).transmissionTime(1_B), 8_ms);
+}
+
+TEST(Units, BytesInRate) {
+  EXPECT_EQ(gbps(8).bytesIn(1_us), 1000_B);
+  EXPECT_EQ(mbps(8).bytesIn(1_ms), 1000_B);
+  EXPECT_EQ(gbps(8) * 1_us, 1000_B);
+  EXPECT_EQ(1_us * gbps(8), 1000_B);
+  EXPECT_EQ(gbps(1).bytesIn(0_ns), 0_B);
 }
 
 TEST(Units, ByteConstants) {
-  EXPECT_EQ(kKB, 1000);
-  EXPECT_EQ(kMB, 1000000);
-  EXPECT_EQ(kKiB, 1024);
-  EXPECT_EQ(64 * kKiB, 65536);
+  EXPECT_EQ(kKB, 1000_B);
+  EXPECT_EQ(kMB, 1'000'000_B);
+  EXPECT_EQ(kKiB, 1024_B);
+  EXPECT_EQ(64 * kKiB, 65'536_B);
 }
+
+#ifndef NDEBUG
+// Overflow is DCHECK-guarded in Debug; route failures through a handler
+// so the test observes them instead of aborting.
+long overflowFailures = 0;
+void countFailure(const char*, int, const char*, const char*) {
+  ++overflowFailures;
+}
+
+TEST(Units, DebugOverflowChecks) {
+  auto* prev = check::setFailureHandler(&countFailure);
+  overflowFailures = 0;
+  SimTime t = SimTime::max();
+  t += 1_ns;
+  EXPECT_EQ(overflowFailures, 1);
+  // Past the check, arithmetic wraps two's-complement (defined behavior).
+  EXPECT_EQ(t.ns(), INT64_MIN);
+  ByteCount b = ByteCount::fromBytes(INT64_MIN + 1);
+  b -= 2_B;
+  EXPECT_EQ(overflowFailures, 2);
+  EXPECT_EQ(b.bytes(), INT64_MAX);
+  check::setFailureHandler(prev);
+}
+#endif
 
 }  // namespace
 }  // namespace tlbsim

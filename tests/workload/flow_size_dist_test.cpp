@@ -10,9 +10,9 @@ namespace tlbsim::workload {
 namespace {
 
 TEST(FlowSizeDist, FixedAlwaysReturnsSameSize) {
-  auto d = FlowSizeDistribution::fixed(5000);
+  auto d = FlowSizeDistribution::fixed(5000_B);
   Rng rng(1);
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 5000);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 5000_B);
   EXPECT_DOUBLE_EQ(d.meanBytes(), 5000.0);
 }
 
@@ -20,7 +20,7 @@ TEST(FlowSizeDist, UniformStaysInBounds) {
   auto d = FlowSizeDistribution::uniform(40 * kKB, 100 * kKB);
   Rng rng(2);
   for (int i = 0; i < 5000; ++i) {
-    const Bytes s = d.sample(rng);
+    const ByteCount s = d.sample(rng);
     EXPECT_GE(s, 40 * kKB);
     EXPECT_LE(s, 100 * kKB);
   }
@@ -30,7 +30,7 @@ TEST(FlowSizeDist, UniformStaysInBounds) {
 TEST(FlowSizeDist, CdfIsMonotoneAndNormalized) {
   auto d = FlowSizeDistribution::webSearch();
   double last = -1.0;
-  for (Bytes x = 0; x < 40 * kMB; x += kMB / 2) {
+  for (ByteCount x; x < 40 * kMB; x += kMB / 2) {
     const double c = d.cdf(x);
     EXPECT_GE(c, last);
     EXPECT_GE(c, 0.0);
@@ -61,14 +61,14 @@ TEST(FlowSizeDist, HeavyTailByteShare) {
   // The defining property: ~90% of bytes come from ~10% of flows.
   auto d = FlowSizeDistribution::dataMining();
   Rng rng(3);
-  std::vector<Bytes> sizes;
+  std::vector<ByteCount> sizes;
   for (int i = 0; i < 20000; ++i) sizes.push_back(d.sample(rng));
   std::sort(sizes.begin(), sizes.end());
   double total = 0.0;
-  for (Bytes s : sizes) total += static_cast<double>(s);
+  for (ByteCount s : sizes) total += static_cast<double>(s.bytes());
   double top10 = 0.0;
   for (std::size_t i = sizes.size() * 9 / 10; i < sizes.size(); ++i) {
-    top10 += static_cast<double>(sizes[i]);
+    top10 += static_cast<double>(sizes[i].bytes());
   }
   EXPECT_GT(top10 / total, 0.85);
 }
@@ -86,7 +86,7 @@ TEST(FlowSizeDist, CapTruncatesTail) {
 TEST(FlowSizeDist, CapPreservesSmallFlowShape) {
   auto full = FlowSizeDistribution::dataMining();
   auto capped = FlowSizeDistribution::dataMining(35 * kMB);
-  for (Bytes x : {kKB, 10 * kKB, 100 * kKB, kMB}) {
+  for (ByteCount x : {kKB, 10 * kKB, 100 * kKB, kMB}) {
     EXPECT_NEAR(full.cdf(x), capped.cdf(x), 1e-9);
   }
 }
@@ -103,13 +103,13 @@ TEST_P(DistMeanSweep, SampleMeanMatchesAnalytic) {
       case 0: return FlowSizeDistribution::webSearch();
       case 1: return FlowSizeDistribution::dataMining(100 * kMB);
       case 2: return FlowSizeDistribution::uniform(10 * kKB, 90 * kKB);
-      default: return FlowSizeDistribution::fixed(1234);
+      default: return FlowSizeDistribution::fixed(1234_B);
     }
   }();
   Rng rng(static_cast<std::uint64_t>(which) + 10);
   double sum = 0.0;
   const int n = 400000;
-  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng).bytes());
   EXPECT_NEAR(sum / n, d.meanBytes(), d.meanBytes() * 0.05);
 }
 

@@ -25,7 +25,7 @@ TEST(Incast, FanInAndTarget) {
 TEST(Incast, SynchronizedWithoutJitter) {
   IncastConfig cfg;
   cfg.start = milliseconds(5);
-  cfg.jitter = 0;
+  cfg.jitter = 0_ns;
   Rng rng(2);
   for (const auto& f : incastWorkload(cfg, rng)) {
     EXPECT_EQ(f.start, milliseconds(5));

@@ -89,7 +89,7 @@ TEST(PoissonWorkload, DeadlinesOnlyOnShortFlows) {
       EXPECT_GE(f.deadline, milliseconds(5));
       EXPECT_LE(f.deadline, milliseconds(25));
     } else {
-      EXPECT_EQ(f.deadline, 0);
+      EXPECT_EQ(f.deadline, 0_ns);
     }
   }
 }
@@ -118,8 +118,8 @@ TEST(BasicMix, StructureMatchesPaperSetup) {
   for (const auto& f : flows) {
     if (f.size >= 10 * kMB) {
       ++longs;
-      EXPECT_EQ(f.start, 0);
-      EXPECT_EQ(f.deadline, 0);
+      EXPECT_EQ(f.start, 0_ns);
+      EXPECT_EQ(f.deadline, 0_ns);
     } else {
       ++shorts;
       EXPECT_GE(f.size, 40 * kKB);
@@ -156,7 +156,7 @@ TEST(BasicMix, ShortMeanSizeIsSeventyKB) {
   int n = 0;
   for (const auto& f : flows) {
     if (f.size <= 100 * kKB) {
-      sum += static_cast<double>(f.size);
+      sum += static_cast<double>(f.size.bytes());
       ++n;
     }
   }

@@ -9,13 +9,17 @@ bare-assert
     message, stay active in Debug, and are compiled out (DCHECK) or kept
     (ASSERT) per-macro in Release.
 
-raw-unit-literal
-    No bare integer literals with time meaning: a `SimTime` initialized or
-    assigned from a plain integer literal >= 10 must go through the
-    units.hpp helpers (microseconds(5), 2 * kMillisecond, ...) so the
-    nanosecond convention is visible at the call site. Same for `Bytes`
-    from literals >= 10000 (use kKB / kMB / kKiB). Only src/util/units.hpp
-    may define such constants.
+raw-unit-alias
+    No fresh integer aliases for time or byte quantities outside
+    src/util/units.hpp: `using FooTime = int64_t`, `typedef int64_t
+    NsDelay`, and friends reintroduce exactly the weak typing the strong
+    SimTime / ByteCount wrappers removed (any int is silently accepted, in
+    any unit). Declare the quantity as SimTime / ByteCount instead; if a
+    raw integer is genuinely wanted (sequence numbers, ids), name it so it
+    does not look like a time/byte quantity. This rule replaced the
+    heuristic raw-unit-literal rule when units became compile-checked:
+    a literal can no longer reach a SimTime without spelling its unit
+    (10_us, microseconds(5), SimTime::fromNs at parse boundaries).
 
 negative-delay
     Every `schedule(...)` / `every(...)` call site is audited: a delay
@@ -76,9 +80,16 @@ ALLOW_RE = re.compile(r"tlbsim-lint:\s*allow\(([a-z-]+)\)")
 BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
 CASSERT_RE = re.compile(r'#\s*include\s*<(cassert|assert\.h)>')
 
-SIMTIME_LITERAL_RE = re.compile(
-    r"\bSimTime\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
-BYTES_LITERAL_RE = re.compile(r"\bBytes\s+\w+\s*=\s*(-?\d[\d']*)\s*[;,}]")
+# A unit-smelling name: contains a time or byte word. Matches both the
+# alias name and intent-revealing fragments (NsDelay, ByteBudget, ...).
+UNIT_NAME = (r"(?:[A-Za-z0-9_]*"
+             r"(?:[Tt]ime|[Bb]ytes?|[Dd]uration|[Dd]elay|[Tt]imeout"
+             r"|[Dd]eadline|[Nn]anos|[Mm]icros|[Mm]illis|[Ii]nterval)"
+             r"[A-Za-z0-9_]*)")
+INT64 = r"(?:std::)?u?int64_t|(?:unsigned\s+)?long\s+long(?:\s+int)?"
+RAW_UNIT_ALIAS_RE = re.compile(
+    r"\busing\s+" + UNIT_NAME + r"\s*=\s*(?:" + INT64 + r")\s*;"
+    r"|\btypedef\s+(?:" + INT64 + r")\s+" + UNIT_NAME + r"\s*;")
 
 SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
 
@@ -246,24 +257,15 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                     "bare assert(); use TLBSIM_ASSERT / TLBSIM_DCHECK "
                     "with a message"))
 
-        # --- raw-unit-literal -----------------------------------------
+        # --- raw-unit-alias -------------------------------------------
         if not is_units:
-            m = SIMTIME_LITERAL_RE.search(code)
-            if m and not allowed(raw, "raw-unit-literal", prev_raw):
-                value = int(m.group(1).replace("'", ""))
-                if abs(value) >= 10:
-                    findings.append(Finding(
-                        rel, lineno, "raw-unit-literal",
-                        f"SimTime from raw literal {m.group(1)}; spell the "
-                        "unit (microseconds(x), n * kMillisecond, ...)"))
-            m = BYTES_LITERAL_RE.search(code)
-            if m and not allowed(raw, "raw-unit-literal", prev_raw):
-                value = int(m.group(1).replace("'", ""))
-                if abs(value) >= 10000:
-                    findings.append(Finding(
-                        rel, lineno, "raw-unit-literal",
-                        f"Bytes from raw literal {m.group(1)}; spell the "
-                        "magnitude (n * kKB / kMB / kKiB)"))
+            m = RAW_UNIT_ALIAS_RE.search(code)
+            if m and not allowed(raw, "raw-unit-alias", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "raw-unit-alias",
+                    "integer alias for a time/byte quantity; use the "
+                    "strong SimTime / ByteCount types from "
+                    "src/util/units.hpp (only units.hpp defines units)"))
 
         # --- fault-mutation -------------------------------------------
         if not is_fault_authority:
@@ -351,13 +353,68 @@ def check_installobs(root: pathlib.Path, findings: list, stats: dict):
                 "(src/harness/) or the CLI (tools/)"))
 
 
+# Each entry: (rule-or-None, relative path, snippet). rule=None means the
+# snippet must lint clean; otherwise exactly that rule must fire.
+SELF_TEST_CASES = [
+    # raw-unit-alias: fresh integer aliases for unit quantities.
+    ("raw-unit-alias", "src/foo/x.hpp", "using SimTime = std::int64_t;\n"),
+    ("raw-unit-alias", "src/foo/x.hpp", "using FlowletGapTime = int64_t;\n"),
+    ("raw-unit-alias", "src/foo/x.hpp", "using QueueBytes = uint64_t;\n"),
+    ("raw-unit-alias", "src/foo/x.hpp",
+     "typedef std::int64_t RetxTimeout;\n"),
+    ("raw-unit-alias", "tools/x.cpp", "using AckDelay = long long;\n"),
+    (None, "src/util/units.hpp", "using SimTime = std::int64_t;\n"),
+    (None, "src/foo/x.hpp", "using FlowId = std::int64_t;\n"),
+    (None, "src/foo/x.hpp", "using SeqNum = std::uint64_t;\n"),
+    (None, "src/foo/x.hpp", "using Clock = sim::Scheduler;\n"),
+    (None, "src/foo/x.hpp",
+     "// tlbsim-lint: allow(raw-unit-alias)\n"
+     "using LegacyTime = std::int64_t;\n"),
+    (None, "src/foo/x.hpp", "SimTime gap = 10_us;\n"),
+    # bare-assert still guards src/.
+    ("bare-assert", "src/foo/x.cpp", "assert(x > 0);\n"),
+    (None, "src/foo/x.cpp", "static_assert(sizeof(x) == 8);\n"),
+    # negative-delay audits schedule sites.
+    ("negative-delay", "src/foo/x.cpp", "sim.schedule(-delay, fn);\n"),
+    (None, "src/foo/x.cpp", "sim.schedule(delay, fn);\n"),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for i, (rule, rel, snippet) in enumerate(SELF_TEST_CASES):
+        findings: list = []
+        stats = {"files": 0, "schedule_sites": 0}
+        check_file(pathlib.Path(rel), pathlib.PurePosixPath(rel),
+                   snippet, findings, stats)
+        fired = sorted({f.rule for f in findings})
+        want = [rule] if rule else []
+        if fired != want:
+            failures += 1
+            print(f"self-test case {i} ({rel}): expected {want or 'clean'}, "
+                  f"got {fired or 'clean'} for:\n  {snippet.strip()}",
+                  file=sys.stderr)
+    if failures:
+        print(f"tlbsim-lint --self-test: {failures} case(s) FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"tlbsim-lint --self-test: {len(SELF_TEST_CASES)} cases ok",
+          file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule snippets test suite and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     root = pathlib.Path(args.root).resolve()
     if not (root / "src").is_dir():
