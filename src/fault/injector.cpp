@@ -51,7 +51,7 @@ void FaultInjector::install() {
   // Scheduled in declaration order, so same-time events keep it (the
   // scheduler breaks timestamp ties by scheduling order).
   for (const auto& ev : plan_.events) {
-    sim_.scheduleAt(ev.at, [this, ev] { apply(ev); });
+    sim_.postAt(ev.at, [this, ev] { apply(ev); });
   }
 }
 

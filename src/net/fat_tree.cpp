@@ -137,6 +137,7 @@ FatTreeTopology::FatTreeTopology(sim::Simulator& simr,
 }
 
 void FatTreeTopology::forEachFabricLink(
+    // setup-time iteration. tlbsim-lint: allow(std-function-hot-path)
     const std::function<void(Link&)>& fn) {
   for (const auto& [sw, port] : fabricPorts_) {
     fn(sw->port(port));

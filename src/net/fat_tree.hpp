@@ -62,7 +62,9 @@ class FatTreeTopology {
     return (static_cast<int>(h) % hostsPerPod) / perEdge;
   }
 
-  /// Visit all switch-to-switch links (both directions).
+  /// Visit all switch-to-switch links (both directions) at setup time
+  /// (cold path).
+  // tlbsim-lint: allow(std-function-hot-path)
   void forEachFabricLink(const std::function<void(Link&)>& fn);
 
  private:

@@ -132,6 +132,7 @@ Link& LeafSpineTopology::leafDownlink(HostId host) {
 }
 
 void LeafSpineTopology::forEachFabricLink(
+    // setup-time iteration. tlbsim-lint: allow(std-function-hot-path)
     const std::function<void(Link&)>& fn) {
   for (int l = 0; l < cfg_.numLeaves; ++l) {
     for (int s = 0; s < cfg_.numSpines; ++s) {

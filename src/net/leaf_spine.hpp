@@ -47,7 +47,10 @@ struct LeafSpineConfig {
 
 /// Builds one UplinkSelector per leaf switch. `leafIndex` lets schemes
 /// derive per-switch salts/seeds.
+// Called once per switch at topology construction (cold path).
+// tlbsim-lint: allow(std-function-hot-path)
 using SelectorFactory =
+    // tlbsim-lint: allow(std-function-hot-path)
     std::function<std::unique_ptr<UplinkSelector>(Switch& sw, int leafIndex)>;
 
 class LeafSpineTopology {
@@ -74,7 +77,9 @@ class LeafSpineTopology {
   /// when the fabric is not the bottleneck).
   Link& leafDownlink(HostId host);
 
-  /// Visit every fabric link (both directions); used to install stats hooks.
+  /// Visit every fabric link (both directions); used to install stats
+  /// hooks at setup time (cold path).
+  // tlbsim-lint: allow(std-function-hot-path)
   void forEachFabricLink(const std::function<void(Link&)>& fn);
 
  private:

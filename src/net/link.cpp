@@ -112,7 +112,8 @@ void Link::send(Packet pkt) {
 void Link::startTransmission() {
   TLBSIM_DCHECK(!queue_.empty(), "transmission started on an empty queue");
   SimTime queueDelay;
-  Packet pkt = queue_.dequeue(sim_.now(), &queueDelay);
+  txPacket_ = queue_.dequeue(sim_.now(), &queueDelay);
+  const Packet& pkt = txPacket_;
   for (const auto& hook : dequeueHooks_) hook(pkt, queueDelay);
   transmitting_ = true;
   const SimTime txTime = effectiveRate().transmissionTime(pkt.size);
@@ -126,10 +127,27 @@ void Link::startTransmission() {
                       {"qdelay_us", toMicroseconds(queueDelay)}},
                      traceTid_);
   }
-  sim_.schedule(txTime, [this, pkt] { onTransmitComplete(pkt); });
+  // The packet being serialized lives in txPacket_, so the event captures
+  // one pointer and stays inline in the scheduler's slot.
+  sim_.post(txTime, [this] { onTransmitComplete(); });
 }
 
-void Link::onTransmitComplete(Packet pkt) {
+std::uint32_t Link::wireAlloc(const Packet& pkt, std::uint64_t epoch) {
+  std::uint32_t idx;
+  if (wireFreeHead_ != kNoWireSlot) {
+    idx = wireFreeHead_;
+    wireFreeHead_ = wire_[idx].nextFree;
+  } else {
+    wire_.emplace_back();
+    idx = static_cast<std::uint32_t>(wire_.size() - 1);
+  }
+  wire_[idx].pkt = pkt;
+  wire_[idx].epoch = epoch;
+  return idx;
+}
+
+void Link::onTransmitComplete() {
+  const Packet pkt = txPacket_;  // startTransmission below re-fills it
   ++txPackets_;
   txBytes_ += pkt.size;
   if (obsTx_ != nullptr) obsTx_->inc();
@@ -146,22 +164,27 @@ void Link::onTransmitComplete(Packet pkt) {
   } else {
     // Propagation is pipelined: delivery is scheduled independently while
     // the transmitter immediately starts on the next queued packet. The
-    // delivery is valid only for the wire epoch it departed under.
-    Node* peer = peer_;
-    const int port = peerPort_;
-    const std::uint64_t epoch = wireEpoch_;
-    sim_.schedule(effectiveDelay(), [this, peer, port, pkt, epoch] {
-      if (epoch != wireEpoch_) {
-        ++faultWireDrops_;
-        noteFaultDrop(pkt);
-        return;
-      }
-      ++deliveredPackets_;
-      peer->receive(pkt, port);
-    });
+    // delivery is valid only for the wire epoch it departed under; the
+    // packet parks in the wire pool so the event captures 16 bytes.
+    const std::uint32_t slot = wireAlloc(pkt, wireEpoch_);
+    sim_.post(effectiveDelay(), [this, slot] { deliver(slot); });
   }
   transmitting_ = false;
   if (up_ && !queue_.empty()) startTransmission();
+}
+
+void Link::deliver(std::uint32_t wireSlot) {
+  const Packet pkt = wire_[wireSlot].pkt;
+  const std::uint64_t epoch = wire_[wireSlot].epoch;
+  wire_[wireSlot].nextFree = wireFreeHead_;
+  wireFreeHead_ = wireSlot;
+  if (epoch != wireEpoch_) {
+    ++faultWireDrops_;
+    noteFaultDrop(pkt);
+    return;
+  }
+  ++deliveredPackets_;
+  peer_->receive(pkt, peerPort_);
 }
 
 }  // namespace tlbsim::net

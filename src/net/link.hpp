@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/inline_function.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -20,18 +20,22 @@ namespace tlbsim::net {
 
 class Link {
  public:
+  // Hooks fire on the per-packet data path, so they use the same
+  // small-buffer callable as the event core (no std::function, no heap
+  // for pointer-sized captures, single indirect call to invoke).
   /// Called with each packet as it leaves the queue, together with the time
   /// it spent queued. Used by the stats layer; null by default.
-  using DequeueHook = std::function<void(const Packet&, SimTime queueDelay)>;
+  using DequeueHook =
+      util::InlineFunction<void(const Packet&, SimTime queueDelay)>;
   /// Called with each packet the full queue rejects (a network drop).
-  using DropHook = std::function<void(const Packet&)>;
+  using DropHook = util::InlineFunction<void(const Packet&)>;
   /// Called with each packet the queue ECN-marks on enqueue (pkt.ce set).
-  using MarkHook = std::function<void(const Packet&)>;
+  using MarkHook = util::InlineFunction<void(const Packet&)>;
   /// Called with each packet lost to an injected fault (rejected while the
   /// link is down, flushed from the queue on faultDown, killed on the wire,
   /// or gray-dropped). Distinct from DropHook so auditors can separate
   /// fault losses from queue-overflow losses.
-  using FaultDropHook = std::function<void(const Packet&)>;
+  using FaultDropHook = util::InlineFunction<void(const Packet&)>;
 
   Link(sim::Simulator& simr, LinkRate rate, SimTime propagationDelay,
        QueueConfig queueCfg)
@@ -140,7 +144,9 @@ class Link {
 
  private:
   void startTransmission();
-  void onTransmitComplete(Packet pkt);
+  void onTransmitComplete();
+  void deliver(std::uint32_t wireSlot);
+  std::uint32_t wireAlloc(const Packet& pkt, std::uint64_t epoch);
   void noteFaultDrop(const Packet& pkt);
 
   sim::Simulator& sim_;
@@ -150,6 +156,22 @@ class Link {
   Node* peer_ = nullptr;
   int peerPort_ = -1;
   bool transmitting_ = false;
+  /// The packet currently being serialized (valid while transmitting_).
+  /// Keeping it here lets the transmit-complete event capture only [this].
+  Packet txPacket_;
+
+  // In-flight packets on the propagation pipe live in a slot pool so the
+  // delivery event captures [this, slot] (16 bytes — inline in EventFn)
+  // instead of a whole Packet. Slots are reused via a free list: zero
+  // steady-state allocations once the pool reaches its high-water mark.
+  static constexpr std::uint32_t kNoWireSlot = 0xffffffffu;
+  struct WireSlot {
+    Packet pkt;
+    std::uint64_t epoch = 0;
+    std::uint32_t nextFree = kNoWireSlot;
+  };
+  std::vector<WireSlot> wire_;
+  std::uint32_t wireFreeHead_ = kNoWireSlot;
 
   // Fault state. wireEpoch_ is bumped by every drop-mode faultDown; each
   // scheduled delivery carries the epoch it departed under and is discarded

@@ -39,6 +39,9 @@ class PacketTracer {
     Packet pkt;
   };
 
+  // Installed once per run and only when packet tracing is on — a
+  // debugging path, not the simulation hot path.
+  // tlbsim-lint: allow(std-function-hot-path)
   using Filter = std::function<bool(const Packet&)>;
 
   /// `maxEvents` bounds memory; further events are counted but not stored.

@@ -4,37 +4,109 @@
 
 namespace tlbsim::sim {
 
-EventId Scheduler::scheduleAt(SimTime when, Callback fn) {
-  if (when < now_) when = now_;
-  const EventId id = nextId_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+std::uint32_t Scheduler::allocSlot() {
+  if (freeHead_ != kNoPos) {
+    const std::uint32_t idx = freeHead_;
+    freeHead_ = slots_[idx].nextFree;
+    slots_[idx].nextFree = kNoPos;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-bool Scheduler::cancel(EventId id) {
-  // The heap entry stays behind; pop() discards entries whose id is no
-  // longer live. This makes cancel O(1) at the cost of dead heap entries.
-  return live_.erase(id) > 0;
+void Scheduler::freeSlot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn = nullptr;  // destroy the closure now, not at slot reuse
+  s.heapPos = kNoPos;
+  ++s.gen;  // every handle minted for this occupancy goes stale
+  s.nextFree = freeHead_;
+  freeHead_ = idx;
+}
+
+std::uint32_t Scheduler::insert(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;  // Release clamp; Debug DCHECKed upstream
+  const std::uint32_t idx = allocSlot();
+  Slot& s = slots_[idx];
+  s.time = when;
+  s.seq = nextSeq_++;
+  s.fn = std::move(fn);
+  const std::size_t pos = heap_.size();
+  heap_.push_back(idx);
+  s.heapPos = static_cast<std::uint32_t>(pos);
+  siftUp(pos);
+  return idx;
+}
+
+void Scheduler::siftUp(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(idx, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, idx);
+}
+
+void Scheduler::siftDown(std::size_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], idx)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, idx);
+}
+
+void Scheduler::removeFromHeap(std::size_t pos) {
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    place(pos, last);
+    // The replacement may violate the heap property in either direction.
+    siftUp(pos);
+    siftDown(slots_[last].heapPos);
+  }
+}
+
+bool Scheduler::cancelSlot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slotPending(slot, gen)) return false;
+  removeFromHeap(slots_[slot].heapPos);
+  freeSlot(slot);
+  return true;
 }
 
 bool Scheduler::step(SimTime limit) {
-  while (!heap_.empty()) {
-    if (heap_.top().time > limit) {
+  if (!heap_.empty()) {
+    const std::uint32_t top = heap_[0];
+    Slot& s = slots_[top];
+    if (s.time > limit) {
       // Do not advance past the limit; leave the event pending.
       if (limit != kMaxTime && limit > now_) now_ = limit;
       return false;
     }
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(e.id) == 0) continue;  // cancelled; skip
-    TLBSIM_DCHECK(e.time >= now_,
+    TLBSIM_DCHECK(s.time >= now_,
                   "event time regressed: %lld < now %lld (heap corruption?)",
-                  static_cast<long long>(e.time.ns()),
+                  static_cast<long long>(s.time.ns()),
                   static_cast<long long>(now_.ns()));
-    now_ = e.time;
+    now_ = s.time;
+    // Move the callback out and retire the slot *before* invoking, so the
+    // event counts as fired inside its own callback: a handle to it is
+    // inert, and the slot is immediately reusable.
+    EventFn fn = std::move(s.fn);
+    removeFromHeap(0);
+    freeSlot(top);
     ++executed_;
-    e.fn();
+    fn();
     return true;
   }
   if (limit != kMaxTime && limit > now_) now_ = limit;
@@ -42,9 +114,73 @@ bool Scheduler::step(SimTime limit) {
 }
 
 std::uint64_t Scheduler::run(SimTime limit) {
+  runLimit_ = limit;
+  for (std::size_t i = 0; i < periodics_.size(); ++i) {
+    if (!periodics_[i].armed) armPeriodic(i);
+  }
   std::uint64_t n = 0;
   while (step(limit)) ++n;
   return n;
 }
+
+void Scheduler::every(SimTime period, EventFn fn, SimTime start,
+                      const char* name) {
+  TLBSIM_DCHECK(period > 0_ns, "every() needs a positive period, got %lld ns",
+                static_cast<long long>(period.ns()));
+  Periodic timer;
+  timer.period = period;
+  timer.fn = std::move(fn);
+  timer.nextDue = start;
+  timer.name = name;
+  periodics_.push_back(std::move(timer));
+  armPeriodic(periodics_.size() - 1);
+}
+
+void Scheduler::armPeriodic(std::size_t idx) {
+  Periodic& t = periodics_[idx];
+  // Park ticks beyond the run limit so a bounded run() can drain the queue;
+  // run() re-arms parked timers when the limit rises.
+  if (t.nextDue > runLimit_) {
+    t.armed = false;
+    return;
+  }
+  t.armed = true;
+  insert(t.nextDue, [this, idx] { firePeriodic(idx); });
+}
+
+void Scheduler::firePeriodic(std::size_t idx) {
+  Periodic& t = periodics_[idx];
+  if (tickHook_) tickHook_(t.name, now_);
+  t.fn();
+  t.nextDue = now_ + t.period;
+  armPeriodic(idx);
+}
+
+// --- deprecated raw-id shim ---------------------------------------------
+// Ids pack (slot + 1) in the high 32 bits and the slot's generation in the
+// low 32, so id 0 stays "no event" and reuse invalidates outstanding ids.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+std::uint64_t Scheduler::scheduleWithId(SimTime delay, EventFn fn) {
+  checkDelay(delay);
+  const std::uint32_t slot = insert(now_ + delay, std::move(fn));
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | slots_[slot].gen;
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  if (id == 0) return false;
+  return cancelSlot(static_cast<std::uint32_t>(id >> 32) - 1,
+                    static_cast<std::uint32_t>(id));
+}
+
+bool Scheduler::pending(std::uint64_t id) const {
+  if (id == 0) return false;
+  return slotPending(static_cast<std::uint32_t>(id >> 32) - 1,
+                     static_cast<std::uint32_t>(id));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace tlbsim::sim

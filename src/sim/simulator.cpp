@@ -5,52 +5,21 @@
 
 namespace tlbsim::sim {
 
-void Simulator::every(SimTime period, Scheduler::Callback fn, SimTime start,
-                      const char* name) {
-  auto timer =
-      std::make_unique<PeriodicTimer>(PeriodicTimer{period, std::move(fn)});
-  timer->nextDue = start;
-  timer->name = name;
-  timers_.push_back(std::move(timer));
-  arm(timers_.size() - 1);
-}
-
 void Simulator::installObs(obs::MetricsRegistry* metrics,
                            obs::EventTrace* trace) {
   obsTicks_ = metrics != nullptr ? &metrics->counter("sim.periodic_ticks")
                                  : nullptr;
   trace_ = trace;
-}
-
-void Simulator::arm(std::size_t idx) {
-  PeriodicTimer& t = *timers_[idx];
-  // Park ticks beyond the run limit so a bounded run() can drain the queue;
-  // run() re-arms parked timers when the limit rises.
-  if (t.nextDue > runLimit_) {
-    t.armed = false;
+  if (obsTicks_ == nullptr && trace_ == nullptr) {
+    scheduler_.setPeriodicTickHook(nullptr);
     return;
   }
-  t.armed = true;
-  scheduler_.scheduleAt(t.nextDue, [this, idx] { firePeriodic(idx); });
-}
-
-void Simulator::firePeriodic(std::size_t idx) {
-  PeriodicTimer& t = *timers_[idx];
-  if (obsTicks_ != nullptr) obsTicks_->inc();
-  if (trace_ != nullptr && t.name != nullptr) {
-    trace_->instant("sim", t.name, scheduler_.now());
-  }
-  t.fn();
-  t.nextDue = scheduler_.now() + t.period;
-  arm(idx);
-}
-
-std::uint64_t Simulator::run(SimTime limit) {
-  runLimit_ = limit;
-  for (std::size_t i = 0; i < timers_.size(); ++i) {
-    if (!timers_[i]->armed) arm(i);
-  }
-  return scheduler_.run(limit);
+  scheduler_.setPeriodicTickHook([this](const char* name, SimTime t) {
+    if (obsTicks_ != nullptr) obsTicks_->inc();
+    if (trace_ != nullptr && name != nullptr) {
+      trace_->instant("sim", name, t);
+    }
+  });
 }
 
 }  // namespace tlbsim::sim

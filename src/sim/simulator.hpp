@@ -1,12 +1,10 @@
-// Simulator facade: owns the scheduler and the run loop, and provides the
-// periodic-timer helper used by switch-resident control loops (e.g. TLB's
-// 500 µs granularity update).
+// Simulator facade: owns the scheduler and the run loop, and wires the
+// observability sinks into the scheduler's periodic-tick hook (the timer
+// machinery itself — including the 500 µs control loops — lives in
+// Scheduler::every).
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <utility>
-#include <vector>
 
 #include "sim/scheduler.hpp"
 #include "util/units.hpp"
@@ -26,28 +24,33 @@ class Simulator {
 
   SimTime now() const { return scheduler_.now(); }
 
-  EventId schedule(SimTime delay, Scheduler::Callback fn) {
+  [[nodiscard]] EventHandle schedule(SimTime delay, EventFn fn) {
     return scheduler_.schedule(delay, std::move(fn));
   }
-  EventId scheduleAt(SimTime when, Scheduler::Callback fn) {
+  [[nodiscard]] EventHandle scheduleAt(SimTime when, EventFn fn) {
     return scheduler_.scheduleAt(when, std::move(fn));
   }
-  bool cancel(EventId id) { return scheduler_.cancel(id); }
 
-  /// Register `fn` to fire every `period` starting at `start`. Ticks whose
-  /// time exceeds the current run limit are parked (so a bounded run()
-  /// terminates) and revived by a later run() with a higher limit. With an
-  /// unbounded run() the timer keeps the event queue alive forever — give
-  /// run() a limit when periodic timers exist.
-  ///
-  /// `name` (a string literal or other pointer outliving the simulator)
-  /// labels the timer's ticks in the event trace when observability is
-  /// installed; nullptr keeps the timer anonymous.
-  void every(SimTime period, Scheduler::Callback fn, SimTime start = {},
-             const char* name = nullptr);
+  /// Fire-and-forget: no handle, for events never cancelled.
+  void post(SimTime delay, EventFn fn) {
+    scheduler_.post(delay, std::move(fn));
+  }
+  void postAt(SimTime when, EventFn fn) {
+    scheduler_.postAt(when, std::move(fn));
+  }
+
+  /// Register `fn` to fire every `period` starting at `start`; see
+  /// Scheduler::every for the bounded-run parking semantics and the
+  /// lifetime requirement on `name`.
+  void every(SimTime period, EventFn fn, SimTime start = {},
+             const char* name = nullptr) {
+    scheduler_.every(period, std::move(fn), start, name);
+  }
 
   /// Run until `limit` (absolute time) or event exhaustion.
-  std::uint64_t run(SimTime limit = Scheduler::kMaxTime);
+  std::uint64_t run(SimTime limit = Scheduler::kMaxTime) {
+    return scheduler_.run(limit);
+  }
 
   /// Attach metrics/tracing sinks (either may be null). Named periodic
   /// timers then emit "sim" instant events per tick, and the
@@ -56,20 +59,7 @@ class Simulator {
   void installObs(obs::MetricsRegistry* metrics, obs::EventTrace* trace);
 
  private:
-  struct PeriodicTimer {
-    SimTime period;
-    Scheduler::Callback fn;
-    SimTime nextDue;
-    bool armed = false;
-    const char* name = nullptr;
-  };
-
-  void arm(std::size_t idx);
-  void firePeriodic(std::size_t idx);
-
   Scheduler scheduler_;
-  std::vector<std::unique_ptr<PeriodicTimer>> timers_;
-  SimTime runLimit_ = Scheduler::kMaxTime;
   obs::Counter* obsTicks_ = nullptr;
   obs::EventTrace* trace_ = nullptr;
 };

@@ -112,12 +112,11 @@ void TcpReceiver::ackPolicy(const net::Packet& pkt, bool inOrder) {
     flushPending();
     return;
   }
-  if (ackTimer_ == sim::kInvalidEvent) {
-    ackTimer_ = sim_.schedule(params_.delayedAckTimeout,
-                              [this] {
-                                ackTimer_ = sim::kInvalidEvent;
-                                flushPending();
-                              });
+  if (!ackTimer_.pending()) {
+    // Inside the timer's own callback the handle is already inert, so
+    // flushPending() below cancels nothing and re-arming works.
+    ackTimer_ =
+        sim_.schedule(params_.delayedAckTimeout, [this] { flushPending(); });
   }
 }
 
@@ -126,8 +125,7 @@ void TcpReceiver::flushPending() {
   const SimTime echo = pendingEchoTs_;
   const bool ece = pendingCe_;
   pendingSegments_ = 0;
-  sim_.cancel(ackTimer_);
-  ackTimer_ = sim::kInvalidEvent;
+  ackTimer_.cancel();
   sendAck(echo, ece);
 }
 

@@ -75,7 +75,7 @@ class TcpReceiver : public net::PacketHandler {
   int pendingSegments_ = 0;      ///< in-order segments not yet acked
   bool pendingCe_ = false;       ///< CE bit of the pending run
   SimTime pendingEchoTs_;    ///< timestamp of the newest pending segment
-  sim::EventId ackTimer_ = sim::kInvalidEvent;
+  sim::EventHandle ackTimer_;  ///< pending delayed-ACK timer
 
   obs::FlowProbe* flowProbe_ = nullptr;  ///< null = disabled
 };

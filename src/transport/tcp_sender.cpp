@@ -43,7 +43,7 @@ TcpSender::TcpSender(sim::Simulator& simr, net::Host& localHost,
 void TcpSender::start() {
   const SimTime when = std::max(flow_.start, sim_.now());
   flow_.start = when;
-  sim_.scheduleAt(when, [this] { sendSyn(); });
+  sim_.postAt(when, [this] { sendSyn(); });
 }
 
 void TcpSender::sendSyn() {
@@ -68,8 +68,7 @@ void TcpSender::sendSyn() {
 void TcpSender::establish(const net::Packet& synAck) {
   if (established_) return;
   established_ = true;
-  sim_.cancel(rtoEvent_);
-  rtoEvent_ = sim::kInvalidEvent;
+  rtoEvent_.cancel();
   if (synAck.echoTs >= 0_ns) updateRtt(sim_.now() - synAck.echoTs);
   if (flow_.size == 0_B) {
     complete();
@@ -230,7 +229,7 @@ void TcpSender::trySend() {
     sendSegment(sndNxt_, /*isRetransmit=*/false);
     sndNxt_ = std::min(size, sndNxt_ + static_cast<std::uint64_t>(params_.mss.bytes()));
   }
-  if (inFlight() > 0_B && rtoEvent_ == sim::kInvalidEvent) armRto();
+  if (inFlight() > 0_B && !rtoEvent_.pending()) armRto();
 }
 
 void TcpSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
@@ -281,7 +280,7 @@ void TcpSender::updateRtt(SimTime sample) {
 }
 
 void TcpSender::armRto() {
-  sim_.cancel(rtoEvent_);
+  // Move-assignment below cancels any still-pending timer (RAII handle).
   SimTime rto = haveRttSample_ ? srtt_ + 4 * rttvar_ : params_.minRto;
   rto = std::clamp(rto, params_.minRto, params_.maxRto);
   rto *= rtoBackoff_;
@@ -289,7 +288,7 @@ void TcpSender::armRto() {
 }
 
 void TcpSender::onRto() {
-  rtoEvent_ = sim::kInvalidEvent;
+  // rtoEvent_ is already inert here: a fired event's handle is stale.
   if (completed_ || inFlight() <= 0_B) return;
   ++timeouts_;
   if (cTimeouts_ != nullptr) cTimeouts_->inc();
@@ -312,8 +311,7 @@ void TcpSender::onRto() {
 void TcpSender::complete() {
   completed_ = true;
   completionTime_ = sim_.now();
-  sim_.cancel(rtoEvent_);
-  rtoEvent_ = sim::kInvalidEvent;
+  rtoEvent_.cancel();
   // FIN lets switches retire the flow from their tables (paper §5). It is
   // fire-and-forget: a lost FIN is covered by the switches' idle purge.
   net::Packet fin;

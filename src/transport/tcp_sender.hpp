@@ -32,7 +32,10 @@ namespace tlbsim::transport {
 
 class TcpSender : public net::PacketHandler {
  public:
-  /// Invoked exactly once, when the last payload byte is cumulatively acked.
+  /// Invoked exactly once, when the last payload byte is cumulatively
+  /// acked — once per flow, and the harness's closure captures well
+  /// over any inline budget (cold path).
+  // tlbsim-lint: allow(std-function-hot-path)
   using CompletionCallback = std::function<void(TcpSender&)>;
 
   TcpSender(sim::Simulator& simr, net::Host& localHost, const FlowSpec& flow,
@@ -129,7 +132,7 @@ class TcpSender : public net::PacketHandler {
   SimTime lastHoleRetransmit_ = -1_ns;
 
   // --- RTO ------------------------------------------------------------------
-  sim::EventId rtoEvent_ = sim::kInvalidEvent;
+  sim::EventHandle rtoEvent_;  ///< pending RTO (inert once fired)
   SimTime srtt_;
   SimTime rttvar_;
   bool haveRttSample_ = false;

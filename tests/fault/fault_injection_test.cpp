@@ -86,7 +86,7 @@ TEST(LinkFault, DropModeKillsSerializingAndInFlightPackets) {
   link.send(makePacket(1, 1500_B));  // tx completes at 12 us, delivery at 22 us
   link.send(makePacket(2, 1500_B));  // tx completes at 24 us, delivery at 34 us
   // Fail at 15 us: packet 1 is on the wire, packet 2 is serializing.
-  simr.schedule(microseconds(15), [&] { link.faultDown(false); });
+  simr.post(microseconds(15), [&] { link.faultDown(false); });
   simr.run();
   EXPECT_TRUE(sink.arrivals.empty());
   EXPECT_EQ(link.faultWireDrops(), 2u);
@@ -101,7 +101,7 @@ TEST(LinkFault, DrainModeDeliversInFlightPackets) {
   link.connect(&sink, 0);
   link.send(makePacket(1, 1500_B));
   link.send(makePacket(2, 1500_B));
-  simr.schedule(microseconds(15), [&] { link.faultDown(true); });
+  simr.post(microseconds(15), [&] { link.faultDown(true); });
   simr.run();
   // Both had left the queue by 15 us (packet 2 was serializing), so both
   // drain through; nothing new may start.

@@ -1,0 +1,155 @@
+// util::InlineFunction — the small-buffer callable behind sim::EventFn.
+// These tests pin the inline/heap boundary, the move/destroy protocol,
+// and the compile-time fitsInline() predicate that hot call sites and
+// the alloc-counting test rely on.
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include "sim/scheduler.hpp"
+
+namespace tlbsim::util {
+namespace {
+
+using Fn = InlineFunction<int()>;
+
+struct alignas(8) Small {
+  std::array<unsigned char, 16> pad{};
+  int operator()() const { return 16; }
+};
+struct AtBudget {
+  std::array<unsigned char, kInlineFunctionDefaultSize> pad{};
+  int operator()() const { return 48; }
+};
+struct OverBudget {
+  std::array<unsigned char, kInlineFunctionDefaultSize + 1> pad{};
+  int operator()() const { return 49; }
+};
+struct ThrowingMove {
+  ThrowingMove() = default;
+  ThrowingMove(ThrowingMove&&) noexcept(false) {}
+  int operator()() const { return -1; }
+};
+
+TEST(InlineFunction, FitsInlineBoundaryIsExactlyTheBudget) {
+  static_assert(Fn::fitsInline<Small>());
+  static_assert(Fn::fitsInline<AtBudget>());
+  static_assert(!Fn::fitsInline<OverBudget>());
+  // Non-nothrow-movable callables must go to the heap: inline relocation
+  // happens inside noexcept move operations.
+  static_assert(!Fn::fitsInline<ThrowingMove>());
+  // The sim's event callback uses the same default budget.
+  static_assert(sim::EventFn::inlineSize() == kInlineFunctionDefaultSize);
+}
+
+TEST(InlineFunction, InvokesInlineAndHeapCallables) {
+  Fn small(Small{});
+  Fn at(AtBudget{});
+  Fn over(OverBudget{});
+  Fn throwing(ThrowingMove{});
+  EXPECT_EQ(small(), 16);
+  EXPECT_EQ(at(), 48);
+  EXPECT_EQ(over(), 49);
+  EXPECT_EQ(throwing(), -1);
+}
+
+TEST(InlineFunction, EmptyAndNullptrStates) {
+  Fn empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  Fn fromNull(nullptr);
+  EXPECT_FALSE(static_cast<bool>(fromNull));
+  Fn filled([] { return 7; });
+  EXPECT_TRUE(static_cast<bool>(filled));
+  filled = nullptr;
+  EXPECT_FALSE(static_cast<bool>(filled));
+}
+
+TEST(InlineFunction, MoveTransfersInlineCallable) {
+  int calls = 0;
+  InlineFunction<void()> a([&calls] { ++calls; });
+  InlineFunction<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFunction<void()> a([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    a = InlineFunction<void()>([] {});
+    // The first closure (and its shared_ptr copy) must be destroyed by
+    // the assignment, not leaked until scope exit.
+    EXPECT_EQ(counter.use_count(), 1);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunction, DestructorReleasesHeapCallable) {
+  auto counter = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> p;
+    std::array<unsigned char, 64> pad{};
+    void operator()() const { ++*p; }
+  };
+  static_assert(!InlineFunction<void()>::fitsInline<Big>());
+  {
+    InlineFunction<void()> f(Big{counter});
+    EXPECT_EQ(counter.use_count(), 2);
+    f();
+    EXPECT_EQ(*counter, 1);
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // heap cell freed
+}
+
+TEST(InlineFunction, HeapMoveHandsOverTheCell) {
+  auto counter = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> p;
+    std::array<unsigned char, 64> pad{};
+    void operator()() const { ++*p; }
+  };
+  InlineFunction<void()> a(Big{counter});
+  InlineFunction<void()> b(std::move(a));
+  // Handing the pointer over must not copy the closure.
+  EXPECT_EQ(counter.use_count(), 2);
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFunction, MoveOnlyClosuresWork) {
+  auto owned = std::make_unique<int>(41);
+  InlineFunction<int()> f(
+      [p = std::move(owned)] { return *p + 1; });
+  EXPECT_EQ(f(), 42);
+  InlineFunction<int()> g(std::move(f));
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, ArgumentsAndReturnValuesForward) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 40), 42);
+  InlineFunction<void(int&)> bump([](int& x) { ++x; });
+  int v = 0;
+  bump(v);
+  EXPECT_EQ(v, 1);
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  int calls = 0;
+  InlineFunction<void()> f([&calls] { ++calls; });
+  auto& ref = f;
+  f = std::move(ref);
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace tlbsim::util

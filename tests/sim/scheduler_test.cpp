@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/check.hpp"
 
 namespace tlbsim::sim {
 namespace {
@@ -12,9 +13,9 @@ namespace {
 TEST(Scheduler, ExecutesInTimeOrder) {
   Scheduler s;
   std::vector<int> order;
-  s.schedule(30_ns, [&] { order.push_back(3); });
-  s.schedule(10_ns, [&] { order.push_back(1); });
-  s.schedule(20_ns, [&] { order.push_back(2); });
+  s.post(30_ns, [&] { order.push_back(3); });
+  s.post(10_ns, [&] { order.push_back(1); });
+  s.post(20_ns, [&] { order.push_back(2); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(s.now(), 30_ns);
@@ -24,7 +25,7 @@ TEST(Scheduler, EqualTimestampsFireInSchedulingOrder) {
   Scheduler s;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    s.schedule(5_ns, [&order, i] { order.push_back(i); });
+    s.post(5_ns, [&order, i] { order.push_back(i); });
   }
   s.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -34,7 +35,7 @@ TEST(Scheduler, NowAdvancesMonotonically) {
   Scheduler s;
   SimTime last = -1_ns;
   for (int i = 0; i < 50; ++i) {
-    s.schedule(SimTime::fromNs(i * 7 % 13), [&s, &last] {
+    s.post(SimTime::fromNs(i * 7 % 13), [&s, &last] {
       EXPECT_GE(s.now(), last);
       last = s.now();
     });
@@ -42,56 +43,179 @@ TEST(Scheduler, NowAdvancesMonotonically) {
   s.run();
 }
 
-TEST(Scheduler, PastTimesClampToNow) {
+// Satellite: a past `when` is a Debug check and a Release clamp. Both
+// branches are exercised — the Debug one through an installed failure
+// handler so the test can observe the check without dying.
+#ifdef NDEBUG
+TEST(Scheduler, PastTimesClampToNowInRelease) {
   Scheduler s;
-  s.schedule(100_ns, [] {});
+  s.post(100_ns, [] {});
   s.run();
   bool fired = false;
-  s.scheduleAt(50_ns, [&] { fired = true; });  // in the past
+  s.postAt(50_ns, [&] { fired = true; });  // in the past: clamps to now
   s.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(s.now(), 100_ns);  // did not go backwards
 }
+#else
+TEST(Scheduler, PastTimesTripDebugCheck) {
+  Scheduler s;
+  s.post(100_ns, [] {});
+  s.run();
+  auto* prev = check::setFailureHandler(
+      [](const char*, int, const char*, const char*) {});
+  // setFailureHandler resets the counter, so read it after installing
+  // and before restoring.
+  const long before = check::failureCount();
+  bool fired = false;
+  s.postAt(50_ns, [&] { fired = true; });
+  const long after = check::failureCount();
+  check::setFailureHandler(prev);
+  EXPECT_EQ(after, before + 1);
+  // With the failure suppressed the event still clamps and fires: the
+  // check reports the bug, the clamp keeps time monotone either way.
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 100_ns);
+}
 
-TEST(Scheduler, CancelPendingEvent) {
+TEST(Scheduler, NegativeDelayTripsDebugCheck) {
+  Scheduler s;
+  auto* prev = check::setFailureHandler(
+      [](const char*, int, const char*, const char*) {});
+  const long before = check::failureCount();
+  s.post(-5_ns, [] {});
+  const long after = check::failureCount();
+  check::setFailureHandler(prev);
+  // Trips twice: the negative-delay check, then (with the failure
+  // suppressed) the derived past-timestamp check in postAt().
+  EXPECT_EQ(after, before + 2);
+}
+#endif
+
+TEST(Scheduler, ExplicitClampPassesBothBuildTypes) {
+  // The documented pattern for a might-be-past timestamp: clamp at the
+  // call site. Must not trip the Debug check.
+  Scheduler s;
+  s.post(100_ns, [] {});
+  s.run();
+  bool fired = false;
+  s.postAt(std::max(50_ns, s.now()), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 100_ns);
+}
+
+TEST(EventHandle, CancelPendingEvent) {
   Scheduler s;
   bool fired = false;
-  const EventId id = s.schedule(10_ns, [&] { fired = true; });
-  EXPECT_TRUE(s.pending(id));
-  EXPECT_TRUE(s.cancel(id));
-  EXPECT_FALSE(s.pending(id));
+  EventHandle h = s.schedule(10_ns, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
   s.run();
   EXPECT_FALSE(fired);
 }
 
-TEST(Scheduler, CancelFiredEventIsNoop) {
+TEST(EventHandle, DestructorCancels) {
   Scheduler s;
-  const EventId id = s.schedule(10_ns, [] {});
+  bool fired = false;
+  {
+    EventHandle h = s.schedule(10_ns, [&] { fired = true; });
+    EXPECT_EQ(s.pendingEvents(), 1u);
+  }
+  EXPECT_EQ(s.pendingEvents(), 0u);
   s.run();
-  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventHandle, MoveTransfersOwnership) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle a = s.schedule(10_ns, [&] { fired = true; });
+  EventHandle b = std::move(a);
+  EXPECT_FALSE(a.pending());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // moved-from handle is inert
+  EXPECT_TRUE(b.pending());
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventHandle, MoveAssignCancelsPreviousEvent) {
+  Scheduler s;
+  bool firstFired = false;
+  bool secondFired = false;
+  EventHandle h = s.schedule(10_ns, [&] { firstFired = true; });
+  h = s.schedule(20_ns, [&] { secondFired = true; });
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_FALSE(firstFired);
+  EXPECT_TRUE(secondFired);
+}
+
+TEST(EventHandle, ReleaseDetachesWithoutCancelling) {
+  Scheduler s;
+  bool fired = false;
+  {
+    EventHandle h = s.schedule(10_ns, [&] { fired = true; });
+    h.release();
+  }
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventHandle, InertAfterFire) {
+  Scheduler s;
+  EventHandle h = s.schedule(10_ns, [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
   EXPECT_EQ(s.pendingEvents(), 0u);
 }
 
-TEST(Scheduler, CancelInvalidIdIsNoop) {
+TEST(EventHandle, DoubleCancelIsNoop) {
   Scheduler s;
-  EXPECT_FALSE(s.cancel(kInvalidEvent));
-  EXPECT_FALSE(s.cancel(9999));
+  EventHandle h = s.schedule(10_ns, [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_TRUE(s.empty());
 }
 
-TEST(Scheduler, DoubleCancelIsNoop) {
+TEST(EventHandle, StaleAfterSlotReuse) {
+  // A fired event's slot is reused by the next schedule; the generation
+  // counter keeps the old handle from reaching through to the new event.
   Scheduler s;
-  const EventId id = s.schedule(10_ns, [] {});
-  EXPECT_TRUE(s.cancel(id));
-  EXPECT_FALSE(s.cancel(id));
-  EXPECT_TRUE(s.empty());
+  EventHandle old = s.schedule(10_ns, [] {});
+  s.run();
+  bool fired = false;
+  EventHandle fresh = s.schedule(10_ns, [&] { fired = true; });
+  EXPECT_FALSE(old.pending());
+  EXPECT_FALSE(old.cancel());  // must NOT cancel the reused slot
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventHandle, CancelInsideOwnCallbackIsNoop) {
+  // By the time a callback runs its event has fired: the handle is inert
+  // and cancelling through it must not disturb the (already reusable)
+  // slot.
+  Scheduler s;
+  EventHandle h;
+  bool cancelled = true;
+  h = s.schedule(10_ns, [&] { cancelled = h.cancel(); });
+  s.run();
+  EXPECT_FALSE(cancelled);
+  EXPECT_EQ(s.executedEvents(), 1u);
 }
 
 TEST(Scheduler, PendingCountTracksLiveEvents) {
   Scheduler s;
-  const EventId a = s.schedule(1_ns, [] {});
-  s.schedule(2_ns, [] {});
+  EventHandle a = s.schedule(1_ns, [] {});
+  s.post(2_ns, [] {});
   EXPECT_EQ(s.pendingEvents(), 2u);
-  s.cancel(a);
+  a.cancel();
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
   EXPECT_EQ(s.pendingEvents(), 0u);
@@ -102,8 +226,8 @@ TEST(Scheduler, RunLimitStopsBeforeLaterEvents) {
   Scheduler s;
   bool early = false;
   bool late = false;
-  s.schedule(10_ns, [&] { early = true; });
-  s.schedule(100_ns, [&] { late = true; });
+  s.post(10_ns, [&] { early = true; });
+  s.post(100_ns, [&] { late = true; });
   s.run(50_ns);
   EXPECT_TRUE(early);
   EXPECT_FALSE(late);
@@ -115,26 +239,63 @@ TEST(Scheduler, RunLimitStopsBeforeLaterEvents) {
 
 TEST(Scheduler, EventsScheduledDuringRunExecute) {
   Scheduler s;
-  int depth = 0;
-  std::function<void()> recurse = [&] {
-    if (++depth < 5) s.schedule(10_ns, recurse);
-  };
-  s.schedule(0_ns, recurse);
+  struct Chain {
+    Scheduler& s;
+    int depth = 0;
+    void fire() {
+      if (++depth < 5) s.post(10_ns, [this] { fire(); });
+    }
+  } chain{s};
+  s.post(0_ns, [&chain] { chain.fire(); });
   s.run();
-  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(chain.depth, 5);
   EXPECT_EQ(s.now(), 40_ns);
 }
 
 TEST(Scheduler, StepExecutesExactlyOne) {
   Scheduler s;
   int count = 0;
-  s.schedule(1_ns, [&] { ++count; });
-  s.schedule(2_ns, [&] { ++count; });
+  s.post(1_ns, [&] { ++count; });
+  s.post(2_ns, [&] { ++count; });
   EXPECT_TRUE(s.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(s.step());
   EXPECT_EQ(count, 2);
   EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PeriodicTimerFiresRepeatedly) {
+  Scheduler s;
+  int ticks = 0;
+  s.every(100_ns, [&] { ++ticks; }, /*start=*/100_ns);
+  s.run(1000_ns);
+  EXPECT_EQ(ticks, 10);  // t = 100, 200, ..., 1000
+}
+
+TEST(Scheduler, PeriodicTimerStopsAtRunLimit) {
+  Scheduler s;
+  int ticks = 0;
+  s.every(100_ns, [&] { ++ticks; }, /*start=*/100_ns);
+  s.run(350_ns);
+  // After the limited run the queue should not grow unboundedly; re-running
+  // with a longer limit resumes ticking.
+  EXPECT_EQ(ticks, 3);
+  s.run(600_ns);
+  EXPECT_EQ(ticks, 6);
+}
+
+TEST(Scheduler, PeriodicTickHookSeesName) {
+  Scheduler s;
+  int hooked = 0;
+  const char* seen = nullptr;
+  s.setPeriodicTickHook([&](const char* name, SimTime) {
+    ++hooked;
+    seen = name;
+  });
+  s.every(100_ns, [] {}, /*start=*/100_ns, "ctrl");
+  s.run(300_ns);
+  EXPECT_EQ(hooked, 3);
+  EXPECT_STREQ(seen, "ctrl");
 }
 
 TEST(Simulator, PeriodicTimerFiresRepeatedly) {
@@ -145,25 +306,48 @@ TEST(Simulator, PeriodicTimerFiresRepeatedly) {
   EXPECT_EQ(ticks, 10);  // t = 100, 200, ..., 1000
 }
 
-TEST(Simulator, PeriodicTimerStopsAtRunLimit) {
-  Simulator sim;
-  int ticks = 0;
-  sim.every(100_ns, [&] { ++ticks; }, /*start=*/100_ns);
-  sim.run(350_ns);
-  // After the limited run the queue should not grow unboundedly; re-running
-  // with a longer limit resumes ticking.
-  EXPECT_EQ(ticks, 3);
-}
-
 TEST(Simulator, ScheduleAndCancelThroughFacade) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.schedule(10_ns, [&] { fired = true; });
-  EXPECT_TRUE(sim.cancel(id));
+  EventHandle h = sim.schedule(10_ns, [&] { fired = true; });
+  EXPECT_TRUE(h.cancel());
   sim.run(100_ns);
   EXPECT_FALSE(fired);
   EXPECT_EQ(sim.now(), 100_ns);
 }
+
+// --- deprecated raw-id shim (removed next PR) ---------------------------
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(SchedulerDeprecatedShim, RawIdScheduleCancelPending) {
+  Scheduler s;
+  bool fired = false;
+  const std::uint64_t id = s.scheduleWithId(10_ns, [&] { fired = true; });
+  EXPECT_NE(id, kInvalidEvent);
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerDeprecatedShim, RawIdStaleAfterFireAndReuse) {
+  Scheduler s;
+  const std::uint64_t id = s.scheduleWithId(10_ns, [] {});
+  s.run();
+  EXPECT_FALSE(s.pending(id));
+  bool fired = false;
+  const std::uint64_t fresh = s.scheduleWithId(10_ns, [&] { fired = true; });
+  EXPECT_NE(fresh, id);           // generation makes reused slots distinct
+  EXPECT_FALSE(s.cancel(id));     // stale id cannot hit the reused slot
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace tlbsim::sim

@@ -22,10 +22,21 @@ raw-unit-alias
     (10_us, microseconds(5), SimTime::fromNs at parse boundaries).
 
 negative-delay
-    Every `schedule(...)` / `every(...)` call site is audited: a delay
-    expression that syntactically starts with a negation is rejected
-    (time never flows backwards; the runtime TLBSIM_DCHECK in
-    Scheduler::schedule is the dynamic half of this rule).
+    Every `schedule(...)` / `post(...)` / `postAt(...)` / `every(...)`
+    call site is audited: a delay expression that syntactically starts
+    with a negation is rejected (time never flows backwards; the runtime
+    TLBSIM_DCHECK in Scheduler::schedule is the dynamic half of this
+    rule).
+
+std-function-hot-path
+    No `std::function` in src/sim, src/net, or src/transport: those
+    directories hold the per-event and per-packet paths, where
+    std::function costs a potential heap allocation per capture and an
+    opaque double indirection per call. Use util::InlineFunction (or
+    sim::EventFn for event callbacks), which keeps small captures inline
+    and is what the zero-allocation guarantee of the event core is built
+    on. Cold-path uses (setup-time factories, topology iteration) carry
+    an explicit allow() stating why they are not hot.
 
 installobs-wiring
     Every component declaring an `installObs(...)` hook must be wired up
@@ -91,7 +102,11 @@ RAW_UNIT_ALIAS_RE = re.compile(
     r"\busing\s+" + UNIT_NAME + r"\s*=\s*(?:" + INT64 + r")\s*;"
     r"|\btypedef\s+(?:" + INT64 + r")\s+" + UNIT_NAME + r"\s*;")
 
-SCHEDULE_CALL_RE = re.compile(r"\b(schedule|every)\s*\(")
+SCHEDULE_CALL_RE = re.compile(r"\b(schedule|post|postAt|every)\s*\(")
+
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
+# The per-event / per-packet directories where std::function is banned.
+HOT_PATH_DIRS = (("src", "sim"), ("src", "net"), ("src", "transport"))
 
 FAULT_MUTATION_RE = re.compile(
     r"\bfault(Down|Up|SetRateFactor|SetDelayFactor|SetDropProb)\s*\(")
@@ -287,6 +302,17 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                     "decision sites; FlowProbe telemetry must come from "
                     "the switch/transport/LB hooks it describes"))
 
+        # --- std-function-hot-path ------------------------------------
+        if rel.parts[:2] in HOT_PATH_DIRS:
+            m = STD_FUNCTION_RE.search(code)
+            if m and not allowed(raw, "std-function-hot-path", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "std-function-hot-path",
+                    "std::function on a hot-path directory; use "
+                    "util::InlineFunction / sim::EventFn (inline "
+                    "captures, no per-call heap), or allow() with a "
+                    "cold-path justification"))
+
         # --- bench-direct-experiment ----------------------------------
         if in_bench:
             m = DIRECT_EXPERIMENT_RE.search(code)
@@ -377,6 +403,23 @@ SELF_TEST_CASES = [
     # negative-delay audits schedule sites.
     ("negative-delay", "src/foo/x.cpp", "sim.schedule(-delay, fn);\n"),
     (None, "src/foo/x.cpp", "sim.schedule(delay, fn);\n"),
+    ("negative-delay", "src/foo/x.cpp", "sim.post(-txTime, fn);\n"),
+    ("negative-delay", "src/foo/x.cpp", "sim.postAt(-when, fn);\n"),
+    (None, "src/foo/x.cpp", "sim.post(txTime, fn);\n"),
+    # std-function-hot-path bans std::function on the event/packet paths.
+    ("std-function-hot-path", "src/sim/x.hpp",
+     "using Callback = std::function<void()>;\n"),
+    ("std-function-hot-path", "src/net/x.hpp",
+     "std::function<void(const Packet&)> hook_;\n"),
+    ("std-function-hot-path", "src/transport/x.cpp",
+     "void onDone(std::function<void(FlowId)> cb);\n"),
+    (None, "src/lb/x.hpp", "std::function<void()> factory_;\n"),
+    (None, "src/harness/x.cpp", "std::function<void()> setup;\n"),
+    (None, "src/net/x.hpp",
+     "// cold path. tlbsim-lint: allow(std-function-hot-path)\n"
+     "std::function<void(const Packet&)> filter_;\n"),
+    (None, "src/net/x.hpp", "util::InlineFunction<void()> hook_;\n"),
+    (None, "src/sim/x.cpp", "// std::function is banned here\n"),
 ]
 
 
