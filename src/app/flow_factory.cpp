@@ -1,0 +1,18 @@
+#include "app/flow_factory.hpp"
+
+namespace tlbsim::app {
+
+transport::FlowSpec FlowFactory::makeRpcFlow(net::HostId src, net::HostId dst,
+                                             ByteCount size, SimTime start) {
+  transport::FlowSpec spec;
+  spec.id = nextId_++;
+  spec.src = src;
+  spec.dst = dst;
+  spec.size = size;
+  spec.start = start;
+  spec.deadline = 0_ns;
+  ++minted_;
+  return spec;
+}
+
+}  // namespace tlbsim::app

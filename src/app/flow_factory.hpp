@@ -1,0 +1,33 @@
+// The app layer's single FlowSpec construction point.
+//
+// Every RPC flow the service puts on the wire — requests, responses,
+// retries, duplicates — is minted here, so flow-id allocation stays
+// centralized (monotonic, collision-free with any static workload) and
+// tlbsim_lint can ban `transport::FlowSpec` construction everywhere else
+// under src/app (rule app-flowspec-factory).
+#pragma once
+
+#include "transport/tcp_params.hpp"
+#include "util/units.hpp"
+
+namespace tlbsim::app {
+
+/// Hands out monotonically increasing flow ids starting at `firstId`.
+class FlowFactory {
+ public:
+  explicit FlowFactory(FlowId firstId) : nextId_(firstId) {}
+
+  /// Mint one RPC flow starting now. Deadline is left unset: the SLO is a
+  /// query-level property tracked by the service, not a per-flow one.
+  transport::FlowSpec makeRpcFlow(net::HostId src, net::HostId dst,
+                                  ByteCount size, SimTime start);
+
+  FlowId nextId() const { return nextId_; }
+  std::uint64_t flowsMinted() const { return minted_; }
+
+ private:
+  FlowId nextId_;
+  std::uint64_t minted_ = 0;
+};
+
+}  // namespace tlbsim::app

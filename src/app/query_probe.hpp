@@ -1,0 +1,130 @@
+// Per-query telemetry in the mold of obs::FlowProbe: one schema-stable
+// record per query accumulating the query's outcome (QCT, SLO hit/miss),
+// its recovery history (a bounded retry timeline, duplicate requests),
+// and slowest-worker attribution — which worker's response arrived last
+// and how long after the query started, the quantity load-balancing
+// granularity decisions actually move.
+//
+// Hot-path contract — identical to FlowProbe: the service holds a raw
+// `QueryProbe*` that stays nullptr until an observer installs one, so a
+// run without query telemetry pays one well-predicted branch per
+// instrumentation site.
+//
+// All mutation entry points are confined to src/app/service.cpp and the
+// harness harvest path; export is deterministic (records sorted by query
+// id) so sweep NDJSON stays byte-identical across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tlbsim::obs {
+class RunSummary;
+}
+
+namespace tlbsim::app {
+
+/// One retry-timer firing: when, and how many worker slots were still
+/// outstanding (and therefore re-requested).
+struct RetryEvent {
+  SimTime t;
+  int outstanding = 0;
+};
+
+/// Everything the probe learned about one query. Live counters accumulate
+/// during the run; the completion fields are filled by finishQuery().
+struct QueryRecord {
+  int id = -1;
+  std::int32_t aggregator = -1;
+  int fanOut = 0;
+  SimTime start;
+  SimTime slo;  ///< 0 = none
+
+  // Filled by finishQuery().
+  bool completed = false;
+  SimTime qct;  ///< valid when completed
+  bool sloMiss = false;
+  int retries = 0;
+  int duplicates = 0;
+  int flowsLaunched = 0;  ///< request+response flows, incl. retries/dups
+
+  // Live counters.
+  ByteCount responseBytes;          ///< sum of drawn response sizes
+  std::int32_t slowestWorker = -1;  ///< host whose response landed last
+  SimTime slowestWorkerWait;        ///< that response's lateness vs start
+  std::vector<RetryEvent> retryEvents;
+  std::uint64_t retriesNotStored = 0;
+};
+
+/// Accumulates QueryRecords. Bounded like every obs ledger: queries past
+/// maxQueries are counted, never silently dropped.
+class QueryProbe {
+ public:
+  struct Config {
+    /// Queries tracked per run; extras are counted in queriesNotTracked().
+    std::size_t maxQueries = 1u << 20;
+    /// Retry-timeline length per query (overflow counted per record).
+    std::size_t maxRetriesPerQuery = 16;
+  };
+
+  QueryProbe() = default;
+  explicit QueryProbe(const Config& cfg) : cfg_(cfg) {}
+
+  /// Register a query at issue time; re-declaring an id is a no-op.
+  void declareQuery(int id, std::int32_t aggregator, int fanOut, SimTime start,
+                    SimTime slo);
+
+  /// A worker slot's drawn response size (at query launch).
+  void onResponseDrawn(int id, ByteCount bytes);
+
+  /// The retry timer fired with `outstanding` slots still open.
+  void onRetry(int id, SimTime now, int outstanding);
+
+  /// A RepFlow-style duplicate request was issued for one slot.
+  void onDuplicate(int id);
+
+  /// A worker slot completed (its first response landed). Updates the
+  /// slowest-worker attribution.
+  void onWorkerDone(int id, std::int32_t worker, SimTime wait);
+
+  /// Copy the service's final per-query state in at harvest time.
+  void finishQuery(int id, bool completed, SimTime qct, bool sloMiss,
+                   int retries, int duplicates, int flowsLaunched);
+
+  std::size_t queryCount() const { return records_.size(); }
+  std::uint64_t queriesNotTracked() const { return queriesNotTracked_; }
+  /// Lookup by query id; nullptr when the query was never declared.
+  const QueryRecord* find(int id) const;
+  /// All records sorted by query id (deterministic export order).
+  std::vector<const QueryRecord*> sortedRecords() const;
+
+  /// Fold the probe into a run summary under "app.probe_*" keys: tracked
+  /// query count, retried-query count, mean flows per query, and the mean
+  /// slowest-worker wait — bounded-size, deterministic, independent of
+  /// declaration order.
+  void fold(obs::RunSummary& summary) const;
+
+  /// NDJSON export: a {"type":"meta",...} line carrying `meta` key/value
+  /// pairs, then one {"type":"query",...} line per record sorted by query
+  /// id (retry events as [t_s, outstanding] pairs).
+  std::string toNdjson(
+      const std::vector<std::pair<std::string, std::string>>& meta) const;
+  bool writeNdjsonFile(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& meta) const;
+
+ private:
+  QueryRecord* liveRecord(int id);
+
+  Config cfg_;
+  std::vector<QueryRecord> records_;
+  /// id -> index into records_, kept sorted by id for O(log n) lookup.
+  std::vector<std::pair<int, std::size_t>> index_;
+  std::uint64_t queriesNotTracked_ = 0;
+};
+
+}  // namespace tlbsim::app

@@ -1,0 +1,306 @@
+#include "app/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "app/query_probe.hpp"
+#include "transport/tcp_receiver.hpp"
+#include "transport/tcp_sender.hpp"
+#include "util/check.hpp"
+
+namespace tlbsim::app {
+
+namespace {
+
+workload::FlowSizeDistribution makeResponseDist(const AppConfig& cfg) {
+  switch (cfg.responseDist) {
+    case ResponseDist::kWebSearch:
+      return workload::FlowSizeDistribution::webSearch(cfg.responseBytes);
+    case ResponseDist::kDataMining:
+      return workload::FlowSizeDistribution::dataMining(cfg.responseBytes);
+    case ResponseDist::kFixed:
+      break;
+  }
+  return workload::FlowSizeDistribution::fixed(cfg.responseBytes);
+}
+
+}  // namespace
+
+Service::Service(sim::Simulator& simr, net::LeafSpineTopology& topo,
+                 const AppConfig& cfg, const transport::TcpParams& tcp,
+                 std::uint64_t seed, FlowId firstFlowId)
+    : sim_(simr),
+      topo_(topo),
+      cfg_(cfg),
+      tcp_(tcp),
+      // Decorrelated from the harness's per-leaf selector salts.
+      rng_(splitmix64(seed ^ 0x61707073ULL)),
+      factory_(firstFlowId),
+      responseDist_(makeResponseDist(cfg)) {
+  TLBSIM_ASSERT(cfg_.fanOut > 0, "app.fan-out must be positive");
+  TLBSIM_ASSERT(topo_.numHosts() > 1, "app layer needs at least two hosts");
+}
+
+Service::~Service() = default;
+
+void Service::installObs(obs::MetricsRegistry* metrics,
+                         obs::EventTrace* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void Service::start() {
+  if (!cfg_.enabled()) return;
+  queries_.reserve(static_cast<std::size_t>(cfg_.queries));
+  if (cfg_.arrival == Arrival::kPoisson) {
+    TLBSIM_ASSERT(cfg_.qps > 0.0, "app.qps must be positive");
+    scheduleArrival(microseconds(rng_.exponential(1e6 / cfg_.qps)));
+    return;
+  }
+  const int initial = std::min(std::max(cfg_.concurrency, 1), cfg_.queries);
+  for (int i = 0; i < initial; ++i) issueQuery();
+}
+
+void Service::scheduleArrival(SimTime delay) {
+  sim_.post(delay, [this] {
+    issueQuery();
+    if (launched_ < cfg_.queries) {
+      scheduleArrival(microseconds(rng_.exponential(1e6 / cfg_.qps)));
+    }
+  });
+}
+
+void Service::issueQuery() {
+  if (launched_ >= cfg_.queries) return;
+  const std::size_t qi = queries_.size();
+  queries_.emplace_back();
+  Query& q = queries_[qi];
+  q.id = launched_++;
+  const int numHosts = topo_.numHosts();
+  q.aggregator = static_cast<net::HostId>(
+      cfg_.aggregator >= 0 ? cfg_.aggregator % numHosts : q.id % numHosts);
+  q.start = sim_.now();
+  q.slots.resize(static_cast<std::size_t>(cfg_.fanOut));
+  pickWorkers(q.aggregator, q.slots);
+  for (Slot& slot : q.slots) {
+    slot.responseBytes = std::max(responseDist_.sample(rng_), ByteCount(1_B));
+  }
+  q.remaining = cfg_.fanOut;
+  if (probe_ != nullptr) {
+    probe_->declareQuery(q.id, q.aggregator, cfg_.fanOut, q.start, cfg_.slo);
+    for (const Slot& slot : q.slots) {
+      probe_->onResponseDrawn(q.id, slot.responseBytes);
+    }
+  }
+  for (std::size_t si = 0; si < queries_[qi].slots.size(); ++si) {
+    launchAttempt(qi, si);
+    if (cfg_.duplicateThreshold > 0_B &&
+        queries_[qi].slots[si].responseBytes < cfg_.duplicateThreshold) {
+      ++queries_[qi].duplicates;
+      ++duplicates_;
+      if (probe_ != nullptr) probe_->onDuplicate(queries_[qi].id);
+      launchAttempt(qi, si);
+    }
+  }
+  if (cfg_.timeout > 0_ns && cfg_.maxRetries > 0) {
+    queries_[qi].retryTimer =
+        sim_.schedule(cfg_.timeout, [this, qi] { onRetryTimer(qi); });
+  }
+}
+
+void Service::pickWorkers(net::HostId aggregator, std::vector<Slot>& slots) {
+  std::vector<net::HostId> candidates;
+  if (cfg_.placement == Placement::kSpread) {
+    // Leaves other than the aggregator's first, interleaved across leaves,
+    // so the fan-out crosses the fabric as widely as possible; a rotating
+    // cursor spreads successive queries over different workers.
+    const int leaves = topo_.numLeaves();
+    const int perLeaf = topo_.config().hostsPerLeaf;
+    const int aggLeaf = topo_.leafOf(aggregator);
+    for (int h = 0; h < perLeaf; ++h) {
+      for (int off = 1; off <= leaves; ++off) {
+        const auto host = static_cast<net::HostId>(
+            ((aggLeaf + off) % leaves) * perLeaf + h);
+        if (host != aggregator) candidates.push_back(host);
+      }
+    }
+    const auto n = candidates.size();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      slots[i].worker =
+          candidates[(static_cast<std::size_t>(spreadCursor_) + i) % n];
+    }
+    spreadCursor_ = static_cast<int>(
+        (static_cast<std::size_t>(spreadCursor_) + slots.size()) % n);
+    return;
+  }
+  for (int h = 0; h < topo_.numHosts(); ++h) {
+    if (static_cast<net::HostId>(h) != aggregator) {
+      candidates.push_back(static_cast<net::HostId>(h));
+    }
+  }
+  // Partial Fisher-Yates: the first min(fanOut, hosts-1) slots get a
+  // uniform distinct draw; slots past that draw with repeats (fan-out
+  // wider than the fabric has workers).
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i < candidates.size()) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng_.uniformInt(candidates.size() - i));
+      std::swap(candidates[i], candidates[j]);
+      slots[i].worker = candidates[i];
+    } else {
+      slots[i].worker =
+          candidates[static_cast<std::size_t>(rng_.uniformInt(candidates.size()))];
+    }
+  }
+}
+
+void Service::launchAttempt(std::size_t qi, std::size_t si) {
+  Query& q = queries_[qi];
+  ++q.liveAttempts;
+  ++q.flowsLaunched;
+  const transport::FlowSpec spec = factory_.makeRpcFlow(
+      q.aggregator, q.slots[si].worker, cfg_.requestBytes, sim_.now());
+  launchFlow(spec, [this, qi, si] {
+    // Request delivered: the worker computes, then replies.
+    const SimTime delay =
+        cfg_.serviceTime > 0_ns
+            ? microseconds(
+                  rng_.exponential(toMicroseconds(cfg_.serviceTime)))
+            : SimTime{};
+    sim_.post(delay, [this, qi, si] { launchResponse(qi, si); });
+  });
+}
+
+void Service::launchResponse(std::size_t qi, std::size_t si) {
+  Query& q = queries_[qi];
+  ++q.flowsLaunched;
+  const transport::FlowSpec spec = factory_.makeRpcFlow(
+      q.slots[si].worker, q.aggregator, q.slots[si].responseBytes, sim_.now());
+  launchFlow(spec, [this, qi, si] { onResponseDone(qi, si); });
+}
+
+void Service::onResponseDone(std::size_t qi, std::size_t si) {
+  Query& q = queries_[qi];
+  --q.liveAttempts;
+  Slot& slot = q.slots[si];
+  // Stale: a superseded attempt or duplicate landed after the slot (or the
+  // whole query) was already served. Ignore — the bytes were the cost.
+  if (q.finished || slot.done) return;
+  slot.done = true;
+  --q.remaining;
+  if (probe_ != nullptr) {
+    probe_->onWorkerDone(q.id, slot.worker, sim_.now() - q.start);
+  }
+  if (q.remaining == 0) completeQuery(qi);
+}
+
+void Service::onRetryTimer(std::size_t qi) {
+  Query& q = queries_[qi];
+  if (q.finished) return;
+  if (q.retries >= cfg_.maxRetries) return;  // budget spent: no re-arm
+  ++q.retries;
+  ++retries_;
+  if (probe_ != nullptr) probe_->onRetry(q.id, sim_.now(), q.remaining);
+  for (std::size_t si = 0; si < q.slots.size(); ++si) {
+    if (!queries_[qi].slots[si].done) launchAttempt(qi, si);
+  }
+  queries_[qi].retryTimer =
+      sim_.schedule(cfg_.timeout, [this, qi] { onRetryTimer(qi); });
+}
+
+void Service::completeQuery(std::size_t qi) {
+  Query& q = queries_[qi];
+  q.finished = true;
+  q.retryTimer.cancel();
+  const SimTime qct = sim_.now() - q.start;
+  ++completed_;
+  qctSeconds_.add(toSeconds(qct));
+  const bool miss = cfg_.slo > 0_ns && qct > cfg_.slo;
+  if (miss) ++sloMisses_;
+  if (probe_ != nullptr) {
+    probe_->finishQuery(q.id, true, qct, miss, q.retries, q.duplicates,
+                        q.flowsLaunched);
+  }
+  if (cfg_.arrival == Arrival::kClosedLoop && launched_ < cfg_.queries) {
+    const SimTime think =
+        cfg_.thinkTime > 0_ns
+            ? microseconds(rng_.exponential(toMicroseconds(cfg_.thinkTime)))
+            : SimTime{};
+    sim_.post(think, [this] { issueQuery(); });
+  }
+}
+
+void Service::launchFlow(const transport::FlowSpec& spec,
+                         // tlbsim-lint: allow(std-function-hot-path)
+                         std::function<void()> onComplete) {
+  receivers_.push_back(std::make_unique<transport::TcpReceiver>(
+      sim_, topo_.host(static_cast<int>(spec.dst)), spec, tcp_));
+  senders_.push_back(std::make_unique<transport::TcpSender>(
+      sim_, topo_.host(static_cast<int>(spec.src)), spec, tcp_,
+      [cb = std::move(onComplete)](transport::TcpSender&) { cb(); }));
+  transport::TcpSender& sender = *senders_.back();
+  if (metrics_ != nullptr || trace_ != nullptr) {
+    sender.installObs(metrics_, trace_);
+  }
+  if (endpointHook_) endpointHook_(sender, *receivers_.back());
+  sender.start();
+}
+
+void Service::finalize(SimTime now) {
+  static_cast<void>(now);
+  if (finalized_) return;
+  finalized_ = true;
+  for (Query& q : queries_) {
+    if (q.finished) continue;
+    q.retryTimer.cancel();
+    if (cfg_.slo > 0_ns) ++sloMisses_;
+    if (probe_ != nullptr) {
+      probe_->finishQuery(q.id, false, SimTime{}, cfg_.slo > 0_ns, q.retries,
+                          q.duplicates, q.flowsLaunched);
+    }
+  }
+}
+
+int Service::auditOpenQueries(std::vector<std::string>* out) const {
+  int violations = 0;
+  const auto fail = [&](std::string msg) {
+    ++violations;
+    if (out != nullptr) out->push_back(std::move(msg));
+  };
+  if (static_cast<int>(queries_.size()) != launched_) {
+    fail("query ledger size " + std::to_string(queries_.size()) +
+         " != launched counter " + std::to_string(launched_));
+  }
+  int open = 0;
+  for (const Query& q : queries_) {
+    if (q.finished) continue;
+    ++open;
+    int undone = 0;
+    for (const Slot& s : q.slots) undone += s.done ? 0 : 1;
+    if (undone != q.remaining) {
+      fail("query " + std::to_string(q.id) + ": remaining counter " +
+           std::to_string(q.remaining) + " != undone slots " +
+           std::to_string(undone));
+    }
+    // Progress guarantee: a query that can still be served has either an
+    // armed retry timer or a live attempt whose transport keeps events
+    // pending; neither means it would sit open forever (the run loop's
+    // maxDuration then books it via finalize, never a hang).
+    if (!q.retryTimer.pending() && q.liveAttempts <= 0) {
+      fail("query " + std::to_string(q.id) +
+           " is stuck: no armed retry timer and no live attempt");
+    }
+  }
+  // After finalize() the stragglers are booked as incomplete-but-closed,
+  // so the completed counter intentionally stops covering every query.
+  if (!finalized_ && launched_ != completed_ + open) {
+    fail("query conservation: launched " + std::to_string(launched_) +
+         " != completed " + std::to_string(completed_) + " + open " +
+         std::to_string(open));
+  }
+  return violations;
+}
+
+}  // namespace tlbsim::app

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "app/service.hpp"
 #include "core/tlb.hpp"
 #include "net/leaf_spine.hpp"
 #include "net/link.hpp"
@@ -57,6 +58,10 @@ void InvariantAuditor::watchTopology(net::LeafSpineTopology& topo) {
   topologyComplete_ = true;
 }
 
+void InvariantAuditor::watchService(const app::Service& service) {
+  services_.push_back(&service);
+}
+
 void InvariantAuditor::install(sim::Simulator& simr) {
   sim_ = &simr;
   simr.every(
@@ -100,6 +105,7 @@ void InvariantAuditor::auditNow(SimTime now) {
   auditTlbs(now);
   auditFlows(now);
   auditConservation(now);
+  auditServices(now);
 }
 
 void InvariantAuditor::auditLinks(SimTime now) {
@@ -274,6 +280,18 @@ void InvariantAuditor::auditConservation(SimTime now) {
            static_cast<unsigned long long>(drops),
            static_cast<unsigned long long>(faultDrops),
            static_cast<unsigned long long>(inNetwork));
+  }
+}
+
+void InvariantAuditor::auditServices(SimTime now) {
+  for (const app::Service* service : services_) {
+    ++checksRun_;
+    std::vector<std::string> messages;
+    if (service->auditOpenQueries(&messages) > 0) {
+      for (const std::string& msg : messages) {
+        report(now, "app service: %s", msg.c_str());
+      }
+    }
   }
 }
 

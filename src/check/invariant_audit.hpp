@@ -36,6 +36,9 @@
 
 #include "util/units.hpp"
 
+namespace tlbsim::app {
+class Service;
+}
 namespace tlbsim::net {
 class Link;
 class Switch;
@@ -90,6 +93,12 @@ class InvariantAuditor {
   /// Every host access link, fabric link, and switch of a leaf-spine
   /// topology in one call.
   void watchTopology(net::LeafSpineTopology& topo);
+  /// Application-layer open-query accounting: each tick re-checks query
+  /// conservation (launched == completed + open) and that every open
+  /// query can still make progress (armed retry timer or live attempt) —
+  /// i.e. no query ever hangs; the run-loop maxDuration backstop always
+  /// terminates it.
+  void watchService(const app::Service& service);
 
   /// Start the periodic audit (fires every cfg.interval; also audits once
   /// at the end of a bounded run when the simulator revives the timer).
@@ -131,12 +140,14 @@ class InvariantAuditor {
   void auditTlbs(SimTime now);
   void auditFlows(SimTime now);
   void auditConservation(SimTime now);
+  void auditServices(SimTime now);
 
   Config cfg_;
   std::vector<WatchedLink> links_;
   std::vector<const net::Switch*> switches_;
   std::vector<WatchedTlb> tlbs_;
   std::vector<WatchedFlow> flows_;
+  std::vector<const app::Service*> services_;
 
   sim::Simulator* sim_ = nullptr;
   /// True once watchTopology covered every link a packet can traverse;

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "app/query_probe.hpp"
+#include "app/service.hpp"
 #include "check/invariant_audit.hpp"
 #include "core/tlb.hpp"
 #include "fault/injector.hpp"
@@ -78,6 +80,14 @@ obs::FlowProbe& Experiment::ownFlows() {
     cfg_.sinks.flows = ownedFlows_.get();
   }
   return *ownedFlows_;
+}
+
+app::QueryProbe& Experiment::ownQueries() {
+  if (ownedQueries_ == nullptr) {
+    ownedQueries_ = std::make_unique<app::QueryProbe>();
+    cfg_.queryProbe = ownedQueries_.get();
+  }
+  return *ownedQueries_;
 }
 
 ExperimentResult Experiment::run() const {
@@ -261,6 +271,31 @@ ExperimentResult Experiment::run() const {
     senders.back()->start();
   }
 
+  // Application layer: a partition-aggregate service generating RPC flows
+  // dynamically at simulation time, on top of (or instead of) the static
+  // flow list. Flow ids start past every static id so the two workloads
+  // can share a run without colliding.
+  std::unique_ptr<app::Service> service;
+  if (cfg.app.enabled()) {
+    FlowId firstAppFlowId = 1;
+    for (const auto& f : cfg.flows) {
+      firstAppFlowId = std::max(firstAppFlowId, f.id + 1);
+    }
+    service = std::make_unique<app::Service>(simr, topo, cfg.app, cfg.tcp,
+                                             cfg.seed, firstAppFlowId);
+    service->setQueryProbe(cfg.queryProbe);
+    if (sinks.any()) service->installObs(sinks.metrics, sinks.trace);
+    if (auditor != nullptr) {
+      auditor->watchService(*service);
+      service->setEndpointHook(
+          [&cfg, a = auditor.get()](const transport::TcpSender& snd,
+                                    const transport::TcpReceiver& rcv) {
+            a->watchFlow(snd, rcv, cfg.tcp.mss);
+          });
+    }
+    service->start();
+  }
+
   const std::size_t numLong = cfg.flows.size() - shortFlows.size();
 
   if (faultMon != nullptr) {
@@ -340,13 +375,29 @@ ExperimentResult Experiment::run() const {
     }, /*start=*/cfg.sampleInterval);
   }
 
-  // Run until every flow completes or the hard stop.
+  // Run until every flow completes, every query completes, or the hard
+  // stop. A query whose retries are exhausted against a dead path never
+  // completes; maxDuration is the backstop that terminates such runs.
   auto& sched = simr.scheduler();
-  while (completed < cfg.flows.size() && !sched.empty()) {
+  while ((completed < cfg.flows.size() ||
+          (service != nullptr && !service->done())) &&
+         !sched.empty()) {
     if (!sched.step(cfg.maxDuration)) break;
   }
   res.endTime = simr.now();
   res.executedEvents = simr.scheduler().executedEvents();
+  if (service != nullptr) {
+    // Book still-open queries as incomplete before the final audit sweep
+    // and the harvest below.
+    service->finalize(simr.now());
+    res.appQueriesLaunched = service->queriesLaunched();
+    res.appQueriesCompleted = service->queriesCompleted();
+    res.appSloMisses = service->sloMisses();
+    res.appRetries = service->retriesIssued();
+    res.appDuplicates = service->duplicatesIssued();
+    res.appRpcFlows = service->flowsCreated();
+    res.appQctSeconds = service->qctSeconds();
+  }
   if (auditor != nullptr) {
     // One final sweep so short runs (under one audit interval) are still
     // checked at least once.
@@ -478,6 +529,20 @@ obs::RunSummary summarizeExperiment(const ExperimentConfig& cfg,
   s.set("ecn_marks", static_cast<double>(res.totalEcnMarks));
   s.set("mean_fabric_utilization", res.meanFabricUtilization);
   s.set("tlb_long_switches", static_cast<double>(res.tlbLongSwitches));
+  // App keys are conditional so app-free runs keep the exact summary
+  // shape (and JSON bytes) they had before the app layer existed.
+  if (cfg.app.enabled()) {
+    s.set("app.queries", static_cast<double>(res.appQueriesLaunched));
+    s.set("app.completed_queries",
+          static_cast<double>(res.appQueriesCompleted));
+    s.set("app.qct_mean_ms", res.appQctMeanSec() * 1e3);
+    s.set("app.qct_p50_ms", res.appQctP50Sec() * 1e3);
+    s.set("app.qct_p99_ms", res.appQctP99Sec() * 1e3);
+    s.set("app.slo_miss_ratio", res.appSloMissRatio());
+    s.set("app.retries", static_cast<double>(res.appRetries));
+    s.set("app.duplicate_requests", static_cast<double>(res.appDuplicates));
+    s.set("app.rpc_flows", static_cast<double>(res.appRpcFlows));
+  }
   // Fault keys are conditional so fault-free runs keep the exact summary
   // shape (and JSON bytes) they had before the fault subsystem existed.
   if (!cfg.fault.empty()) {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "app/app_config.hpp"
 #include "fault/plan.hpp"
 #include "harness/scheme.hpp"
 #include "net/leaf_spine.hpp"
@@ -22,6 +23,10 @@
 #include "transport/tcp_params.hpp"
 #include "util/summary_stats.hpp"
 #include "util/units.hpp"
+
+namespace tlbsim::app {
+class QueryProbe;
+}
 
 namespace tlbsim::harness {
 
@@ -55,6 +60,18 @@ struct ExperimentConfig {
   /// Cadence of the queue-depth snapshot sampler (matches TLB's control
   /// interval by default).
   SimTime obsSampleInterval = microseconds(500);
+
+  // --- application layer (tlbsim::app) ----------------------------------
+  /// Closed-loop partition-aggregate RPC service running on top of the
+  /// hosts/transport, alongside (or instead of) the static flow list.
+  /// Disabled by default (app.queries == 0), which keeps pre-app runs and
+  /// their summary JSON byte-identical. Populated from `app.*` overrides
+  /// or the CLI's --app flags.
+  app::AppConfig app;
+  /// Per-query telemetry sink (null = disabled). Like obs::Sinks, never
+  /// owned through the config; Experiment::ownQueries() gives a run a
+  /// private probe.
+  app::QueryProbe* queryProbe = nullptr;
 
   // --- fault injection (tlbsim::fault) ----------------------------------
   /// Declarative link-fault schedule, applied by a FaultInjector during
@@ -102,6 +119,15 @@ struct ExperimentResult {
   std::uint64_t auditChecks = 0;
   std::uint64_t auditViolations = 0;
 
+  // Application-layer outcome (all zero when cfg.app is disabled).
+  int appQueriesLaunched = 0;
+  int appQueriesCompleted = 0;
+  int appSloMisses = 0;  ///< completed-late plus unfinished (SLO set)
+  std::uint64_t appRetries = 0;
+  std::uint64_t appDuplicates = 0;
+  std::uint64_t appRpcFlows = 0;  ///< request+response flows incl. retries
+  SampleSet appQctSeconds;        ///< QCT of completed queries
+
   // Fault-injection outcome (defaults when cfg.fault was empty).
   std::uint64_t faultEventsApplied = 0;
   std::uint64_t faultDrops = 0;  ///< sum over links, all fault-loss classes
@@ -135,6 +161,24 @@ struct ExperimentResult {
   double longOooRatioTotal() const {
     return ledger.outOfOrderRatio(stats::FlowLedger::isLong);
   }
+
+  // --- query-level aggregates (the app layer's headline numbers) -------
+  double appQctMeanSec() const {
+    return appQctSeconds.empty() ? 0.0 : appQctSeconds.mean();
+  }
+  double appQctP50Sec() const {
+    return appQctSeconds.empty() ? 0.0 : appQctSeconds.percentile(50.0);
+  }
+  double appQctP99Sec() const {
+    return appQctSeconds.empty() ? 0.0 : appQctSeconds.percentile(99.0);
+  }
+  /// SLO misses over launched queries (0 when no SLO / no queries).
+  double appSloMissRatio() const {
+    return appQueriesLaunched > 0
+               ? static_cast<double>(appSloMisses) /
+                     static_cast<double>(appQueriesLaunched)
+               : 0.0;
+  }
 };
 
 /// One configured run. Immutable after construction except for sink
@@ -157,11 +201,13 @@ class Experiment {
   obs::MetricsRegistry& ownMetrics();
   obs::EventTrace& ownTrace(std::size_t maxEvents = 500'000);
   obs::FlowProbe& ownFlows();
+  app::QueryProbe& ownQueries();
 
   const ExperimentConfig& config() const { return cfg_; }
   obs::MetricsRegistry* metrics() const { return cfg_.sinks.metrics; }
   obs::EventTrace* trace() const { return cfg_.sinks.trace; }
   obs::FlowProbe* flows() const { return cfg_.sinks.flows; }
+  app::QueryProbe* queries() const { return cfg_.queryProbe; }
 
   /// Build the network, run the flow list, and collect results.
   ExperimentResult run() const;
@@ -176,6 +222,7 @@ class Experiment {
   std::unique_ptr<obs::MetricsRegistry> ownedMetrics_;
   std::unique_ptr<obs::EventTrace> ownedTrace_;
   std::unique_ptr<obs::FlowProbe> ownedFlows_;
+  std::unique_ptr<app::QueryProbe> ownedQueries_;
 };
 
 /// Convenience wrapper: Experiment(cfg).run().

@@ -181,6 +181,124 @@ const std::vector<Key>& keyTable() {
           const std::string& k, const std::string&) {
          return setMicros(kv, k, &c.sampleInterval);
        }},
+      {"app.queries", "partition-aggregate queries to run (0 = app off)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.app.queries);
+       }},
+      {"app.fan-out", "worker request flows per query",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         int fanOut = 0;
+         if (!setInt(kv, k, &fanOut) || fanOut <= 0) return false;
+         c.app.fanOut = fanOut;
+         return true;
+       }},
+      {"app.arrival", "query arrival process: poisson | closed",
+       [](ExperimentConfig& c, const KeyValueConfig&, const std::string&,
+          const std::string& value) {
+         if (value == "poisson") {
+           c.app.arrival = app::Arrival::kPoisson;
+         } else if (value == "closed") {
+           c.app.arrival = app::Arrival::kClosedLoop;
+         } else {
+           return false;
+         }
+         return true;
+       }},
+      {"app.qps", "Poisson query arrival rate, queries/second",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || !(*v > 0.0)) return false;
+         c.app.qps = *v;
+         return true;
+       }},
+      {"app.concurrency", "closed-loop outstanding queries",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.app.concurrency);
+       }},
+      {"app.think-time-us", "closed-loop mean think time after completion",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.app.thinkTime);
+       }},
+      {"app.request-bytes", "request flow size, aggregator to worker",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.app.requestBytes);
+       }},
+      {"app.response-dist",
+       "response-size draw: fixed | websearch | datamining",
+       [](ExperimentConfig& c, const KeyValueConfig&, const std::string&,
+          const std::string& value) {
+         if (value == "fixed") {
+           c.app.responseDist = app::ResponseDist::kFixed;
+         } else if (value == "websearch") {
+           c.app.responseDist = app::ResponseDist::kWebSearch;
+         } else if (value == "datamining") {
+           c.app.responseDist = app::ResponseDist::kDataMining;
+         } else {
+           return false;
+         }
+         return true;
+       }},
+      {"app.response-bytes",
+       "response size (fixed) or cap (websearch/datamining)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.app.responseBytes);
+       }},
+      {"app.service-time-us", "mean worker service time (0 = instant)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setMicros(kv, k, &c.app.serviceTime);
+       }},
+      {"app.slo-ms", "query completion SLO, milliseconds (0 = none)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || *v < 0.0) return false;
+         c.app.slo = milliseconds(*v);
+         return true;
+       }},
+      {"app.timeout-ms", "per-query retry timeout, milliseconds (0 = off)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         const auto v = kv.getDoubleStrict(k);
+         if (!v.has_value() || *v < 0.0) return false;
+         c.app.timeout = milliseconds(*v);
+         return true;
+       }},
+      {"app.max-retries", "retry budget per query",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.app.maxRetries);
+       }},
+      {"app.duplicate-threshold-bytes",
+       "duplicate requests whose response is below this (0 = off)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setBytes(kv, k, &c.app.duplicateThreshold);
+       }},
+      {"app.placement", "worker placement: random | spread",
+       [](ExperimentConfig& c, const KeyValueConfig&, const std::string&,
+          const std::string& value) {
+         if (value == "random") {
+           c.app.placement = app::Placement::kRandom;
+         } else if (value == "spread") {
+           c.app.placement = app::Placement::kSpread;
+         } else {
+           return false;
+         }
+         return true;
+       }},
+      {"app.aggregator", "pin the aggregator host (-1 = rotate per query)",
+       [](ExperimentConfig& c, const KeyValueConfig& kv,
+          const std::string& k, const std::string&) {
+         return setInt(kv, k, &c.app.aggregator);
+       }},
       {"fault.link",
        "append link-fault events: leafL-spineS,down@T,up@T,rate=F@T,"
        "delay=F@T,drop=P@T with time suffix s/ms/us/ns (';' joins links)",

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "app/query_probe.hpp"
 #include "harness/overrides.hpp"
 #include "obs/flow_probe.hpp"
 #include "obs/json.hpp"
@@ -48,12 +49,17 @@ RunOutcome runPoint(const SweepPoint& pt, const SweepScenario& scenario,
   // Share-nothing: a sweep run never writes through sinks the caller put
   // in the base config, since those would be contended across workers.
   cfg.sinks = obs::Sinks{};
+  cfg.queryProbe = nullptr;
   if (scenario.workload) scenario.workload(cfg, pt);
 
   const bool collectFlows = opt.collectFlows || !opt.flowsNdjsonPath.empty();
+  const bool collectQueries =
+      (opt.collectQueries || !opt.queriesNdjsonPath.empty()) &&
+      cfg.app.enabled();
   harness::Experiment exp(std::move(cfg));
   if (opt.collectMetrics) exp.ownMetrics();
   if (collectFlows) exp.ownFlows();
+  if (collectQueries) exp.ownQueries();
 
   RunOutcome out;
   out.point = pt;
@@ -78,6 +84,15 @@ RunOutcome runPoint(const SweepPoint& pt, const SweepScenario& scenario,
     exp.flows()->fold(out.summary);
     if (!opt.flowsNdjsonPath.empty()) {
       out.flowsNdjson = exp.flows()->toNdjson(
+          {{"point", pt.label()},
+           {"scheme", harness::schemeCliName(pt.scheme)},
+           {"seed", std::to_string(pt.runSeed)}});
+    }
+  }
+  if (collectQueries && exp.queries() != nullptr) {
+    exp.queries()->fold(out.summary);
+    if (!opt.queriesNdjsonPath.empty()) {
+      out.queriesNdjson = exp.queries()->toNdjson(
           {{"point", pt.label()},
            {"scheme", harness::schemeCliName(pt.scheme)},
            {"seed", std::to_string(pt.runSeed)}});
@@ -352,25 +367,26 @@ SweepReport runSweep(const SweepSpec& spec, const SweepScenario& scenario,
     throw std::runtime_error(msg);
   }
 
-  if (!opt.flowsNdjsonPath.empty()) {
-    // Concatenate in point index order after the join, so the file is
-    // byte-identical for any worker count.
-    std::FILE* f = std::fopen(opt.flowsNdjsonPath.c_str(), "w");
-    if (f == nullptr) {
-      throw std::runtime_error("cannot write flows NDJSON to " +
-                               opt.flowsNdjsonPath);
-    }
-    bool ok = true;
-    for (const RunOutcome& run : report.runs) {
-      ok = ok && std::fwrite(run.flowsNdjson.data(), 1,
-                             run.flowsNdjson.size(),
-                             f) == run.flowsNdjson.size();
-    }
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok) {
-      throw std::runtime_error("short write to " + opt.flowsNdjsonPath);
-    }
-  }
+  // Concatenate NDJSON blocks in point index order after the join, so the
+  // files are byte-identical for any worker count.
+  const auto writeBlocks =
+      [&report](const std::string& path,
+                std::string RunOutcome::*block) {
+        if (path.empty()) return;
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          throw std::runtime_error("cannot write NDJSON to " + path);
+        }
+        bool ok = true;
+        for (const RunOutcome& run : report.runs) {
+          const std::string& s = run.*block;
+          ok = ok && std::fwrite(s.data(), 1, s.size(), f) == s.size();
+        }
+        ok = std::fclose(f) == 0 && ok;
+        if (!ok) throw std::runtime_error("short write to " + path);
+      };
+  writeBlocks(opt.flowsNdjsonPath, &RunOutcome::flowsNdjson);
+  writeBlocks(opt.queriesNdjsonPath, &RunOutcome::queriesNdjson);
 
   report.aggregates = aggregate(report.runs);
   report.wallSeconds = elapsedSeconds(t0);

@@ -61,6 +61,14 @@ struct RunnerOptions {
   /// run's per-flow records to this NDJSON file, concatenated in point
   /// index order after the join — byte-identical for any worker count.
   std::string flowsNdjsonPath;
+  /// Give every run an Experiment-owned app::QueryProbe (no-op for runs
+  /// whose config leaves the app layer disabled); its "app.probe_*"
+  /// summary is folded into the RunSummary.
+  bool collectQueries = false;
+  /// When non-empty, implies collectQueries and additionally writes every
+  /// run's per-query records to this NDJSON file, concatenated in point
+  /// index order after the join — byte-identical for any worker count.
+  std::string queriesNdjsonPath;
   /// Progress hook, called after each run completes. Serialized by the
   /// engine's mutex, so it may print/aggregate without its own locking.
   /// Runs finish in scheduling order, not index order.
@@ -80,6 +88,8 @@ struct RunOutcome {
   /// Kept out of the report JSON; runSweep concatenates the blocks in
   /// index order into the NDJSON file.
   std::string flowsNdjson;
+  /// Per-query NDJSON block (only when queriesNdjsonPath is set).
+  std::string queriesNdjson;
 };
 
 /// Seed-axis statistics of one sweep configuration (a groupKey).

@@ -156,31 +156,4 @@ void Scheduler::firePeriodic(std::size_t idx) {
   armPeriodic(idx);
 }
 
-// --- deprecated raw-id shim ---------------------------------------------
-// Ids pack (slot + 1) in the high 32 bits and the slot's generation in the
-// low 32, so id 0 stays "no event" and reuse invalidates outstanding ids.
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::uint64_t Scheduler::scheduleWithId(SimTime delay, EventFn fn) {
-  checkDelay(delay);
-  const std::uint32_t slot = insert(now_ + delay, std::move(fn));
-  return (static_cast<std::uint64_t>(slot) + 1) << 32 | slots_[slot].gen;
-}
-
-bool Scheduler::cancel(std::uint64_t id) {
-  if (id == 0) return false;
-  return cancelSlot(static_cast<std::uint32_t>(id >> 32) - 1,
-                    static_cast<std::uint32_t>(id));
-}
-
-bool Scheduler::pending(std::uint64_t id) const {
-  if (id == 0) return false;
-  return slotPending(static_cast<std::uint32_t>(id >> 32) - 1,
-                     static_cast<std::uint32_t>(id));
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace tlbsim::sim

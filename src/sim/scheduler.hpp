@@ -45,13 +45,6 @@ inline constexpr std::size_t kEventInlineBytes = 48;
 
 using EventFn = util::InlineFunction<void(), kEventInlineBytes>;
 
-/// Deprecated raw-id surface (one-PR compatibility shim). EventHandle
-/// replaces it: ids were forgeable, never invalidated on reuse, and
-/// forced every owner to pair cancel() with a manual kInvalidEvent store.
-using EventId [[deprecated("use sim::EventHandle")]] = std::uint64_t;
-[[deprecated("use a default-constructed sim::EventHandle")]] inline constexpr
-    std::uint64_t kInvalidEvent = 0;
-
 class Scheduler;
 
 /// Move-only owner of one pending event. Destroying or re-assigning the
@@ -171,17 +164,6 @@ class Scheduler {
   bool empty() const { return heap_.empty(); }
   std::size_t pendingEvents() const { return heap_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
-
-  // --- deprecated raw-id shim (kept for one PR) -------------------------
-  // The pre-EventHandle surface: schedule → opaque id, cancel(id),
-  // pending(id). Ids encode (slot, generation), so they stay safe against
-  // slot reuse, but nothing cancels them automatically — migrate to
-  // schedule()/EventHandle.
-  [[deprecated("use schedule(), which returns an EventHandle")]]
-  std::uint64_t scheduleWithId(SimTime delay, EventFn fn);
-  [[deprecated("use EventHandle::cancel()")]] bool cancel(std::uint64_t id);
-  [[deprecated("use EventHandle::pending()")]] bool pending(
-      std::uint64_t id) const;
 
   static constexpr SimTime kMaxTime = SimTime::max();
 

@@ -1,0 +1,75 @@
+// The app.* override vocabulary: every knob reachable from the CLI, with
+// strict validation (bad values rejected, config untouched).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/overrides.hpp"
+
+namespace tlbsim::harness {
+namespace {
+
+TEST(AppOverrides, AppliesEveryKnob) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(applyOverride(cfg, "app.queries", "120"));
+  EXPECT_EQ(cfg.app.queries, 120);
+  EXPECT_TRUE(cfg.app.enabled());
+  EXPECT_TRUE(applyOverride(cfg, "app.fan-out", "16"));
+  EXPECT_EQ(cfg.app.fanOut, 16);
+  EXPECT_TRUE(applyOverride(cfg, "app.arrival", "poisson"));
+  EXPECT_EQ(cfg.app.arrival, app::Arrival::kPoisson);
+  EXPECT_TRUE(applyOverride(cfg, "app.arrival", "closed"));
+  EXPECT_EQ(cfg.app.arrival, app::Arrival::kClosedLoop);
+  EXPECT_TRUE(applyOverride(cfg, "app.qps", "5000"));
+  EXPECT_DOUBLE_EQ(cfg.app.qps, 5000.0);
+  EXPECT_TRUE(applyOverride(cfg, "app.concurrency", "8"));
+  EXPECT_EQ(cfg.app.concurrency, 8);
+  EXPECT_TRUE(applyOverride(cfg, "app.think-time-us", "250"));
+  EXPECT_EQ(cfg.app.thinkTime, microseconds(250));
+  EXPECT_TRUE(applyOverride(cfg, "app.request-bytes", "4000"));
+  EXPECT_EQ(cfg.app.requestBytes, 4 * kKB);
+  EXPECT_TRUE(applyOverride(cfg, "app.response-dist", "websearch"));
+  EXPECT_EQ(cfg.app.responseDist, app::ResponseDist::kWebSearch);
+  EXPECT_TRUE(applyOverride(cfg, "app.response-dist", "datamining"));
+  EXPECT_EQ(cfg.app.responseDist, app::ResponseDist::kDataMining);
+  EXPECT_TRUE(applyOverride(cfg, "app.response-dist", "fixed"));
+  EXPECT_EQ(cfg.app.responseDist, app::ResponseDist::kFixed);
+  EXPECT_TRUE(applyOverride(cfg, "app.response-bytes", "64000"));
+  EXPECT_EQ(cfg.app.responseBytes, 64 * kKB);
+  EXPECT_TRUE(applyOverride(cfg, "app.service-time-us", "50"));
+  EXPECT_EQ(cfg.app.serviceTime, microseconds(50));
+  EXPECT_TRUE(applyOverride(cfg, "app.slo-ms", "25"));
+  EXPECT_EQ(cfg.app.slo, milliseconds(25));
+  EXPECT_TRUE(applyOverride(cfg, "app.timeout-ms", "80"));
+  EXPECT_EQ(cfg.app.timeout, milliseconds(80));
+  EXPECT_TRUE(applyOverride(cfg, "app.max-retries", "5"));
+  EXPECT_EQ(cfg.app.maxRetries, 5);
+  EXPECT_TRUE(applyOverride(cfg, "app.duplicate-threshold-bytes", "32000"));
+  EXPECT_EQ(cfg.app.duplicateThreshold, 32 * kKB);
+  EXPECT_TRUE(applyOverride(cfg, "app.placement", "spread"));
+  EXPECT_EQ(cfg.app.placement, app::Placement::kSpread);
+  EXPECT_TRUE(applyOverride(cfg, "app.placement", "random"));
+  EXPECT_EQ(cfg.app.placement, app::Placement::kRandom);
+  EXPECT_TRUE(applyOverride(cfg, "app.aggregator", "3"));
+  EXPECT_EQ(cfg.app.aggregator, 3);
+}
+
+TEST(AppOverrides, RejectsBadValuesAndLeavesConfigUntouched) {
+  ExperimentConfig cfg;
+  std::string err;
+  EXPECT_FALSE(applyOverride(cfg, "app.fan-out", "0", &err));
+  EXPECT_EQ(cfg.app.fanOut, 8);  // default preserved
+  EXPECT_FALSE(applyOverride(cfg, "app.arrival", "sometimes", &err));
+  EXPECT_NE(err.find("arrival"), std::string::npos);
+  EXPECT_FALSE(applyOverride(cfg, "app.qps", "0", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.qps", "-3", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.response-dist", "zipf", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.placement", "nearest", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.slo-ms", "-1", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.timeout-ms", "-1", &err));
+  EXPECT_FALSE(applyOverride(cfg, "app.queries", "lots", &err));
+  EXPECT_FALSE(cfg.app.enabled());
+}
+
+}  // namespace
+}  // namespace tlbsim::harness

@@ -1,0 +1,147 @@
+#include "app/query_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/run_summary.hpp"
+
+namespace tlbsim::app {
+namespace {
+
+TEST(QueryProbe, DeclareAccumulateFinishRoundTrip) {
+  QueryProbe probe;
+  probe.declareQuery(7, /*aggregator=*/3, /*fanOut=*/4, microseconds(10),
+                     milliseconds(10));
+  probe.onResponseDrawn(7, 32 * kKB);
+  probe.onResponseDrawn(7, 16 * kKB);
+  probe.onWorkerDone(7, /*worker=*/12, microseconds(400));
+  probe.onWorkerDone(7, /*worker=*/19, microseconds(900));
+  probe.onWorkerDone(7, /*worker=*/5, microseconds(600));
+  probe.finishQuery(7, /*completed=*/true, microseconds(900),
+                    /*sloMiss=*/false, /*retries=*/1, /*duplicates=*/0,
+                    /*flowsLaunched=*/10);
+
+  const QueryRecord* r = probe.find(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, 7);
+  EXPECT_EQ(r->aggregator, 3);
+  EXPECT_EQ(r->fanOut, 4);
+  EXPECT_EQ(r->start, microseconds(10));
+  EXPECT_TRUE(r->completed);
+  EXPECT_EQ(r->qct, microseconds(900));
+  EXPECT_FALSE(r->sloMiss);
+  EXPECT_EQ(r->retries, 1);
+  EXPECT_EQ(r->flowsLaunched, 10);
+  EXPECT_EQ(r->responseBytes, 48 * kKB);
+  // Slowest-worker attribution: the latest wait wins, not the last call.
+  EXPECT_EQ(r->slowestWorker, 19);
+  EXPECT_EQ(r->slowestWorkerWait, microseconds(900));
+}
+
+TEST(QueryProbe, RedeclareAndUnknownIdAreNoOps) {
+  QueryProbe probe;
+  probe.declareQuery(1, 0, 2, 0_ns, 0_ns);
+  probe.declareQuery(1, 99, 99, seconds(1), seconds(1));  // ignored
+  EXPECT_EQ(probe.queryCount(), 1u);
+  EXPECT_EQ(probe.find(1)->aggregator, 0);
+
+  // Mutations on a never-declared id must not crash or create records.
+  probe.onRetry(42, microseconds(5), 3);
+  probe.onWorkerDone(42, 1, microseconds(5));
+  probe.finishQuery(42, true, 0_ns, false, 0, 0, 0);
+  EXPECT_EQ(probe.find(42), nullptr);
+  EXPECT_EQ(probe.queryCount(), 1u);
+}
+
+TEST(QueryProbe, SortedRecordsOrderedById) {
+  QueryProbe probe;
+  for (const int id : {5, 1, 9, 3}) {
+    probe.declareQuery(id, 0, 1, 0_ns, 0_ns);
+  }
+  const auto recs = probe.sortedRecords();
+  ASSERT_EQ(recs.size(), 4u);
+  int prev = -1;
+  for (const auto* r : recs) {
+    EXPECT_GT(r->id, prev);
+    prev = r->id;
+  }
+}
+
+TEST(QueryProbe, MaxQueriesCapCountsOverflow) {
+  QueryProbe::Config cfg;
+  cfg.maxQueries = 2;
+  QueryProbe probe(cfg);
+  probe.declareQuery(1, 0, 1, 0_ns, 0_ns);
+  probe.declareQuery(2, 0, 1, 0_ns, 0_ns);
+  probe.declareQuery(3, 0, 1, 0_ns, 0_ns);  // over the cap: counted
+  EXPECT_EQ(probe.queryCount(), 2u);
+  EXPECT_EQ(probe.queriesNotTracked(), 1u);
+  EXPECT_EQ(probe.find(3), nullptr);
+  probe.onRetry(3, microseconds(1), 1);  // must be a safe no-op
+}
+
+TEST(QueryProbe, RetryTimelineBounded) {
+  QueryProbe::Config cfg;
+  cfg.maxRetriesPerQuery = 2;
+  QueryProbe probe(cfg);
+  probe.declareQuery(1, 0, 4, 0_ns, 0_ns);
+  for (int i = 0; i < 5; ++i) {
+    probe.onRetry(1, microseconds(10 * (i + 1)), 4 - i);
+  }
+  const QueryRecord* r = probe.find(1);
+  ASSERT_EQ(r->retryEvents.size(), 2u);
+  EXPECT_EQ(r->retryEvents[0].t, microseconds(10));
+  EXPECT_EQ(r->retryEvents[0].outstanding, 4);
+  EXPECT_EQ(r->retriesNotStored, 3u);
+}
+
+TEST(QueryProbe, FoldEmitsStableKeys) {
+  QueryProbe probe;
+  probe.declareQuery(1, 0, 2, 0_ns, milliseconds(10));
+  probe.onWorkerDone(1, 3, milliseconds(2));
+  probe.onRetry(1, milliseconds(1), 1);
+  probe.finishQuery(1, true, milliseconds(2), false, 1, 0, 6);
+  probe.declareQuery(2, 0, 2, 0_ns, milliseconds(10));
+  probe.finishQuery(2, true, milliseconds(1), false, 0, 0, 4);
+
+  obs::RunSummary summary;
+  probe.fold(summary);
+  ASSERT_NE(summary.value("app.probe_queries"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.value("app.probe_queries"), 2.0);
+  ASSERT_NE(summary.value("app.probe_retried_queries"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.value("app.probe_retried_queries"), 1.0);
+  ASSERT_NE(summary.value("app.probe_flows_per_query"), nullptr);
+  EXPECT_DOUBLE_EQ(*summary.value("app.probe_flows_per_query"), 5.0);
+  EXPECT_NE(summary.value("app.probe_slowest_wait_ms"), nullptr);
+  EXPECT_NE(summary.value("app.probe_not_tracked"), nullptr);
+}
+
+TEST(QueryProbe, NdjsonMetaFirstThenQueriesSortedById) {
+  QueryProbe probe;
+  probe.declareQuery(4, 1, 2, microseconds(100), milliseconds(10));
+  probe.finishQuery(4, true, microseconds(500), false, 0, 0, 4);
+  probe.declareQuery(2, 0, 2, microseconds(50), milliseconds(10));
+  probe.onRetry(2, microseconds(300), 1);
+  probe.finishQuery(2, false, 0_ns, true, 1, 0, 6);
+
+  const std::string nd = probe.toNdjson({{"scheme", "tlb"}, {"seed", "7"}});
+  // Line 1: meta with the caller's pairs.
+  EXPECT_EQ(nd.find("{\"type\": \"meta\""), 0u);
+  EXPECT_NE(nd.find("\"scheme\": \"tlb\""), std::string::npos);
+  // Query lines sorted by id regardless of declaration order.
+  const auto q2 = nd.find("\"id\": 2");
+  const auto q4 = nd.find("\"id\": 4");
+  ASSERT_NE(q2, std::string::npos);
+  ASSERT_NE(q4, std::string::npos);
+  EXPECT_LT(q2, q4);
+  // Schema fields and the retry timeline survive the export.
+  EXPECT_NE(nd.find("\"slo_miss\": true"), std::string::npos);
+  EXPECT_NE(nd.find("\"retry_events\": [[0.0003, 1]]"), std::string::npos);
+
+  // Deterministic: identical probes serialize identically.
+  EXPECT_EQ(nd, probe.toNdjson({{"scheme", "tlb"}, {"seed", "7"}}));
+}
+
+}  // namespace
+}  // namespace tlbsim::app

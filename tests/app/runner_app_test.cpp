@@ -1,0 +1,93 @@
+// Parallel-runner guarantees for app-enabled sweeps: the sweep report and
+// the per-query NDJSON must be byte-identical for any --jobs value, and
+// per-run probes must not leak across share-nothing workers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace tlbsim::runner {
+namespace {
+
+SweepSpec appSpec() {
+  SweepSpec spec;
+  spec.schemes = {harness::Scheme::kEcmp, harness::Scheme::kTlb};
+  spec.seeds = {1, 2};
+  spec.sweepSeed = 7;
+  return spec;
+}
+
+SweepScenario appScenario() {
+  SweepScenario scenario;
+  scenario.base = [](const SweepPoint& pt) {
+    harness::ExperimentConfig cfg;
+    cfg.topo.numLeaves = 2;
+    cfg.topo.numSpines = 4;
+    cfg.topo.hostsPerLeaf = 4;
+    cfg.scheme.scheme = pt.scheme;
+    cfg.maxDuration = seconds(5);
+    cfg.app.queries = 10;
+    cfg.app.fanOut = 4;
+    cfg.app.concurrency = 2;
+    cfg.app.placement = app::Placement::kSpread;
+    cfg.app.responseBytes = 16 * kKB;
+    cfg.app.slo = milliseconds(10);
+    return cfg;
+  };
+  return scenario;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(RunnerApp, ReportAndQueryNdjsonByteIdenticalAcrossJobs) {
+  const std::string pathA = ::testing::TempDir() + "app_queries_j1.ndjson";
+  const std::string pathB = ::testing::TempDir() + "app_queries_j4.ndjson";
+
+  RunnerOptions optA;
+  optA.jobs = 1;
+  optA.queriesNdjsonPath = pathA;
+  const SweepReport a = runSweep(appSpec(), appScenario(), optA);
+
+  RunnerOptions optB;
+  optB.jobs = 4;
+  optB.queriesNdjsonPath = pathB;
+  const SweepReport b = runSweep(appSpec(), appScenario(), optB);
+
+  EXPECT_EQ(a.toJson(), b.toJson());
+  const std::string ndA = slurp(pathA);
+  const std::string ndB = slurp(pathB);
+  ASSERT_FALSE(ndA.empty());
+  EXPECT_EQ(ndA, ndB);
+  // One meta line per run, queries from every run present.
+  EXPECT_NE(ndA.find("\"type\": \"meta\""), std::string::npos);
+  EXPECT_NE(ndA.find("\"type\": \"query\""), std::string::npos);
+  std::remove(pathA.c_str());
+  std::remove(pathB.c_str());
+}
+
+TEST(RunnerApp, SummaryCarriesAppKeysForEveryRun) {
+  RunnerOptions opt;
+  opt.jobs = 2;
+  opt.collectQueries = true;
+  const SweepReport report = runSweep(appSpec(), appScenario(), opt);
+  ASSERT_EQ(report.runs.size(), 4u);
+  for (const auto& run : report.runs) {
+    ASSERT_NE(run.summary.value("app.queries"), nullptr);
+    EXPECT_DOUBLE_EQ(*run.summary.value("app.queries"), 10.0);
+    EXPECT_NE(run.summary.value("app.qct_p99_ms"), nullptr);
+    // collectQueries also folds the probe's ledger keys into the summary.
+    EXPECT_NE(run.summary.value("app.probe_queries"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim::runner

@@ -316,38 +316,5 @@ TEST(Simulator, ScheduleAndCancelThroughFacade) {
   EXPECT_EQ(sim.now(), 100_ns);
 }
 
-// --- deprecated raw-id shim (removed next PR) ---------------------------
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(SchedulerDeprecatedShim, RawIdScheduleCancelPending) {
-  Scheduler s;
-  bool fired = false;
-  const std::uint64_t id = s.scheduleWithId(10_ns, [&] { fired = true; });
-  EXPECT_NE(id, kInvalidEvent);
-  EXPECT_TRUE(s.pending(id));
-  EXPECT_TRUE(s.cancel(id));
-  EXPECT_FALSE(s.pending(id));
-  EXPECT_FALSE(s.cancel(id));
-  s.run();
-  EXPECT_FALSE(fired);
-}
-
-TEST(SchedulerDeprecatedShim, RawIdStaleAfterFireAndReuse) {
-  Scheduler s;
-  const std::uint64_t id = s.scheduleWithId(10_ns, [] {});
-  s.run();
-  EXPECT_FALSE(s.pending(id));
-  bool fired = false;
-  const std::uint64_t fresh = s.scheduleWithId(10_ns, [&] { fired = true; });
-  EXPECT_NE(fresh, id);           // generation makes reused slots distinct
-  EXPECT_FALSE(s.cancel(id));     // stale id cannot hit the reused slot
-  EXPECT_FALSE(s.cancel(kInvalidEvent));
-  s.run();
-  EXPECT_TRUE(fired);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace tlbsim::sim

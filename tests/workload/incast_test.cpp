@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "workload/traffic_gen.hpp"
@@ -58,6 +59,29 @@ TEST(Incast, SendersRoundRobinOverHosts) {
   std::set<net::HostId> senders;
   for (const auto& f : flows) senders.insert(f.src);
   EXPECT_EQ(senders.size(), 3u);  // hosts 1..3
+}
+
+TEST(Incast, RoundRobinBalancedWhenFanInExceedsHosts) {
+  // fanIn = 10 over 3 eligible senders (hosts 1..3): assignment must stay
+  // strict round-robin, so per-sender counts differ by at most one and the
+  // sequence cycles 1,2,3,1,2,3,...
+  IncastConfig cfg;
+  cfg.fanIn = 10;
+  cfg.numHosts = 4;
+  cfg.aggregator = 0;
+  Rng rng(7);
+  const auto flows = incastWorkload(cfg, rng);
+  ASSERT_EQ(flows.size(), 10u);
+  std::map<net::HostId, int> counts;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].src, static_cast<net::HostId>(1 + i % 3));
+    ++counts[flows[i].src];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [host, n] : counts) {
+    EXPECT_GE(n, 3) << "host " << host;
+    EXPECT_LE(n, 4) << "host " << host;
+  }
 }
 
 TEST(Incast, DeadlinePropagates) {

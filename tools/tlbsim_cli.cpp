@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "app/query_probe.hpp"
 #include "fault/plan.hpp"
 #include "harness/experiment.hpp"
 #include "harness/overrides.hpp"
@@ -57,7 +58,35 @@ struct Options {
   bool audit = false;
   std::vector<std::string> faults;  // raw --fault specs, parsed later
   bool faultDrain = false;
+  std::vector<std::string> appSpecs;  // raw --app specs, parsed later
+  std::string queriesJsonPath;
 };
+
+/// Applies one --app SPEC (comma-joined app.* override items, sans the
+/// "app." prefix) onto the config, e.g. "queries=200,fan-out=16,slo-ms=10".
+bool applyAppSpec(harness::ExperimentConfig& cfg, const std::string& spec,
+                  std::string* err) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string item = spec.substr(start, end - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        if (err != nullptr) *err = "'" + item + "' is not key=value";
+        return false;
+      }
+      if (!harness::applyOverride(cfg, "app." + item.substr(0, eq),
+                                  item.substr(eq + 1), err)) {
+        return false;
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
 
 /// Rejects out-of-range option values with a message; the vocabulary here
 /// is shared by flags and config-file keys.
@@ -96,6 +125,11 @@ std::optional<LogLevel> parseLogLevel(const std::string& name) {
 bool buildFlows(harness::ExperimentConfig& cfg, const std::string& workload,
                 double load, int flows) {
   Rng rng(cfg.seed);
+  if (workload == "none") {
+    // App-only runs: no static flow list, traffic comes from --app.
+    cfg.flows.clear();
+    return true;
+  }
   if (workload == "basicmix") {
     workload::BasicMixConfig mix;
     mix.numHosts = cfg.topo.numHosts();
@@ -164,6 +198,7 @@ bool applyKey(Options* opt, const std::string& key,
   else if (key == "metrics-json") opt->metricsJsonPath = value;
   else if (key == "trace-json") opt->traceJsonPath = value;
   else if (key == "flows-json") opt->flowsJsonPath = value;
+  else if (key == "queries-json") opt->queriesJsonPath = value;
   else if (key == "log-level") {
     if (!parseLogLevel(value).has_value()) return false;
     opt->logLevel = value;
@@ -210,7 +245,7 @@ void usage() {
       "  --config PATH        key=value file with the options below\n"
       "                       (sans --; later flags override it)\n"
       "  --scheme NAME        load balancer (--list-schemes)\n"
-      "  --workload NAME      websearch | datamining | basicmix\n"
+      "  --workload NAME      websearch | datamining | basicmix | none\n"
       "  --load X             offered load vs bisection (default 0.5)\n"
       "  --flows N            flows to generate (default 300)\n"
       "  --leaves N --spines N --hosts-per-leaf N   topology\n"
@@ -235,6 +270,14 @@ void usage() {
       "                       (';' joins several links in one SPEC)\n"
       "  --fault-drain        drain in-flight packets on link-down instead\n"
       "                       of dropping them\n"
+      "  --app SPEC           run a partition-aggregate RPC service; SPEC\n"
+      "                       is comma-joined app.* override items sans the\n"
+      "                       prefix, e.g. --app queries=200,fan-out=16,\n"
+      "                       slo-ms=10 (repeatable; --workload none for an\n"
+      "                       app-only run; keys via sweep --list-overrides)\n"
+      "  --queries-json PATH  write per-query telemetry (QueryProbe\n"
+      "                       records: QCT, SLO hit/miss, retries, slowest\n"
+      "                       worker) as NDJSON\n"
       "  --classic-tcp        disable reordering-tolerant retransmit guard\n"
       "  --audit              run the tlbsim::check invariant audit each\n"
       "                       control tick (on by default in Debug builds);\n"
@@ -273,6 +316,10 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->faults.push_back(v);
     } else if (arg == "--fault-drain") {
       opt->faultDrain = true;
+    } else if (arg == "--app") {
+      const char* v = next("--app");
+      if (v == nullptr) return false;
+      opt->appSpecs.push_back(v);
     } else {
       // Every remaining value-taking flag shares its name (sans "--") and
       // its strict parsing with the config-file vocabulary.
@@ -281,7 +328,7 @@ bool parse(int argc, char** argv, Options* opt) {
           "--leaves",  "--spines",         "--hosts-per-leaf",
           "--rate-gbps", "--rtt-us",       "--buffer",    "--ecn-k",
           "--seed",    "--csv",            "--metrics-json",
-          "--trace-json", "--flows-json",  "--log-level"};
+          "--trace-json", "--flows-json",  "--queries-json", "--log-level"};
       bool known = false;
       for (const char* flag : kValueFlags) {
         if (arg == flag) {
@@ -318,6 +365,8 @@ struct SweepOptions {
   bool collectMetrics = false;
   bool collectFlows = false;
   std::string flowsJsonPath;
+  bool collectQueries = false;
+  std::string queriesJsonPath;
 };
 
 void sweepUsage() {
@@ -341,6 +390,16 @@ void sweepUsage() {
       "                       run's per-flow records to one NDJSON file\n"
       "                       (point index order; analyze with\n"
       "                       tlbsim_flows)\n"
+      "  --app SPEC           run a partition-aggregate RPC service in\n"
+      "                       every run; SPEC is comma-joined app.*\n"
+      "                       override items sans the prefix (repeatable,\n"
+      "                       shorthand for --set app.KEY=VALUE per item)\n"
+      "  --query-stats        fold per-run query-telemetry summaries into\n"
+      "                       the report\n"
+      "  --queries-json PATH  implies --query-stats; additionally write\n"
+      "                       every run's per-query records to one NDJSON\n"
+      "                       file (point index order)\n"
+      "  --workload none      app-only runs (no static flow list)\n"
       "  --audit              run the invariant audit in every run\n"
       "  --list-overrides     print --set keys and exit\n");
 }
@@ -383,6 +442,20 @@ bool parseSweepArgs(int argc, char** argv, SweepOptions* opt) {
       const char* v = next("--flows-json");
       if (v == nullptr) return false;
       opt->flowsJsonPath = v;
+    } else if (arg == "--query-stats") {
+      opt->collectQueries = true;
+    } else if (arg == "--queries-json") {
+      const char* v = next("--queries-json");
+      if (v == nullptr) return false;
+      opt->queriesJsonPath = v;
+    } else if (arg == "--app") {
+      const char* v = next("--app");
+      if (v == nullptr) return false;
+      // Shorthand: each comma-joined item becomes one app.* override,
+      // validated with the rest of --set by the scratch pass below.
+      for (const std::string& item : splitCsv(v)) {
+        if (!item.empty()) opt->sets.push_back("app." + item);
+      }
     } else if (arg == "--audit") {
       opt->audit = true;
     } else if (arg == "--schemes") {
@@ -483,7 +556,7 @@ int sweepMain(int argc, char** argv) {
     }
   }
   if (opt.workload != "websearch" && opt.workload != "datamining" &&
-      opt.workload != "basicmix") {
+      opt.workload != "basicmix" && opt.workload != "none") {
     std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
     return 1;
   }
@@ -509,6 +582,8 @@ int sweepMain(int argc, char** argv) {
   ropt.collectMetrics = opt.collectMetrics;
   ropt.collectFlows = opt.collectFlows;
   ropt.flowsNdjsonPath = opt.flowsJsonPath;
+  ropt.collectQueries = opt.collectQueries;
+  ropt.queriesNdjsonPath = opt.queriesJsonPath;
   ropt.onRunDone = [](const runner::SweepPoint& pt,
                       const harness::ExperimentResult& res) {
     std::printf("  done %-40s afct=%.3fms p99=%.3fms\n", pt.label().c_str(),
@@ -553,6 +628,10 @@ int sweepMain(int argc, char** argv) {
   if (!opt.flowsJsonPath.empty()) {
     std::printf("flows NDJSON written to %s\n", opt.flowsJsonPath.c_str());
   }
+  if (!opt.queriesJsonPath.empty()) {
+    std::printf("queries NDJSON written to %s\n",
+                opt.queriesJsonPath.c_str());
+  }
 
   bool auditFailed = false;
   for (const auto& run : report.runs) {
@@ -583,11 +662,13 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   obs::EventTrace trace;
   obs::FlowProbe flows;
+  app::QueryProbe queries;
 
   harness::ExperimentConfig cfg;
   if (!opt.metricsJsonPath.empty()) cfg.sinks.metrics = &metrics;
   if (!opt.traceJsonPath.empty()) cfg.sinks.trace = &trace;
   if (!opt.flowsJsonPath.empty()) cfg.sinks.flows = &flows;
+  if (!opt.queriesJsonPath.empty()) cfg.queryProbe = &queries;
   cfg.topo.numLeaves = opt.leaves;
   cfg.topo.numSpines = opt.spines;
   cfg.topo.hostsPerLeaf = opt.hostsPerLeaf;
@@ -625,6 +706,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const std::string& spec : opt.appSpecs) {
+    std::string err;
+    if (!applyAppSpec(cfg, spec, &err)) {
+      std::fprintf(stderr, "--app %s: %s\n", spec.c_str(), err.c_str());
+      return 1;
+    }
+  }
+
   if (!buildFlows(cfg, opt.workload, opt.load, opt.flows)) {
     std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
     return 1;
@@ -657,6 +746,16 @@ int main(int argc, char** argv) {
              {static_cast<double>(res.faultReroutedLongFlows)}, 0);
     t.addRow("time to reroute ms", {res.faultMeanRerouteSec * 1e3}, 3);
     t.addRow("goodput dip ratio", {res.faultGoodputDipRatio}, 3);
+  }
+  if (cfg.app.enabled()) {
+    t.addRow("app queries", {static_cast<double>(res.appQueriesLaunched)}, 0);
+    t.addRow("app completed",
+             {static_cast<double>(res.appQueriesCompleted)}, 0);
+    t.addRow("app QCT mean ms", {res.appQctMeanSec() * 1e3}, 3);
+    t.addRow("app QCT p99 ms", {res.appQctP99Sec() * 1e3}, 3);
+    t.addRow("app SLO miss %", {res.appSloMissRatio() * 100.0}, 2);
+    t.addRow("app retries", {static_cast<double>(res.appRetries)}, 0);
+    t.addRow("app rpc flows", {static_cast<double>(res.appRpcFlows)}, 0);
   }
   if (res.auditChecks > 0) {
     t.addRow("audit checks", {static_cast<double>(res.auditChecks)}, 0);
@@ -708,6 +807,24 @@ int main(int argc, char** argv) {
     if (flows.flowsNotTracked() > 0) {
       std::printf("  note: %zu further flows hit the probe cap\n",
                   flows.flowsNotTracked());
+    }
+  }
+  if (!opt.queriesJsonPath.empty()) {
+    if (!queries.writeNdjsonFile(
+            opt.queriesJsonPath,
+            {{"scheme", harness::schemeCliName(opt.scheme)},
+             {"workload", opt.workload},
+             {"seed", std::to_string(opt.seed)}})) {
+      std::fprintf(stderr, "cannot write queries NDJSON '%s'\n",
+                   opt.queriesJsonPath.c_str());
+      return 1;
+    }
+    std::printf("queries NDJSON written to %s (%zu queries)\n",
+                opt.queriesJsonPath.c_str(), queries.queryCount());
+    if (queries.queriesNotTracked() > 0) {
+      std::printf("  note: %llu further queries hit the probe cap\n",
+                  static_cast<unsigned long long>(
+                      queries.queriesNotTracked()));
     }
   }
   if (res.auditViolations > 0) {

@@ -69,6 +69,17 @@ flowprobe-mutation
     monitor). A mutation anywhere else would fabricate telemetry the
     tlbsim_flows analyzer then reports as a real decision.
 
+app-flowspec-factory
+    The app layer mints every RPC flow through app::FlowFactory
+    (src/app/flow_factory.*), the single place that assigns flow ids from
+    the monotone post-static-workload range. Direct transport::FlowSpec
+    construction anywhere else in src/app can reuse an id already owned
+    by a static workload flow or a concurrent query, silently corrupting
+    the ledger, the probes, and the conservation audit. Copies of a
+    factory-minted spec (`const transport::FlowSpec spec =
+    factory_.makeRpcFlow(...)`) and reference/pointer parameters are
+    fine; default or brace construction is not.
+
 Suppression: append `// tlbsim-lint: allow(<rule>)` to the offending line,
 or place it as a comment-only line directly above (for lines that would
 overflow the 80-column format limit otherwise).
@@ -125,6 +136,18 @@ FLOWPROBE_AUTHORITY_FILES = (
     "src/transport/tcp_sender.cpp",
     "src/transport/tcp_receiver.cpp",
     "src/fault/monitor.cpp",
+)
+
+# Direct FlowSpec construction: `FlowSpec{...}`, `FlowSpec x;`,
+# `FlowSpec x{...}` or `FlowSpec x = {...}`. Deliberately does NOT match
+# reference/pointer parameters or copy-init from a factory call.
+APP_FLOWSPEC_RE = re.compile(
+    r"\b(?:transport\s*::\s*)?FlowSpec"
+    r"(?:\s*\{|\s+\w+\s*(?:;|\{|=\s*\{))")
+# The one construction point the app layer is allowed.
+APP_FLOWSPEC_AUTHORITY_FILES = (
+    "src/app/flow_factory.hpp",
+    "src/app/flow_factory.cpp",
 )
 
 DIRECT_EXPERIMENT_RE = re.compile(
@@ -302,6 +325,17 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                     "decision sites; FlowProbe telemetry must come from "
                     "the switch/transport/LB hooks it describes"))
 
+        # --- app-flowspec-factory -------------------------------------
+        if rel.parts[:2] == ("src", "app") and \
+                rel.as_posix() not in APP_FLOWSPEC_AUTHORITY_FILES:
+            m = APP_FLOWSPEC_RE.search(code)
+            if m and not allowed(raw, "app-flowspec-factory", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "app-flowspec-factory",
+                    "direct transport::FlowSpec construction in src/app; "
+                    "mint RPC flows through app::FlowFactory "
+                    "(flow_factory.*) so ids stay collision-free"))
+
         # --- std-function-hot-path ------------------------------------
         if rel.parts[:2] in HOT_PATH_DIRS:
             m = STD_FUNCTION_RE.search(code)
@@ -420,6 +454,22 @@ SELF_TEST_CASES = [
      "std::function<void(const Packet&)> filter_;\n"),
     (None, "src/net/x.hpp", "util::InlineFunction<void()> hook_;\n"),
     (None, "src/sim/x.cpp", "// std::function is banned here\n"),
+    # app-flowspec-factory: flows in src/app come from the FlowFactory.
+    ("app-flowspec-factory", "src/app/x.cpp", "transport::FlowSpec f;\n"),
+    ("app-flowspec-factory", "src/app/service.cpp",
+     "auto s = transport::FlowSpec{};\n"),
+    ("app-flowspec-factory", "src/app/x.cpp", "FlowSpec spec{1, 2};\n"),
+    ("app-flowspec-factory", "src/app/x.cpp",
+     "transport::FlowSpec raw = {7, 0, 1};\n"),
+    (None, "src/app/flow_factory.cpp", "transport::FlowSpec spec;\n"),
+    (None, "src/app/x.cpp",
+     "const transport::FlowSpec spec = factory_.makeRpcFlow(s, d, n, t);\n"),
+    (None, "src/app/x.hpp",
+     "void launchFlow(const transport::FlowSpec& spec);\n"),
+    (None, "src/app/x.cpp",
+     "// tlbsim-lint: allow(app-flowspec-factory)\n"
+     "transport::FlowSpec raw;\n"),
+    (None, "src/workload/x.cpp", "transport::FlowSpec f;\n"),
 ]
 
 
