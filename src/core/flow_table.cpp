@@ -3,23 +3,20 @@
 namespace tlbsim::core {
 
 void FlowTable::onFlowStart(FlowId id, SimTime now) {
-  auto [it, inserted] = flows_.try_emplace(id);
-  it->second.lastSeen = now;
-  if (inserted) ++shortCount_;  // every flow starts short (paper §5)
+  (void)touch(id, now);  // every flow starts short (paper §5)
 }
 
 void FlowTable::onFlowEnd(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  retire(it->second);
-  flows_.erase(it);
+  flows_.erase(id, [this](FlowId, FlowEntry& entry) { retire(entry); });
 }
 
 FlowEntry& FlowTable::touch(FlowId id, SimTime now) {
-  auto [it, inserted] = flows_.try_emplace(id);
-  if (inserted) ++shortCount_;  // SYN was lost or predates the table
-  it->second.lastSeen = now;
-  return it->second;
+  // A table at cfg.maxTrackedFlows retires its least-recently-seen entry
+  // to admit the new flow (same accounting as a lost-FIN purge).
+  auto result = flows_.touch(
+      id, now, [this](FlowId, FlowEntry& victim) { retire(victim); });
+  if (result.inserted) ++shortCount_;  // SYN may be lost / predate the table
+  return result.state;
 }
 
 bool FlowTable::recordPayload(FlowEntry& entry, ByteCount payload) {
@@ -34,14 +31,7 @@ bool FlowTable::recordPayload(FlowEntry& entry, ByteCount payload) {
 }
 
 void FlowTable::purgeIdle(SimTime now) {
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (now - it->second.lastSeen > cfg_.idleTimeout) {
-      retire(it->second);
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  flows_.purgeIdle(now, [this](FlowId, FlowEntry& entry) { retire(entry); });
 }
 
 void FlowTable::retire(FlowEntry& entry) {

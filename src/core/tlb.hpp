@@ -45,6 +45,8 @@ class Tlb final : public net::UplinkSelector {
 
   const char* name() const override { return "TLB"; }
 
+  lb::FlowStateTableBase* flowState() override { return &table_.stateTable(); }
+
   // --- introspection (tests, Fig. 7 harness, overhead bench) ------------
   const FlowTable& flowTable() const { return table_; }
   const GranularityCalculator& calculator() const { return calc_; }

@@ -12,6 +12,7 @@
 #include "core/tlb.hpp"
 #include "fault/injector.hpp"
 #include "fault/monitor.hpp"
+#include "lb/flow_state_table.hpp"
 #include "obs/flow_probe.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -170,6 +171,14 @@ ExperimentResult Experiment::run() const {
     if (sinks.metrics != nullptr) {
       for (int l = 0; l < topo.numLeaves(); ++l) {
         topo.leaf(l).installObs(*sinks.metrics);
+        // Per-scheme flow-state accounting (tracked/purged/evicted flows,
+        // worst probe distance) for every selector that keeps a table.
+        if (topo.leaf(l).selector() != nullptr) {
+          lb::FlowStateTableBase* fs = topo.leaf(l).selector()->flowState();
+          if (fs != nullptr) {
+            fs->installObs(*sinks.metrics, "leaf" + std::to_string(l));
+          }
+        }
       }
       for (int s = 0; s < topo.numSpines(); ++s) {
         topo.spine(s).installObs(*sinks.metrics);

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lb/flow_state_table.hpp"
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
 #include "obs/flow_probe.hpp"
@@ -34,14 +35,16 @@ class Conga final : public net::UplinkSelector {
   };
 
   explicit Conga(std::uint64_t seed) : Conga(seed, Params{}) {}
-  Conga(std::uint64_t seed, Params params) : rng_(seed), params_(params) {}
+  Conga(std::uint64_t seed, Params params, FlowStateConfig stateCfg = {})
+      : rng_(seed), params_(params), flows_(stateCfg) {}
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
     const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
-    State& st = flows_[pkt.flow];
+    const auto entry = flows_.touch(pkt.flow, now);
+    State& st = entry.state;
     const bool newFlowlet = st.port < 0 ||
-                            (now - st.lastSeen) > params_.flowletTimeout ||
+                            (now - entry.prevSeen) > params_.flowletTimeout ||
                             !portUsable(uplinks, st.port);
     if (newFlowlet) {
       const int prev = st.port;
@@ -53,7 +56,6 @@ class Conga final : public net::UplinkSelector {
                                static_cast<double>(st.port));
       }
     }
-    st.lastSeen = now;
     dre_[st.port] += static_cast<double>(pkt.size.bytes());
     return st.port;
   }
@@ -61,6 +63,8 @@ class Conga final : public net::UplinkSelector {
   void attach(net::Switch& sw, sim::Simulator& simr) override;
 
   const char* name() const override { return "CONGA"; }
+
+  FlowStateTableBase* flowState() override { return &flows_; }
 
   std::uint64_t flowletsStarted() const { return flowlets_; }
   double dreOf(int port) const {
@@ -102,14 +106,13 @@ class Conga final : public net::UplinkSelector {
 
   struct State {
     int port = -1;
-    SimTime lastSeen;
   };
 
   Rng rng_;
   Params params_;
   sim::Simulator* sim_ = nullptr;
-  std::unordered_map<FlowId, State> flows_;
-  std::unordered_map<int, double> dre_;
+  FlowStateTable<State> flows_;
+  std::unordered_map<int, double> dre_;  ///< keyed by port, not FlowId
   std::uint64_t flowlets_ = 0;
 };
 

@@ -6,8 +6,8 @@
 #pragma once
 
 #include <limits>
-#include <unordered_map>
 
+#include "lb/flow_state_table.hpp"
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
 #include "obs/flow_probe.hpp"
@@ -26,12 +26,14 @@ class FixedGranularity final : public net::UplinkSelector {
       std::numeric_limits<std::uint64_t>::max();
 
   FixedGranularity(std::uint64_t seed, std::uint64_t packetsPerSwitch,
-                   Target target = Target::kRandom)
-      : rng_(seed), k_(packetsPerSwitch), target_(target) {}
+                   Target target = Target::kRandom,
+                   FlowStateConfig stateCfg = {})
+      : rng_(seed), k_(packetsPerSwitch), target_(target), flows_(stateCfg) {}
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
-    State& st = flows_[pkt.flow];
+    const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
+    State& st = flows_.touch(pkt.flow, now).state;
     const bool granularityHit =
         pkt.payload > 0_B && k_ != kFlowLevel && st.sinceSwitch >= k_;
     const bool mustPick =
@@ -44,7 +46,7 @@ class FixedGranularity final : public net::UplinkSelector {
       st.sinceSwitch = 0;
       if (flowProbe_ != nullptr && granularityHit && prev >= 0 &&
           prev != st.port) {
-        flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : SimTime{},
+        flowProbe_->onDecision(pkt.flow, now,
                                obs::DecisionKind::kGranularitySwitch,
                                static_cast<double>(prev),
                                static_cast<double>(st.port));
@@ -58,7 +60,10 @@ class FixedGranularity final : public net::UplinkSelector {
 
   const char* name() const override { return "FixedGranularity"; }
 
+  FlowStateTableBase* flowState() override { return &flows_; }
+
   std::uint64_t granularityPackets() const { return k_; }
+  std::size_t trackedFlows() const { return flows_.size(); }
 
  private:
   struct State {
@@ -70,7 +75,7 @@ class FixedGranularity final : public net::UplinkSelector {
   std::uint64_t k_;
   Target target_;
   sim::Simulator* sim_ = nullptr;
-  std::unordered_map<FlowId, State> flows_;
+  FlowStateTable<State> flows_;
 };
 
 }  // namespace tlbsim::lb

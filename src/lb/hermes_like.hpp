@@ -12,6 +12,7 @@
 
 #include <unordered_map>
 
+#include "lb/flow_state_table.hpp"
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
 #include "obs/flow_probe.hpp"
@@ -36,12 +37,13 @@ class HermesLike final : public net::UplinkSelector {
   };
 
   explicit HermesLike(std::uint64_t seed) : HermesLike(seed, Params{}) {}
-  HermesLike(std::uint64_t seed, Params params)
-      : rng_(seed), params_(params) {}
+  HermesLike(std::uint64_t seed, Params params, FlowStateConfig stateCfg = {})
+      : rng_(seed), params_(params), flows_(stateCfg) {}
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
-    State& st = flows_[pkt.flow];
+    const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
+    State& st = flows_.touch(pkt.flow, now).state;
     if (pkt.payload > 0_B) st.bytesSinceMove += pkt.payload;
 
     if (st.port < 0 || !portUsable(uplinks, st.port)) {
@@ -61,7 +63,7 @@ class HermesLike final : public net::UplinkSelector {
         st.bytesSinceMove = 0_B;
         ++reroutes_;
         if (flowProbe_ != nullptr) {
-          flowProbe_->onDecision(pkt.flow, sim_ != nullptr ? sim_->now() : SimTime{},
+          flowProbe_->onDecision(pkt.flow, now,
                                  obs::DecisionKind::kCautiousReroute,
                                  static_cast<double>(prev),
                                  static_cast<double>(candidate));
@@ -75,7 +77,10 @@ class HermesLike final : public net::UplinkSelector {
 
   const char* name() const override { return "Hermes-like"; }
 
+  FlowStateTableBase* flowState() override { return &flows_; }
+
   std::uint64_t reroutes() const { return reroutes_; }
+  std::size_t trackedFlows() const { return flows_.size(); }
 
  private:
   enum class Condition { kGood, kGray, kBad };
@@ -126,7 +131,7 @@ class HermesLike final : public net::UplinkSelector {
   Params params_;
   net::Switch* switch_ = nullptr;
   sim::Simulator* sim_ = nullptr;
-  std::unordered_map<FlowId, State> flows_;
+  FlowStateTable<State> flows_;
   std::unordered_map<int, double> condition_;  ///< smoothed wait per port
   std::uint64_t reroutes_ = 0;
 };

@@ -8,6 +8,24 @@
 
 namespace tlbsim::lb {
 
+namespace {
+
+/// Shared flow-state upkeep: every scheme keeping a FlowStateTable sweeps
+/// it on the same coarse cadence. Correctness only needs entries to be
+/// *eventually* dropped (a purged flow that resumes simply re-decides, as
+/// it would after any idle gap); the table's idleTimeout (default 1 s)
+/// bounds how long a dead flow can occupy a slot, and its maxFlows cap
+/// bounds state even between sweeps.
+constexpr SimTime kPurgeSweepInterval = milliseconds(100);
+
+template <typename Table>
+void armPurgeSweep(sim::Simulator& simr, Table& table) {
+  simr.every(kPurgeSweepInterval,
+             [&simr, &table] { table.purgeIdle(simr.now()); });
+}
+
+}  // namespace
+
 void HermesLike::attach(net::Switch& sw, sim::Simulator& simr) {
   switch_ = &sw;
   sim_ = &simr;
@@ -19,6 +37,7 @@ void HermesLike::attach(net::Switch& sw, sim::Simulator& simr) {
       c = (1.0 - params_.gain) * c + params_.gain * drainTime(view);
     }
   });
+  armPurgeSweep(simr, flows_);
 }
 
 void Conga::attach(net::Switch& sw, sim::Simulator& simr) {
@@ -30,47 +49,28 @@ void Conga::attach(net::Switch& sw, sim::Simulator& simr) {
       value *= 1.0 - params_.dreAlpha;
     }
   });
-  // Flowlet-table upkeep, as in LetFlow.
-  simr.every(milliseconds(100), [this, &simr] {
-    const SimTime now = simr.now();
-    for (auto it = flows_.begin(); it != flows_.end();) {
-      if (now - it->second.lastSeen > seconds(1)) {
-        it = flows_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  });
+  armPurgeSweep(simr, flows_);
 }
 
 void LetFlow::attach(net::Switch& sw, sim::Simulator& simr) {
   (void)sw;
   sim_ = &simr;
-  // Retire long-idle flowlet entries so the table tracks live flows only.
-  // The sweep period is coarse; correctness only needs entries to be
-  // *eventually* dropped (a reused FlowId would start a fresh flowlet
-  // anyway because the timeout expired).
-  simr.every(milliseconds(100), [this, &simr] {
-    const SimTime now = simr.now();
-    for (auto it = flows_.begin(); it != flows_.end();) {
-      if (now - it->second.lastSeen > seconds(1)) {
-        it = flows_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  });
+  armPurgeSweep(simr, flows_);
 }
 
 void Presto::attach(net::Switch& sw, sim::Simulator& simr) {
   (void)sw;
-  (void)simr;
-  // Presto keeps only a byte counter per flow; no timers needed.
+  sim_ = &simr;
+  // A purged flow restarts at cell 0 of a fresh byte counter — after an
+  // idleTimeout of silence the in-flight window is long gone, so the
+  // reset cannot reorder anything.
+  armPurgeSweep(simr, flows_);
 }
 
 void FixedGranularity::attach(net::Switch& sw, sim::Simulator& simr) {
   (void)sw;
   sim_ = &simr;
+  armPurgeSweep(simr, flows_);
 }
 
 }  // namespace tlbsim::lb

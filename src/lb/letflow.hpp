@@ -4,8 +4,7 @@
 // uplink. Flowlet sizes then adapt to path congestion automatically.
 #pragma once
 
-#include <unordered_map>
-
+#include "lb/flow_state_table.hpp"
 #include "lb/selector_util.hpp"
 #include "net/uplink_selector.hpp"
 #include "obs/flow_probe.hpp"
@@ -18,15 +17,17 @@ namespace tlbsim::lb {
 
 class LetFlow final : public net::UplinkSelector {
  public:
-  LetFlow(std::uint64_t seed, SimTime flowletTimeout = microseconds(150))
-      : rng_(seed), timeout_(flowletTimeout) {}
+  LetFlow(std::uint64_t seed, SimTime flowletTimeout = microseconds(150),
+          FlowStateConfig stateCfg = {})
+      : rng_(seed), timeout_(flowletTimeout), flows_(stateCfg) {}
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
     const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
-    State& st = flows_[pkt.flow];
+    const auto entry = flows_.touch(pkt.flow, now);
+    State& st = entry.state;
     const bool newFlowlet =
-        st.port < 0 || (now - st.lastSeen) > timeout_ ||
+        st.port < 0 || (now - entry.prevSeen) > timeout_ ||
         !portUsable(uplinks, st.port);
     if (newFlowlet) {
       const int prev = st.port;
@@ -38,13 +39,14 @@ class LetFlow final : public net::UplinkSelector {
                                static_cast<double>(st.port));
       }
     }
-    st.lastSeen = now;
     return st.port;
   }
 
   void attach(net::Switch& sw, sim::Simulator& simr) override;
 
   const char* name() const override { return "LetFlow"; }
+
+  FlowStateTableBase* flowState() override { return &flows_; }
 
   SimTime flowletTimeout() const { return timeout_; }
   std::uint64_t flowletsStarted() const { return flowlets_; }
@@ -53,13 +55,12 @@ class LetFlow final : public net::UplinkSelector {
  private:
   struct State {
     int port = -1;
-    SimTime lastSeen;
   };
 
   Rng rng_;
   SimTime timeout_;
   sim::Simulator* sim_ = nullptr;
-  std::unordered_map<FlowId, State> flows_;
+  FlowStateTable<State> flows_;
   std::uint64_t flowlets_ = 0;
 };
 

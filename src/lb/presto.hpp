@@ -4,8 +4,7 @@
 // hash-derived starting offset.
 #pragma once
 
-#include <unordered_map>
-
+#include "lb/flow_state_table.hpp"
 #include "net/uplink_selector.hpp"
 #include "sim/simulator.hpp"
 #include "util/flow_key.hpp"
@@ -15,17 +14,21 @@ namespace tlbsim::lb {
 
 class Presto final : public net::UplinkSelector {
  public:
-  explicit Presto(std::uint64_t salt, ByteCount flowcellBytes = 64 * kKiB)
-      : salt_(salt), cellBytes_(flowcellBytes) {}
+  explicit Presto(std::uint64_t salt, ByteCount flowcellBytes = 64 * kKiB,
+                  FlowStateConfig stateCfg = {})
+      : salt_(salt), cellBytes_(flowcellBytes), flows_(stateCfg) {}
 
   int selectUplink(const net::Packet& pkt,
                    const net::UplinkView& uplinks) override {
-    State& st = flows_[pkt.flow];
-    // Cell index advances with payload bytes; control/ACK packets ride the
-    // flow's current cell.
+    const SimTime now = sim_ != nullptr ? sim_->now() : SimTime{};
+    State& st = flows_.touch(pkt.flow, now).state;
+    // The cell is the one owning the packet's FIRST payload byte, so a
+    // packet spanning a cell boundary still rides the cell it started in
+    // (the byte counter advances afterwards). Control/ACK packets ride
+    // the flow's current cell.
     if (pkt.payload > 0_B) {
-      st.bytes += pkt.payload;
       st.cell = st.bytes / cellBytes_;
+      st.bytes += pkt.payload;
     }
     const std::uint64_t start = flowHash(pkt.flow, salt_);
     return uplinks[(start + static_cast<std::uint64_t>(st.cell)) %
@@ -36,6 +39,8 @@ class Presto final : public net::UplinkSelector {
   void attach(net::Switch& sw, sim::Simulator& simr) override;
 
   const char* name() const override { return "Presto"; }
+
+  FlowStateTableBase* flowState() override { return &flows_; }
 
   ByteCount flowcellBytes() const { return cellBytes_; }
   std::size_t trackedFlows() const { return flows_.size(); }
@@ -48,7 +53,8 @@ class Presto final : public net::UplinkSelector {
 
   std::uint64_t salt_;
   ByteCount cellBytes_;
-  std::unordered_map<FlowId, State> flows_;
+  sim::Simulator* sim_ = nullptr;
+  FlowStateTable<State> flows_;
 };
 
 }  // namespace tlbsim::lb

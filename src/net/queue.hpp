@@ -5,6 +5,7 @@
 // in both packets and bytes because load balancers compare queue lengths.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 
@@ -30,6 +31,12 @@ struct QueueConfig {
   double redWeight = 0.002;   ///< EWMA gain for the averaged queue
   double redMaxProb = 0.1;    ///< marking probability at maxTh
   std::uint64_t redSeed = 0x5eed;
+  /// RED idle decay: a packet arriving at a queue that has been empty for
+  /// time T ages the average as if T/redIdleSlot zero-length samples had
+  /// been observed (RFC 2309's "m" correction; set it to roughly one
+  /// packet's transmission time). 0 disables the decay — the average then
+  /// only moves on arrivals, overstating congestion after idle spells.
+  SimTime redIdleSlot = SimTime{};
 };
 
 class DropTailQueue {
@@ -40,15 +47,14 @@ class DropTailQueue {
   /// Returns false (and counts a drop) when the queue is full.
   /// On success the packet is stored with its enqueue timestamp.
   bool enqueue(Packet pkt, SimTime now) {
+    // The averaged queue samples every arrival — including the ones the
+    // buffer limit rejects below. Skipping dropped arrivals would freeze
+    // the average under saturation exactly when RED needs it highest.
+    if (cfg_.marking == QueueConfig::Marking::kRed) updateRedAverage(now);
     if (static_cast<int>(items_.size()) >= cfg_.capacityPackets) {
       ++drops_;
       droppedBytes_ += pkt.size;
       return false;
-    }
-    if (cfg_.marking == QueueConfig::Marking::kRed) {
-      // The averaged queue tracks every arrival, markable or not.
-      avgQueue_ = (1.0 - cfg_.redWeight) * avgQueue_ +
-                  cfg_.redWeight * static_cast<double>(items_.size());
     }
     if (shouldMark(pkt)) {
       pkt.ce = true;
@@ -66,6 +72,7 @@ class DropTailQueue {
     Item item = items_.front();
     items_.pop_front();
     bytes_ -= item.pkt.size;
+    if (items_.empty()) emptySince_ = now;
     if (queueDelay != nullptr) *queueDelay = now - item.enqueuedAt;
     return item.pkt;
   }
@@ -98,6 +105,16 @@ class DropTailQueue {
     SimTime enqueuedAt;
   };
 
+  void updateRedAverage(SimTime now) {
+    if (items_.empty() && cfg_.redIdleSlot > SimTime{} && now > emptySince_) {
+      const double idleSamples = static_cast<double>((now - emptySince_).ns()) /
+                                 static_cast<double>(cfg_.redIdleSlot.ns());
+      avgQueue_ *= std::pow(1.0 - cfg_.redWeight, idleSamples);
+    }
+    avgQueue_ = (1.0 - cfg_.redWeight) * avgQueue_ +
+                cfg_.redWeight * static_cast<double>(items_.size());
+  }
+
   bool shouldMark(const Packet& pkt) {
     if (cfg_.ecnThresholdPackets <= 0 || !pkt.ecnCapable) return false;
     if (cfg_.marking == QueueConfig::Marking::kInstantaneous) {
@@ -118,6 +135,7 @@ class DropTailQueue {
   std::deque<Item> items_;
   ByteCount bytes_;
   double avgQueue_ = 0.0;
+  SimTime emptySince_;  ///< when the queue last drained (starts empty at 0)
   std::uint64_t drops_ = 0;
   ByteCount droppedBytes_;
   std::uint64_t ecnMarks_ = 0;

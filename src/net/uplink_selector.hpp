@@ -20,6 +20,9 @@ class Simulator;
 namespace obs {
 class FlowProbe;
 }
+namespace lb {
+class FlowStateTableBase;
+}
 
 namespace net {
 
@@ -63,6 +66,11 @@ class UplinkSelector {
   /// path-change decisions — new flowlets, reroutes, granularity switches
   /// — through it.
   void setFlowProbe(obs::FlowProbe* probe) { flowProbe_ = probe; }
+
+  /// The scheme's bounded per-flow state table, when it keeps one.
+  /// The harness wires the table's tracked/purged/evicted/probe-distance
+  /// metrics through this; stateless schemes return nullptr.
+  virtual lb::FlowStateTableBase* flowState() { return nullptr; }
 
  protected:
   obs::FlowProbe* flowProbe_ = nullptr;

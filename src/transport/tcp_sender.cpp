@@ -283,7 +283,9 @@ void TcpSender::armRto() {
   // Move-assignment below cancels any still-pending timer (RAII handle).
   SimTime rto = haveRttSample_ ? srtt_ + 4 * rttvar_ : params_.minRto;
   rto = std::clamp(rto, params_.minRto, params_.maxRto);
-  rto *= rtoBackoff_;
+  // Exponential backoff, re-clamped after the multiply: maxRto bounds the
+  // armed timer itself (RFC 6298 §5.5), not just the pre-backoff estimate.
+  rto = std::min(rto * rtoBackoff_, params_.maxRto);
   rtoEvent_ = sim_.schedule(rto, [this] { onRto(); });
 }
 

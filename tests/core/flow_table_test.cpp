@@ -42,7 +42,8 @@ TEST(FlowTable, TouchCreatesWhenSynMissed) {
   FlowTable t(config());
   auto& e = t.touch(5, 100_ns);
   EXPECT_EQ(t.shortCount(), 1);
-  EXPECT_EQ(e.lastSeen, 100_ns);
+  ASSERT_NE(t.lastSeenOf(5), nullptr);
+  EXPECT_EQ(*t.lastSeenOf(5), 100_ns);
   EXPECT_FALSE(e.isLong);
 }
 

@@ -199,6 +199,40 @@ TEST(Presto, IndependentPerFlowState) {
   EXPECT_EQ(presto.trackedFlows(), 2u);
 }
 
+TEST(Presto, BoundaryCrossingPacketRidesItsFirstByteCell) {
+  // Cell size chosen so the third segment straddles the boundary: its
+  // first byte is at offset 2920 < 4000, so it must ride cell 0; only the
+  // NEXT packet (first byte 4380 >= 4000) moves to cell 1. The regression
+  // was advancing the byte counter before deriving the cell, which pushed
+  // the straddling packet itself onto the next cell.
+  Presto presto(9, 4000_B);
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
+  const int first = presto.selectUplink(dataPacket(1), v);   // bytes 0-1459
+  EXPECT_EQ(presto.selectUplink(dataPacket(1), v), first);   // 1460-2919
+  EXPECT_EQ(presto.selectUplink(dataPacket(1), v), first);   // 2920-4379
+  const int next = presto.selectUplink(dataPacket(1), v);    // 4380-5839
+  EXPECT_NE(next, first);
+  // Round-robin stride of exactly one uplink.
+  auto portIndex = [&v](int port) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i].port == port) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_EQ(portIndex(next), (portIndex(first) + 1) % 4);
+}
+
+TEST(Presto, ExactCellFillAdvancesOnNextPacket) {
+  // 2 segments fill a 2920-byte cell exactly; the boundary packet's first
+  // byte is the new cell's first byte, so the switch happens precisely at
+  // packet 3 — not 2 (pre-advance bug) and not 4.
+  Presto presto(9, 2920_B);
+  const auto v = makeView({0_B, 0_B, 0_B, 0_B});
+  const int first = presto.selectUplink(dataPacket(1), v);
+  EXPECT_EQ(presto.selectUplink(dataPacket(1), v), first);
+  EXPECT_NE(presto.selectUplink(dataPacket(1), v), first);
+}
+
 TEST(Presto, ControlPacketsDoNotAdvanceCells) {
   Presto presto(9, 64 * kKiB);
   const auto v = makeView({0_B, 0_B, 0_B});

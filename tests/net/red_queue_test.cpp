@@ -84,6 +84,50 @@ TEST(RedQueue, InstantaneousModeKeepsAverageAtZero) {
   EXPECT_GT(q.ecnMarks(), 0u);  // instantaneous marking still active
 }
 
+TEST(RedQueue, AverageKeepsRisingUnderSaturation) {
+  auto cfg = redConfig(2);  // minTh=2, maxTh=6
+  cfg.capacityPackets = 8;
+  cfg.redWeight = 0.5;  // converge within a few samples
+  DropTailQueue q(cfg);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.enqueue(ectPacket(), 0_ns));
+  // Pre-push samples 0..7 leave the average just above maxTh.
+  const double beforeSaturation = q.averagedQueuePackets();
+  ASSERT_LT(beforeSaturation, 6.5);
+  // Every further arrival is dropped, but each still samples the full
+  // queue: the average must converge on capacity, not freeze at its
+  // last-accepted value (the regression this test pins down).
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(q.enqueue(ectPacket(), 0_ns));
+  EXPECT_EQ(q.drops(), 10u);
+  EXPECT_GT(q.averagedQueuePackets(), 7.9);
+}
+
+TEST(RedQueue, IdleTimeDecaysAverage) {
+  auto cfg = redConfig(10);
+  cfg.redWeight = 0.5;
+  cfg.redIdleSlot = microseconds(10);
+  DropTailQueue q(cfg);
+  for (int i = 0; i < 20; ++i) q.enqueue(ectPacket(), 0_ns);
+  while (!q.empty()) q.dequeue(microseconds(1));
+  const double high = q.averagedQueuePackets();
+  ASSERT_GT(high, 10.0);
+  // 4 idle slots age the average by (1-w)^4 = 1/16 before the arrival's
+  // own zero-occupancy sample halves it again.
+  q.enqueue(ectPacket(), microseconds(41));
+  EXPECT_NEAR(q.averagedQueuePackets(), high / 32.0, high / 100.0);
+}
+
+TEST(RedQueue, IdleDecayDisabledByDefault) {
+  auto cfg = redConfig(10);
+  cfg.redWeight = 0.5;
+  DropTailQueue q(cfg);
+  for (int i = 0; i < 20; ++i) q.enqueue(ectPacket(), 0_ns);
+  while (!q.empty()) q.dequeue(microseconds(1));
+  const double high = q.averagedQueuePackets();
+  // A long-idle arrival contributes exactly one zero sample, nothing more.
+  q.enqueue(ectPacket(), seconds(1));
+  EXPECT_DOUBLE_EQ(q.averagedQueuePackets(), high * 0.5);
+}
+
 TEST(RedQueue, AverageFollowsOccupancyDown) {
   DropTailQueue q(redConfig(10));
   for (int i = 0; i < 40; ++i) q.enqueue(ectPacket(), 0_ns);

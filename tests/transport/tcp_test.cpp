@@ -111,6 +111,25 @@ TEST(Tcp, TimeoutRecoversTailLoss) {
   EXPECT_GT(f.sender->fct(), milliseconds(10));  // paid the minRto
 }
 
+TEST(Tcp, BackedOffRtoIsCappedAtMaxRto) {
+  TcpRig rig;
+  TcpParams params;
+  params.minRto = milliseconds(1);
+  params.maxRto = milliseconds(2);
+  // Black-hole the data direction after the handshake: every retry times
+  // out, so the backoff multiplier quickly reaches its 64x ceiling.
+  rig.abFilter.setHook([](net::Packet& p) { return p.isData() ? 0 : 1; });
+  auto f = rig.makeFlow(10 * kKB, params);
+  f.sender->start();
+  rig.simr.run(milliseconds(500));
+  EXPECT_FALSE(f.sender->completed());
+  // maxRto bounds the armed timer itself, so every retry interval is
+  // <= 2 ms and ~250 timeouts fit in 500 ms. The regression (clamping
+  // before the backoff multiply) plateaus at 64 x 1 ms intervals and
+  // fires only ~12 times.
+  EXPECT_GE(f.sender->timeouts(), 150u);
+}
+
 TEST(Tcp, SynLossIsRetried) {
   TcpRig rig;
   int drops = 0;

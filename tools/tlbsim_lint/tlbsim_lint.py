@@ -69,6 +69,16 @@ flowprobe-mutation
     monitor). A mutation anywhere else would fabricate telemetry the
     tlbsim_flows analyzer then reports as a real decision.
 
+flowid-map
+    No std::unordered_map / std::map keyed by FlowId in src/lb or
+    src/core: per-flow state on the packet decision path lives in
+    lb::FlowStateTable (src/lb/flow_state_table.hpp), which is bounded
+    (maxFlows + LRU eviction), idle-purged in O(purged), and allocation-
+    free in steady state. A FlowId-keyed node map reintroduces unbounded
+    growth and a heap allocation per new flow. Maps keyed by other types
+    (ports, paths) are fine. Genuinely cold FlowId maps carry an explicit
+    allow() stating why boundedness does not matter there.
+
 app-flowspec-factory
     The app layer mints every RPC flow through app::FlowFactory
     (src/app/flow_factory.*), the single place that assigns flow ids from
@@ -149,6 +159,13 @@ APP_FLOWSPEC_AUTHORITY_FILES = (
     "src/app/flow_factory.hpp",
     "src/app/flow_factory.cpp",
 )
+
+# A FlowId-keyed standard map: per-flow state outside lb::FlowStateTable.
+FLOWID_MAP_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:unordered_)?map\s*<\s*"
+    r"(?:(?:tlbsim\s*::\s*)?util\s*::\s*)?FlowId\s*,")
+# The directories holding packet-path per-flow state (the rule's scope).
+FLOWID_MAP_DIRS = (("src", "lb"), ("src", "core"))
 
 DIRECT_EXPERIMENT_RE = re.compile(
     r"\b(runExperiment|summarizeExperiment)\s*\("
@@ -336,6 +353,17 @@ def check_file(path: pathlib.Path, rel: pathlib.Path, text: str,
                     "mint RPC flows through app::FlowFactory "
                     "(flow_factory.*) so ids stay collision-free"))
 
+        # --- flowid-map -----------------------------------------------
+        if rel.parts[:2] in FLOWID_MAP_DIRS:
+            m = FLOWID_MAP_RE.search(code)
+            if m and not allowed(raw, "flowid-map", prev_raw):
+                findings.append(Finding(
+                    rel, lineno, "flowid-map",
+                    "FlowId-keyed std map in src/lb / src/core; per-flow "
+                    "state belongs in lb::FlowStateTable (bounded, "
+                    "idle-purged, zero steady-state allocation), or "
+                    "allow() with a cold-path justification"))
+
         # --- std-function-hot-path ------------------------------------
         if rel.parts[:2] in HOT_PATH_DIRS:
             m = STD_FUNCTION_RE.search(code)
@@ -454,6 +482,24 @@ SELF_TEST_CASES = [
      "std::function<void(const Packet&)> filter_;\n"),
     (None, "src/net/x.hpp", "util::InlineFunction<void()> hook_;\n"),
     (None, "src/sim/x.cpp", "// std::function is banned here\n"),
+    # flowid-map: per-flow state in lb/core lives in FlowStateTable.
+    ("flowid-map", "src/lb/x.hpp",
+     "std::unordered_map<FlowId, State> flows_;\n"),
+    ("flowid-map", "src/core/x.hpp",
+     "std::unordered_map<FlowId, FlowEntry> entries_;\n"),
+    ("flowid-map", "src/lb/x.hpp",
+     "std::map<FlowId, int> ports_;\n"),
+    ("flowid-map", "src/core/x.cpp",
+     "std::unordered_map<util::FlowId, double> ewma_;\n"),
+    (None, "src/lb/x.hpp", "std::unordered_map<int, double> dre_;\n"),
+    (None, "src/lb/x.hpp", "FlowStateTable<State> flows_;\n"),
+    (None, "src/fault/monitor.hpp",
+     "std::unordered_map<FlowId, Pending> pending_;\n"),
+    (None, "src/net/host.hpp",
+     "std::unordered_map<FlowId, PacketHandler*> handlers_;\n"),
+    (None, "src/lb/x.hpp",
+     "// debug-only snapshot. tlbsim-lint: allow(flowid-map)\n"
+     "std::unordered_map<FlowId, State> snapshot_;\n"),
     # app-flowspec-factory: flows in src/app come from the FlowFactory.
     ("app-flowspec-factory", "src/app/x.cpp", "transport::FlowSpec f;\n"),
     ("app-flowspec-factory", "src/app/service.cpp",
